@@ -1,0 +1,39 @@
+"""Regenerate the measured tables embedded in EXPERIMENTS.md.
+
+Runs every experiment at its default (scaled) size and writes all three
+cost views per figure to ``results/`` plus one concatenated
+``results/all_results.txt``.  EXPERIMENTS.md quotes these tables.
+
+Usage:  python benchmarks/generate_results.py [output_dir]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+
+
+def main() -> int:
+    out_dir = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "results")
+    out_dir.mkdir(exist_ok=True)
+    combined = []
+    for name, fn in ALL_EXPERIMENTS.items():
+        result = fn()
+        if name == "fig11":
+            text = result.format_table("space_bytes")
+        else:
+            text = "\n\n".join(
+                result.format_table(metric)
+                for metric in ("pages_read", "io_cost", "wall_ms")
+            )
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+        combined.append(text)
+        print(f"[done] {name}")
+    (out_dir / "all_results.txt").write_text("\n\n\n".join(combined) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

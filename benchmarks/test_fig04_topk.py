@@ -1,0 +1,48 @@
+"""Figure 4: query cost vs. k.
+
+Paper shape: the ranking cube is far cheaper than both the Baseline and
+Rank Mapping across k; the Baseline is insensitive to k (it always
+evaluates every qualifying tuple); the ranking cube's cost grows with k
+(progressively more blocks retrieved).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.bench import METHOD_RANKING_CUBE, build_environment
+from repro.bench.experiments import fig04_topk
+from repro.workloads import QueryGenerator, QuerySpec, SyntheticSpec, generate
+
+
+@pytest.fixture(scope="module")
+def result(bench_tuples, bench_queries):
+    return fig04_topk(num_tuples=bench_tuples, queries_per_point=bench_queries)
+
+
+def test_fig04_shape_and_query_path(benchmark, result, bench_tuples):
+    emit(result)
+    baseline = result.series("baseline", "pages_read")
+    cube = result.series("ranking_cube", "pages_read")
+    # RC reads far fewer pages than BL at every k
+    assert all(rc < bl for rc, bl in zip(cube, baseline))
+    # BL is insensitive to k (same scan / same index fetches)
+    assert max(baseline) <= 1.2 * min(baseline)
+    # RC cost grows with k (more progressive block retrievals)
+    assert cube[-1] > cube[0]
+    # RC also wins on work done: far fewer tuples examined
+    assert result.series("ranking_cube", "tuples_examined")[0] < (
+        result.series("baseline", "tuples_examined")[0] / 5
+    )
+
+    # benchmark the characteristic path: one k=50 cube query, cold cache
+    dataset = generate(SyntheticSpec(num_tuples=bench_tuples, seed=29))
+    env = build_environment(dataset, (METHOD_RANKING_CUBE,))
+    query = QueryGenerator(dataset.schema, QuerySpec(k=50, seed=1)).generate()
+    executor = env.executors[METHOD_RANKING_CUBE]
+
+    def run():
+        env.db.cold_cache()
+        return executor.execute(query)
+
+    answer = benchmark(run)
+    assert len(answer.rows) == 50

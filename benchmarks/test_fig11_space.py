@@ -1,0 +1,60 @@
+"""Figure 11: space usage vs. number of selection dimensions S.
+
+Paper shape: all three configurations (Baseline's secondary indexes, Rank
+Mapping's per-fragment composite indexes, Ranking Fragments) grow linearly
+with S; the fragments cost ~1-2.5x the alternatives — "a fairly acceptable
+cost paid for materialization".
+"""
+
+import pytest
+
+from conftest import emit
+from repro.bench.experiments import fig11_space
+from repro.core import estimated_fragment_space
+from repro.relational import Database
+from repro.workloads import SyntheticSpec, generate
+
+
+@pytest.fixture(scope="module")
+def result(bench_tuples):
+    return fig11_space(num_tuples=max(4000, bench_tuples // 4))
+
+
+def test_fig11_shape_and_fragment_build(benchmark, result):
+    emit(result, metric="space_bytes")
+    for method in result.methods:
+        series = result.series(method, "space_bytes")
+        # linear-ish growth: doubling S roughly doubles the increment
+        first_growth = series[1] - series[0]
+        assert first_growth > 0
+        assert series[-1] > series[0]
+        # convexity check against super-linear blow-up: the growth per
+        # added dimension stays within 3x of the first increment
+        dims = result.xs()
+        for i in range(1, len(series) - 1):
+            per_dim = (series[i + 1] - series[i]) / (dims[i + 1] - dims[i])
+            base = first_growth / (dims[1] - dims[0])
+            assert per_dim < 3 * base
+    fragments = result.series("ranking_fragments", "space_bytes")
+    baseline = result.series("baseline", "space_bytes")
+    # RF within a small constant factor of BL at the largest S
+    assert fragments[-1] < 6 * baseline[-1]
+
+    # Lemma 2 sanity: the analytic estimate also grows linearly
+    t = 10_000
+    estimates = [estimated_fragment_space(s, 2, t, 2) for s in (4, 8, 12, 16)]
+    increments = [b - a for a, b in zip(estimates, estimates[1:])]
+    assert max(increments) == min(increments)
+
+    # benchmark fragment materialization
+    dataset = generate(SyntheticSpec(num_selection_dims=8, num_tuples=3000))
+
+    def build():
+        from repro.core import FragmentedRankingCube
+
+        db = Database()
+        table = dataset.load_into(db)
+        return FragmentedRankingCube.build_fragments(table, fragment_size=2)
+
+    cube = benchmark(build)
+    assert len(cube.cuboids) == 12

@@ -1,0 +1,47 @@
+"""Figure 12: fragment query cost vs. number of covering fragments.
+
+Paper shape: cost grows with the covering-fragment count (each extra
+fragment adds a cuboid to probe and intersect) — roughly 1.4x for two and
+2x for three fragments relative to one; even three stays far below the
+baselines (cross-checked in Figure 14's experiment).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.bench import METHOD_RANKING_FRAGMENTS, build_environment
+from repro.bench.experiments import fig12_covering_fragments
+from repro.workloads import QueryGenerator, QuerySpec, SyntheticSpec, generate
+
+
+@pytest.fixture(scope="module")
+def result(bench_tuples, bench_queries):
+    return fig12_covering_fragments(
+        num_tuples=bench_tuples, queries_per_point=bench_queries
+    )
+
+
+def test_fig12_shape_and_intersection_path(benchmark, result, bench_tuples):
+    emit(result)
+    pages = result.series("ranking_fragments", "pages_read")
+    # more covering fragments -> more I/O, monotonically
+    assert pages[0] <= pages[1] <= pages[2]
+    assert pages[2] > pages[0]
+    # but bounded: three fragments cost within ~4x of one (paper: ~2x)
+    assert pages[2] < 4 * max(1.0, pages[0])
+
+    dataset = generate(
+        SyntheticSpec(num_selection_dims=12, num_tuples=bench_tuples, seed=61)
+    )
+    env = build_environment(dataset, (METHOD_RANKING_FRAGMENTS,), fragment_size=2)
+    assert env.cube is not None
+    gen = QueryGenerator(dataset.schema, QuerySpec(num_selections=3, seed=61))
+    # a deliberately three-fragment query
+    query = gen.constrained(["a1", "a3", "a5"])
+    executor = env.executors[METHOD_RANKING_FRAGMENTS]
+
+    def run():
+        env.db.cold_cache()
+        return executor.execute(query)
+
+    benchmark(run)

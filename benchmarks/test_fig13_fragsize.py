@@ -1,0 +1,42 @@
+"""Figure 13: fragment query cost vs. fragment size F.
+
+Paper shape: larger fragments cover queries with fewer cuboids, so the
+same s=3 workload gets cheaper as F grows from 1 to 3 (at the price of the
+space measured in Figure 11).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.bench import METHOD_RANKING_FRAGMENTS, build_environment
+from repro.bench.experiments import fig13_fragment_size
+from repro.workloads import QueryGenerator, QuerySpec, SyntheticSpec, generate
+
+
+@pytest.fixture(scope="module")
+def result(bench_tuples, bench_queries):
+    return fig13_fragment_size(
+        num_tuples=bench_tuples, queries_per_point=bench_queries
+    )
+
+
+def test_fig13_shape_and_f3_query(benchmark, result, bench_tuples):
+    emit(result)
+    pages = result.series("ranking_fragments", "pages_read")
+    # F=3 answers the s=3 workload with fewer page reads than F=1
+    assert pages[-1] < pages[0]
+
+    dataset = generate(
+        SyntheticSpec(num_selection_dims=12, num_tuples=bench_tuples, seed=67)
+    )
+    env = build_environment(dataset, (METHOD_RANKING_FRAGMENTS,), fragment_size=3)
+    query = QueryGenerator(
+        dataset.schema, QuerySpec(num_selections=3, seed=67)
+    ).generate()
+    executor = env.executors[METHOD_RANKING_FRAGMENTS]
+
+    def run():
+        env.db.cold_cache()
+        return executor.execute(query)
+
+    benchmark(run)

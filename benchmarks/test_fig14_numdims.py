@@ -1,0 +1,52 @@
+"""Figure 14: query cost vs. number of selection dimensions S (s=3).
+
+Paper shape: Rank Mapping degrades as S grows (its per-fragment
+multi-dimensional indexes rarely cover a random query, forcing wide scans
+and residual heap fetches); the Baseline is flat; Ranking Fragments stay
+flat-ish and cheapest.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.bench import METHOD_RANKING_FRAGMENTS, build_environment
+from repro.bench.experiments import fig14_num_dims
+from repro.workloads import QueryGenerator, QuerySpec, SyntheticSpec, generate
+
+
+@pytest.fixture(scope="module")
+def result(bench_tuples, bench_queries):
+    return fig14_num_dims(
+        num_tuples=bench_tuples, queries_per_point=bench_queries
+    )
+
+
+def test_fig14_shape_and_high_dim_query(benchmark, result, bench_tuples):
+    emit(result)
+    fragments = result.series("ranking_fragments", "pages_read")
+    rank_mapping = result.series("rank_mapping", "pages_read")
+    baseline = result.series("baseline", "pages_read")
+    # RF cheapest at the highest dimensionality
+    assert fragments[-1] < baseline[-1]
+    assert fragments[-1] < rank_mapping[-1]
+    # RM at S=12 is much worse than RM at S=3 relative to RF
+    assert rank_mapping[-1] / max(1.0, fragments[-1]) > rank_mapping[0] / max(
+        1.0, fragments[0]
+    ) * 0.5
+    # RF stays flat-ish across S
+    assert max(fragments) < 4 * max(1.0, min(fragments))
+
+    dataset = generate(
+        SyntheticSpec(num_selection_dims=12, num_tuples=bench_tuples, seed=71)
+    )
+    env = build_environment(dataset, (METHOD_RANKING_FRAGMENTS,), fragment_size=2)
+    query = QueryGenerator(
+        dataset.schema, QuerySpec(num_selections=3, seed=71)
+    ).generate()
+    executor = env.executors[METHOD_RANKING_FRAGMENTS]
+
+    def run():
+        env.db.cold_cache()
+        return executor.execute(query)
+
+    benchmark(run)

@@ -1,0 +1,46 @@
+"""Figure 15: cost vs. k on the Forest CoverType stand-in (real data).
+
+Paper shape: on this low-cardinality, correlated data the Baseline beats
+Rank Mapping (cardinality-2 selections filter poorly, so RM's ranges
+return floods of tuples), and Ranking Fragments remain the fastest at
+every k.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.bench import METHOD_RANKING_FRAGMENTS, build_environment
+from repro.bench.experiments import fig15_covertype
+from repro.workloads import CoverTypeSpec, QueryGenerator, QuerySpec, generate_covertype
+
+
+@pytest.fixture(scope="module")
+def result(bench_tuples, bench_queries):
+    return fig15_covertype(
+        num_tuples=bench_tuples, queries_per_point=bench_queries
+    )
+
+
+def test_fig15_shape_and_covertype_query(benchmark, result, bench_tuples):
+    emit(result)
+    fragments = result.series("ranking_fragments", "pages_read")
+    baseline = result.series("baseline", "pages_read")
+    # RF consistently best, at every k (the paper's headline for Fig 15)
+    assert all(rf < bl for rf, bl in zip(fragments, baseline))
+    # RF examines a tiny fraction of what BL evaluates
+    assert result.series("ranking_fragments", "tuples_examined")[0] < (
+        result.series("baseline", "tuples_examined")[0] / 3
+    )
+
+    dataset = generate_covertype(CoverTypeSpec(num_tuples=bench_tuples, seed=73))
+    env = build_environment(dataset, (METHOD_RANKING_FRAGMENTS,), fragment_size=3)
+    query = QueryGenerator(
+        dataset.schema, QuerySpec(num_selections=3, num_ranking_dims=3, seed=73)
+    ).generate()
+    executor = env.executors[METHOD_RANKING_FRAGMENTS]
+
+    def run():
+        env.db.cold_cache()
+        return executor.execute(query)
+
+    benchmark(run)

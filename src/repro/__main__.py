@@ -1,0 +1,43 @@
+"""``python -m repro`` — the interactive top-k shell.
+
+Without arguments, generates a default synthetic relation and builds its
+ranking cube; ``--workspace`` loads a saved snapshot instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .shell import Shell
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Interactive SQL shell over a ranking cube.",
+    )
+    parser.add_argument("--workspace", help="load a saved .rcube snapshot")
+    parser.add_argument("--tuples", type=int, default=20_000)
+    parser.add_argument("--selection-dims", type=int, default=3)
+    parser.add_argument("--ranking-dims", type=int, default=2)
+    parser.add_argument("--cardinality", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    if args.workspace:
+        shell = Shell.from_workspace(args.workspace)
+    else:
+        shell = Shell.from_synthetic(
+            num_tuples=args.tuples,
+            num_selection_dims=args.selection_dims,
+            num_ranking_dims=args.ranking_dims,
+            cardinality=args.cardinality,
+            seed=args.seed,
+        )
+    shell.run()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

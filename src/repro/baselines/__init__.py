@@ -1,0 +1,14 @@
+"""Comparison methods.
+
+The paper's evaluated competitors: :class:`BaselineExecutor` ("BL") and
+:class:`RankMappingExecutor` ("RM").  Plus the two rank-aware prior-art
+techniques the paper criticizes as selection-unaware — :class:`OnionIndex`
+and :class:`PreferView` — implemented to quantify that motivation.
+"""
+
+from .onion import OnionIndex
+from .prefer import PreferView
+from .rank_mapping import RankMappingExecutor
+from .scan import BaselineExecutor
+
+__all__ = ["BaselineExecutor", "OnionIndex", "PreferView", "RankMappingExecutor"]

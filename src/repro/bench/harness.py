@@ -1,0 +1,245 @@
+"""Experiment harness.
+
+Runs a batch of queries through each configured method with a cold buffer
+pool per query, and aggregates three cost views:
+
+* **wall-clock** (what the paper plots; in our Python substrate it is the
+  least meaningful — noted in EXPERIMENTS.md),
+* **page I/O** (reads, split random/sequential — the quantity the paper's
+  structures actually optimize; our primary metric), and
+* **logical work** (blocks accessed, tuples examined).
+
+Every method executes against the *same* shared device, so the I/O
+comparisons are apples to apples.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..baselines.rank_mapping import RankMappingExecutor
+from ..baselines.scan import BaselineExecutor
+from ..core.cube import RankingCube
+from ..core.executor import RankingCubeExecutor
+from ..core.fragments import FragmentedRankingCube
+from ..relational.database import Database
+from ..relational.query import TopKQuery
+from ..relational.table import Table
+from ..workloads.synthetic import SyntheticDataset
+
+#: Canonical display order/names of methods across all experiments.
+METHOD_BASELINE = "baseline"
+METHOD_RANK_MAPPING = "rank_mapping"
+METHOD_RANKING_CUBE = "ranking_cube"
+METHOD_RANKING_FRAGMENTS = "ranking_fragments"
+
+
+@dataclass
+class MethodMetrics:
+    """Averaged per-query costs for one method at one x-value."""
+
+    wall_ms: float = 0.0
+    pages_read: float = 0.0
+    random_reads: float = 0.0
+    sequential_reads: float = 0.0
+    io_cost: float = 0.0
+    blocks_accessed: float = 0.0
+    tuples_examined: float = 0.0
+    space_bytes: float = 0.0
+    queries: int = 0
+
+    def metric(self, name: str) -> float:
+        value = getattr(self, name)
+        if not isinstance(value, (int, float)):
+            raise AttributeError(f"{name} is not a numeric metric")
+        return float(value)
+
+
+@dataclass
+class SeriesPoint:
+    """One x-axis point of an experiment: x value -> per-method metrics."""
+
+    x: object
+    metrics: dict[str, MethodMetrics] = field(default_factory=dict)
+
+
+@dataclass
+class ExperimentResult:
+    """A full experiment: the data behind one paper figure."""
+
+    experiment_id: str
+    title: str
+    x_label: str
+    points: list[SeriesPoint] = field(default_factory=list)
+    notes: str = ""
+
+    @property
+    def methods(self) -> list[str]:
+        names: list[str] = []
+        for point in self.points:
+            for name in point.metrics:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def series(self, method: str, metric: str = "io_cost") -> list[float]:
+        """One method's metric across the x axis."""
+        return [point.metrics[method].metric(metric) for point in self.points]
+
+    def xs(self) -> list[object]:
+        return [point.x for point in self.points]
+
+    def format_table(self, metric: str = "io_cost") -> str:
+        """Fixed-width table of one metric, a row per x value."""
+        methods = self.methods
+        header = [self.x_label.ljust(16)] + [m.rjust(18) for m in methods]
+        lines = [
+            f"{self.experiment_id}: {self.title}  [{metric}]",
+            "".join(header),
+            "-" * (16 + 18 * len(methods)),
+        ]
+        for point in self.points:
+            cells = [str(point.x).ljust(16)]
+            for method in methods:
+                metrics = point.metrics.get(method)
+                if metrics is None:
+                    cells.append("-".rjust(18))
+                else:
+                    cells.append(f"{metrics.metric(metric):18.2f}")
+            lines.append("".join(cells))
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        """All three cost views, concatenated."""
+        parts = [self.format_table(m) for m in ("io_cost", "pages_read", "wall_ms")]
+        return "\n\n".join(parts)
+
+
+class Environment:
+    """One dataset loaded with every access structure the methods need."""
+
+    def __init__(
+        self,
+        db: Database,
+        table: Table,
+        executors: dict[str, object],
+        cube: RankingCube | None = None,
+    ):
+        self.db = db
+        self.table = table
+        self.executors = executors
+        self.cube = cube
+
+    def run(
+        self,
+        method: str,
+        queries: Sequence[TopKQuery],
+        cold_cache: bool = True,
+    ) -> MethodMetrics:
+        """Execute queries through one method, averaging the costs."""
+        executor = self.executors[method]
+        totals = MethodMetrics()
+        for query in queries:
+            if cold_cache:
+                self.db.cold_cache()
+            self.db.device.reset_stats()
+            started = time.perf_counter()
+            result = executor.execute(query)  # type: ignore[attr-defined]
+            elapsed = time.perf_counter() - started
+            stats = self.db.device.stats
+            totals.wall_ms += elapsed * 1000.0
+            totals.pages_read += stats.reads
+            totals.random_reads += stats.random_reads
+            totals.sequential_reads += stats.sequential_reads
+            totals.io_cost += stats.cost()
+            totals.blocks_accessed += result.blocks_accessed
+            totals.tuples_examined += result.tuples_examined
+            totals.queries += 1
+        count = max(1, totals.queries)
+        totals.wall_ms /= count
+        totals.pages_read /= count
+        totals.random_reads /= count
+        totals.sequential_reads /= count
+        totals.io_cost /= count
+        totals.blocks_accessed /= count
+        totals.tuples_examined /= count
+        return totals
+
+
+def build_environment(
+    dataset: SyntheticDataset,
+    methods: Sequence[str],
+    block_size: int = 30,
+    fragment_size: int = 2,
+    buffer_capacity: int = 4096,
+    page_size: int = 4096,
+    partitioner=None,
+) -> Environment:
+    """Load a dataset and build the structures each method requires.
+
+    * baseline          -> non-clustered index per selection dimension,
+    * rank_mapping      -> composite index per fragment (or one covering
+      index when the dimension count is small),
+    * ranking_cube      -> full ranking cube,
+    * ranking_fragments -> fragment family of cuboids.
+    """
+    db = Database(page_size=page_size, buffer_capacity=buffer_capacity)
+    table = dataset.load_into(db)
+    schema = dataset.schema
+    executors: dict[str, object] = {}
+    cube: RankingCube | None = None
+
+    if METHOD_BASELINE in methods:
+        for name in schema.selection_names:
+            table.create_secondary_index(name)
+        executors[METHOD_BASELINE] = BaselineExecutor(table)
+
+    if METHOD_RANK_MAPPING in methods:
+        sel = list(schema.selection_names)
+        rank = list(schema.ranking_names)
+        if len(sel) <= 4:
+            if sel:
+                table.create_composite_index(sel, rank)
+            else:
+                table.create_composite_index([], rank)
+        else:
+            # one partial multi-dimensional index per fragment (Sec. 5.1.2)
+            for start in range(0, len(sel), fragment_size):
+                table.create_composite_index(sel[start:start + fragment_size], rank)
+        executors[METHOD_RANK_MAPPING] = RankMappingExecutor(table)
+
+    if METHOD_RANKING_CUBE in methods:
+        cube = RankingCube.build(
+            table, block_size=block_size, partitioner=partitioner
+        )
+        executors[METHOD_RANKING_CUBE] = RankingCubeExecutor(cube, table)
+
+    if METHOD_RANKING_FRAGMENTS in methods:
+        cube = FragmentedRankingCube.build_fragments(
+            table,
+            fragment_size=fragment_size,
+            block_size=block_size,
+            partitioner=partitioner,
+        )
+        executors[METHOD_RANKING_FRAGMENTS] = RankingCubeExecutor(cube, table)
+
+    return Environment(db, table, executors, cube=cube)
+
+
+def sweep(
+    experiment_id: str,
+    title: str,
+    x_label: str,
+    x_values: Sequence[object],
+    point_builder: Callable[[object], dict[str, MethodMetrics]],
+    notes: str = "",
+) -> ExperimentResult:
+    """Drive an experiment: one ``point_builder`` call per x value."""
+    result = ExperimentResult(experiment_id, title, x_label, notes=notes)
+    for x in x_values:
+        result.points.append(SeriesPoint(x=x, metrics=point_builder(x)))
+    return result

@@ -1,0 +1,86 @@
+"""The ranking cube: the paper's primary contribution.
+
+Geometry partitioning (Section 3.1.2), pseudo blocks and rank-aware
+cuboids (Section 3.1.3), the progressive query algorithm (Section 3.2),
+and ranking fragments for high-dimensional data (Section 4).
+"""
+
+from .advisor import FragmentDesign, Recommendation, recommend_fragments
+from .base_table import BaseBlockTable
+from .blocks import BlockGrid, GridError
+from .chains import ChainStore
+from .compressed import CompressedChainStore, decode_tid_list, encode_tid_list
+from .cube import DEFAULT_BLOCK_SIZE, CubeError, RankingCube, full_cube_sets
+from .cuboid import CuboidError, RankingCuboid
+from .estimate import (
+    CostEstimate,
+    estimate_baseline_cost,
+    estimate_cube_cost,
+    estimate_qualifying,
+)
+from .executor import ExecutorTrace, QueryPlan, RankingCubeExecutor
+from .fragments import (
+    FragmentedRankingCube,
+    estimated_fragment_space,
+    evenly_partition,
+    fragment_cuboid_sets,
+)
+from .hybrid import HybridExecutor
+from .grouping import (
+    cooccurrence_counts,
+    cooccurrence_grouping,
+    expected_covering_fragments,
+)
+from .multigrid import MultiCubeRouter
+from .partition import (
+    EquiDepthPartitioner,
+    EquiWidthPartitioner,
+    Partitioner,
+    QuantileGridPartitioner,
+    bins_for,
+    grid_from_boundaries,
+)
+from .pseudo import PseudoBlockMap, scale_factor
+
+__all__ = [
+    "BaseBlockTable",
+    "BlockGrid",
+    "ChainStore",
+    "CostEstimate",
+    "CompressedChainStore",
+    "CubeError",
+    "CuboidError",
+    "DEFAULT_BLOCK_SIZE",
+    "EquiDepthPartitioner",
+    "EquiWidthPartitioner",
+    "ExecutorTrace",
+    "FragmentDesign",
+    "FragmentedRankingCube",
+    "GridError",
+    "HybridExecutor",
+    "MultiCubeRouter",
+    "Partitioner",
+    "PseudoBlockMap",
+    "QueryPlan",
+    "QuantileGridPartitioner",
+    "RankingCube",
+    "RankingCubeExecutor",
+    "RankingCuboid",
+    "Recommendation",
+    "bins_for",
+    "decode_tid_list",
+    "encode_tid_list",
+    "estimate_baseline_cost",
+    "estimate_cube_cost",
+    "estimate_qualifying",
+    "cooccurrence_counts",
+    "cooccurrence_grouping",
+    "estimated_fragment_space",
+    "evenly_partition",
+    "expected_covering_fragments",
+    "fragment_cuboid_sets",
+    "full_cube_sets",
+    "grid_from_boundaries",
+    "recommend_fragments",
+    "scale_factor",
+]

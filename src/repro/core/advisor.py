@@ -1,0 +1,142 @@
+"""Materialization advisor: choose fragment size and grouping.
+
+Ranking fragments trade space for query coverage: larger fragments answer
+more queries from a single cuboid (Figure 13) but cost exponentially more
+space per fragment (Lemma 2's ``2^F - 1`` factor, Figure 11).  Given the
+dataset shape, an optional query workload, and a space budget, the advisor
+evaluates candidate designs and recommends the one minimizing expected
+covering fragments within budget — the decision a DBA would otherwise make
+by reading Section 5.3's charts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .fragments import estimated_fragment_space, evenly_partition
+from .grouping import cooccurrence_grouping, expected_covering_fragments
+
+
+@dataclass(frozen=True)
+class FragmentDesign:
+    """One evaluated candidate materialization."""
+
+    fragment_size: int
+    fragments: tuple[tuple[str, ...], ...]
+    estimated_entries: int
+    expected_covering: float
+    within_budget: bool
+
+    @property
+    def num_cuboids(self) -> int:
+        return sum(2 ** len(fragment) - 1 for fragment in self.fragments)
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """The advisor's verdict plus every candidate it considered."""
+
+    best: FragmentDesign
+    candidates: tuple[FragmentDesign, ...]
+
+    def describe(self) -> str:
+        lines = ["fragment design candidates (entries = Lemma 2 estimate):"]
+        for design in self.candidates:
+            marker = "->" if design is self.best else "  "
+            budget = "" if design.within_budget else "  [over budget]"
+            lines.append(
+                f" {marker} F={design.fragment_size}: "
+                f"{len(design.fragments)} fragments, "
+                f"{design.num_cuboids} cuboids, "
+                f"~{design.estimated_entries:,} entries, "
+                f"avg covering {design.expected_covering:.2f}{budget}"
+            )
+        return "\n".join(lines)
+
+
+def recommend_fragments(
+    selection_dims: Sequence[str],
+    num_ranking_dims: int,
+    num_tuples: int,
+    workload: Iterable[Sequence[str]] = (),
+    max_fragment_size: int = 3,
+    space_budget_entries: int | None = None,
+) -> Recommendation:
+    """Evaluate fragment sizes 1..``max_fragment_size`` and recommend one.
+
+    Parameters
+    ----------
+    selection_dims / num_ranking_dims / num_tuples:
+        Dataset shape (drives the Lemma 2 space estimate).
+    workload:
+        Optional query log as selection-dimension sets.  With a workload,
+        each candidate uses co-occurrence grouping and is scored by the
+        average covering-fragment count; without one, grouping is even and
+        the score assumes Section 5's default 3-condition random queries.
+    space_budget_entries:
+        Cap on stored entries (tuple-entry units, as Lemma 2 counts them).
+        ``None`` means unconstrained.  If no candidate fits, the smallest
+        design is returned with ``within_budget=False``.
+
+    The recommendation minimizes ``(not within_budget, expected_covering,
+    estimated_entries)`` — coverage first, space as tie-break.
+    """
+    selection_dims = tuple(selection_dims)
+    if not selection_dims:
+        raise ValueError("need at least one selection dimension")
+    if max_fragment_size < 1:
+        raise ValueError("max_fragment_size must be >= 1")
+    workload = [tuple(q) for q in workload]
+
+    candidates = []
+    for fragment_size in range(1, min(max_fragment_size, len(selection_dims)) + 1):
+        if workload:
+            fragments = cooccurrence_grouping(selection_dims, workload, fragment_size)
+            covering = expected_covering_fragments(fragments, workload)
+        else:
+            fragments = evenly_partition(selection_dims, fragment_size)
+            covering = _default_covering_estimate(len(selection_dims), fragment_size)
+        entries = estimated_fragment_space(
+            len(selection_dims), num_ranking_dims, num_tuples, fragment_size
+        )
+        within = (
+            space_budget_entries is None or entries <= space_budget_entries
+        )
+        candidates.append(
+            FragmentDesign(
+                fragment_size=fragment_size,
+                fragments=tuple(tuple(f) for f in fragments),
+                estimated_entries=entries,
+                expected_covering=covering,
+                within_budget=within,
+            )
+        )
+    affordable = [d for d in candidates if d.within_budget]
+    if affordable:
+        best = min(
+            affordable, key=lambda d: (d.expected_covering, d.estimated_entries)
+        )
+    else:
+        # nothing fits: fall back to the least-space design, flagged
+        best = min(candidates, key=lambda d: d.estimated_entries)
+    return Recommendation(best=best, candidates=tuple(candidates))
+
+
+def _default_covering_estimate(num_dims: int, fragment_size: int, s: int = 3) -> float:
+    """Expected fragments covering a random s-condition query.
+
+    With fragments of size F over S dimensions, a uniformly random set of
+    s distinct dimensions touches ``E = sum_g 1 - C(S-F_g, s)/C(S, s)``
+    fragments (inclusion over each fragment's miss probability).
+    """
+    from math import comb
+
+    s = min(s, num_dims)
+    fragments = evenly_partition([str(i) for i in range(num_dims)], fragment_size)
+    total = 0.0
+    for fragment in fragments:
+        size = len(fragment)
+        miss = comb(num_dims - size, s) / comb(num_dims, s) if num_dims - size >= s else 0.0
+        total += 1.0 - miss
+    return total

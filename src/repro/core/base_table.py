@@ -1,0 +1,78 @@
+"""The base block table ``T`` of the ranking cube triple (Section 3.1.3).
+
+Holds, per base block id, the tuples' real values on all ranking
+dimensions: the target of the ``get_base_block`` access method.  The
+original relation is decomposed into this table plus the selection
+sub-database that the cuboids aggregate (Table 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..storage.buffer import BufferPool
+from ..storage.pages import RecordCodec
+from .blocks import BlockGrid
+from .chains import ChainStore
+
+
+class BaseBlockTable:
+    """bid -> [(tid, ranking values...)] storage with block-level access."""
+
+    def __init__(self, pool: BufferPool, grid: BlockGrid):
+        self.pool = pool
+        self.grid = grid
+        codec = RecordCodec("q" + "d" * grid.num_dims)
+        self._store = ChainStore(pool, codec)
+        self.access_count = 0
+
+    @classmethod
+    def build(
+        cls,
+        pool: BufferPool,
+        grid: BlockGrid,
+        tids: Sequence[int],
+        points: Sequence[Sequence[float]],
+    ) -> tuple["BaseBlockTable", list[int]]:
+        """Assign bids and materialize the table.
+
+        Returns the table and the per-tuple bid assignment (the new block
+        dimension ``B`` that the cuboids need).
+        """
+        if len(tids) != len(points):
+            raise ValueError("tids and points must align")
+        table = cls(pool, grid)
+        bids = grid.locate_many(points) if points else []
+        groups: dict[int, list[tuple]] = {}
+        for tid, point, bid in zip(tids, points, bids):
+            groups.setdefault(bid, []).append((int(tid), *map(float, point)))
+        table._store.build(((bid,), records) for bid, records in groups.items())
+        return table, bids
+
+    # ------------------------------------------------------------------
+    def get_base_block(self, bid: int) -> list[tuple[int, tuple[float, ...]]]:
+        """Block-level access: all ``(tid, values)`` stored under ``bid``.
+
+        This is the paper's second data access method; one call reads the
+        block's full page chain.
+        """
+        self.access_count += 1
+        return [
+            (int(record[0]), tuple(record[1:]))
+            for record in self._store.get((bid,))
+        ]
+
+    def block_tuple_count(self, bid: int) -> int:
+        return len(self._store.get((bid,)))
+
+    @property
+    def num_tuples(self) -> int:
+        return self._store.num_records
+
+    @property
+    def size_in_bytes(self) -> int:
+        return self._store.size_in_bytes
+
+    @property
+    def dims(self) -> tuple[str, ...]:
+        return self.grid.dims

@@ -1,0 +1,204 @@
+"""Block grids: the geometry partition underlying the ranking cube.
+
+A :class:`BlockGrid` is the meta information ``M`` of Section 3.1.3: per
+ranking dimension, a strictly increasing list of bin boundaries.  Base
+blocks (Section 3.1.2) are the grid cells; block ids (*bid*) enumerate them
+in row-major order with the first ranking dimension varying fastest, which
+matches the paper's running example (the four blocks of the first row are
+b1..b4, the next row b5..b8, ...).
+
+The grid answers the geometric questions the query algorithm asks:
+
+* which block contains a point (``locate``),
+* what axis-aligned box a block covers (``box``),
+* which blocks are (face-)adjacent to a block (``neighbors`` — the
+  ``neighbor(b, c)`` relation of Lemma 1).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+
+class GridError(Exception):
+    """Raised for malformed grids or out-of-range block ids."""
+
+
+@dataclass(frozen=True)
+class BlockGrid:
+    """An axis-aligned grid over the space of ranking dimensions.
+
+    Parameters
+    ----------
+    dims:
+        Names of the ranking dimensions, in storage order.
+    boundaries:
+        One strictly increasing boundary list per dimension; dimension ``d``
+        with boundaries ``[e0, e1, .., eb]`` has ``b`` bins, bin ``i``
+        covering ``[e_i, e_{i+1}]`` (closed boxes — the shared faces make
+        Lemma 1's face-adjacent frontier sound for convex functions).
+    """
+
+    dims: tuple[str, ...]
+    boundaries: tuple[tuple[float, ...], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.dims) != len(self.boundaries):
+            raise GridError("one boundary list per dimension required")
+        if not self.dims:
+            raise GridError("grid needs at least one dimension")
+        for dim, edges in zip(self.dims, self.boundaries):
+            if len(edges) < 2:
+                raise GridError(f"dimension {dim!r} needs >= 2 boundaries")
+            if any(a >= b for a, b in zip(edges, edges[1:])):
+                raise GridError(f"boundaries of {dim!r} must be strictly increasing")
+
+    # ------------------------------------------------------------------
+    # shape
+    # ------------------------------------------------------------------
+    @property
+    def num_dims(self) -> int:
+        return len(self.dims)
+
+    @property
+    def bins_per_dim(self) -> tuple[int, ...]:
+        return tuple(len(edges) - 1 for edges in self.boundaries)
+
+    @property
+    def num_blocks(self) -> int:
+        total = 1
+        for bins in self.bins_per_dim:
+            total *= bins
+        return total
+
+    def _strides(self) -> tuple[int, ...]:
+        strides = []
+        stride = 1
+        for bins in self.bins_per_dim:
+            strides.append(stride)
+            stride *= bins
+        return tuple(strides)
+
+    # ------------------------------------------------------------------
+    # bid <-> coordinates
+    # ------------------------------------------------------------------
+    def bid_of(self, coords: Sequence[int]) -> int:
+        """Row-major block id of grid coordinates (dim 0 fastest)."""
+        bins = self.bins_per_dim
+        if len(coords) != len(bins):
+            raise GridError(f"expected {len(bins)} coordinates, got {len(coords)}")
+        bid = 0
+        for coord, bin_count, stride in zip(coords, bins, self._strides()):
+            if not 0 <= coord < bin_count:
+                raise GridError(f"coordinate {coord} out of range [0, {bin_count})")
+            bid += coord * stride
+        return bid
+
+    def coords_of(self, bid: int) -> tuple[int, ...]:
+        """Grid coordinates of a block id."""
+        if not 0 <= bid < self.num_blocks:
+            raise GridError(f"bid {bid} out of range [0, {self.num_blocks})")
+        coords = []
+        for bins in self.bins_per_dim:
+            coords.append(bid % bins)
+            bid //= bins
+        return tuple(coords)
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    def locate(self, point: Sequence[float]) -> int:
+        """Block id of the bin containing ``point``.
+
+        Points on an interior boundary go to the higher bin (half-open
+        binning); points outside the grid clamp to the nearest edge bin, so
+        every tuple gets a bid even if it strays past the boundaries the
+        partitioner observed.
+        """
+        coords = []
+        for value, edges in zip(point, self.boundaries):
+            idx = bisect.bisect_right(edges, value) - 1
+            idx = min(max(idx, 0), len(edges) - 2)
+            coords.append(idx)
+        return self.bid_of(coords)
+
+    def locate_many(self, points) -> "list[int]":
+        """Vectorized :meth:`locate` over many points.
+
+        ``points`` is a sequence of R-tuples (or an ``(n, R)`` array);
+        returns one bid per point with identical semantics to
+        :meth:`locate` (half-open bins, clamped extremes).  Used by the
+        bulk cube build, where per-tuple Python bisects dominate.
+        """
+        import numpy as np
+
+        array = np.asarray(points, dtype=float)
+        if array.ndim != 2 or array.shape[1] != self.num_dims:
+            raise GridError(
+                f"expected an (n, {self.num_dims}) point array, got {array.shape}"
+            )
+        bids = np.zeros(len(array), dtype=np.int64)
+        stride = 1
+        for d, edges in enumerate(self.boundaries):
+            edges_arr = np.asarray(edges)
+            coords = np.searchsorted(edges_arr, array[:, d], side="right") - 1
+            np.clip(coords, 0, len(edges) - 2, out=coords)
+            bids += coords * stride
+            stride *= len(edges) - 1
+        return [int(b) for b in bids]
+
+    def box(self, bid: int) -> tuple[tuple[float, ...], tuple[float, ...]]:
+        """Closed box ``(lower, upper)`` covered by a block."""
+        coords = self.coords_of(bid)
+        lower = tuple(
+            edges[c] for c, edges in zip(coords, self.boundaries)
+        )
+        upper = tuple(
+            edges[c + 1] for c, edges in zip(coords, self.boundaries)
+        )
+        return lower, upper
+
+    def full_box(self) -> tuple[tuple[float, ...], tuple[float, ...]]:
+        """The box covering the whole grid."""
+        return (
+            tuple(edges[0] for edges in self.boundaries),
+            tuple(edges[-1] for edges in self.boundaries),
+        )
+
+    def neighbors(self, bid: int) -> Iterator[int]:
+        """Face-adjacent blocks (differ by one step along one dimension)."""
+        coords = list(self.coords_of(bid))
+        for d, bins in enumerate(self.bins_per_dim):
+            for step in (-1, 1):
+                coord = coords[d] + step
+                if 0 <= coord < bins:
+                    coords[d] = coord
+                    yield self.bid_of(coords)
+                    coords[d] = coords[d] - step
+
+    def project(self, dims: Sequence[str]) -> tuple[int, ...]:
+        """Positions of ``dims`` within the grid's dimension order."""
+        positions = []
+        for dim in dims:
+            try:
+                positions.append(self.dims.index(dim))
+            except ValueError:
+                raise GridError(f"grid has no dimension {dim!r}") from None
+        return tuple(positions)
+
+    def sub_box(
+        self, bid: int, dim_positions: Sequence[int]
+    ) -> tuple[tuple[float, ...], tuple[float, ...]]:
+        """A block's box restricted to the given dimension positions.
+
+        Used when a query ranks on a subset of the grid's dimensions
+        (Figure 6's r < R setting): the lower bound of f over the block
+        only involves the dimensions f reads.
+        """
+        lower, upper = self.box(bid)
+        return (
+            tuple(lower[p] for p in dim_positions),
+            tuple(upper[p] for p in dim_positions),
+        )

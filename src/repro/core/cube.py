@@ -1,0 +1,316 @@
+"""The ranking cube (Section 3): base block table + cuboids + meta info.
+
+A :class:`RankingCube` is the paper's triple ``(T, C, M)``:
+
+* ``T`` — the base block table over the ranking dimensions,
+* ``C`` — the set of materialized ranking cuboids (all ``2^S - 1``
+  non-empty selection-dimension subsets for a full cube; a restricted
+  family for ranking fragments — see :mod:`repro.core.fragments`),
+* ``M`` — the meta information: bin boundaries per ranking dimension and
+  the scale factor per cuboid.
+
+The cube also owns the *covering cuboid* selection of Section 4.2.1 (the
+max step + min step), which the query executor uses for both the fully
+materialized and the fragmented case.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from ..relational.table import Table
+from ..storage.buffer import BufferPool
+from .base_table import BaseBlockTable
+from .blocks import BlockGrid
+from .cuboid import RankingCuboid
+from .partition import EquiDepthPartitioner, Partitioner
+
+DEFAULT_BLOCK_SIZE = 30  # the paper's default B (expected tuples per block)
+
+
+class CubeError(Exception):
+    """Raised for cube construction and covering failures."""
+
+
+class RankingCube:
+    """A materialized rank-aware cube over one relation.
+
+    The materialization is immutable (the chain stores are build-once), but
+    the cube supports *incremental maintenance* through a delta store: new
+    tuples appended to the relation after the build are absorbed with
+    :meth:`refresh_delta` into a small in-memory side list that the query
+    executor merges into every answer.  When the delta grows past a
+    configured fraction of the data, rebuild (the classic delta-store /
+    merge maintenance strategy; the paper leaves updates as future work).
+    """
+
+    def __init__(
+        self,
+        grid: BlockGrid,
+        base_table: BaseBlockTable,
+        cuboids: dict[frozenset, RankingCuboid],
+        block_size: int,
+    ):
+        self.grid = grid
+        self.base_table = base_table
+        self.cuboids = cuboids
+        self.block_size = block_size
+        #: tid watermark: tuples with tid >= this are not in the cube yet
+        self.watermark = base_table.num_tuples
+        #: delta store: (tid, {sel dim: value}, {rank dim: value})
+        self._delta: list[tuple[int, dict, dict]] = []
+        self._delta_selection_dims: frozenset = frozenset().union(
+            *cuboids
+        ) if cuboids else frozenset()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        table: Table,
+        ranking_dims: Sequence[str] | None = None,
+        selection_dims: Sequence[str] | None = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        partitioner: Partitioner | None = None,
+        cuboid_sets: Iterable[Sequence[str]] | None = None,
+        grid: BlockGrid | None = None,
+        pseudo_scale_override: int | None = None,
+        compress: bool = False,
+    ) -> "RankingCube":
+        """Materialize a ranking cube from a loaded table.
+
+        Parameters
+        ----------
+        table:
+            Source relation (also supplies the buffer pool / device, so the
+            cube's I/O shares the relation's meter).
+        ranking_dims / selection_dims:
+            Dimensions to cube over; default to every ranking / selection
+            attribute of the table's schema.
+        block_size:
+            Expected tuples per base block (the paper's ``B``; default 30).
+        partitioner:
+            Geometry partition strategy (default equi-depth, as the paper).
+        cuboid_sets:
+            Which selection-dimension subsets to materialize.  ``None``
+            materializes the full cube (every non-empty subset).  Ranking
+            fragments pass the per-fragment family instead.
+        grid:
+            Pre-built grid (the paper's worked example supplies explicit
+            boundaries); overrides ``partitioner``.
+        """
+        schema = table.schema
+        if ranking_dims is None:
+            ranking_dims = schema.ranking_names
+        if selection_dims is None:
+            selection_dims = schema.selection_names
+        ranking_dims = tuple(ranking_dims)
+        selection_dims = tuple(selection_dims)
+        if not ranking_dims:
+            raise CubeError("a ranking cube needs at least one ranking dimension")
+
+        # One scan of the relation gathers everything the build needs.
+        rank_pos = [schema.position(d) for d in ranking_dims]
+        sel_pos = [schema.position(d) for d in selection_dims]
+        tids: list[int] = []
+        points: list[tuple[float, ...]] = []
+        sel_rows: list[tuple[int, ...]] = []
+        for record in table.scan():
+            tids.append(int(record[0]))
+            points.append(tuple(float(record[1 + p]) for p in rank_pos))
+            sel_rows.append(tuple(int(record[1 + p]) for p in sel_pos))
+        if not tids:
+            raise CubeError("cannot build a ranking cube over an empty relation")
+
+        if grid is None:
+            if partitioner is None:
+                partitioner = EquiDepthPartitioner()
+            columns = list(zip(*points))
+            grid = partitioner.build_grid(ranking_dims, columns, block_size)
+        base_table, bids = BaseBlockTable.build(table.pool, grid, tids, points)
+
+        if cuboid_sets is None:
+            cuboid_sets = full_cube_sets(selection_dims)
+        sel_index = {dim: i for i, dim in enumerate(selection_dims)}
+        cuboids: dict[frozenset, RankingCuboid] = {}
+        for dims in cuboid_sets:
+            dims = tuple(dims)
+            key = frozenset(dims)
+            if key in cuboids:
+                continue
+            missing = [d for d in dims if d not in sel_index]
+            if missing:
+                raise CubeError(f"unknown selection dimensions {missing}")
+            positions = [sel_index[d] for d in dims]
+            cardinalities = schema.cardinalities(dims)
+            cuboids[key] = RankingCuboid.build(
+                table.pool,
+                dims,
+                cardinalities,
+                grid,
+                (
+                    (tuple(row[p] for p in positions), tid, bid)
+                    for row, tid, bid in zip(sel_rows, tids, bids)
+                ),
+                scale_override=pseudo_scale_override,
+                compress=compress,
+            )
+        return cls(grid, base_table, cuboids, block_size)
+
+    # ------------------------------------------------------------------
+    # covering cuboids (Section 4.2.1)
+    # ------------------------------------------------------------------
+    def covering_cuboids(self, query_dims: Sequence[str]) -> list[RankingCuboid]:
+        """The minimum covering set MS for a query's selection dimensions.
+
+        Max step: keep candidate cuboids whose dims are subsets of the
+        query dims and maximal among such.  Min step: the smallest
+        sub-family whose union equals the query dims (exact search for
+        small candidate sets, greedy beyond that).  A query with no
+        selection dimensions returns the empty list — the executor then
+        reads base blocks directly.
+        """
+        wanted = frozenset(query_dims)
+        if not wanted:
+            return []
+        candidates = [key for key in self.cuboids if key <= wanted]
+        if not candidates:
+            raise CubeError(f"no materialized cuboid covers any of {sorted(wanted)}")
+        covered = frozenset().union(*candidates)
+        if covered != wanted:
+            raise CubeError(
+                f"dimensions {sorted(wanted - covered)} are not materialized "
+                "in any cuboid"
+            )
+        maximal = [
+            key for key in candidates
+            if not any(key < other for other in candidates)
+        ]
+        chosen = _minimum_cover(maximal, wanted)
+        return [self.cuboids[key] for key in chosen]
+
+    def cuboid(self, dims: Sequence[str]) -> RankingCuboid:
+        """The cuboid materialized exactly on ``dims``."""
+        try:
+            return self.cuboids[frozenset(dims)]
+        except KeyError:
+            raise CubeError(f"no cuboid on dimensions {tuple(dims)}") from None
+
+    # ------------------------------------------------------------------
+    # incremental maintenance (delta store)
+    # ------------------------------------------------------------------
+    def refresh_delta(self, table: Table) -> int:
+        """Absorb tuples appended to ``table`` since the build/last refresh.
+
+        Returns how many new tuples entered the delta store.  Queries see
+        them immediately (the executor merges the delta); the
+        materialization itself is untouched.
+        """
+        schema = table.schema
+        sel_dims = sorted(self._delta_selection_dims)
+        sel_pos = {d: schema.position(d) for d in sel_dims}
+        rank_pos = {d: schema.position(d) for d in self.grid.dims}
+        absorbed = 0
+        for tid in range(self.watermark, table.num_rows):
+            row = table.fetch_by_tid(tid)
+            selections = {d: int(row[p]) for d, p in sel_pos.items()}
+            rankings = {d: float(row[p]) for d, p in rank_pos.items()}
+            self._delta.append((tid, selections, rankings))
+            absorbed += 1
+        self.watermark = table.num_rows
+        return absorbed
+
+    def delta_matches(
+        self, selections: dict
+    ) -> list[tuple[int, dict]]:
+        """Delta tuples satisfying a query's selection conditions.
+
+        Returns ``(tid, {ranking dim: value})`` pairs; the executor scores
+        them alongside block-retrieved tuples.
+        """
+        matches = []
+        for tid, sel_values, rank_values in self._delta:
+            if all(sel_values.get(d) == v for d, v in selections.items()):
+                matches.append((tid, rank_values))
+        return matches
+
+    @property
+    def delta_size(self) -> int:
+        return len(self._delta)
+
+    def needs_rebuild(self, max_delta_fraction: float = 0.1) -> bool:
+        """Whether the delta store has outgrown the materialization."""
+        return self.delta_size > max_delta_fraction * max(1, self.base_table.num_tuples)
+
+    # ------------------------------------------------------------------
+    # meta information M
+    # ------------------------------------------------------------------
+    @property
+    def bin_boundaries(self) -> dict[str, tuple[float, ...]]:
+        return dict(zip(self.grid.dims, self.grid.boundaries))
+
+    @property
+    def scale_factors(self) -> dict[str, int]:
+        return {cuboid.name: cuboid.scale_factor for cuboid in self.cuboids.values()}
+
+    @property
+    def ranking_dims(self) -> tuple[str, ...]:
+        return self.grid.dims
+
+    @property
+    def size_in_bytes(self) -> int:
+        cuboid_bytes = sum(c.size_in_bytes for c in self.cuboids.values())
+        return self.base_table.size_in_bytes + cuboid_bytes
+
+    def describe(self) -> str:
+        """Human-readable inventory of the materialization."""
+        lines = [
+            f"RankingCube over N=({', '.join(self.grid.dims)}), "
+            f"B={self.block_size}, bins={self.grid.bins_per_dim}",
+            f"  base block table: {self.base_table.num_tuples} tuples, "
+            f"{self.base_table.size_in_bytes} bytes",
+        ]
+        for key in sorted(self.cuboids, key=lambda k: (len(k), sorted(k))):
+            cuboid = self.cuboids[key]
+            lines.append(
+                f"  cuboid {cuboid.name}: sf={cuboid.scale_factor}, "
+                f"{cuboid.num_entries} entries, {cuboid.size_in_bytes} bytes"
+            )
+        return "\n".join(lines)
+
+
+def full_cube_sets(selection_dims: Sequence[str]) -> list[tuple[str, ...]]:
+    """Every non-empty subset of the selection dimensions (full cube)."""
+    dims = tuple(selection_dims)
+    sets: list[tuple[str, ...]] = []
+    for size in range(1, len(dims) + 1):
+        sets.extend(itertools.combinations(dims, size))
+    return sets
+
+
+def _minimum_cover(candidates: list[frozenset], wanted: frozenset) -> list[frozenset]:
+    """Smallest sub-family of ``candidates`` whose union is ``wanted``.
+
+    Exhaustive for small candidate families (the common case: one fragment
+    cuboid per query dimension), greedy set cover otherwise.
+    """
+    if len(candidates) <= 12:
+        for size in range(1, len(candidates) + 1):
+            for combo in itertools.combinations(candidates, size):
+                if frozenset().union(*combo) == wanted:
+                    return list(combo)
+    # greedy fallback
+    remaining = set(wanted)
+    chosen: list[frozenset] = []
+    pool = list(candidates)
+    while remaining:
+        best = max(pool, key=lambda key: len(key & remaining))
+        if not best & remaining:
+            raise CubeError(f"cannot cover dimensions {sorted(remaining)}")
+        chosen.append(best)
+        remaining -= best
+        pool.remove(best)
+    return chosen

@@ -1,0 +1,158 @@
+"""Ranking cuboids (Section 3.1.3).
+
+A cuboid is named by its selection dimensions (the ranking dimensions are
+fixed by the cube's base block table): cuboid ``A1 A2 | N1 N2`` organizes
+``(tid, bid)`` pairs by cell key ``(a1, a2, pid)``, where *pid* is the
+pseudo block id produced by scaling the base grid so each cell fills a
+physical block.
+
+The cuboid exposes the paper's first data access method,
+``get_pseudo_block``: one call returns every ``(tid, bid)`` in a cell, and
+the query executor buffers the result so later requests for sibling bids of
+the same pseudo block cost no further I/O.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..storage.buffer import BufferPool
+from ..storage.pages import RecordCodec
+from .blocks import BlockGrid
+from .pseudo import PseudoBlockMap, scale_factor
+
+
+class CuboidError(Exception):
+    """Raised for cuboid construction/access misuse."""
+
+
+class RankingCuboid:
+    """One materialized cuboid of a ranking cube.
+
+    Parameters
+    ----------
+    pool:
+        Buffer pool of the shared device.
+    dims:
+        Selection dimensions of this cuboid, in key order.
+    cardinalities:
+        Matching domain sizes (drive the pseudo-block scale factor).
+    grid:
+        The base block grid shared with the cube's base block table.
+    """
+
+    def __init__(
+        self,
+        pool: BufferPool,
+        dims: Sequence[str],
+        cardinalities: Sequence[int],
+        grid: BlockGrid,
+        scale_override: int | None = None,
+        compress: bool = False,
+    ):
+        if len(dims) != len(cardinalities):
+            raise CuboidError("dims and cardinalities must align")
+        if not dims:
+            raise CuboidError(
+                "a cuboid needs at least one selection dimension; apex "
+                "queries read the base block table directly"
+            )
+        self.dims = tuple(dims)
+        self.cardinalities = tuple(int(c) for c in cardinalities)
+        self.grid = grid
+        sf = (
+            scale_factor(self.cardinalities, grid.num_dims)
+            if scale_override is None
+            else scale_override
+        )
+        self.pseudo = PseudoBlockMap(grid, sf)
+        # local imports avoid a cycle at module load
+        if compress:
+            from .compressed import CompressedChainStore
+
+            self._store = CompressedChainStore(pool)
+        else:
+            from .chains import ChainStore
+
+            self._store = ChainStore(pool, RecordCodec("qi"))  # (tid, bid)
+        self.compressed = compress
+        self.access_count = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        pool: BufferPool,
+        dims: Sequence[str],
+        cardinalities: Sequence[int],
+        grid: BlockGrid,
+        rows: Iterable[tuple[tuple[int, ...], int, int]],
+        scale_override: int | None = None,
+        compress: bool = False,
+    ) -> "RankingCuboid":
+        """Materialize from ``(selection values, tid, bid)`` rows.
+
+        ``selection values`` must already be projected to this cuboid's
+        dimensions, in :attr:`dims` order.  ``scale_override`` replaces the
+        computed pseudo-block scale factor (``1`` disables pseudo blocking
+        entirely — the ablation of Section 3.1.3's design choice).
+        """
+        cuboid = cls(
+            pool, dims, cardinalities, grid,
+            scale_override=scale_override, compress=compress,
+        )
+        groups: dict[tuple, list[tuple[int, int]]] = {}
+        for sel_values, tid, bid in rows:
+            if len(sel_values) != len(cuboid.dims):
+                raise CuboidError(
+                    f"expected {len(cuboid.dims)} selection values, got {len(sel_values)}"
+                )
+            pid = cuboid.pseudo.pid_of_bid(bid)
+            key = tuple(int(v) for v in sel_values) + (pid,)
+            groups.setdefault(key, []).append((int(tid), int(bid)))
+        cuboid._store.build(groups.items())
+        return cuboid
+
+    # ------------------------------------------------------------------
+    def get_pseudo_block(
+        self, sel_values: Sequence[int], pid: int
+    ) -> list[tuple[int, int]]:
+        """All ``(tid, bid)`` pairs in cell ``(sel_values..., pid)``.
+
+        An absent cell returns an empty list: the directory probe still
+        costs I/O but no block chain is read — the effect behind the
+        high-cardinality robustness in Figure 8.
+        """
+        if len(sel_values) != len(self.dims):
+            raise CuboidError(
+                f"cuboid {self.name} takes {len(self.dims)} selection values"
+            )
+        self.access_count += 1
+        key = tuple(int(v) for v in sel_values) + (int(pid),)
+        return [(int(tid), int(bid)) for tid, bid in self._store.get(key)]
+
+    def pid_of_bid(self, bid: int) -> int:
+        return self.pseudo.pid_of_bid(bid)
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return "".join(self.dims) + "|" + "".join(self.grid.dims)
+
+    @property
+    def scale_factor(self) -> int:
+        return self.pseudo.sf
+
+    @property
+    def num_entries(self) -> int:
+        return self._store.num_records
+
+    @property
+    def size_in_bytes(self) -> int:
+        return self._store.size_in_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"RankingCuboid({self.name}, sf={self.scale_factor}, "
+            f"entries={self.num_entries})"
+        )

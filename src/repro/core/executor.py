@@ -1,0 +1,304 @@
+"""Top-k query execution over a ranking cube (Section 3.2).
+
+The algorithm runs the paper's four steps:
+
+* **Pre-process** — pick the covering cuboid(s) for the query's selection
+  dimensions (a single cuboid for a full cube; several, intersected, for
+  ranking fragments — Section 4.2) and the base block table.
+* **Search** — maintain the frontier ``H`` of candidate base blocks ordered
+  by their lower bound ``f(bid)`` (minimum of the convex ranking function
+  over the block's box).  The first candidate contains the global minimizer
+  of ``f``; subsequent candidates come from Lemma 1's neighbor expansion.
+* **Retrieve** — ``get_pseudo_block`` on each covering cuboid for the
+  candidate bid's pid; results are buffered per pseudo block so sibling
+  bids cost no further I/O; with several covering cuboids the tid lists are
+  intersected (the semi-online computation of Section 4.2.2).
+* **Evaluate** — ``get_base_block`` fetches real ranking values for the
+  qualifying tids; exact scores feed the top-k list ``S``.
+
+The loop stops when ``S_k <= S_unseen``, i.e. the k-th best seen score is
+no worse than the best possible score of any unexamined block.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..relational.query import QueryResult, ResultRow, TopKQuery
+from ..relational.table import Table
+from .cube import CubeError, RankingCube
+from .cuboid import RankingCuboid
+
+
+@dataclass
+class ExecutorTrace:
+    """Optional per-query diagnostics (used by tests and ablations)."""
+
+    candidate_bids: list[int] = field(default_factory=list)
+    pseudo_block_fetches: int = 0
+    pseudo_block_buffer_hits: int = 0
+    base_block_reads: int = 0
+    empty_cells_skipped: int = 0
+    frontier_peak: int = 0
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """The executor's resolved strategy for one query (see ``explain``)."""
+
+    covering_cuboids: tuple[str, ...]
+    intersection_required: bool
+    start_bid: int
+    start_bound: float
+    grid_blocks: int
+    scale_factors: tuple[int, ...]
+    delta_tuples: int
+
+    def describe(self) -> str:
+        lines = [
+            "RankingCube plan:",
+            f"  covering cuboids: {', '.join(self.covering_cuboids) or '(none: base blocks only)'}",
+        ]
+        if self.intersection_required:
+            lines.append("  retrieve step intersects tid lists across cuboids")
+        lines.append(
+            f"  start block: bid={self.start_bid} (bound {self.start_bound:.4f}) "
+            f"of {self.grid_blocks} blocks"
+        )
+        if self.delta_tuples:
+            lines.append(f"  + merge {self.delta_tuples} delta tuple(s)")
+        return "\n".join(lines)
+
+
+class RankingCubeExecutor:
+    """Executes :class:`TopKQuery` objects against a :class:`RankingCube`.
+
+    Parameters
+    ----------
+    cube:
+        The materialized ranking cube (full or fragment family).
+    relation:
+        The original relation; only needed when queries project attributes
+        beyond tid and score.
+    buffer_pseudo_blocks:
+        The paper's retrieve-step buffering.  Disabling it (ablation) makes
+        every bid request re-read its pseudo block.
+    """
+
+    def __init__(
+        self,
+        cube: RankingCube,
+        relation: Table | None = None,
+        buffer_pseudo_blocks: bool = True,
+    ):
+        self.cube = cube
+        self.relation = relation
+        self.buffer_pseudo_blocks = buffer_pseudo_blocks
+
+    # ------------------------------------------------------------------
+    def execute(
+        self, query: TopKQuery, trace: ExecutorTrace | None = None
+    ) -> QueryResult:
+        """Run one top-k query and return its ordered answer."""
+        grid = self.cube.grid
+        fn = query.ranking
+        missing = [d for d in fn.dims if d not in grid.dims]
+        if missing:
+            raise CubeError(f"ranking dimensions {missing} not in the cube")
+        if self.relation is not None:
+            query.validate_against(self.relation.schema)
+        covering = self.cube.covering_cuboids(query.selection_names)
+        cell_values = [
+            tuple(query.selections[d] for d in cuboid.dims) for cuboid in covering
+        ]
+        positions = grid.project(fn.dims)
+
+        # --- search state -------------------------------------------------
+        # top-k seen scores as a max-heap of (-score, -tid)
+        topk: list[tuple[float, int]] = []
+        # frontier of candidate blocks as a min-heap of (f(bid), bid)
+        start_bid = self._start_block(query)
+        frontier: list[tuple[float, int]] = [
+            (self._block_bound(start_bid, fn, positions), start_bid)
+        ]
+        inserted = {start_bid}
+        # per-cuboid buffer: pid -> {bid: [tid, ...]}
+        buffers: list[dict[int, dict[int, list[int]]]] = [{} for _ in covering]
+
+        result = QueryResult()
+        while frontier:
+            s_unseen = frontier[0][0]
+            if len(topk) >= query.k and -topk[0][0] <= s_unseen:
+                break
+            _bound, bid = heapq.heappop(frontier)
+            result.blocks_accessed += 1
+            if trace is not None:
+                trace.candidate_bids.append(bid)
+
+            qualifying = self._retrieve(bid, covering, cell_values, buffers, trace)
+            if qualifying is None or qualifying:
+                self._evaluate(bid, qualifying, fn, positions, query.k, topk, result, trace)
+            elif trace is not None:
+                trace.empty_cells_skipped += 1
+
+            for neighbor in grid.neighbors(bid):
+                if neighbor in inserted:
+                    continue
+                inserted.add(neighbor)
+                heapq.heappush(
+                    frontier, (self._block_bound(neighbor, fn, positions), neighbor)
+                )
+            if trace is not None:
+                trace.frontier_peak = max(trace.frontier_peak, len(frontier))
+
+        # Merge the cube's delta store: tuples appended after the build are
+        # held in memory and scored against every query (see
+        # RankingCube.refresh_delta).
+        for tid, rank_values in self.cube.delta_matches(dict(query.selections)):
+            point = [rank_values[d] for d in fn.dims]
+            score = fn.score(point)
+            result.tuples_examined += 1
+            entry = (-score, -tid)
+            if len(topk) < query.k:
+                heapq.heappush(topk, entry)
+            elif entry > topk[0]:
+                heapq.heapreplace(topk, entry)
+
+        rows = _rows_from_heap(topk)
+        if query.projection:
+            rows = [self._project(row, query) for row in rows]
+        result.rows = rows
+        return result
+
+    def explain(self, query: TopKQuery) -> "QueryPlan":
+        """Describe how the query would execute, without executing it.
+
+        Resolves the covering cuboids, the start block, and the frontier's
+        initial bound — the pre-process step plus the first search step —
+        and packages them with cost-model context (block/cell geometry).
+        """
+        grid = self.cube.grid
+        fn = query.ranking
+        missing = [d for d in fn.dims if d not in grid.dims]
+        if missing:
+            raise CubeError(f"ranking dimensions {missing} not in the cube")
+        covering = self.cube.covering_cuboids(query.selection_names)
+        positions = grid.project(fn.dims)
+        start_bid = self._start_block(query)
+        return QueryPlan(
+            covering_cuboids=tuple(c.name for c in covering),
+            intersection_required=len(covering) > 1,
+            start_bid=start_bid,
+            start_bound=self._block_bound(start_bid, fn, positions),
+            grid_blocks=grid.num_blocks,
+            scale_factors=tuple(c.scale_factor for c in covering),
+            delta_tuples=self.cube.delta_size,
+        )
+
+    # ------------------------------------------------------------------
+    # the four steps
+    # ------------------------------------------------------------------
+    def _start_block(self, query: TopKQuery) -> int:
+        """Block containing the global minimizer of the ranking function."""
+        grid = self.cube.grid
+        fn = query.ranking
+        positions = grid.project(fn.dims)
+        lower, upper = grid.full_box()
+        sub_lower = [lower[p] for p in positions]
+        sub_upper = [upper[p] for p in positions]
+        minimizer = fn.argmin_over_box(sub_lower, sub_upper)
+        point = list(lower)  # unranked dimensions start at the grid's low edge
+        for value, p in zip(minimizer, positions):
+            point[p] = value
+        return grid.locate(point)
+
+    def _block_bound(
+        self, bid: int, fn, positions: tuple[int, ...]
+    ) -> float:
+        """``f(bid)``: minimum of the ranking function over the block box."""
+        lower, upper = self.cube.grid.sub_box(bid, positions)
+        return fn.min_over_box(lower, upper)
+
+    def _retrieve(
+        self,
+        bid: int,
+        covering: list[RankingCuboid],
+        cell_values: list[tuple[int, ...]],
+        buffers: list[dict[int, dict[int, list[int]]]],
+        trace: ExecutorTrace | None,
+    ) -> set[int] | None:
+        """Qualifying tids in ``bid``; ``None`` means "every tuple" (no
+        selection conditions — the base block table answers directly)."""
+        if not covering:
+            return None
+        qualifying: set[int] | None = None
+        for cuboid, values, buffer in zip(covering, cell_values, buffers):
+            pid = cuboid.pid_of_bid(bid)
+            by_bid = buffer.get(pid)
+            if by_bid is None:
+                entries = cuboid.get_pseudo_block(values, pid)
+                if trace is not None:
+                    trace.pseudo_block_fetches += 1
+                by_bid = {}
+                for tid, entry_bid in entries:
+                    by_bid.setdefault(entry_bid, []).append(tid)
+                if self.buffer_pseudo_blocks:
+                    buffer[pid] = by_bid
+            elif trace is not None:
+                trace.pseudo_block_buffer_hits += 1
+            tids = set(by_bid.get(bid, ()))
+            qualifying = tids if qualifying is None else (qualifying & tids)
+            if not qualifying:
+                return set()
+        assert qualifying is not None
+        return qualifying
+
+    def _evaluate(
+        self,
+        bid: int,
+        qualifying: set[int] | None,
+        fn,
+        positions: tuple[int, ...],
+        k: int,
+        topk: list[tuple[float, int]],
+        result: QueryResult,
+        trace: ExecutorTrace | None,
+    ) -> None:
+        """Fetch the base block, score qualifying tuples, update top-k."""
+        records = self.cube.base_table.get_base_block(bid)
+        result.blocks_accessed += 1
+        if trace is not None:
+            trace.base_block_reads += 1
+        for tid, values in records:
+            if qualifying is not None and tid not in qualifying:
+                continue
+            point = [values[p] for p in positions]
+            score = fn.score(point)
+            result.tuples_examined += 1
+            entry = (-score, -tid)
+            if len(topk) < k:
+                heapq.heappush(topk, entry)
+            elif entry > topk[0]:
+                heapq.heapreplace(topk, entry)
+
+    def _project(self, row: ResultRow, query: TopKQuery) -> ResultRow:
+        """Fetch projected attribute values from the original relation."""
+        if self.relation is None:
+            raise CubeError("projection requires the original relation")
+        record = self.relation.fetch_by_tid(row.tid)
+        schema = self.relation.schema
+        values = tuple(
+            record[schema.position(name)] for name in (query.projection or ())
+        )
+        return ResultRow(tid=row.tid, score=row.score, values=values)
+
+
+def _unpack_topk(topk: list[tuple[float, int]]) -> list[tuple[float, int]]:
+    """(score, tid) pairs, best first, from the internal max-heap form."""
+    return sorted((-neg_score, -neg_tid) for neg_score, neg_tid in topk)
+
+
+# Re-expose with the right orientation for ResultRow construction.
+def _rows_from_heap(topk: list[tuple[float, int]]) -> list[ResultRow]:
+    return [ResultRow(tid=tid, score=score) for score, tid in _unpack_topk(topk)]

@@ -1,0 +1,108 @@
+"""Workload-aware fragment grouping (Section 6).
+
+The even grouping of Section 4.1 ignores how queries actually combine
+dimensions.  When a workload is available, dimensions that co-occur in
+selection conditions should share a fragment so queries are covered by a
+single cuboid instead of an online intersection (Figure 12 quantifies the
+cost of each extra covering fragment).
+
+:func:`cooccurrence_grouping` builds a weighted co-occurrence graph over
+the selection dimensions and greedily merges the heaviest-edge groups
+under the fragment-size cap — a standard greedy graph-partitioning
+heuristic that is optimal when the workload's dimension sets are disjoint
+cliques of size <= F.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Sequence
+
+
+def cooccurrence_counts(
+    workload: Iterable[Sequence[str]],
+) -> dict[frozenset, int]:
+    """How often each dimension pair appears together in a query."""
+    counts: dict[frozenset, int] = {}
+    for dims in workload:
+        for a, b in combinations(sorted(set(dims)), 2):
+            key = frozenset((a, b))
+            counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def cooccurrence_grouping(
+    dims: Sequence[str],
+    workload: Iterable[Sequence[str]],
+    fragment_size: int,
+) -> list[tuple[str, ...]]:
+    """Group ``dims`` into fragments of size <= ``fragment_size``.
+
+    Greedy agglomeration: start from singletons, repeatedly merge the two
+    groups joined by the heaviest total co-occurrence weight while the
+    merged size fits.  Ties and zero-weight leftovers merge in dimension
+    order, so the result is deterministic and every dimension is placed.
+    """
+    if fragment_size < 1:
+        raise ValueError(f"fragment size must be >= 1, got {fragment_size}")
+    dims = list(dims)
+    if len(set(dims)) != len(dims):
+        raise ValueError(f"duplicate dimensions: {dims}")
+    workload = [list(q) for q in workload]
+    unknown = {d for q in workload for d in q} - set(dims)
+    if unknown:
+        raise ValueError(f"workload uses unknown dimensions {sorted(unknown)}")
+    counts = cooccurrence_counts(workload)
+
+    groups: list[list[str]] = [[d] for d in dims]
+
+    def weight_between(g1: list[str], g2: list[str]) -> int:
+        return sum(
+            counts.get(frozenset((a, b)), 0) for a in g1 for b in g2
+        )
+
+    while True:
+        best = None
+        best_weight = 0
+        for i, j in combinations(range(len(groups)), 2):
+            if len(groups[i]) + len(groups[j]) > fragment_size:
+                continue
+            weight = weight_between(groups[i], groups[j])
+            if weight > best_weight:
+                best, best_weight = (i, j), weight
+        if best is None:
+            break
+        i, j = best
+        groups[i] = groups[i] + groups[j]
+        del groups[j]
+
+    # pack zero-affinity leftovers to keep the fragment count minimal
+    groups.sort(key=lambda g: (-len(g), g))
+    packed: list[list[str]] = []
+    for group in groups:
+        for target in packed:
+            if len(target) + len(group) <= fragment_size:
+                target.extend(group)
+                break
+        else:
+            packed.append(list(group))
+    return [tuple(sorted(group)) for group in packed]
+
+
+def expected_covering_fragments(
+    fragments: Sequence[Sequence[str]],
+    workload: Iterable[Sequence[str]],
+) -> float:
+    """Average number of fragments a workload's queries touch.
+
+    The planning metric: lower is better (1.0 means every query is
+    answered by a single fragment's cuboid, no intersection needed).
+    """
+    owner = {dim: i for i, fragment in enumerate(fragments) for dim in fragment}
+    totals = 0
+    count = 0
+    for dims in workload:
+        fragments_touched = {owner[d] for d in dims}
+        totals += len(fragments_touched)
+        count += 1
+    return totals / count if count else 0.0

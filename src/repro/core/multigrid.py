@@ -1,0 +1,110 @@
+"""Many ranking dimensions (Section 6's extension).
+
+The paper assumes few ranking dimensions (2-4) because the base block grid
+is a product space over them.  Its Section 6 notes the method "can be
+naturally extended to cases where the number of ranking dimensions is also
+large" by the same fragmenting idea applied to ranking dimensions: build
+one ranking cube per small *group* of ranking dimensions and route each
+query to a cube whose grid covers the query's ranking function.
+
+:class:`MultiCubeRouter` implements that extension.  Unlike selection
+fragments — whose tid lists intersect exactly — ranking groups cannot be
+combined for a single function, so the router requires some group to cover
+the query's ranking dimensions; group membership is therefore a workload
+design decision (``ranking_groups``), defaulting to all pairs.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Sequence
+
+from ..relational.query import QueryResult, TopKQuery
+from ..relational.table import Table
+from .cube import DEFAULT_BLOCK_SIZE, CubeError, RankingCube
+from .executor import RankingCubeExecutor
+
+
+class MultiCubeRouter:
+    """Routes top-k queries across cubes built on ranking-dim groups."""
+
+    def __init__(self, cubes: Sequence[RankingCube], relation: Table | None = None):
+        if not cubes:
+            raise CubeError("MultiCubeRouter needs at least one cube")
+        self.cubes = list(cubes)
+        self.relation = relation
+        self._executors = [
+            RankingCubeExecutor(cube, relation) for cube in self.cubes
+        ]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        table: Table,
+        ranking_groups: Sequence[Sequence[str]] | None = None,
+        group_size: int = 2,
+        selection_dims: Sequence[str] | None = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        **cube_kwargs,
+    ) -> "MultiCubeRouter":
+        """Build one ranking cube per ranking-dimension group.
+
+        ``ranking_groups`` defaults to every ``group_size``-subset of the
+        schema's ranking dimensions (all pairs for ``group_size=2``), which
+        covers any query ranking on at most ``group_size`` dimensions.
+        """
+        all_ranking = table.schema.ranking_names
+        if ranking_groups is None:
+            if group_size >= len(all_ranking):
+                ranking_groups = [all_ranking]
+            else:
+                ranking_groups = list(combinations(all_ranking, group_size))
+        cubes = [
+            RankingCube.build(
+                table,
+                ranking_dims=group,
+                selection_dims=selection_dims,
+                block_size=block_size,
+                **cube_kwargs,
+            )
+            for group in ranking_groups
+        ]
+        return cls(cubes, relation=table)
+
+    # ------------------------------------------------------------------
+    def route(self, query: TopKQuery) -> RankingCubeExecutor:
+        """The executor whose cube covers the query's ranking dimensions.
+
+        Among covering cubes, prefers the one with the fewest extra grid
+        dimensions (less projection, fewer tied blocks — the Figure 6
+        effect).
+        """
+        wanted = set(query.ranking.dims)
+        best = None
+        best_extra = None
+        for executor in self._executors:
+            grid_dims = set(executor.cube.grid.dims)
+            if not wanted <= grid_dims:
+                continue
+            extra = len(grid_dims - wanted)
+            if best_extra is None or extra < best_extra:
+                best, best_extra = executor, extra
+        if best is None:
+            raise CubeError(
+                f"no cube covers ranking dimensions {sorted(wanted)}; "
+                f"available grids: {[c.grid.dims for c in self.cubes]}"
+            )
+        return best
+
+    def execute(self, query: TopKQuery) -> QueryResult:
+        """Route and execute."""
+        return self.route(query).execute(query)
+
+    # ------------------------------------------------------------------
+    @property
+    def size_in_bytes(self) -> int:
+        return sum(cube.size_in_bytes for cube in self.cubes)
+
+    def grids(self) -> list[tuple[str, ...]]:
+        return [cube.grid.dims for cube in self.cubes]

@@ -1,0 +1,12 @@
+"""Index structures over paged storage.
+
+:class:`BPlusTree` is the shared foundation; :class:`SecondaryIndex` models
+the baseline's per-dimension non-clustered indexes; :class:`CompositeIndex`
+models the rank-mapping baseline's multi-dimensional clustered index.
+"""
+
+from .bptree import BPlusTree, BPlusTreeError
+from .composite import CompositeIndex
+from .secondary import SecondaryIndex
+
+__all__ = ["BPlusTree", "BPlusTreeError", "CompositeIndex", "SecondaryIndex"]

@@ -1,0 +1,334 @@
+"""A paged B+-tree.
+
+Every node occupies one page of the shared :class:`BlockDevice`, read and
+written through the buffer pool, so index traversals are metered I/O just
+like heap and cube accesses.  Keys are tuples of numbers (ints sort with
+floats the way SQL composite keys do) and must be unique; callers that need
+duplicates append a discriminator component (the composite index appends the
+tid, the secondary index stores posting-list heads as values).
+
+Supports point lookup, ordered range scan, single insert, and sorted bulk
+load (the load path used when building indexes over a freshly generated
+relation).
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Iterable, Iterator, Sequence
+
+from ..storage.buffer import BufferPool
+from ..storage.pages import BytesPage
+
+Key = tuple
+Value = int
+
+
+class BPlusTreeError(Exception):
+    """Raised for malformed tree operations (duplicate keys, bad fanout)."""
+
+
+class _Node:
+    """In-memory image of one tree node.
+
+    Leaf:     keys[i] -> values[i]; ``next_leaf`` chains the leaf level.
+    Internal: children[i] subtends keys < keys[i] (children has one more
+              entry than keys, standard B+-tree separator layout).
+    """
+
+    __slots__ = ("is_leaf", "keys", "values", "children", "next_leaf")
+
+    def __init__(self, is_leaf: bool):
+        self.is_leaf = is_leaf
+        self.keys: list[Key] = []
+        self.values: list[Value] = []      # leaves only
+        self.children: list[int] = []      # internal only (page ids)
+        self.next_leaf: int | None = None  # leaves only
+
+    def to_payload(self) -> bytes:
+        return pickle.dumps(
+            (self.is_leaf, self.keys, self.values, self.children, self.next_leaf),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "_Node":
+        is_leaf, keys, values, children, next_leaf = pickle.loads(payload)
+        node = cls(is_leaf)
+        node.keys = keys
+        node.values = values
+        node.children = children
+        node.next_leaf = next_leaf
+        return node
+
+
+class BPlusTree:
+    """Unique-key B+-tree over paged storage.
+
+    Parameters
+    ----------
+    pool:
+        Buffer pool for all node I/O.
+    fanout:
+        Maximum keys per node.  The default suits 4 KiB pages and short
+        numeric keys; oversized serialized nodes fail fast at write time.
+    """
+
+    def __init__(self, pool: BufferPool, fanout: int = 32):
+        if fanout < 3:
+            raise BPlusTreeError(f"fanout must be >= 3, got {fanout}")
+        self.pool = pool
+        self.fanout = fanout
+        self._page_size = pool.device.page_size
+        self._root_id = self._write_new(_Node(is_leaf=True))
+        self._height = 1
+        self._num_keys = 0
+        self._num_nodes = 1
+
+    # ------------------------------------------------------------------
+    # metadata
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._num_keys
+
+    @property
+    def height(self) -> int:
+        return self._height
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def size_in_bytes(self) -> int:
+        return self._num_nodes * self._page_size
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def get(self, key: Key, default: Value | None = None) -> Value | None:
+        """Point lookup."""
+        node = self._read(self._find_leaf(key))
+        pos = _lower_bound(node.keys, key)
+        if pos < len(node.keys) and node.keys[pos] == key:
+            return node.values[pos]
+        return default
+
+    def __contains__(self, key: Key) -> bool:
+        return self.get(key) is not None
+
+    def range_scan(
+        self,
+        lo: Key | None = None,
+        hi: Key | None = None,
+        include_hi: bool = False,
+    ) -> Iterator[tuple[Key, Value]]:
+        """Yield ``(key, value)`` in key order for keys in ``[lo, hi)``.
+
+        ``lo=None`` starts at the smallest key; ``hi=None`` runs to the end;
+        ``include_hi`` closes the upper bound.
+        """
+        if lo is None:
+            leaf_id = self._leftmost_leaf()
+            node = self._read(leaf_id)
+            pos = 0
+        else:
+            leaf_id = self._find_leaf(lo)
+            node = self._read(leaf_id)
+            pos = _lower_bound(node.keys, lo)
+        while True:
+            while pos < len(node.keys):
+                key = node.keys[pos]
+                if hi is not None:
+                    if include_hi:
+                        if key > hi:
+                            return
+                    elif key >= hi:
+                        return
+                yield key, node.values[pos]
+                pos += 1
+            if node.next_leaf is None:
+                return
+            node = self._read(node.next_leaf)
+            pos = 0
+
+    def items(self) -> Iterator[tuple[Key, Value]]:
+        """Full ordered scan."""
+        return self.range_scan()
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def insert(self, key: Key, value: Value) -> None:
+        """Insert one key; duplicate keys raise :class:`BPlusTreeError`."""
+        key = tuple(key)
+        split = self._insert_into(self._root_id, key, value)
+        if split is not None:
+            sep_key, right_id = split
+            new_root = _Node(is_leaf=False)
+            new_root.keys = [sep_key]
+            new_root.children = [self._root_id, right_id]
+            self._root_id = self._write_new(new_root)
+            self._height += 1
+        self._num_keys += 1
+
+    def bulk_load(self, pairs: Iterable[tuple[Key, Value]]) -> None:
+        """Replace the tree contents from *sorted*, unique ``(key, value)``.
+
+        Builds leaves left to right at ~full fanout, then each internal
+        level, the standard bottom-up bulk load.  Raises on unsorted or
+        duplicate input.
+        """
+        pairs = list(pairs)
+        if not pairs:
+            return
+        for (k1, _), (k2, _) in zip(pairs, pairs[1:]):
+            if tuple(k1) >= tuple(k2):
+                raise BPlusTreeError("bulk_load input must be strictly sorted")
+        if self._num_keys:
+            raise BPlusTreeError("bulk_load requires an empty tree")
+
+        per_leaf = max(2, self.fanout - 1)
+        leaves: list[tuple[Key, int]] = []  # (first key, page id)
+        prev_leaf: _Node | None = None
+        prev_leaf_id: int | None = None
+        for start in range(0, len(pairs), per_leaf):
+            chunk = pairs[start:start + per_leaf]
+            node = _Node(is_leaf=True)
+            node.keys = [tuple(k) for k, _v in chunk]
+            node.values = [v for _k, v in chunk]
+            page_id = self._write_new(node)
+            if prev_leaf is not None and prev_leaf_id is not None:
+                prev_leaf.next_leaf = page_id
+                self._write(prev_leaf_id, prev_leaf)
+            leaves.append((node.keys[0], page_id))
+            prev_leaf, prev_leaf_id = node, page_id
+
+        level = leaves
+        height = 1
+        per_internal = max(2, self.fanout)
+        while len(level) > 1:
+            next_level: list[tuple[Key, int]] = []
+            for start in range(0, len(level), per_internal):
+                chunk = level[start:start + per_internal]
+                node = _Node(is_leaf=False)
+                node.children = [page_id for _k, page_id in chunk]
+                node.keys = [k for k, _pid in chunk[1:]]
+                page_id = self._write_new(node)
+                next_level.append((chunk[0][0], page_id))
+            level = next_level
+            height += 1
+        self._root_id = level[0][1]
+        self._height = height
+        self._num_keys = len(pairs)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _insert_into(
+        self, page_id: int, key: Key, value: Value
+    ) -> tuple[Key, int] | None:
+        """Recursive insert; returns ``(separator, new right page)`` on split."""
+        node = self._read(page_id)
+        if node.is_leaf:
+            pos = _lower_bound(node.keys, key)
+            if pos < len(node.keys) and node.keys[pos] == key:
+                raise BPlusTreeError(f"duplicate key {key!r}")
+            node.keys.insert(pos, key)
+            node.values.insert(pos, value)
+            if len(node.keys) <= self.fanout:
+                self._write(page_id, node)
+                return None
+            return self._split_leaf(page_id, node)
+        pos = _upper_bound(node.keys, key)
+        split = self._insert_into(node.children[pos], key, value)
+        if split is None:
+            return None
+        sep_key, right_id = split
+        node.keys.insert(pos, sep_key)
+        node.children.insert(pos + 1, right_id)
+        if len(node.keys) <= self.fanout:
+            self._write(page_id, node)
+            return None
+        return self._split_internal(page_id, node)
+
+    def _split_leaf(self, page_id: int, node: _Node) -> tuple[Key, int]:
+        mid = len(node.keys) // 2
+        right = _Node(is_leaf=True)
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        right.next_leaf = node.next_leaf
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        right_id = self._write_new(right)
+        node.next_leaf = right_id
+        self._write(page_id, node)
+        return right.keys[0], right_id
+
+    def _split_internal(self, page_id: int, node: _Node) -> tuple[Key, int]:
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Node(is_leaf=False)
+        right.keys = node.keys[mid + 1:]
+        right.children = node.children[mid + 1:]
+        node.keys = node.keys[:mid]
+        node.children = node.children[:mid + 1]
+        right_id = self._write_new(right)
+        self._write(page_id, node)
+        return sep, right_id
+
+    def _find_leaf(self, key: Key) -> int:
+        page_id = self._root_id
+        node = self._read(page_id)
+        while not node.is_leaf:
+            pos = _upper_bound(node.keys, key)
+            page_id = node.children[pos]
+            node = self._read(page_id)
+        return page_id
+
+    def _leftmost_leaf(self) -> int:
+        page_id = self._root_id
+        node = self._read(page_id)
+        while not node.is_leaf:
+            page_id = node.children[0]
+            node = self._read(page_id)
+        return page_id
+
+    def _read(self, page_id: int) -> _Node:
+        data = self.pool.get(page_id)
+        return _Node.from_payload(BytesPage.from_bytes(data, self._page_size).payload)
+
+    def _write(self, page_id: int, node: _Node) -> None:
+        self.pool.put(page_id, BytesPage(self._page_size, node.to_payload()).to_bytes())
+
+    def _write_new(self, node: _Node) -> int:
+        page_id = self.pool.device.allocate()
+        self._write(page_id, node)
+        if not hasattr(self, "_num_nodes"):
+            return page_id
+        self._num_nodes += 1
+        return page_id
+
+
+def _lower_bound(keys: Sequence[Key], key: Key) -> int:
+    """First position whose key is >= ``key``."""
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def _upper_bound(keys: Sequence[Key], key: Key) -> int:
+    """First position whose key is > ``key``."""
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] <= key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,124 @@
+"""Workspace persistence: save/load a database with its cubes.
+
+Everything in this library lives over an in-memory simulated device, so
+"persistence" means snapshotting: a :class:`Workspace` bundles a database,
+its source table name, and any materialized cubes, and serializes to a
+single checksummed file.  Loading restores the exact object graph — page
+images, directories, delta stores — so a saved cube answers queries
+identically without rebuilding.
+
+The format is a small header (magic, version, payload length, SHA-256)
+followed by a pickle of the workspace.  The checksum catches truncation
+and bit rot; the version gate prevents silently unpickling a layout from
+a different release.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .core.cube import RankingCube
+from .relational.database import Database
+
+_MAGIC = b"RCUBEWS\n"
+FORMAT_VERSION = 1
+
+
+class PersistError(Exception):
+    """Raised on malformed, corrupted, or incompatible snapshot files."""
+
+
+@dataclass
+class Workspace:
+    """A database plus its materialized ranking cubes, as one unit.
+
+    Parameters
+    ----------
+    db:
+        The database owning the shared device (tables, indexes, and cube
+        storage all live on it).
+    cubes:
+        Named cubes over tables of ``db`` (name -> cube); names are free
+        form, conventionally the table name they index.
+    """
+
+    db: Database
+    cubes: dict[str, RankingCube] = field(default_factory=dict)
+
+    def add_cube(self, name: str, cube: RankingCube) -> None:
+        if name in self.cubes:
+            raise PersistError(f"workspace already has a cube named {name!r}")
+        self.cubes[name] = cube
+
+    def cube(self, name: str) -> RankingCube:
+        try:
+            return self.cubes[name]
+        except KeyError:
+            raise PersistError(f"no cube named {name!r} in workspace") from None
+
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> int:
+        """Write the workspace snapshot; returns bytes written."""
+        # flush buffered pages so the device holds the complete state
+        self.db.pool.flush()
+        payload = pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(payload).digest()
+        header = (
+            _MAGIC
+            + FORMAT_VERSION.to_bytes(4, "little")
+            + len(payload).to_bytes(8, "little")
+            + digest
+        )
+        data = header + payload
+        Path(path).write_bytes(data)
+        return len(data)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Workspace":
+        """Read and validate a snapshot written by :meth:`save`."""
+        try:
+            data = Path(path).read_bytes()
+        except OSError as exc:
+            raise PersistError(f"cannot read snapshot: {exc}") from exc
+        stream = io.BytesIO(data)
+        magic = stream.read(len(_MAGIC))
+        if magic != _MAGIC:
+            raise PersistError("not a ranking-cube workspace snapshot")
+        version = int.from_bytes(stream.read(4), "little")
+        if version != FORMAT_VERSION:
+            raise PersistError(
+                f"snapshot format v{version} is not supported "
+                f"(this build reads v{FORMAT_VERSION})"
+            )
+        length = int.from_bytes(stream.read(8), "little")
+        digest = stream.read(32)
+        payload = stream.read()
+        if len(payload) != length:
+            raise PersistError(
+                f"snapshot truncated: header promises {length} bytes, "
+                f"found {len(payload)}"
+            )
+        if hashlib.sha256(payload).digest() != digest:
+            raise PersistError("snapshot checksum mismatch (corrupted file)")
+        workspace = pickle.loads(payload)
+        if not isinstance(workspace, cls):
+            raise PersistError(
+                f"snapshot holds a {type(workspace).__name__}, not a Workspace"
+            )
+        return workspace
+
+
+def save_workspace(
+    db: Database, cubes: dict[str, RankingCube], path: str | Path
+) -> int:
+    """Convenience wrapper: bundle and save in one call."""
+    return Workspace(db=db, cubes=dict(cubes)).save(path)
+
+
+def load_workspace(path: str | Path) -> Workspace:
+    """Convenience wrapper around :meth:`Workspace.load`."""
+    return Workspace.load(path)

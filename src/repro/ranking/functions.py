@@ -1,0 +1,326 @@
+"""Ranking functions.
+
+A ranking function scores a point in the unit hypercube ``[0, 1]^r`` spanned
+by the query's ranking dimensions; top-k queries return the k tuples with
+the smallest scores (Section 2 of the paper fixes ascending order without
+loss of generality; :func:`descending` rewrites the other direction).
+
+The ranking-cube query algorithm requires only that the function be
+*convex* (Definition 1): convexity is what makes the block lower bound
+``f(bid) = min over the block box`` sound and Lemma 1's frontier expansion
+complete.  The classes here cover the families the paper discusses —
+linear with arbitrary-sign weights, distance-to-target measures (the
+``(price - 10k)^2 + (mileage - 20k)^2`` style of query Q2), quadratic
+forms — plus a generic wrapper for user-supplied convex callables.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Callable, Sequence
+
+
+class RankingFunctionError(Exception):
+    """Raised for malformed ranking-function constructions."""
+
+
+class RankingFunction(ABC):
+    """A convex scoring function over named ranking dimensions.
+
+    Attributes
+    ----------
+    dims:
+        Names of the ranking dimensions the function reads, in the order
+        :meth:`score` expects its arguments.
+    """
+
+    def __init__(self, dims: Sequence[str]):
+        if not dims:
+            raise RankingFunctionError("ranking function needs at least one dimension")
+        if len(set(dims)) != len(dims):
+            raise RankingFunctionError(f"duplicate ranking dimensions: {dims}")
+        self.dims = tuple(dims)
+
+    @property
+    def arity(self) -> int:
+        return len(self.dims)
+
+    @abstractmethod
+    def score(self, point: Sequence[float]) -> float:
+        """Score one point (components ordered as :attr:`dims`)."""
+
+    def min_over_box(self, lower: Sequence[float], upper: Sequence[float]) -> float:
+        """Minimum of the function over an axis-aligned box.
+
+        The default implementation delegates to the numeric minimizer in
+        :mod:`repro.ranking.boxmin`; subclasses with closed forms override.
+        """
+        from .boxmin import minimize_convex_over_box
+
+        return minimize_convex_over_box(self.score, lower, upper)
+
+    def argmin_over_box(
+        self, lower: Sequence[float], upper: Sequence[float]
+    ) -> tuple[float, ...]:
+        """A minimizing point of the function over an axis-aligned box."""
+        from .boxmin import argmin_convex_over_box
+
+        return argmin_convex_over_box(self.score, lower, upper)
+
+    def global_minimizer(self) -> tuple[float, ...]:
+        """A minimizer over the unit hypercube (query start point)."""
+        return self.argmin_over_box([0.0] * self.arity, [1.0] * self.arity)
+
+    def __call__(self, point: Sequence[float]) -> float:
+        return self.score(point)
+
+
+class LinearFunction(RankingFunction):
+    """``f(x) = sum_i w_i * x_i``, weights of any sign.
+
+    All linear functions are convex; the paper stresses that this strictly
+    generalizes the monotone (non-negative weight) case handled by Onion
+    and PREFER.
+    """
+
+    def __init__(
+        self, dims: Sequence[str], weights: Sequence[float], offset: float = 0.0
+    ):
+        super().__init__(dims)
+        if len(weights) != len(self.dims):
+            raise RankingFunctionError(
+                f"{len(self.dims)} dims but {len(weights)} weights"
+            )
+        self.weights = tuple(float(w) for w in weights)
+        self.offset = float(offset)
+
+    def score(self, point: Sequence[float]) -> float:
+        return self.offset + sum(w * x for w, x in zip(self.weights, point))
+
+    def min_over_box(self, lower: Sequence[float], upper: Sequence[float]) -> float:
+        # The minimizing corner picks, per dimension, whichever bound the
+        # weight's sign prefers.
+        return self.offset + sum(
+            w * (lo if w >= 0 else hi)
+            for w, lo, hi in zip(self.weights, lower, upper)
+        )
+
+    def argmin_over_box(
+        self, lower: Sequence[float], upper: Sequence[float]
+    ) -> tuple[float, ...]:
+        return tuple(
+            lo if w >= 0 else hi for w, lo, hi in zip(self.weights, lower, upper)
+        )
+
+    def skewness(self) -> float:
+        """Query skewness ``u = min|w| / max|w|`` (Section 5.1.3)."""
+        magnitudes = [abs(w) for w in self.weights if w != 0]
+        if not magnitudes:
+            return 1.0
+        return min(magnitudes) / max(magnitudes)
+
+    def __repr__(self) -> str:
+        terms = " + ".join(f"{w:g}*{d}" for w, d in zip(self.weights, self.dims))
+        return f"LinearFunction({terms})"
+
+
+class LpDistance(RankingFunction):
+    """Weighted p-norm distance to a target point (p >= 1, hence convex).
+
+    ``f(x) = sum_i w_i * |x_i - t_i|^p`` — with ``p=2`` this is the squared
+    Euclidean form of query Q2 in the paper's introduction; ``p=1`` is the
+    Manhattan form; weights must be non-negative for convexity.
+    """
+
+    def __init__(
+        self,
+        dims: Sequence[str],
+        target: Sequence[float],
+        p: float = 2.0,
+        weights: Sequence[float] | None = None,
+    ):
+        super().__init__(dims)
+        if len(target) != len(self.dims):
+            raise RankingFunctionError(f"{len(self.dims)} dims but {len(target)} targets")
+        if p < 1:
+            raise RankingFunctionError(f"p must be >= 1 for convexity, got {p}")
+        if weights is None:
+            weights = [1.0] * len(self.dims)
+        if len(weights) != len(self.dims):
+            raise RankingFunctionError("weights length mismatch")
+        if any(w < 0 for w in weights):
+            raise RankingFunctionError("LpDistance weights must be non-negative")
+        self.target = tuple(float(t) for t in target)
+        self.p = float(p)
+        self.weights = tuple(float(w) for w in weights)
+
+    def score(self, point: Sequence[float]) -> float:
+        return sum(
+            w * abs(x - t) ** self.p
+            for w, x, t in zip(self.weights, point, self.target)
+        )
+
+    def min_over_box(self, lower: Sequence[float], upper: Sequence[float]) -> float:
+        # Separable: the per-dimension minimizer clamps the target into the
+        # box, so the minimum has a closed form.
+        return self.score(self.argmin_over_box(lower, upper))
+
+    def argmin_over_box(
+        self, lower: Sequence[float], upper: Sequence[float]
+    ) -> tuple[float, ...]:
+        return tuple(
+            min(max(t, lo), hi) for t, lo, hi in zip(self.target, lower, upper)
+        )
+
+    def __repr__(self) -> str:
+        return f"LpDistance(dims={self.dims}, target={self.target}, p={self.p:g})"
+
+
+class QuadraticForm(RankingFunction):
+    """``f(x) = (x - c)' Q (x - c) + b' x`` with positive semidefinite Q.
+
+    Covers correlated quadratic preferences; convexity requires Q to be
+    PSD, which the constructor verifies via a Cholesky-style check.
+    """
+
+    def __init__(
+        self,
+        dims: Sequence[str],
+        matrix: Sequence[Sequence[float]],
+        center: Sequence[float] | None = None,
+        linear: Sequence[float] | None = None,
+    ):
+        super().__init__(dims)
+        n = len(self.dims)
+        self.matrix = [[float(v) for v in row] for row in matrix]
+        if len(self.matrix) != n or any(len(row) != n for row in self.matrix):
+            raise RankingFunctionError(f"matrix must be {n}x{n}")
+        self.center = tuple(float(c) for c in (center or [0.0] * n))
+        self.linear = tuple(float(b) for b in (linear or [0.0] * n))
+        if len(self.center) != n or len(self.linear) != n:
+            raise RankingFunctionError("center/linear length mismatch")
+        if not _is_psd(self.matrix):
+            raise RankingFunctionError("quadratic form matrix must be PSD for convexity")
+
+    def score(self, point: Sequence[float]) -> float:
+        diff = [x - c for x, c in zip(point, self.center)]
+        quad = sum(
+            diff[i] * self.matrix[i][j] * diff[j]
+            for i in range(len(diff))
+            for j in range(len(diff))
+        )
+        return quad + sum(b * x for b, x in zip(self.linear, point))
+
+    def __repr__(self) -> str:
+        return f"QuadraticForm(dims={self.dims})"
+
+
+class ConvexFunction(RankingFunction):
+    """Wrapper for an arbitrary user-supplied convex callable.
+
+    Convexity cannot be verified for a black box; the caller asserts it.
+    Block lower bounds fall back to the numeric minimizer, which is exact
+    (to tolerance) precisely when the assertion holds.
+    """
+
+    def __init__(
+        self,
+        dims: Sequence[str],
+        fn: Callable[..., float],
+        name: str = "convex",
+    ):
+        super().__init__(dims)
+        self._fn = fn
+        self.name = name
+
+    def score(self, point: Sequence[float]) -> float:
+        return float(self._fn(*point))
+
+    def __repr__(self) -> str:
+        return f"ConvexFunction({self.name}, dims={self.dims})"
+
+
+class NegatedFunction(RankingFunction):
+    """``-g`` for a concave ``g``: lets ``ORDER BY g DESC`` run ascending.
+
+    The negation of a *concave* function is convex, so all machinery
+    applies unchanged.  Negating a general convex function would not be
+    convex; this class exists for the DESC rewrite of linear functions
+    (linear is both convex and concave) and user-asserted concave scores.
+    """
+
+    def __init__(self, inner: RankingFunction):
+        super().__init__(inner.dims)
+        self.inner = inner
+
+    def score(self, point: Sequence[float]) -> float:
+        return -self.inner.score(point)
+
+    def min_over_box(self, lower: Sequence[float], upper: Sequence[float]) -> float:
+        if isinstance(self.inner, LinearFunction):
+            flipped = LinearFunction(
+                self.inner.dims,
+                [-w for w in self.inner.weights],
+                offset=-self.inner.offset,
+            )
+            return flipped.min_over_box(lower, upper)
+        return super().min_over_box(lower, upper)
+
+    def argmin_over_box(
+        self, lower: Sequence[float], upper: Sequence[float]
+    ) -> tuple[float, ...]:
+        if isinstance(self.inner, LinearFunction):
+            flipped = LinearFunction(
+                self.inner.dims, [-w for w in self.inner.weights]
+            )
+            return flipped.argmin_over_box(lower, upper)
+        return super().argmin_over_box(lower, upper)
+
+    def __repr__(self) -> str:
+        return f"NegatedFunction({self.inner!r})"
+
+
+def descending(fn: RankingFunction) -> RankingFunction:
+    """Rewrite ``ORDER BY fn DESC`` as an ascending convex problem.
+
+    Valid when ``fn`` is concave (linear functions always are).
+    """
+    if isinstance(fn, NegatedFunction):
+        return fn.inner
+    return NegatedFunction(fn)
+
+
+def is_convex_on_samples(
+    fn: RankingFunction, points: Sequence[Sequence[float]], tol: float = 1e-9
+) -> bool:
+    """Spot-check Definition 1 on sampled point pairs (testing helper)."""
+    pts = [tuple(p) for p in points]
+    for i, x1 in enumerate(pts):
+        for x2 in pts[i + 1:]:
+            for lam in (0.25, 0.5, 0.75):
+                mid = tuple(lam * a + (1 - lam) * b for a, b in zip(x1, x2))
+                if fn.score(mid) > lam * fn.score(x1) + (1 - lam) * fn.score(x2) + tol:
+                    return False
+    return True
+
+
+def _is_psd(matrix: list[list[float]], tol: float = 1e-10) -> bool:
+    """Check positive semidefiniteness via symmetric eigen-free pivoting."""
+    n = len(matrix)
+    # symmetrize to guard against tiny asymmetries
+    a = [[0.5 * (matrix[i][j] + matrix[j][i]) for j in range(n)] for i in range(n)]
+    # modified Cholesky: attempt factorization, allowing zero pivots
+    for k in range(n):
+        if a[k][k] < -tol:
+            return False
+        if a[k][k] <= tol:
+            # pivot ~0: the rest of row/col k must be ~0 too
+            if any(abs(a[k][j]) > math.sqrt(tol) for j in range(k + 1, n)):
+                return False
+            continue
+        pivot = a[k][k]
+        for i in range(k + 1, n):
+            for j in range(k + 1, n):
+                a[i][j] -= a[i][k] * a[k][j] / pivot
+    return True

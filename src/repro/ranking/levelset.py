@@ -1,0 +1,132 @@
+"""Bounding boxes of convex level sets.
+
+The rank-mapping baseline [Chang/Hristidis-style top-k-to-range mapping,
+reference [4] of the paper] rewrites ``TOP k ... ORDER BY f`` into a range
+query: given a score threshold ``s`` (the paper feeds the *optimal* value,
+the true k-th score), it needs per-dimension bounds ``n_i`` such that every
+tuple with ``f(x) <= s`` satisfies ``lo_i <= x_i <= hi_i``.
+
+For a convex ``f`` on a box, ``g_i(c) = min f over the box with x_i fixed
+at c`` is convex in ``c``, so the extreme coordinates of the level set can
+be found by bisection on each side of the minimizer.  Linear and
+Lp-distance functions get exact closed forms.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .boxmin import minimize_convex_over_box
+from .functions import LinearFunction, LpDistance, RankingFunction
+
+
+def level_set_box(
+    fn: RankingFunction,
+    threshold: float,
+    lower: Sequence[float],
+    upper: Sequence[float],
+    tol: float = 1e-6,
+) -> tuple[tuple[float, ...], tuple[float, ...]]:
+    """Tight per-dimension bounds of ``{x in box : f(x) <= threshold}``.
+
+    Returns ``(lo, hi)`` tuples.  If the level set is empty (threshold
+    below the box minimum), returns the degenerate box at the minimizer.
+    """
+    lower = [float(v) for v in lower]
+    upper = [float(v) for v in upper]
+    if isinstance(fn, LinearFunction):
+        return _linear_bounds(fn, threshold, lower, upper)
+    if isinstance(fn, LpDistance):
+        return _lp_bounds(fn, threshold, lower, upper)
+    return _generic_bounds(fn, threshold, lower, upper, tol)
+
+
+def _linear_bounds(
+    fn: LinearFunction, threshold: float, lower: list[float], upper: list[float]
+) -> tuple[tuple[float, ...], tuple[float, ...]]:
+    los: list[float] = []
+    his: list[float] = []
+    for i, w in enumerate(fn.weights):
+        rest = sum(
+            wj * (lo if wj >= 0 else hi)
+            for j, (wj, lo, hi) in enumerate(zip(fn.weights, lower, upper))
+            if j != i
+        )
+        budget = threshold - fn.offset - rest
+        if w > 0:
+            los.append(lower[i])
+            his.append(min(upper[i], max(lower[i], budget / w)))
+        elif w < 0:
+            his.append(upper[i])
+            los.append(max(lower[i], min(upper[i], budget / w)))
+        else:
+            los.append(lower[i])
+            his.append(upper[i])
+    return tuple(los), tuple(his)
+
+
+def _lp_bounds(
+    fn: LpDistance, threshold: float, lower: list[float], upper: list[float]
+) -> tuple[tuple[float, ...], tuple[float, ...]]:
+    los: list[float] = []
+    his: list[float] = []
+    for i, (w, t) in enumerate(zip(fn.weights, fn.target)):
+        if w <= 0 or threshold < 0:
+            # weight 0: the dimension is unconstrained by the level set
+            reach = float("inf") if threshold >= 0 else 0.0
+        else:
+            reach = (threshold / w) ** (1.0 / fn.p)
+        los.append(max(lower[i], t - reach))
+        his.append(min(upper[i], t + reach))
+        if los[i] > his[i]:  # empty set: collapse to the clamped target
+            clamped = min(max(t, lower[i]), upper[i])
+            los[i] = his[i] = clamped
+    return tuple(los), tuple(his)
+
+
+def _generic_bounds(
+    fn: RankingFunction,
+    threshold: float,
+    lower: list[float],
+    upper: list[float],
+    tol: float,
+) -> tuple[tuple[float, ...], tuple[float, ...]]:
+    minimizer = fn.argmin_over_box(lower, upper)
+    if fn.score(minimizer) > threshold:
+        return tuple(minimizer), tuple(minimizer)
+    los: list[float] = []
+    his: list[float] = []
+    for i in range(fn.arity):
+
+        def sliced_min(c: float, i: int = i) -> float:
+            lo = list(lower)
+            hi = list(upper)
+            lo[i] = hi[i] = c
+            return minimize_convex_over_box(fn.score, lo, hi)
+
+        his.append(
+            _bisect_boundary(sliced_min, minimizer[i], upper[i], threshold, tol)
+        )
+        los.append(
+            _bisect_boundary(sliced_min, minimizer[i], lower[i], threshold, tol)
+        )
+    return tuple(los), tuple(his)
+
+
+def _bisect_boundary(sliced_min, start: float, limit: float, threshold: float, tol: float) -> float:
+    """Furthest coordinate from ``start`` toward ``limit`` still in the set.
+
+    ``sliced_min`` is convex, minimal near ``start``, and non-decreasing
+    toward ``limit``; bisection finds where it crosses ``threshold``.
+    """
+    if sliced_min(limit) <= threshold:
+        return limit
+    inside, outside = start, limit
+    while abs(outside - inside) > tol:
+        mid = (inside + outside) / 2
+        if sliced_min(mid) <= threshold:
+            inside = mid
+        else:
+            outside = mid
+    # return the outside edge so the bound is conservative (a superset)
+    return outside

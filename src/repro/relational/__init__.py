@@ -1,0 +1,29 @@
+"""Relational substrate: schemas, tables, catalog, and query objects."""
+
+from .database import Database
+from .query import QueryError, QueryResult, ResultRow, TopKQuery
+from .schema import (
+    Attribute,
+    AttributeKind,
+    Schema,
+    SchemaError,
+    ranking_attr,
+    selection_attr,
+)
+from .table import Table, TableError
+
+__all__ = [
+    "Attribute",
+    "AttributeKind",
+    "Database",
+    "QueryError",
+    "QueryResult",
+    "ResultRow",
+    "Schema",
+    "SchemaError",
+    "Table",
+    "TableError",
+    "TopKQuery",
+    "ranking_attr",
+    "selection_attr",
+]

@@ -1,0 +1,148 @@
+"""Top-k query representation.
+
+A :class:`TopKQuery` is the paper's SQL form (Section 2)::
+
+    SELECT TOP k FROM R WHERE A1 = a1 AND ... Ai = ai ORDER BY f(N1..Nj)
+
+i.e. a conjunction of equality selections over categorical dimensions and a
+convex ranking function over real-valued dimensions.  Results are
+:class:`QueryResult` rows carrying tid, score, and (optionally) the full
+tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..ranking.functions import RankingFunction
+from .schema import Schema, SchemaError
+
+
+class QueryError(Exception):
+    """Raised for queries inconsistent with the target schema."""
+
+
+@dataclass(frozen=True)
+class TopKQuery:
+    """An immutable top-k query.
+
+    Parameters
+    ----------
+    k:
+        Number of results requested (``k >= 1``).
+    selections:
+        Mapping of selection-attribute name to required (encoded) value.
+        May be empty: a pure ranking query over the whole relation.
+    ranking:
+        Convex ranking function; its ``dims`` must be ranking attributes of
+        the relation the query runs against.
+    projection:
+        Extra attribute names to materialize for the result rows; ``None``
+        returns tids and scores only (the cube answers those without
+        touching the base relation).
+    """
+
+    k: int
+    selections: Mapping[str, int]
+    ranking: RankingFunction
+    projection: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise QueryError(f"k must be >= 1, got {self.k}")
+        object.__setattr__(self, "selections", dict(self.selections))
+        overlap = set(self.selections) & set(self.ranking.dims)
+        if overlap:
+            raise QueryError(f"attributes used for both selection and ranking: {overlap}")
+
+    @property
+    def selection_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self.selections))
+
+    @property
+    def ranking_names(self) -> tuple[str, ...]:
+        return self.ranking.dims
+
+    @property
+    def num_selections(self) -> int:
+        return len(self.selections)
+
+    def validate_against(self, schema: Schema) -> None:
+        """Raise :class:`QueryError` if the query does not fit ``schema``."""
+        for name, value in self.selections.items():
+            try:
+                attr = schema.attribute(name)
+            except SchemaError as exc:
+                raise QueryError(str(exc)) from exc
+            if not attr.is_selection:
+                raise QueryError(f"{name!r} is not a selection attribute")
+            assert attr.cardinality is not None
+            if not 0 <= int(value) < attr.cardinality:
+                raise QueryError(
+                    f"value {value} out of domain [0, {attr.cardinality}) for {name!r}"
+                )
+        for name in self.ranking.dims:
+            try:
+                attr = schema.attribute(name)
+            except SchemaError as exc:
+                raise QueryError(str(exc)) from exc
+            if not attr.is_ranking:
+                raise QueryError(f"{name!r} is not a ranking attribute")
+        for name in self.projection or ():
+            if name not in schema:
+                raise QueryError(f"projection attribute {name!r} not in schema")
+
+    def matches(self, schema: Schema, row: Sequence) -> bool:
+        """Does a full tuple satisfy the selection conjunction?"""
+        return all(
+            row[schema.position(name)] == value
+            for name, value in self.selections.items()
+        )
+
+    def score_row(self, schema: Schema, row: Sequence) -> float:
+        """Evaluate the ranking function on a full tuple."""
+        point = [row[schema.position(name)] for name in self.ranking.dims]
+        return self.ranking.score(point)
+
+
+@dataclass(frozen=True)
+class ResultRow:
+    """One row of a top-k answer."""
+
+    tid: int
+    score: float
+    values: tuple | None = None
+
+    def __lt__(self, other: "ResultRow") -> bool:
+        # Deterministic total order: by score, ties by tid.
+        return (self.score, self.tid) < (other.score, other.tid)
+
+
+@dataclass
+class QueryResult:
+    """Ordered top-k answer plus execution counters.
+
+    ``tuples_examined`` counts tuples whose ranking values were actually
+    evaluated, the paper's notion of "seen" tuples; ``blocks_accessed``
+    counts logical block requests made by the executor (the I/O meter on
+    the shared device records the physical truth).
+    """
+
+    rows: list[ResultRow] = field(default_factory=list)
+    tuples_examined: int = 0
+    blocks_accessed: int = 0
+
+    @property
+    def tids(self) -> list[int]:
+        return [row.tid for row in self.rows]
+
+    @property
+    def scores(self) -> list[float]:
+        return [row.score for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)

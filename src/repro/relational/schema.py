@@ -1,0 +1,162 @@
+"""Relation schemas.
+
+The paper's data model (Section 2): a relation ``R`` with categorical
+*selection* attributes ``A1..AS`` and real-valued *ranking* attributes
+``N1..NR``.  Selection attributes are dictionary-encoded to small ints;
+ranking attributes are floats normalized to ``[0, 1]`` (the paper assumes
+this range without loss of generality — we provide the normalizer).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+class AttributeKind(enum.Enum):
+    """Role of an attribute in top-k queries."""
+
+    SELECTION = "selection"
+    RANKING = "ranking"
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """One column of a relation.
+
+    Parameters
+    ----------
+    name:
+        Column name, unique within a schema.
+    kind:
+        Whether the column is a selection (categorical) or ranking
+        (real-valued) dimension.
+    cardinality:
+        Domain size for selection attributes (values are ``0..cardinality-1``
+        after dictionary encoding).  ``None`` for ranking attributes.
+    """
+
+    name: str
+    kind: AttributeKind
+    cardinality: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind is AttributeKind.SELECTION:
+            if self.cardinality is None or self.cardinality < 1:
+                raise ValueError(
+                    f"selection attribute {self.name!r} needs a positive cardinality"
+                )
+        elif self.cardinality is not None:
+            raise ValueError(f"ranking attribute {self.name!r} must not set cardinality")
+
+    @property
+    def is_selection(self) -> bool:
+        return self.kind is AttributeKind.SELECTION
+
+    @property
+    def is_ranking(self) -> bool:
+        return self.kind is AttributeKind.RANKING
+
+
+def selection_attr(name: str, cardinality: int) -> Attribute:
+    """Shorthand constructor for a selection attribute."""
+    return Attribute(name, AttributeKind.SELECTION, cardinality)
+
+
+def ranking_attr(name: str) -> Attribute:
+    """Shorthand constructor for a ranking attribute."""
+    return Attribute(name, AttributeKind.RANKING)
+
+
+class SchemaError(Exception):
+    """Raised for schema construction and lookup failures."""
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of attributes with fast name lookup.
+
+    Tuples conforming to a schema are plain Python tuples whose positions
+    follow the schema's attribute order; the implicit tuple id (tid) is the
+    tuple's load order and is stored alongside, not inside, the tuple.
+    """
+
+    attributes: tuple[Attribute, ...]
+    _index: dict = field(init=False, repr=False, compare=False, hash=False, default=None)
+
+    def __post_init__(self) -> None:
+        names = [attr.name for attr in self.attributes]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute names in schema: {names}")
+        object.__setattr__(
+            self, "_index", {attr.name: pos for pos, attr in enumerate(self.attributes)}
+        )
+
+    @classmethod
+    def of(cls, attributes: Iterable[Attribute]) -> "Schema":
+        return cls(tuple(attributes))
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def position(self, name: str) -> int:
+        """Index of attribute ``name`` within a tuple."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"no attribute named {name!r}") from None
+
+    def attribute(self, name: str) -> Attribute:
+        return self.attributes[self.position(name)]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    # ------------------------------------------------------------------
+    # role-based views
+    # ------------------------------------------------------------------
+    @property
+    def selection_attributes(self) -> tuple[Attribute, ...]:
+        return tuple(a for a in self.attributes if a.is_selection)
+
+    @property
+    def ranking_attributes(self) -> tuple[Attribute, ...]:
+        return tuple(a for a in self.attributes if a.is_ranking)
+
+    @property
+    def selection_names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self.selection_attributes)
+
+    @property
+    def ranking_names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self.ranking_attributes)
+
+    def cardinalities(self, names: Sequence[str]) -> tuple[int, ...]:
+        """Cardinalities of the given selection attributes, in order."""
+        result = []
+        for name in names:
+            attr = self.attribute(name)
+            if not attr.is_selection:
+                raise SchemaError(f"{name!r} is not a selection attribute")
+            assert attr.cardinality is not None
+            result.append(attr.cardinality)
+        return tuple(result)
+
+    def record_format(self) -> str:
+        """Struct format for a full tuple prefixed by its tid.
+
+        Selection values pack as int32, ranking values as float64; the tid
+        leads as int64.  This is the heap-file record layout.
+        """
+        parts = ["q"]
+        for attr in self.attributes:
+            parts.append("i" if attr.is_selection else "d")
+        return "".join(parts)
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Schema restricted to ``names`` (kept in the given order)."""
+        return Schema.of(self.attribute(name) for name in names)

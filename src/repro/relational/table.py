@@ -1,0 +1,206 @@
+"""Tables: heap storage + indexes + lightweight statistics.
+
+A :class:`Table` owns a heap file of full tuples (tid-prefixed), the
+secondary indexes the baseline approach builds, optional composite indexes
+for the rank-mapping approach, and per-attribute value histograms used for
+cost-based access-path selection — the same metadata a commercial engine
+keeps in its catalog.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator, Sequence
+
+from ..index.composite import CompositeIndex
+from ..index.secondary import SecondaryIndex
+from ..storage.buffer import BufferPool
+from ..storage.heap import HeapFile, Rid
+from ..storage.pages import RecordCodec
+from .schema import Schema, SchemaError
+
+
+class TableError(Exception):
+    """Raised for table-level misuse (bad rows, unknown indexes)."""
+
+
+class Table:
+    """A relation stored on the shared device.
+
+    Rows are plain tuples in schema attribute order; tids are assigned in
+    load order.  Because the heap is append-only with fixed-length records,
+    ``tid -> rid`` is arithmetic, giving the random-fetch path its realistic
+    one-page cost without a separate tid index.
+    """
+
+    def __init__(self, name: str, schema: Schema, pool: BufferPool):
+        self.name = name
+        self.schema = schema
+        self.pool = pool
+        codec = RecordCodec(schema.record_format())
+        self.heap = HeapFile(pool, codec)
+        self.secondary_indexes: dict[str, SecondaryIndex] = {}
+        self.composite_indexes: dict[tuple[str, ...], CompositeIndex] = {}
+        self._value_counts: dict[str, Counter] = {
+            name: Counter() for name in schema.selection_names
+        }
+        self._num_rows = 0
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    def insert_rows(self, rows: Iterable[Sequence]) -> None:
+        """Bulk load rows (tuples in schema order); assigns tids."""
+        sel_positions = [
+            (name, self.schema.position(name)) for name in self.schema.selection_names
+        ]
+        records = []
+        for row in rows:
+            if len(row) != len(self.schema):
+                raise TableError(
+                    f"row of width {len(row)} does not fit schema of width "
+                    f"{len(self.schema)}"
+                )
+            tid = self._num_rows
+            records.append((tid, *row))
+            for name, pos in sel_positions:
+                self._value_counts[name][int(row[pos])] += 1
+            self._num_rows += 1
+        self.heap.extend(records)
+        self.heap.seal()
+
+    # ------------------------------------------------------------------
+    # access paths
+    # ------------------------------------------------------------------
+    def scan(self) -> Iterator[tuple]:
+        """Sequential scan of full records ``(tid, values...)``."""
+        return self.heap.scan_records()
+
+    def fetch_by_tid(self, tid: int) -> tuple:
+        """Random fetch of the row with tuple id ``tid`` (without the tid)."""
+        record = self.heap.fetch(self.rid_of(tid))
+        if record[0] != tid:
+            raise TableError(f"tid mismatch: wanted {tid}, page holds {record[0]}")
+        return record[1:]
+
+    def fetch_by_rid(self, rid: Rid) -> tuple:
+        """Random fetch by rid, returning ``(tid, values...)``."""
+        return self.heap.fetch(rid)
+
+    def rid_of(self, tid: int) -> Rid:
+        """Arithmetic tid -> rid mapping for the append-only heap."""
+        if not 0 <= tid < self._num_rows:
+            raise TableError(f"tid {tid} out of range [0, {self._num_rows})")
+        per_page = self.heap.records_per_page
+        return (tid // per_page, tid % per_page)
+
+    # ------------------------------------------------------------------
+    # indexes
+    # ------------------------------------------------------------------
+    def create_secondary_index(self, attribute: str) -> SecondaryIndex:
+        """Build a non-clustered index on one selection attribute."""
+        attr = self.schema.attribute(attribute)
+        if not attr.is_selection:
+            raise TableError(f"cannot index ranking attribute {attribute!r}")
+        if attribute in self.secondary_indexes:
+            return self.secondary_indexes[attribute]
+        pos = self.schema.position(attribute)
+        index = SecondaryIndex(self.pool, attribute)
+        index.build(
+            (record[1 + pos], rid) for rid, record in self.heap.scan()
+        )
+        self.secondary_indexes[attribute] = index
+        return index
+
+    def create_composite_index(
+        self,
+        selection_dims: Sequence[str],
+        ranking_dims: Sequence[str] | None = None,
+    ) -> CompositeIndex:
+        """Build the (selections..., rankings..., tid) clustered index."""
+        if ranking_dims is None:
+            ranking_dims = self.schema.ranking_names
+        key = tuple(selection_dims) + tuple(ranking_dims)
+        if key in self.composite_indexes:
+            return self.composite_indexes[key]
+        sel_pos = [self.schema.position(d) for d in selection_dims]
+        rank_pos = [self.schema.position(d) for d in ranking_dims]
+        index = CompositeIndex(self.pool, selection_dims, ranking_dims)
+        index.build(
+            (
+                tuple(int(record[1 + p]) for p in sel_pos),
+                tuple(float(record[1 + p]) for p in rank_pos),
+                int(record[0]),
+            )
+            for record in self.heap.scan_records()
+        )
+        self.composite_indexes[key] = index
+        return index
+
+    def find_composite_index(
+        self, query_dims: Sequence[str]
+    ) -> CompositeIndex | None:
+        """A composite index whose selection dims cover ``query_dims``, if any.
+
+        Prefers the index whose *leading* dims match the most query dims —
+        the factor behind the RM approach's sensitivity to dimension order
+        (Figures 7, 9, 14).
+        """
+        wanted = set(query_dims)
+        best = None
+        best_prefix = -1
+        for index in self.composite_indexes.values():
+            if not wanted <= set(index.selection_dims):
+                continue
+            prefix = 0
+            for dim in index.selection_dims:
+                if dim in wanted:
+                    prefix += 1
+                else:
+                    break
+            if prefix > best_prefix:
+                best, best_prefix = index, prefix
+        return best
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def selectivity(self, attribute: str, value: int) -> float:
+        """Fraction of rows with ``attribute == value`` (exact histogram)."""
+        if attribute not in self._value_counts:
+            raise TableError(f"no histogram for {attribute!r}")
+        if not self._num_rows:
+            return 0.0
+        return self._value_counts[attribute][int(value)] / self._num_rows
+
+    def value_count(self, attribute: str, value: int) -> int:
+        if attribute not in self._value_counts:
+            raise TableError(f"no histogram for {attribute!r}")
+        return self._value_counts[attribute][int(value)]
+
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    @property
+    def data_size_in_bytes(self) -> int:
+        return self.heap.size_in_bytes
+
+    @property
+    def index_size_in_bytes(self) -> int:
+        secondary = sum(ix.size_in_bytes for ix in self.secondary_indexes.values())
+        composite = sum(ix.size_in_bytes for ix in self.composite_indexes.values())
+        return secondary + composite
+
+    def ranking_positions(self, dims: Sequence[str]) -> list[int]:
+        """Tuple positions (tid-offset included) of the given ranking dims."""
+        positions = []
+        for dim in dims:
+            attr = self.schema.attribute(dim)
+            if not attr.is_ranking:
+                raise SchemaError(f"{dim!r} is not a ranking attribute")
+            positions.append(1 + self.schema.position(dim))
+        return positions

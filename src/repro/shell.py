@@ -1,0 +1,211 @@
+"""Interactive top-k shell.
+
+``python -m repro`` drops into a small REPL over a ranking cube: load a
+saved workspace or generate a synthetic relation, then type the paper's
+SQL dialect and get ranked answers with per-query I/O costs.
+
+Dot-commands:
+
+* ``.help``              — command summary
+* ``.schema``            — the relation's attributes
+* ``.describe``          — the cube's materialization inventory
+* ``.explain <sql>``     — query plan without executing
+* ``.stats``             — cumulative device I/O counters
+* ``.save <path>``       — snapshot the workspace
+* ``.quit``              — leave
+
+Everything is also usable programmatically through :class:`Shell`, which
+the tests drive line by line.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable
+
+from .core.cube import RankingCube
+from .core.executor import RankingCubeExecutor
+from .core.fragments import FragmentedRankingCube
+from .persist import PersistError, Workspace
+from .relational.database import Database
+from .relational.table import Table
+from .sqlmini.lexer import SqlError
+from .sqlmini.parser import compile_topk
+from .workloads.synthetic import SyntheticSpec, generate
+
+#: Build fragments instead of a full cube above this many selection dims.
+FULL_CUBE_DIM_LIMIT = 6
+
+
+class Shell:
+    """A stateful SQL shell over one table and its ranking cube."""
+
+    def __init__(self, db: Database, table: Table, cube: RankingCube):
+        self.db = db
+        self.table = table
+        self.cube = cube
+        self.executor = RankingCubeExecutor(cube, table)
+        self._queries_run = 0
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_synthetic(
+        cls,
+        num_tuples: int = 20_000,
+        num_selection_dims: int = 3,
+        num_ranking_dims: int = 2,
+        cardinality: int = 10,
+        seed: int = 7,
+    ) -> "Shell":
+        dataset = generate(
+            SyntheticSpec(
+                num_selection_dims=num_selection_dims,
+                num_ranking_dims=num_ranking_dims,
+                num_tuples=num_tuples,
+                cardinality=cardinality,
+                seed=seed,
+            )
+        )
+        db = Database()
+        table = dataset.load_into(db)
+        if num_selection_dims > FULL_CUBE_DIM_LIMIT:
+            cube: RankingCube = FragmentedRankingCube.build_fragments(table)
+        else:
+            cube = RankingCube.build(table)
+        return cls(db, table, cube)
+
+    @classmethod
+    def from_workspace(cls, path: str) -> "Shell":
+        workspace = Workspace.load(path)
+        names = workspace.db.table_names()
+        if len(names) != 1 or len(workspace.cubes) != 1:
+            raise PersistError(
+                "the shell expects a workspace with exactly one table and one cube"
+            )
+        table = workspace.db.table(names[0])
+        cube = next(iter(workspace.cubes.values()))
+        return cls(workspace.db, table, cube)
+
+    # ------------------------------------------------------------------
+    # the REPL
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        lines: Iterable[str] | None = None,
+        write: Callable[[str], None] = print,
+    ) -> None:
+        """Process lines until exhaustion or ``.quit``.
+
+        ``lines=None`` reads interactively from stdin.
+        """
+        write(self.banner())
+        source = lines if lines is not None else _stdin_lines()
+        for line in source:
+            output, keep_going = self.execute_line(line)
+            if output:
+                write(output)
+            if not keep_going:
+                break
+
+    def execute_line(self, line: str) -> tuple[str, bool]:
+        """Handle one input line; returns (output, keep_going)."""
+        line = line.strip()
+        if not line:
+            return "", True
+        if line.startswith("."):
+            return self._dot_command(line)
+        try:
+            return self._run_query(line), True
+        except SqlError as exc:
+            return f"syntax error: {exc}", True
+        except Exception as exc:  # surface executor errors without dying
+            return f"error: {exc}", True
+
+    def banner(self) -> str:
+        schema = self.table.schema
+        return (
+            f"ranking-cube shell — {self.table.num_rows} tuples, "
+            f"selections {', '.join(schema.selection_names)}; "
+            f"rankings {', '.join(schema.ranking_names)}\n"
+            "type SQL (SELECT TOP k ... ORDER BY ...) or .help"
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _dot_command(self, line: str) -> tuple[str, bool]:
+        command, _, argument = line.partition(" ")
+        command = command.lower()
+        if command == ".quit" or command == ".exit":
+            return "bye", False
+        if command == ".help":
+            return (
+                ".help .schema .describe .explain <sql> .stats .save <path> .quit\n"
+                "or any SQL: SELECT TOP k FROM t WHERE a = 1 ORDER BY n1 + n2"
+            ), True
+        if command == ".schema":
+            schema = self.table.schema
+            rows = [
+                f"  {attr.name:16s} {attr.kind.value:9s} "
+                + (f"cardinality {attr.cardinality}" if attr.is_selection else "")
+                for attr in schema.attributes
+            ]
+            return "\n".join(rows), True
+        if command == ".describe":
+            return self.cube.describe(), True
+        if command == ".stats":
+            stats = self.db.device.stats
+            return (
+                f"device: {stats.reads} reads "
+                f"({stats.random_reads} random, {stats.sequential_reads} "
+                f"sequential), {stats.writes} writes; "
+                f"{self._queries_run} queries run"
+            ), True
+        if command == ".explain":
+            if not argument.strip():
+                return "usage: .explain SELECT TOP k ...", True
+            try:
+                query = compile_topk(argument, self.table.schema)
+                return self.executor.explain(query).describe(), True
+            except SqlError as exc:
+                return f"syntax error: {exc}", True
+        if command == ".save":
+            if not argument.strip():
+                return "usage: .save <path>", True
+            workspace = Workspace(db=self.db)
+            workspace.add_cube(self.table.name, self.cube)
+            written = workspace.save(argument.strip())
+            return f"saved {written} bytes to {argument.strip()}", True
+        return f"unknown command {command!r} (try .help)", True
+
+    def _run_query(self, sql: str) -> str:
+        query = compile_topk(sql, self.table.schema)
+        self.db.cold_cache()
+        before = self.db.io_snapshot()
+        started = time.perf_counter()
+        result = self.executor.execute(query)
+        elapsed = (time.perf_counter() - started) * 1000
+        io = self.db.io_since(before)
+        self._queries_run += 1
+
+        lines = [f"{'tid':>8s}  {'score':>12s}"]
+        for row in result:
+            lines.append(f"{row.tid:8d}  {row.score:12.6f}")
+        if not result.rows:
+            lines.append("(no qualifying tuples)")
+        lines.append(
+            f"-- {len(result.rows)} row(s) in {elapsed:.2f} ms; "
+            f"{io.reads} pages ({io.random_reads} random); "
+            f"{result.tuples_examined} tuples examined"
+        )
+        return "\n".join(lines)
+
+
+def _stdin_lines():
+    while True:
+        try:
+            yield input("topk> ")
+        except EOFError:
+            return

@@ -1,0 +1,151 @@
+"""Tokenizer for the paper's SQL dialect.
+
+Handles exactly the surface syntax of Section 2's query template::
+
+    SELECT TOP k [cols] FROM R WHERE A1 = a1 AND ... ORDER BY f(N1..Nj) [ASC|DESC]
+
+Keywords are case-insensitive; numbers may be integers or decimals with an
+optional suffix ``k`` (the paper writes "$10k" style literals in its
+examples, e.g. ``(price - 10k)^2``).
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class SqlError(Exception):
+    """Raised for lexical or syntactic problems in a query string."""
+
+
+class TokenKind(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    SYMBOL = "symbol"
+    END = "end"
+
+
+KEYWORDS = {
+    "select", "top", "from", "where", "and", "order", "by", "asc", "desc",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+(?:\.\d+)?(?:[kK]\b)?)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<string>'[^']*')
+  | (?P<symbol>\*\*|<=|>=|<>|!=|[-+*/(),=<>])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == word
+
+    def is_symbol(self, symbol: str) -> bool:
+        return self.kind is TokenKind.SYMBOL and self.text == symbol
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize a query string; raises :class:`SqlError` on junk."""
+    tokens: list[Token] = []
+    position = 0
+    while position < len(sql):
+        match = _TOKEN_RE.match(sql, position)
+        if match is None:
+            raise SqlError(f"unexpected character {sql[position]!r} at offset {position}")
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        text = match.group()
+        if match.lastgroup == "number":
+            tokens.append(Token(TokenKind.NUMBER, text, match.start()))
+        elif match.lastgroup == "ident":
+            lowered = text.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token(TokenKind.KEYWORD, lowered, match.start()))
+            else:
+                tokens.append(Token(TokenKind.IDENT, text, match.start()))
+        elif match.lastgroup == "string":
+            tokens.append(Token(TokenKind.STRING, text[1:-1], match.start()))
+        else:
+            tokens.append(Token(TokenKind.SYMBOL, text, match.start()))
+    tokens.append(Token(TokenKind.END, "", len(sql)))
+    return tokens
+
+
+def number_value(text: str) -> float:
+    """Numeric value of a number token (``10k`` -> 10000)."""
+    if text[-1] in "kK":
+        return float(text[:-1]) * 1000.0
+    return float(text)
+
+
+class TokenStream:
+    """Cursor over a token list with one-token lookahead."""
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.END:
+            self._pos += 1
+        return token
+
+    def expect_keyword(self, word: str) -> Token:
+        if not self.current.is_keyword(word):
+            raise SqlError(
+                f"expected {word.upper()!r} at offset {self.current.position}, "
+                f"found {self.current.text!r}"
+            )
+        return self.advance()
+
+    def expect_symbol(self, symbol: str) -> Token:
+        if not self.current.is_symbol(symbol):
+            raise SqlError(
+                f"expected {symbol!r} at offset {self.current.position}, "
+                f"found {self.current.text!r}"
+            )
+        return self.advance()
+
+    def expect_kind(self, kind: TokenKind) -> Token:
+        if self.current.kind is not kind:
+            raise SqlError(
+                f"expected {kind.value} at offset {self.current.position}, "
+                f"found {self.current.text!r}"
+            )
+        return self.advance()
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.current.is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def accept_symbol(self, symbol: str) -> bool:
+        if self.current.is_symbol(symbol):
+            self.advance()
+            return True
+        return False
+
+    def __iter__(self) -> Iterator[Token]:
+        return iter(self._tokens[self._pos:])

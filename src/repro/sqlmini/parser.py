@@ -1,0 +1,206 @@
+"""Parser for top-k SQL statements.
+
+Grammar (Section 2's template)::
+
+    query      := SELECT TOP number projection FROM ident
+                  [WHERE condition (AND condition)*]
+                  ORDER BY expression [ASC | DESC]
+    projection := '*' | ident (',' ident)* | <empty>
+    condition  := ident '=' (number | string | ident)
+    expression := additive arithmetic over idents, numbers, abs(), pow()
+
+Use :func:`parse_topk` to get a :class:`ParsedQuery`, or
+:func:`compile_topk` to validate against a schema and produce an
+executable :class:`~repro.relational.query.TopKQuery` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..relational.query import TopKQuery
+from ..relational.schema import Schema
+from .expr import BinOp, Call, Col, Expr, Neg, Num, to_ranking_function
+from .lexer import SqlError, Token, TokenKind, TokenStream, number_value, tokenize
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """Syntactic form of a top-k statement, before schema binding."""
+
+    k: int
+    table: str
+    projection: tuple[str, ...] | None  # None == SELECT * / bare SELECT TOP k
+    selections: dict[str, object]       # value: int | float | str
+    order_expr: Expr
+    order: str                          # "asc" | "desc"
+
+
+def parse_topk(sql: str) -> ParsedQuery:
+    """Parse one top-k statement into its syntactic form."""
+    stream = TokenStream(tokenize(sql))
+    stream.expect_keyword("select")
+    stream.expect_keyword("top")
+    k_token = stream.expect_kind(TokenKind.NUMBER)
+    k_value = number_value(k_token.text)
+    if k_value != int(k_value) or int(k_value) < 1:
+        raise SqlError(f"TOP expects a positive integer, got {k_token.text!r}")
+
+    projection: tuple[str, ...] | None = None
+    if stream.accept_symbol("*"):
+        projection = None
+    elif stream.current.kind is TokenKind.IDENT:
+        names = [stream.advance().text]
+        while stream.accept_symbol(","):
+            names.append(stream.expect_kind(TokenKind.IDENT).text)
+        projection = tuple(names)
+
+    stream.expect_keyword("from")
+    table = stream.expect_kind(TokenKind.IDENT).text
+
+    selections: dict[str, object] = {}
+    if stream.accept_keyword("where"):
+        while True:
+            name = stream.expect_kind(TokenKind.IDENT).text
+            stream.expect_symbol("=")
+            selections[name] = _condition_value(stream)
+            if not stream.accept_keyword("and"):
+                break
+
+    stream.expect_keyword("order")
+    stream.expect_keyword("by")
+    order_expr = _parse_expression(stream)
+    order = "asc"
+    if stream.accept_keyword("desc"):
+        order = "desc"
+    else:
+        stream.accept_keyword("asc")
+    if stream.current.kind is not TokenKind.END:
+        raise SqlError(
+            f"unexpected trailing input at offset {stream.current.position}: "
+            f"{stream.current.text!r}"
+        )
+    return ParsedQuery(
+        k=int(k_value),
+        table=table,
+        projection=projection,
+        selections=selections,
+        order_expr=order_expr,
+        order=order,
+    )
+
+
+def compile_topk(
+    sql: str,
+    schema: Schema,
+    value_encoders: Mapping[str, Mapping[str, int]] | None = None,
+) -> TopKQuery:
+    """Parse and bind a statement against a schema.
+
+    ``value_encoders`` optionally maps attribute name -> {label: code} so
+    queries may use human-readable categorical labels (``type = 'sedan'``)
+    against dictionary-encoded columns.
+    """
+    parsed = parse_topk(sql)
+    selections: dict[str, int] = {}
+    for name, raw in parsed.selections.items():
+        if isinstance(raw, str):
+            encoder = (value_encoders or {}).get(name)
+            if encoder is None or raw not in encoder:
+                raise SqlError(
+                    f"no encoding for {name} = {raw!r}; pass value_encoders"
+                )
+            selections[name] = encoder[raw]
+        else:
+            if raw != int(raw):
+                raise SqlError(f"selection value for {name} must be integral, got {raw}")
+            selections[name] = int(raw)
+    ranking = to_ranking_function(
+        parsed.order_expr, parsed.order, ranking_dims=schema.ranking_names
+    )
+    query = TopKQuery(
+        parsed.k, selections, ranking, projection=parsed.projection
+    )
+    query.validate_against(schema)
+    return query
+
+
+# ----------------------------------------------------------------------
+# expression parsing (precedence climbing)
+# ----------------------------------------------------------------------
+def _condition_value(stream: TokenStream) -> object:
+    token = stream.current
+    if token.kind is TokenKind.NUMBER:
+        stream.advance()
+        return number_value(token.text)
+    if token.kind is TokenKind.STRING:
+        stream.advance()
+        return token.text
+    if token.kind is TokenKind.IDENT:
+        stream.advance()
+        return token.text  # bare label, resolved by value_encoders
+    raise SqlError(f"expected a value at offset {token.position}, found {token.text!r}")
+
+
+def _parse_expression(stream: TokenStream) -> Expr:
+    return _parse_additive(stream)
+
+
+def _parse_additive(stream: TokenStream) -> Expr:
+    node = _parse_multiplicative(stream)
+    while True:
+        if stream.accept_symbol("+"):
+            node = BinOp("+", node, _parse_multiplicative(stream))
+        elif stream.accept_symbol("-"):
+            node = BinOp("-", node, _parse_multiplicative(stream))
+        else:
+            return node
+
+
+def _parse_multiplicative(stream: TokenStream) -> Expr:
+    node = _parse_unary(stream)
+    while True:
+        if stream.accept_symbol("*"):
+            node = BinOp("*", node, _parse_unary(stream))
+        elif stream.accept_symbol("/"):
+            node = BinOp("/", node, _parse_unary(stream))
+        else:
+            return node
+
+
+def _parse_unary(stream: TokenStream) -> Expr:
+    if stream.accept_symbol("-"):
+        return Neg(_parse_unary(stream))
+    if stream.accept_symbol("+"):
+        return _parse_unary(stream)
+    return _parse_power(stream)
+
+
+def _parse_power(stream: TokenStream) -> Expr:
+    base = _parse_atom(stream)
+    if stream.accept_symbol("**"):
+        # right-associative exponent
+        return BinOp("**", base, _parse_unary(stream))
+    return base
+
+
+def _parse_atom(stream: TokenStream) -> Expr:
+    token = stream.current
+    if token.kind is TokenKind.NUMBER:
+        stream.advance()
+        return Num(number_value(token.text))
+    if token.kind is TokenKind.IDENT:
+        stream.advance()
+        if stream.accept_symbol("("):
+            args = [_parse_expression(stream)]
+            while stream.accept_symbol(","):
+                args.append(_parse_expression(stream))
+            stream.expect_symbol(")")
+            return Call(token.text.lower(), tuple(args))
+        return Col(token.text)
+    if stream.accept_symbol("("):
+        node = _parse_expression(stream)
+        stream.expect_symbol(")")
+        return node
+    raise SqlError(f"unexpected token {token.text!r} at offset {token.position}")

@@ -1,0 +1,56 @@
+"""Simulated block-level storage engine.
+
+This package stands in for the disk + storage manager under Microsoft SQL
+Server 2005 in the paper's experiments.  It provides a metered page device
+(:class:`BlockDevice`), byte-level page layouts, an LRU :class:`BufferPool`,
+and :class:`HeapFile` table storage.  Every access method in the repository
+— baselines and ranking cube alike — performs its I/O through these
+primitives so block-access comparisons are apples to apples.
+"""
+
+from .blobs import BlobStore
+from .buffer import BufferPool, BufferStats
+from .device import (
+    DEFAULT_PAGE_SIZE,
+    BlockDevice,
+    IOStats,
+    PageCorruptionError,
+    PageNotAllocatedError,
+    StorageError,
+)
+from .heap import HeapFile, Rid
+from .pages import BytesPage, PageFormatError, RecordCodec, RecordPage
+from .varint import (
+    VarintError,
+    decode_uvarint,
+    delta_decode_sorted,
+    delta_encode_sorted,
+    encode_uvarint,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+__all__ = [
+    "DEFAULT_PAGE_SIZE",
+    "BlobStore",
+    "BlockDevice",
+    "BufferPool",
+    "BufferStats",
+    "BytesPage",
+    "HeapFile",
+    "IOStats",
+    "PageCorruptionError",
+    "PageFormatError",
+    "PageNotAllocatedError",
+    "RecordCodec",
+    "RecordPage",
+    "Rid",
+    "StorageError",
+    "VarintError",
+    "decode_uvarint",
+    "delta_decode_sorted",
+    "delta_encode_sorted",
+    "encode_uvarint",
+    "zigzag_decode",
+    "zigzag_encode",
+]

@@ -1,0 +1,144 @@
+"""LRU buffer pool.
+
+Sits between storage structures and the :class:`~repro.storage.device.BlockDevice`.
+A hit serves the cached image for free; a miss reads through to the device
+(which is where I/O is metered) and may evict the least-recently-used frame,
+writing it back if dirty.
+
+Query executors snapshot device stats around a query, so the pool's size is
+part of the experimental configuration: the paper's query-time comparisons
+assume a cold-ish cache for the base data, and our benches call
+:meth:`BufferPool.clear` between queries to match.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from .device import BlockDevice, StorageError
+
+
+@dataclass
+class BufferStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+
+class _Frame:
+    __slots__ = ("data", "dirty", "pins")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.dirty = False
+        self.pins = 0
+
+
+class BufferPool:
+    """A fixed-capacity LRU cache of page images.
+
+    Parameters
+    ----------
+    device:
+        Backing block device.
+    capacity:
+        Maximum number of resident frames.  Must be at least 1.
+    """
+
+    def __init__(self, device: BlockDevice, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("buffer pool capacity must be >= 1")
+        self.device = device
+        self.capacity = capacity
+        self.stats = BufferStats()
+        self._frames: OrderedDict[int, _Frame] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def get(self, page_id: int) -> bytes:
+        """Return the page image, reading through on a miss."""
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            self.stats.hits += 1
+            self._frames.move_to_end(page_id)
+            return frame.data
+        self.stats.misses += 1
+        data = self.device.read(page_id)
+        self._admit(page_id, _Frame(data))
+        return data
+
+    def put(self, page_id: int, data: bytes) -> None:
+        """Install a new image for ``page_id`` and mark it dirty."""
+        frame = self._frames.get(page_id)
+        if frame is None:
+            frame = _Frame(data)
+            frame.dirty = True
+            self._admit(page_id, frame)
+        else:
+            frame.data = data
+            frame.dirty = True
+            self._frames.move_to_end(page_id)
+
+    def pin(self, page_id: int) -> bytes:
+        """Get a page and protect it from eviction until unpinned."""
+        data = self.get(page_id)
+        self._frames[page_id].pins += 1
+        return data
+
+    def unpin(self, page_id: int) -> None:
+        frame = self._frames.get(page_id)
+        if frame is None or frame.pins == 0:
+            raise StorageError(f"page {page_id} is not pinned")
+        frame.pins -= 1
+
+    def flush(self) -> None:
+        """Write back every dirty frame (frames stay resident)."""
+        for page_id, frame in self._frames.items():
+            if frame.dirty:
+                self.device.write(page_id, frame.data)
+                frame.dirty = False
+                self.stats.writebacks += 1
+
+    def clear(self) -> None:
+        """Flush and drop all frames — simulates a cold cache."""
+        self.flush()
+        pinned = [pid for pid, frame in self._frames.items() if frame.pins]
+        if pinned:
+            raise StorageError(f"cannot clear pool with pinned pages: {pinned}")
+        self._frames.clear()
+
+    @property
+    def resident(self) -> int:
+        return len(self._frames)
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._frames
+
+    # ------------------------------------------------------------------
+    def _admit(self, page_id: int, frame: _Frame) -> None:
+        while len(self._frames) >= self.capacity:
+            victim_id = self._find_victim()
+            victim = self._frames.pop(victim_id)
+            if victim.dirty:
+                self.device.write(victim_id, victim.data)
+                self.stats.writebacks += 1
+            self.stats.evictions += 1
+        self._frames[page_id] = frame
+
+    def _find_victim(self) -> int:
+        for page_id, frame in self._frames.items():
+            if frame.pins == 0:
+                return page_id
+        raise StorageError("all buffer frames are pinned; cannot evict")

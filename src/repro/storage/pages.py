@@ -1,0 +1,163 @@
+"""Byte-level page layouts.
+
+Two layouts are provided:
+
+* :class:`RecordPage` — fixed-length records packed with :mod:`struct`.
+  Used by heap files, the base block table, and cuboid cell storage, where
+  every record of a given table has the same shape.
+* :class:`BytesPage` — a length-prefixed blob page used by the B+-tree,
+  whose node images are variable length.
+
+Both layouts begin with a small fixed header so a raw page image is
+self-describing enough for integrity checks.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Sequence
+
+from .device import StorageError
+
+#: Page-type tags written into the header byte.
+PAGE_TYPE_RECORD = 1
+PAGE_TYPE_BYTES = 2
+
+_HEADER = struct.Struct("<BxHI")  # type, pad, record_count/blob flag, next_page_id+1
+
+
+NO_NEXT_PAGE = 0xFFFFFFFF
+
+
+class PageFormatError(StorageError):
+    """Raised when a page image does not match the expected layout."""
+
+
+class RecordCodec:
+    """Packs/unpacks homogeneous records using a struct format string.
+
+    The format uses :mod:`struct` notation without the byte-order prefix,
+    e.g. ``"qdd"`` for ``(tid: int64, n1: float64, n2: float64)``.
+    """
+
+    def __init__(self, fmt: str):
+        self._struct = struct.Struct("<" + fmt)
+        self.fmt = fmt
+
+    def __getstate__(self) -> str:
+        # struct.Struct objects cannot be pickled; the format string can
+        return self.fmt
+
+    def __setstate__(self, fmt: str) -> None:
+        self.__init__(fmt)
+
+    @property
+    def record_size(self) -> int:
+        return self._struct.size
+
+    def capacity(self, page_size: int) -> int:
+        """How many records fit in one page of ``page_size`` bytes."""
+        usable = page_size - _HEADER.size
+        cap = usable // self.record_size
+        if cap <= 0:
+            raise PageFormatError(
+                f"record of {self.record_size} bytes does not fit in a "
+                f"{page_size}-byte page"
+            )
+        return cap
+
+    def pack(self, records: Sequence[tuple]) -> bytes:
+        return b"".join(self._struct.pack(*record) for record in records)
+
+    def unpack(self, data: bytes, count: int) -> list[tuple]:
+        size = self.record_size
+        return [self._struct.unpack_from(data, i * size) for i in range(count)]
+
+
+class RecordPage:
+    """A fixed-length-record page bound to a :class:`RecordCodec`.
+
+    Pages form singly linked chains via ``next_page_id`` so multi-page
+    structures (heap files, cell overflow chains) can be walked without an
+    external directory.
+    """
+
+    def __init__(self, codec: RecordCodec, page_size: int):
+        self.codec = codec
+        self.page_size = page_size
+        self.records: list[tuple] = []
+        self.next_page_id: int | None = None
+
+    @property
+    def capacity(self) -> int:
+        return self.codec.capacity(self.page_size)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.records) >= self.capacity
+
+    def append(self, record: tuple) -> int:
+        """Append one record, returning its slot number."""
+        if self.is_full:
+            raise PageFormatError("page is full")
+        self.records.append(tuple(record))
+        return len(self.records) - 1
+
+    def extend(self, records: Iterable[tuple]) -> None:
+        for record in records:
+            self.append(record)
+
+    def to_bytes(self) -> bytes:
+        next_encoded = NO_NEXT_PAGE if self.next_page_id is None else self.next_page_id
+        header = _HEADER.pack(PAGE_TYPE_RECORD, len(self.records), next_encoded)
+        body = self.codec.pack(self.records)
+        image = header + body
+        if len(image) > self.page_size:
+            raise PageFormatError("serialized page exceeds page size")
+        return image
+
+    @classmethod
+    def from_bytes(cls, data: bytes, codec: RecordCodec, page_size: int) -> "RecordPage":
+        page_type, count, next_encoded = _HEADER.unpack_from(data)
+        if page_type != PAGE_TYPE_RECORD:
+            raise PageFormatError(f"expected record page, found type {page_type}")
+        page = cls(codec, page_size)
+        if count > page.capacity:
+            raise PageFormatError(f"record count {count} exceeds capacity {page.capacity}")
+        page.records = codec.unpack(data[_HEADER.size:], count)
+        page.next_page_id = None if next_encoded == NO_NEXT_PAGE else next_encoded
+        return page
+
+
+class BytesPage:
+    """A page holding a single variable-length payload (e.g. a tree node)."""
+
+    def __init__(self, page_size: int, payload: bytes = b""):
+        self.page_size = page_size
+        self.payload = payload
+
+    @property
+    def max_payload(self) -> int:
+        return self.page_size - _HEADER.size - 4
+
+    def to_bytes(self) -> bytes:
+        if len(self.payload) > self.max_payload:
+            raise PageFormatError(
+                f"payload of {len(self.payload)} bytes exceeds max {self.max_payload}"
+            )
+        header = _HEADER.pack(PAGE_TYPE_BYTES, 0, NO_NEXT_PAGE)
+        return header + struct.pack("<I", len(self.payload)) + self.payload
+
+    @classmethod
+    def from_bytes(cls, data: bytes, page_size: int) -> "BytesPage":
+        page_type, _count, _next = _HEADER.unpack_from(data)
+        if page_type != PAGE_TYPE_BYTES:
+            raise PageFormatError(f"expected bytes page, found type {page_type}")
+        (length,) = struct.unpack_from("<I", data, _HEADER.size)
+        start = _HEADER.size + 4
+        return cls(page_size, data[start:start + length])
+
+
+def page_header_size() -> int:
+    """Size in bytes of the common page header (exposed for space math)."""
+    return _HEADER.size

@@ -1,0 +1,25 @@
+"""Workload generation: synthetic datasets, random queries, CoverType stand-in."""
+
+from .covertype import (
+    RANKING_PROFILE,
+    SELECTION_PROFILE,
+    CoverTypeSpec,
+    covertype_schema,
+    generate_covertype,
+)
+from .queries import QueryGenerator, QuerySpec, skewed_weights
+from .synthetic import SyntheticDataset, SyntheticSpec, generate
+
+__all__ = [
+    "CoverTypeSpec",
+    "QueryGenerator",
+    "QuerySpec",
+    "RANKING_PROFILE",
+    "SELECTION_PROFILE",
+    "SyntheticDataset",
+    "SyntheticSpec",
+    "covertype_schema",
+    "generate",
+    "generate_covertype",
+    "skewed_weights",
+]

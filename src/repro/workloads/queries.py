@@ -1,0 +1,129 @@
+"""Random query workloads (Section 5.1.3).
+
+Queries are parameterized by ``s`` (number of selection conditions), ``r``
+(dimensions in the ranking function), ``k`` and the *query skewness*
+``u = min|alpha| / max|alpha|`` of a linear ranking function's weights —
+``u = 1`` is a balanced query, small ``u`` a highly skewed one.  Paper
+defaults: s=2, r=2, k=10, u=1 (linear functions throughout the
+evaluation); generators for distance-style functions are included for the
+extension experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..ranking.functions import LinearFunction, LpDistance, RankingFunction
+from ..relational.query import TopKQuery
+from ..relational.schema import Schema
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """Parameters of one random query workload."""
+
+    k: int = 10
+    num_selections: int = 2
+    num_ranking_dims: int = 2
+    skewness: float = 1.0
+    function_family: str = "linear"
+    p: float = 2.0
+    seed: int = 101
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if self.num_selections < 0:
+            raise ValueError("num_selections must be >= 0")
+        if self.num_ranking_dims < 1:
+            raise ValueError("num_ranking_dims must be >= 1")
+        if not 0 < self.skewness <= 1:
+            raise ValueError("skewness u must be in (0, 1]")
+        if self.function_family not in ("linear", "lp"):
+            raise ValueError(f"unknown function family {self.function_family!r}")
+
+
+class QueryGenerator:
+    """Draws random top-k queries against a schema."""
+
+    def __init__(self, schema: Schema, spec: QuerySpec):
+        self.schema = schema
+        self.spec = spec
+        self._rng = random.Random(spec.seed)
+        if spec.num_selections > len(schema.selection_names):
+            raise ValueError(
+                f"schema has {len(schema.selection_names)} selection dims, "
+                f"cannot place {spec.num_selections} conditions"
+            )
+        if spec.num_ranking_dims > len(schema.ranking_names):
+            raise ValueError(
+                f"schema has {len(schema.ranking_names)} ranking dims, "
+                f"cannot rank on {spec.num_ranking_dims}"
+            )
+
+    # ------------------------------------------------------------------
+    def generate(self) -> TopKQuery:
+        """One random query."""
+        spec = self.spec
+        rng = self._rng
+        sel_dims = rng.sample(list(self.schema.selection_names), spec.num_selections)
+        selections = {}
+        for dim in sel_dims:
+            cardinality = self.schema.attribute(dim).cardinality
+            assert cardinality is not None
+            selections[dim] = rng.randrange(cardinality)
+        rank_dims = rng.sample(list(self.schema.ranking_names), spec.num_ranking_dims)
+        return TopKQuery(spec.k, selections, self._ranking_function(rank_dims))
+
+    def batch(self, count: int) -> list[TopKQuery]:
+        return [self.generate() for _ in range(count)]
+
+    def stream(self) -> Iterator[TopKQuery]:
+        while True:
+            yield self.generate()
+
+    def constrained(
+        self, selection_dims: Sequence[str], seed_offset: int = 0
+    ) -> TopKQuery:
+        """A query whose selection conditions fall on exactly these dims.
+
+        Used by the covering-fragments experiment (Figure 12), which needs
+        queries intentionally covered by one, two or three fragments.
+        """
+        rng = random.Random(self.spec.seed + 7919 * (seed_offset + 1))
+        selections = {}
+        for dim in selection_dims:
+            cardinality = self.schema.attribute(dim).cardinality
+            assert cardinality is not None
+            selections[dim] = rng.randrange(cardinality)
+        rank_dims = list(self.schema.ranking_names)[: self.spec.num_ranking_dims]
+        return TopKQuery(self.spec.k, selections, self._ranking_function(rank_dims, rng))
+
+    # ------------------------------------------------------------------
+    def _ranking_function(
+        self, dims: Sequence[str], rng: random.Random | None = None
+    ) -> RankingFunction:
+        spec = self.spec
+        rng = rng or self._rng
+        if spec.function_family == "lp":
+            target = [rng.random() for _ in dims]
+            return LpDistance(dims, target, p=spec.p)
+        weights = skewed_weights(len(dims), spec.skewness, rng)
+        return LinearFunction(dims, weights)
+
+
+def skewed_weights(count: int, skewness: float, rng: random.Random) -> list[float]:
+    """Linear weights with ``min/max`` ratio exactly ``skewness``.
+
+    One dimension gets weight 1, another gets ``skewness``; the rest draw
+    uniformly in between — so ``u = min/max`` matches the requested value
+    (for ``count == 1`` the single weight is 1 and u is vacuously 1).
+    """
+    if count == 1:
+        return [1.0]
+    weights = [1.0, skewness]
+    weights.extend(rng.uniform(skewness, 1.0) for _ in range(count - 2))
+    rng.shuffle(weights)
+    return weights

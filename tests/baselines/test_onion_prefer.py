@@ -1,0 +1,218 @@
+"""Tests for the Onion and PREFER prior-art implementations."""
+
+import random
+
+import pytest
+
+from repro.baselines import OnionIndex, PreferView
+from repro.ranking import LinearFunction, LpDistance
+from repro.relational import (
+    Database,
+    QueryError,
+    Schema,
+    TopKQuery,
+    ranking_attr,
+    selection_attr,
+)
+
+
+def make_env(num_rows=1500, seed=101):
+    schema = Schema.of(
+        [selection_attr("a1", 4), selection_attr("a2", 3)]
+        + [ranking_attr("n1"), ranking_attr("n2")]
+    )
+    rng = random.Random(seed)
+    rows = [
+        (rng.randrange(4), rng.randrange(3), rng.random(), rng.random())
+        for _ in range(num_rows)
+    ]
+    db = Database()
+    table = db.load_table("R", schema, rows)
+    return db, table, rows, schema
+
+
+def brute_force(schema, rows, query):
+    scored = []
+    for tid, row in enumerate(rows):
+        if query.matches(schema, row):
+            scored.append((query.score_row(schema, row), tid))
+    scored.sort()
+    return scored[: query.k]
+
+
+class TestOnion:
+    def test_layers_partition_tuples(self):
+        _db, table, rows, _schema = make_env(num_rows=300)
+        onion = OnionIndex(table)
+        all_tids = sorted(tid for layer in onion.layers for tid in layer)
+        assert all_tids == list(range(len(rows)))
+        assert onion.num_layers > 1
+
+    def test_pure_ranking_query_matches_brute_force(self):
+        _db, table, rows, schema = make_env()
+        onion = OnionIndex(table)
+        query = TopKQuery(5, {}, LinearFunction(["n1", "n2"], [1.0, 2.0]))
+        result = onion.execute(query)
+        assert [(r.score, r.tid) for r in result.rows] == brute_force(
+            schema, rows, query
+        )
+
+    def test_negative_weights(self):
+        _db, table, rows, schema = make_env()
+        onion = OnionIndex(table)
+        query = TopKQuery(5, {}, LinearFunction(["n1", "n2"], [-1.0, 0.5]))
+        result = onion.execute(query)
+        assert [(r.score, r.tid) for r in result.rows] == brute_force(
+            schema, rows, query
+        )
+
+    def test_selection_query_correct_but_costly(self):
+        _db, table, rows, schema = make_env()
+        onion = OnionIndex(table)
+        query = TopKQuery(
+            5, {"a1": 1, "a2": 2}, LinearFunction(["n1", "n2"], [1, 1])
+        )
+        result = onion.execute(query)
+        assert [(r.score, r.tid) for r in result.rows] == brute_force(
+            schema, rows, query
+        )
+        # the paper's criticism: heap fetches far exceed the k results
+        assert result.blocks_accessed > 5 * query.k
+
+    def test_top1_is_on_first_layer_for_pure_query(self):
+        _db, table, _rows, _schema = make_env(num_rows=400)
+        onion = OnionIndex(table)
+        query = TopKQuery(1, {}, LinearFunction(["n1", "n2"], [1.0, 1.0]))
+        result = onion.execute(query)
+        assert result.tids[0] in onion.layers[0]
+
+    def test_nonlinear_rejected(self):
+        _db, table, _rows, _schema = make_env(num_rows=100)
+        onion = OnionIndex(table)
+        query = TopKQuery(1, {}, LpDistance(["n1", "n2"], [0.5, 0.5]))
+        with pytest.raises(QueryError):
+            onion.execute(query)
+
+    def test_degenerate_collinear_data(self):
+        schema = Schema.of(
+            [selection_attr("a1", 2), ranking_attr("n1"), ranking_attr("n2")]
+        )
+        db = Database()
+        rows = [(0, i / 100, i / 100) for i in range(100)]  # all on a line
+        table = db.load_table("R", schema, rows)
+        onion = OnionIndex(table)
+        query = TopKQuery(3, {}, LinearFunction(["n1", "n2"], [1, 1]))
+        result = onion.execute(query)
+        assert result.tids == [0, 1, 2]
+
+    def test_random_queries(self):
+        _db, table, rows, schema = make_env()
+        onion = OnionIndex(table)
+        rng = random.Random(7)
+        for _ in range(10):
+            selections = {"a1": rng.randrange(4)} if rng.random() < 0.5 else {}
+            query = TopKQuery(
+                rng.choice([1, 7]),
+                selections,
+                LinearFunction(["n1", "n2"], [rng.uniform(-1, 1), rng.uniform(-1, 1)]),
+            )
+            result = onion.execute(query)
+            assert [(r.score, r.tid) for r in result.rows] == brute_force(
+                schema, rows, query
+            )
+
+
+class TestPrefer:
+    def test_balanced_view_exact_query(self):
+        _db, table, rows, schema = make_env()
+        view = PreferView(table)
+        query = TopKQuery(5, {}, LinearFunction(["n1", "n2"], [1.0, 1.0]))
+        result = view.execute(query)
+        assert [(r.score, r.tid) for r in result.rows] == brute_force(
+            schema, rows, query
+        )
+        # the reference function itself stops almost immediately
+        assert result.tuples_examined <= 3 * query.k
+
+    def test_skewed_query_on_balanced_view(self):
+        _db, table, rows, schema = make_env()
+        view = PreferView(table)
+        query = TopKQuery(5, {}, LinearFunction(["n1", "n2"], [1.0, 0.1]))
+        result = view.execute(query)
+        assert [(r.score, r.tid) for r in result.rows] == brute_force(
+            schema, rows, query
+        )
+        # a mismatched query scans deeper than the reference one
+        balanced = view.execute(
+            TopKQuery(5, {}, LinearFunction(["n1", "n2"], [1.0, 1.0]))
+        )
+        assert result.tuples_examined >= balanced.tuples_examined
+
+    def test_selection_query_correct(self):
+        _db, table, rows, schema = make_env()
+        view = PreferView(table)
+        query = TopKQuery(
+            5, {"a1": 0, "a2": 0}, LinearFunction(["n1", "n2"], [1.0, 0.5])
+        )
+        result = view.execute(query)
+        assert [(r.score, r.tid) for r in result.rows] == brute_force(
+            schema, rows, query
+        )
+        assert result.blocks_accessed > 0  # heap fetches for the filter
+
+    def test_offset_in_query_function(self):
+        _db, table, rows, schema = make_env()
+        view = PreferView(table)
+        query = TopKQuery(
+            3, {}, LinearFunction(["n1", "n2"], [1.0, 1.0], offset=5.0)
+        )
+        result = view.execute(query)
+        assert [(r.score, r.tid) for r in result.rows] == brute_force(
+            schema, rows, query
+        )
+
+    def test_custom_view_weights(self):
+        _db, table, rows, schema = make_env()
+        view = PreferView(table, view_weights=[2.0, 0.5])
+        query = TopKQuery(5, {}, LinearFunction(["n1", "n2"], [2.0, 0.5]))
+        result = view.execute(query)
+        assert [(r.score, r.tid) for r in result.rows] == brute_force(
+            schema, rows, query
+        )
+
+    def test_negative_query_weight_rejected(self):
+        _db, table, _rows, _schema = make_env(num_rows=50)
+        view = PreferView(table)
+        query = TopKQuery(1, {}, LinearFunction(["n1", "n2"], [1.0, -1.0]))
+        with pytest.raises(QueryError):
+            view.execute(query)
+
+    def test_nonpositive_view_weights_rejected(self):
+        _db, table, _rows, _schema = make_env(num_rows=50)
+        with pytest.raises(QueryError):
+            PreferView(table, view_weights=[1.0, 0.0])
+
+    def test_dimension_mismatch_rejected(self):
+        _db, table, _rows, _schema = make_env(num_rows=50)
+        view = PreferView(table)
+        query = TopKQuery(1, {}, LinearFunction(["n1"], [1.0]))
+        with pytest.raises(QueryError):
+            view.execute(query)
+
+    def test_random_positive_queries(self):
+        _db, table, rows, schema = make_env()
+        view = PreferView(table)
+        rng = random.Random(9)
+        for _ in range(10):
+            selections = {"a2": rng.randrange(3)} if rng.random() < 0.5 else {}
+            query = TopKQuery(
+                rng.choice([1, 6]),
+                selections,
+                LinearFunction(
+                    ["n1", "n2"], [rng.uniform(0.05, 2), rng.uniform(0.05, 2)]
+                ),
+            )
+            result = view.execute(query)
+            assert [(r.score, r.tid) for r in result.rows] == brute_force(
+                schema, rows, query
+            )

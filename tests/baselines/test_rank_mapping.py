@@ -1,0 +1,178 @@
+"""Unit tests for the Rank Mapping (RM) executor."""
+
+import random
+
+import pytest
+
+from repro.baselines import RankMappingExecutor
+from repro.ranking import LinearFunction, LpDistance
+from repro.relational import (
+    Database,
+    QueryError,
+    Schema,
+    TopKQuery,
+    ranking_attr,
+    selection_attr,
+)
+
+
+def make_env(num_rows=1500, cards=(4, 5), seed=67, index_dims=None):
+    schema = Schema.of(
+        [selection_attr(f"a{i + 1}", c) for i, c in enumerate(cards)]
+        + [ranking_attr("n1"), ranking_attr("n2")]
+    )
+    rng = random.Random(seed)
+    rows = [
+        tuple(rng.randrange(c) for c in cards) + (rng.random(), rng.random())
+        for _ in range(num_rows)
+    ]
+    db = Database()
+    table = db.load_table("R", schema, rows)
+    if index_dims is None:
+        index_dims = [list(schema.selection_names)]
+    for dims in index_dims:
+        table.create_composite_index(dims)
+    return db, table, rows, schema, RankMappingExecutor(table)
+
+
+def brute_force(schema, rows, query):
+    scored = []
+    for tid, row in enumerate(rows):
+        if query.matches(schema, row):
+            scored.append((query.score_row(schema, row), tid))
+    scored.sort()
+    return scored[: query.k]
+
+
+class TestCorrectness:
+    def test_full_prefix_query(self):
+        _db, _t, rows, schema, executor = make_env()
+        query = TopKQuery(10, {"a1": 1, "a2": 2}, LinearFunction(["n1", "n2"], [1, 1]))
+        result = executor.execute(query)
+        expected = brute_force(schema, rows, query)
+        assert [r.score for r in result.rows] == pytest.approx(
+            [s for s, _t in expected]
+        )
+
+    def test_skewed_weights(self):
+        _db, _t, rows, schema, executor = make_env()
+        query = TopKQuery(5, {"a1": 0}, LinearFunction(["n1", "n2"], [1.0, 0.1]))
+        result = executor.execute(query)
+        expected = brute_force(schema, rows, query)
+        assert [r.score for r in result.rows] == pytest.approx(
+            [s for s, _t in expected]
+        )
+
+    def test_negative_weights(self):
+        _db, _t, rows, schema, executor = make_env()
+        query = TopKQuery(5, {"a2": 3}, LinearFunction(["n1", "n2"], [1.0, -1.0]))
+        result = executor.execute(query)
+        expected = brute_force(schema, rows, query)
+        assert [r.score for r in result.rows] == pytest.approx(
+            [s for s, _t in expected]
+        )
+
+    def test_distance_function(self):
+        _db, _t, rows, schema, executor = make_env()
+        query = TopKQuery(5, {"a1": 2}, LpDistance(["n1", "n2"], [0.4, 0.7]))
+        result = executor.execute(query)
+        expected = brute_force(schema, rows, query)
+        assert [r.score for r in result.rows] == pytest.approx(
+            [s for s, _t in expected]
+        )
+
+    def test_no_selection_conditions(self):
+        _db, _t, rows, schema, executor = make_env()
+        query = TopKQuery(5, {}, LinearFunction(["n1", "n2"], [1, 1]))
+        result = executor.execute(query)
+        expected = brute_force(schema, rows, query)
+        assert [r.score for r in result.rows] == pytest.approx(
+            [s for s, _t in expected]
+        )
+
+    def test_empty_result(self):
+        _db, _t, rows, schema, executor = make_env(cards=(50, 5), num_rows=40)
+        missing = next(v for v in range(50) if all(row[0] != v for row in rows))
+        query = TopKQuery(5, {"a1": missing}, LinearFunction(["n1", "n2"], [1, 1]))
+        assert executor.execute(query).rows == []
+
+    def test_k_larger_than_matches(self):
+        _db, _t, rows, schema, executor = make_env()
+        query = TopKQuery(10_000, {"a1": 1}, LinearFunction(["n1", "n2"], [1, 1]))
+        result = executor.execute(query)
+        expected = brute_force(schema, rows, query)
+        assert len(result.rows) == len(expected)
+
+
+class TestOracleBounds:
+    def test_threshold_is_true_kth_score(self):
+        _db, _t, rows, schema, executor = make_env()
+        query = TopKQuery(10, {"a1": 1}, LinearFunction(["n1", "n2"], [1, 1]))
+        expected = brute_force(schema, rows, query)
+        assert executor.optimal_threshold(query) == pytest.approx(expected[-1][0])
+
+    def test_threshold_none_when_no_matches(self):
+        _db, _t, rows, schema, executor = make_env(cards=(50, 5), num_rows=40)
+        missing = next(v for v in range(50) if all(row[0] != v for row in rows))
+        query = TopKQuery(5, {"a1": missing}, LinearFunction(["n1", "n2"], [1, 1]))
+        assert executor.optimal_threshold(query) is None
+
+    def test_bounds_prune_examined_tuples(self):
+        _db, _t, rows, schema, executor = make_env(num_rows=4000)
+        query = TopKQuery(5, {"a1": 1}, LinearFunction(["n1", "n2"], [1, 1]))
+        result = executor.execute(query)
+        qualifying = sum(1 for row in rows if row[0] == 1)
+        assert result.tuples_examined < qualifying
+
+    def test_last_bounds_recorded(self):
+        _db, _t, _rows, _schema, executor = make_env()
+        query = TopKQuery(5, {"a1": 1}, LinearFunction(["n1", "n2"], [1, 1]))
+        executor.execute(query)
+        assert executor.last_bounds is not None
+        lo, hi = executor.last_bounds
+        assert len(lo) == 2 and len(hi) == 2
+
+
+class TestIndexConfiguration:
+    def test_requires_composite_index(self):
+        schema = Schema.of(
+            [selection_attr("a1", 3), ranking_attr("n1"), ranking_attr("n2")]
+        )
+        db = Database()
+        table = db.load_table("R", schema, [(0, 0.5, 0.5)])
+        executor = RankMappingExecutor(table)
+        query = TopKQuery(1, {"a1": 0}, LinearFunction(["n1", "n2"], [1, 1]))
+        with pytest.raises(QueryError):
+            executor.execute(query)
+
+    def test_partial_fragment_indexes(self):
+        # indexes on (a1) and (a2): a query on both needs residual heap fetches
+        _db, _t, rows, schema, executor = make_env(
+            index_dims=[["a1"], ["a2"]]
+        )
+        query = TopKQuery(5, {"a1": 1, "a2": 2}, LinearFunction(["n1", "n2"], [1, 1]))
+        result = executor.execute(query)
+        expected = brute_force(schema, rows, query)
+        assert [r.score for r in result.rows] == pytest.approx(
+            [s for s, _t in expected]
+        )
+        assert result.blocks_accessed > 0  # the heap fetches happened
+
+    def test_covered_query_needs_no_heap_fetches(self):
+        _db, _t, _rows, _schema, executor = make_env()
+        query = TopKQuery(5, {"a1": 1, "a2": 2}, LinearFunction(["n1", "n2"], [1, 1]))
+        result = executor.execute(query)
+        assert result.blocks_accessed == 0
+
+    def test_non_leading_dim_more_expensive(self):
+        db, _t, _rows, _schema, executor = make_env(num_rows=3000)
+        fn = LinearFunction(["n1", "n2"], [1, 1])
+        db.cold_cache()
+        db.device.reset_stats()
+        executor.execute(TopKQuery(5, {"a1": 1}, fn))
+        leading = db.device.stats.reads
+        db.cold_cache()
+        db.device.reset_stats()
+        executor.execute(TopKQuery(5, {"a2": 1}, fn))
+        trailing = db.device.stats.reads
+        assert trailing >= leading

@@ -1,0 +1,94 @@
+"""Smoke tests for every figure experiment at a tiny scale.
+
+These verify each experiment runs end to end and produces a fully
+populated series; the benchmarks directory asserts the paper shapes at a
+larger scale.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    ALL_EXPERIMENTS,
+    ablation_buffering,
+    ablation_partitioner,
+    fig04_topk,
+    fig11_space,
+    fig12_covering_fragments,
+)
+
+TINY = 1200
+
+
+class TestRegistry:
+    def test_all_figures_registered(self):
+        for fig in range(4, 16):
+            assert f"fig{fig:02d}" in ALL_EXPERIMENTS
+
+    def test_ablations_registered(self):
+        assert "ablation_partitioner" in ALL_EXPERIMENTS
+        assert "ablation_buffering" in ALL_EXPERIMENTS
+
+
+class TestSmallRuns:
+    def test_fig04_structure(self):
+        result = fig04_topk(num_tuples=TINY, queries_per_point=2)
+        assert result.xs() == [10, 20, 50, 100]
+        assert set(result.methods) == {"baseline", "rank_mapping", "ranking_cube"}
+        for point in result.points:
+            for metrics in point.metrics.values():
+                assert metrics.queries == 2
+                assert metrics.pages_read > 0
+
+    def test_fig11_reports_space(self):
+        result = fig11_space(num_tuples=TINY, dim_counts=(2, 4))
+        for point in result.points:
+            for metrics in point.metrics.values():
+                assert metrics.space_bytes > 0
+        # more dimensions -> more space, for every method
+        for method in result.methods:
+            series = result.series(method, "space_bytes")
+            assert series[1] > series[0]
+
+    def test_fig12_covering_counts(self):
+        result = fig12_covering_fragments(num_tuples=TINY, queries_per_point=2)
+        assert result.xs() == [1, 2, 3]
+
+    def test_ablation_partitioner_runs(self):
+        result = ablation_partitioner(num_tuples=TINY, queries_per_point=2)
+        assert result.xs() == ["equi-depth", "equi-width"]
+
+    def test_ablation_buffering_shows_effect(self):
+        result = ablation_buffering(num_tuples=3000, queries_per_point=3)
+        on = result.points[0].metrics["ranking_cube"]
+        off = result.points[1].metrics["ranking_cube"]
+        assert on.pages_read <= off.pages_read
+
+
+@pytest.mark.parametrize(
+    "name",
+    [name for name in ALL_EXPERIMENTS if name not in ("fig04", "fig11", "fig12")],
+)
+def test_every_experiment_runs_tiny(name):
+    fn = ALL_EXPERIMENTS[name]
+    import inspect
+
+    kwargs = {}
+    params = inspect.signature(fn).parameters
+    if "num_tuples" in params:
+        kwargs["num_tuples"] = TINY
+    if "queries_per_point" in params:
+        kwargs["queries_per_point"] = 1
+    if "sizes" in params:
+        kwargs["sizes"] = (600, 1200)
+    if "dim_counts" in params:
+        kwargs["dim_counts"] = (3, 4)
+    if "cardinalities" in params:
+        kwargs["cardinalities"] = (5, 10)
+    if "block_sizes" in params:
+        kwargs["block_sizes"] = (10, 30)
+    if "fragment_sizes" in params:
+        kwargs["fragment_sizes"] = (1, 2)
+    result = fn(**kwargs)
+    assert result.points
+    for point in result.points:
+        assert point.metrics

@@ -1,0 +1,143 @@
+"""Unit tests for the experiment harness."""
+
+import pytest
+
+from repro.bench import (
+    METHOD_BASELINE,
+    METHOD_RANKING_CUBE,
+    METHOD_RANKING_FRAGMENTS,
+    METHOD_RANK_MAPPING,
+    ExperimentResult,
+    MethodMetrics,
+    SeriesPoint,
+    build_environment,
+)
+from repro.workloads import QueryGenerator, QuerySpec, SyntheticSpec, generate
+
+
+def tiny_dataset(**kwargs):
+    spec = SyntheticSpec(num_tuples=kwargs.pop("num_tuples", 800), **kwargs)
+    return generate(spec)
+
+
+class TestBuildEnvironment:
+    def test_builds_requested_methods(self):
+        dataset = tiny_dataset()
+        env = build_environment(
+            dataset, (METHOD_BASELINE, METHOD_RANK_MAPPING, METHOD_RANKING_CUBE)
+        )
+        assert set(env.executors) == {
+            METHOD_BASELINE,
+            METHOD_RANK_MAPPING,
+            METHOD_RANKING_CUBE,
+        }
+        assert env.cube is not None
+
+    def test_baseline_gets_secondary_indexes(self):
+        dataset = tiny_dataset()
+        env = build_environment(dataset, (METHOD_BASELINE,))
+        assert set(env.table.secondary_indexes) == {"a1", "a2", "a3"}
+
+    def test_rank_mapping_low_dims_single_index(self):
+        dataset = tiny_dataset()
+        env = build_environment(dataset, (METHOD_RANK_MAPPING,))
+        assert len(env.table.composite_indexes) == 1
+
+    def test_rank_mapping_high_dims_fragment_indexes(self):
+        dataset = tiny_dataset(num_selection_dims=8)
+        env = build_environment(dataset, (METHOD_RANK_MAPPING,), fragment_size=2)
+        assert len(env.table.composite_indexes) == 4
+
+    def test_fragments_method(self):
+        dataset = tiny_dataset(num_selection_dims=6)
+        env = build_environment(
+            dataset, (METHOD_RANKING_FRAGMENTS,), fragment_size=3
+        )
+        assert env.cube is not None
+        assert len(env.cube.cuboids) == 2 * (2 ** 3 - 1)
+
+
+class TestRun:
+    def test_metrics_populated(self):
+        dataset = tiny_dataset()
+        env = build_environment(dataset, (METHOD_RANKING_CUBE,))
+        queries = QueryGenerator(dataset.schema, QuerySpec(k=5)).batch(3)
+        metrics = env.run(METHOD_RANKING_CUBE, queries)
+        assert metrics.queries == 3
+        assert metrics.pages_read > 0
+        assert metrics.io_cost > 0
+        assert metrics.wall_ms > 0
+        assert metrics.blocks_accessed > 0
+
+    def test_cold_cache_isolates_queries(self):
+        dataset = tiny_dataset()
+        env = build_environment(dataset, (METHOD_RANKING_CUBE,))
+        queries = QueryGenerator(dataset.schema, QuerySpec(k=5)).batch(1)
+        cold = env.run(METHOD_RANKING_CUBE, queries, cold_cache=True)
+        warm = env.run(METHOD_RANKING_CUBE, queries, cold_cache=False)
+        assert warm.pages_read <= cold.pages_read
+
+    def test_all_methods_agree_on_results(self):
+        dataset = tiny_dataset()
+        env = build_environment(
+            dataset, (METHOD_BASELINE, METHOD_RANK_MAPPING, METHOD_RANKING_CUBE)
+        )
+        queries = QueryGenerator(dataset.schema, QuerySpec(k=5)).batch(4)
+        for query in queries:
+            scores = []
+            for method in env.executors:
+                result = env.executors[method].execute(query)
+                scores.append([round(r.score, 9) for r in result.rows])
+            assert scores[0] == scores[1] == scores[2]
+
+
+class TestExperimentResult:
+    def make_result(self):
+        result = ExperimentResult("figXX", "demo", "k")
+        result.points.append(
+            SeriesPoint(
+                x=10,
+                metrics={
+                    "baseline": MethodMetrics(io_cost=100.0, wall_ms=5.0),
+                    "ranking_cube": MethodMetrics(io_cost=10.0, wall_ms=1.0),
+                },
+            )
+        )
+        result.points.append(
+            SeriesPoint(
+                x=20,
+                metrics={
+                    "baseline": MethodMetrics(io_cost=100.0, wall_ms=5.0),
+                    "ranking_cube": MethodMetrics(io_cost=20.0, wall_ms=2.0),
+                },
+            )
+        )
+        return result
+
+    def test_methods_discovered(self):
+        assert self.make_result().methods == ["baseline", "ranking_cube"]
+
+    def test_series_extraction(self):
+        result = self.make_result()
+        assert result.series("ranking_cube", "io_cost") == [10.0, 20.0]
+        assert result.xs() == [10, 20]
+
+    def test_format_table_contains_all_cells(self):
+        text = self.make_result().format_table("io_cost")
+        assert "figXX" in text
+        assert "baseline" in text
+        assert "100.00" in text
+        assert "20.00" in text
+
+    def test_summary_has_three_views(self):
+        summary = self.make_result().summary()
+        assert summary.count("figXX") == 3
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(AttributeError):
+            self.make_result().series("baseline", "nonsense")
+
+    def test_missing_method_renders_dash(self):
+        result = self.make_result()
+        result.points[0].metrics.pop("baseline")
+        assert "-" in result.format_table("io_cost")

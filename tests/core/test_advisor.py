@@ -1,0 +1,93 @@
+"""Tests for the fragment-materialization advisor."""
+
+import pytest
+
+from repro.core import estimated_fragment_space
+from repro.core.advisor import (
+    FragmentDesign,
+    Recommendation,
+    _default_covering_estimate,
+    recommend_fragments,
+)
+
+DIMS_8 = tuple(f"a{i}" for i in range(1, 9))
+
+
+class TestRecommendation:
+    def test_larger_f_preferred_without_budget(self):
+        rec = recommend_fragments(DIMS_8, 2, 10_000)
+        # unconstrained: F=3 covers random queries with fewer fragments
+        assert rec.best.fragment_size == 3
+        assert len(rec.candidates) == 3
+
+    def test_space_budget_forces_smaller_f(self):
+        f3_cost = estimated_fragment_space(8, 2, 10_000, 3)
+        f2_cost = estimated_fragment_space(8, 2, 10_000, 2)
+        budget = (f2_cost + f3_cost) // 2
+        rec = recommend_fragments(DIMS_8, 2, 10_000, space_budget_entries=budget)
+        assert rec.best.fragment_size == 2
+        assert rec.best.within_budget
+        over = [d for d in rec.candidates if not d.within_budget]
+        assert all(d.fragment_size == 3 for d in over)
+
+    def test_impossible_budget_flags_best_effort(self):
+        rec = recommend_fragments(DIMS_8, 2, 10_000, space_budget_entries=1)
+        assert not rec.best.within_budget
+        # the least-space design is chosen
+        assert rec.best.estimated_entries == min(
+            d.estimated_entries for d in rec.candidates
+        )
+
+    def test_workload_drives_grouping(self):
+        workload = [("a1", "a8"), ("a2", "a7")] * 10
+        rec = recommend_fragments(
+            DIMS_8, 2, 10_000, workload=workload, max_fragment_size=2
+        )
+        best = rec.best
+        assert best.expected_covering == pytest.approx(1.0)
+        fragment_sets = set(map(frozenset, best.fragments))
+        assert frozenset(("a1", "a8")) in fragment_sets
+        assert frozenset(("a2", "a7")) in fragment_sets
+
+    def test_covering_scores_decrease_with_f(self):
+        rec = recommend_fragments(DIMS_8, 2, 10_000)
+        by_f = {d.fragment_size: d.expected_covering for d in rec.candidates}
+        assert by_f[1] > by_f[2] > by_f[3]
+
+    def test_entries_increase_with_f(self):
+        rec = recommend_fragments(DIMS_8, 2, 10_000)
+        entries = [d.estimated_entries for d in rec.candidates]
+        assert entries == sorted(entries)
+
+    def test_describe_marks_choice(self):
+        rec = recommend_fragments(DIMS_8, 2, 10_000)
+        text = rec.describe()
+        assert "->" in text
+        assert f"F={rec.best.fragment_size}" in text
+
+    def test_num_cuboids(self):
+        design = FragmentDesign(2, (("a", "b"), ("c",)), 0, 0.0, True)
+        assert design.num_cuboids == 3 + 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            recommend_fragments((), 2, 100)
+        with pytest.raises(ValueError):
+            recommend_fragments(("a",), 2, 100, max_fragment_size=0)
+
+    def test_fragment_size_capped_by_dims(self):
+        rec = recommend_fragments(("a", "b"), 2, 100, max_fragment_size=5)
+        assert max(d.fragment_size for d in rec.candidates) == 2
+
+
+class TestCoveringEstimate:
+    def test_single_fragment_covers_everything(self):
+        assert _default_covering_estimate(3, 3, s=3) == pytest.approx(1.0)
+
+    def test_singleton_fragments_cover_s(self):
+        # F=1: an s-condition query touches exactly s fragments
+        assert _default_covering_estimate(8, 1, s=3) == pytest.approx(3.0)
+
+    def test_between_bounds(self):
+        value = _default_covering_estimate(8, 2, s=3)
+        assert 1.0 < value < 3.0

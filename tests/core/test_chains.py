@@ -1,0 +1,72 @@
+"""Unit tests for keyed record chains."""
+
+from repro.core import ChainStore
+from repro.storage import BlockDevice, BufferPool, RecordCodec
+
+
+def make_store(page_size=256, capacity=64):
+    device = BlockDevice(page_size=page_size)
+    pool = BufferPool(device, capacity=capacity)
+    return device, pool, ChainStore(pool, RecordCodec("qi"))
+
+
+class TestBuildGet:
+    def test_roundtrip(self):
+        _d, _p, store = make_store()
+        store.build([((1, 0), [(10, 0), (11, 1)]), ((2, 5), [(20, 2)])])
+        assert store.get((1, 0)) == [(10, 0), (11, 1)]
+        assert store.get((2, 5)) == [(20, 2)]
+
+    def test_absent_key_empty(self):
+        _d, _p, store = make_store()
+        store.build([((1,), [(1, 1)])])
+        assert store.get((9,)) == []
+        assert (9,) not in store
+        assert (1,) in store
+
+    def test_empty_groups_skipped(self):
+        _d, _p, store = make_store()
+        store.build([((1,), []), ((2,), [(0, 0)])])
+        assert (1,) not in store
+        assert store.num_records == 1
+
+    def test_long_chain_spans_pages(self):
+        _d, _p, store = make_store(page_size=64)
+        records = [(i, i % 7) for i in range(200)]
+        store.build([((0,), records)])
+        assert store.get((0,)) == records
+        assert store.num_chain_pages > 1
+
+    def test_build_empty(self):
+        _d, _p, store = make_store()
+        store.build([])
+        assert store.num_records == 0
+
+
+class TestIOBehaviour:
+    def test_chain_read_is_mostly_sequential(self):
+        device, pool, store = make_store(page_size=64, capacity=8)
+        store.build([((0,), [(i, 0) for i in range(300)])])
+        pool.clear()
+        device.reset_stats()
+        store.get((0,))
+        # directory descent is random; chain pages are contiguous
+        assert device.stats.sequential_reads >= store.num_chain_pages - 1
+
+    def test_small_chain_single_page(self):
+        device, pool, store = make_store(page_size=256, capacity=8)
+        store.build([((k,), [(k, 0)]) for k in range(10)])
+        pool.clear()
+        device.reset_stats()
+        store.get((3,))
+        # tree descent + one chain page
+        assert device.stats.reads <= store.directory.height + 1
+
+    def test_size_accounting(self):
+        device, _pool, store = make_store()
+        store.build([((k,), [(k, 0), (k, 1)]) for k in range(20)])
+        expected = (
+            store.num_chain_pages * device.page_size
+            + store.directory.size_in_bytes
+        )
+        assert store.size_in_bytes == expected

@@ -1,0 +1,124 @@
+"""Tests for compressed cuboid storage."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    CompressedChainStore,
+    RankingCube,
+    RankingCubeExecutor,
+    decode_tid_list,
+    encode_tid_list,
+)
+from repro.ranking import LinearFunction
+from repro.relational import Database, TopKQuery
+from repro.storage import BlockDevice, BufferPool
+from repro.workloads import QueryGenerator, QuerySpec, SyntheticSpec, generate
+
+
+class TestTidListCodec:
+    def test_roundtrip_sorted_output(self):
+        records = [(50, 2), (3, 1), (17, 2), (3, 0)]
+        decoded = decode_tid_list(encode_tid_list(records))
+        assert decoded == sorted(records)
+
+    def test_empty(self):
+        assert decode_tid_list(encode_tid_list([])) == []
+
+    def test_dense_tids_compress(self):
+        records = [(tid, tid % 4) for tid in range(1000, 2000)]
+        blob = encode_tid_list(records)
+        assert len(blob) < 0.25 * (len(records) * 12)  # vs 12-byte raw records
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2 ** 40), st.integers(0, 10_000)),
+            max_size=200,
+        )
+    )
+    def test_roundtrip_property(self, records):
+        assert decode_tid_list(encode_tid_list(records)) == sorted(records)
+
+
+class TestCompressedChainStore:
+    def make_store(self):
+        device = BlockDevice()
+        pool = BufferPool(device, capacity=256)
+        return CompressedChainStore(pool)
+
+    def test_interface_matches_chain_store(self):
+        store = self.make_store()
+        store.build([((1, 0), [(10, 0), (11, 1)]), ((2, 5), [(20, 2)])])
+        assert store.get((1, 0)) == [(10, 0), (11, 1)]
+        assert store.get((9, 9)) == []
+        assert (2, 5) in store
+        assert store.num_records == 3
+        assert store.size_in_bytes > 0
+
+    def test_empty_groups_skipped(self):
+        store = self.make_store()
+        store.build([((1,), [])])
+        assert (1,) not in store
+
+
+class TestCompressedCube:
+    def test_answers_identical_to_plain(self):
+        dataset = generate(SyntheticSpec(num_tuples=3000, seed=12))
+        db = Database()
+        table = dataset.load_into(db)
+        plain = RankingCube.build(table, block_size=25)
+        packed = RankingCube.build(table, block_size=25, compress=True)
+        gen = QueryGenerator(dataset.schema, QuerySpec(seed=9))
+        for query in gen.batch(8):
+            a = RankingCubeExecutor(plain, table).execute(query)
+            b = RankingCubeExecutor(packed, table).execute(query)
+            assert [round(r.score, 9) for r in a.rows] == [
+                round(r.score, 9) for r in b.rows
+            ]
+
+    def test_compression_saves_space(self):
+        dataset = generate(SyntheticSpec(num_tuples=5000, seed=12))
+        db = Database()
+        table = dataset.load_into(db)
+        plain = RankingCube.build(table, block_size=25)
+        packed = RankingCube.build(table, block_size=25, compress=True)
+        plain_cuboids = sum(c.size_in_bytes for c in plain.cuboids.values())
+        packed_cuboids = sum(c.size_in_bytes for c in packed.cuboids.values())
+        assert packed_cuboids < 0.75 * plain_cuboids
+
+    def test_compressed_flag_recorded(self):
+        dataset = generate(SyntheticSpec(num_tuples=500, seed=12))
+        db = Database()
+        table = dataset.load_into(db)
+        cube = RankingCube.build(table, compress=True)
+        assert all(c.compressed for c in cube.cuboids.values())
+
+    def test_fragments_support_compression(self):
+        from repro.core import FragmentedRankingCube
+
+        dataset = generate(
+            SyntheticSpec(num_selection_dims=6, num_tuples=1500, seed=13)
+        )
+        db = Database()
+        table = dataset.load_into(db)
+        cube = FragmentedRankingCube.build_fragments(
+            table, fragment_size=2, compress=True
+        )
+        executor = RankingCubeExecutor(cube, table)
+        query = TopKQuery(
+            5, {"a1": 1, "a4": 2}, LinearFunction(["n1", "n2"], [1, 1])
+        )
+        result = executor.execute(query)
+        # verify against a direct scan
+        expected = []
+        for record in table.scan():
+            tid, row = int(record[0]), record[1:]
+            if row[0] == 1 and row[3] == 2:
+                expected.append((row[6] + row[7], tid))
+        expected.sort()
+        assert [r.score for r in result.rows] == pytest.approx(
+            [s for s, _t in expected[:5]]
+        )

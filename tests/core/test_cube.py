@@ -1,0 +1,204 @@
+"""Unit tests for ranking cube construction and covering-cuboid selection."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    CubeError,
+    EquiWidthPartitioner,
+    RankingCube,
+    full_cube_sets,
+)
+from repro.relational import Database, Schema, ranking_attr, selection_attr
+
+
+def make_table(num_rows=500, cards=(3, 4, 2), seed=7):
+    schema = Schema.of(
+        [selection_attr(f"a{i + 1}", c) for i, c in enumerate(cards)]
+        + [ranking_attr("n1"), ranking_attr("n2")]
+    )
+    rng = random.Random(seed)
+    rows = [
+        tuple(rng.randrange(c) for c in cards) + (rng.random(), rng.random())
+        for _ in range(num_rows)
+    ]
+    db = Database()
+    return db, db.load_table("R", schema, rows), rows
+
+
+class TestFullCubeSets:
+    def test_all_nonempty_subsets(self):
+        sets = full_cube_sets(("a", "b", "c"))
+        assert len(sets) == 7
+        assert ("a",) in sets
+        assert ("a", "b", "c") in sets
+        assert () not in sets
+
+    def test_empty_input(self):
+        assert full_cube_sets(()) == []
+
+
+class TestBuild:
+    def test_full_cube_materializes_all_cuboids(self):
+        _db, table, _rows = make_table()
+        cube = RankingCube.build(table, block_size=20)
+        assert len(cube.cuboids) == 7  # 2^3 - 1
+
+    def test_every_cuboid_holds_all_tuples(self):
+        _db, table, rows = make_table()
+        cube = RankingCube.build(table, block_size=20)
+        for cuboid in cube.cuboids.values():
+            assert cuboid.num_entries == len(rows)
+
+    def test_base_table_holds_all_tuples(self):
+        _db, table, rows = make_table()
+        cube = RankingCube.build(table, block_size=20)
+        assert cube.base_table.num_tuples == len(rows)
+
+    def test_restricted_cuboid_sets(self):
+        _db, table, _rows = make_table()
+        cube = RankingCube.build(
+            table, block_size=20, cuboid_sets=[("a1",), ("a2", "a3")]
+        )
+        assert set(cube.cuboids) == {frozenset({"a1"}), frozenset({"a2", "a3"})}
+
+    def test_duplicate_cuboid_sets_deduped(self):
+        _db, table, _rows = make_table()
+        cube = RankingCube.build(
+            table, block_size=20, cuboid_sets=[("a1",), ("a1",)]
+        )
+        assert len(cube.cuboids) == 1
+
+    def test_unknown_dimension_rejected(self):
+        _db, table, _rows = make_table()
+        with pytest.raises(CubeError):
+            RankingCube.build(table, cuboid_sets=[("ghost",)])
+
+    def test_empty_relation_rejected(self):
+        schema = Schema.of([selection_attr("a1", 2), ranking_attr("n1")])
+        db = Database()
+        table = db.create_table("R", schema)
+        with pytest.raises(CubeError):
+            RankingCube.build(table)
+
+    def test_custom_partitioner(self):
+        _db, table, _rows = make_table()
+        cube = RankingCube.build(
+            table, block_size=20, partitioner=EquiWidthPartitioner()
+        )
+        edges = cube.grid.boundaries[0]
+        widths = [b - a for a, b in zip(edges, edges[1:])]
+        assert max(widths) - min(widths) < 1e-9
+
+    def test_meta_information(self):
+        _db, table, _rows = make_table()
+        cube = RankingCube.build(table, block_size=20)
+        assert set(cube.bin_boundaries) == {"n1", "n2"}
+        assert all(sf >= 1 for sf in cube.scale_factors.values())
+        assert cube.ranking_dims == ("n1", "n2")
+        assert cube.size_in_bytes > 0
+
+    def test_describe_lists_cuboids(self):
+        _db, table, _rows = make_table()
+        cube = RankingCube.build(table, block_size=20)
+        text = cube.describe()
+        assert "base block table" in text
+        assert "a1a2a3|n1n2" in text
+
+    def test_scale_factors_respect_cardinalities(self):
+        _db, table, _rows = make_table(cards=(10, 10, 2))
+        cube = RankingCube.build(table, block_size=20)
+        sf_small = cube.cuboid(("a3",)).scale_factor      # card 2
+        sf_large = cube.cuboid(("a1", "a2")).scale_factor  # card 100
+        assert sf_large > sf_small
+
+
+class TestCoveringCuboids:
+    def test_full_cube_exact_match(self):
+        _db, table, _rows = make_table()
+        cube = RankingCube.build(table, block_size=20)
+        covering = cube.covering_cuboids(("a1", "a3"))
+        assert len(covering) == 1
+        assert set(covering[0].dims) == {"a1", "a3"}
+
+    def test_empty_query_dims(self):
+        _db, table, _rows = make_table()
+        cube = RankingCube.build(table, block_size=20)
+        assert cube.covering_cuboids(()) == []
+
+    def test_fragment_family_needs_two_cuboids(self):
+        _db, table, _rows = make_table()
+        cube = RankingCube.build(
+            table, block_size=20, cuboid_sets=[("a1", "a2"), ("a3",), ("a1",), ("a2",)]
+        )
+        covering = cube.covering_cuboids(("a1", "a3"))
+        assert len(covering) == 2
+        covered = {d for c in covering for d in c.dims}
+        assert covered == {"a1", "a3"}
+
+    def test_prefers_maximal_cuboid(self):
+        _db, table, _rows = make_table()
+        cube = RankingCube.build(
+            table, block_size=20, cuboid_sets=[("a1",), ("a2",), ("a1", "a2")]
+        )
+        covering = cube.covering_cuboids(("a1", "a2"))
+        assert len(covering) == 1
+        assert set(covering[0].dims) == {"a1", "a2"}
+
+    def test_minimum_cover_is_smallest(self):
+        _db, table, _rows = make_table()
+        cube = RankingCube.build(
+            table,
+            block_size=20,
+            cuboid_sets=[("a1", "a2"), ("a2", "a3"), ("a1",), ("a2",), ("a3",)],
+        )
+        covering = cube.covering_cuboids(("a1", "a2", "a3"))
+        assert len(covering) == 2
+
+    def test_uncoverable_dimension_rejected(self):
+        _db, table, _rows = make_table()
+        cube = RankingCube.build(table, block_size=20, cuboid_sets=[("a1",)])
+        with pytest.raises(CubeError):
+            cube.covering_cuboids(("a1", "a2"))
+
+    def test_cuboid_lookup(self):
+        _db, table, _rows = make_table()
+        cube = RankingCube.build(table, block_size=20)
+        assert set(cube.cuboid(("a2", "a1")).dims) == {"a1", "a2"}
+
+    def test_cuboid_lookup_missing(self):
+        _db, table, _rows = make_table()
+        cube = RankingCube.build(table, block_size=20, cuboid_sets=[("a1",)])
+        with pytest.raises(CubeError):
+            cube.cuboid(("a2",))
+
+
+class TestPseudoScaleOverride:
+    def test_override_applies_to_every_cuboid(self):
+        _db, table, _rows = make_table()
+        cube = RankingCube.build(table, block_size=20, pseudo_scale_override=1)
+        assert all(c.scale_factor == 1 for c in cube.cuboids.values())
+
+    def test_override_preserves_answers(self):
+        import random as _random
+
+        from repro.core import RankingCubeExecutor
+        from repro.ranking import LinearFunction
+        from repro.relational import TopKQuery
+
+        _db, table, rows = make_table()
+        plain = RankingCube.build(table, block_size=20)
+        flat = RankingCube.build(table, block_size=20, pseudo_scale_override=1)
+        rng = _random.Random(3)
+        for _ in range(5):
+            query = TopKQuery(
+                5,
+                {"a1": rng.randrange(3)},
+                LinearFunction(["n1", "n2"], [1.0, rng.uniform(0.2, 2.0)]),
+            )
+            a = RankingCubeExecutor(plain, table).execute(query)
+            b = RankingCubeExecutor(flat, table).execute(query)
+            assert [round(r.score, 9) for r in a.rows] == [
+                round(r.score, 9) for r in b.rows
+            ]

@@ -1,0 +1,149 @@
+"""Unit tests for the base block table and ranking cuboids."""
+
+import random
+
+import pytest
+
+from repro.core import BaseBlockTable, BlockGrid, CuboidError, RankingCuboid
+from repro.storage import BlockDevice, BufferPool
+
+
+def make_grid(bins=(4, 4)):
+    boundaries = tuple(tuple(i / b for i in range(b + 1)) for b in bins)
+    return BlockGrid(("n1", "n2"), boundaries)
+
+
+def make_pool():
+    device = BlockDevice()
+    return device, BufferPool(device, capacity=256)
+
+
+def random_points(count=200, seed=3):
+    rng = random.Random(seed)
+    return [(rng.random(), rng.random()) for _ in range(count)]
+
+
+class TestBaseBlockTable:
+    def test_build_assigns_bids_by_grid(self):
+        _d, pool = make_pool()
+        grid = make_grid()
+        points = random_points()
+        table, bids = BaseBlockTable.build(pool, grid, list(range(len(points))), points)
+        for point, bid in zip(points, bids):
+            assert grid.locate(point) == bid
+
+    def test_get_base_block_returns_block_members(self):
+        _d, pool = make_pool()
+        grid = make_grid()
+        points = random_points()
+        table, bids = BaseBlockTable.build(pool, grid, list(range(len(points))), points)
+        target_bid = bids[0]
+        members = table.get_base_block(target_bid)
+        expected_tids = sorted(t for t, b in enumerate(bids) if b == target_bid)
+        assert sorted(t for t, _v in members) == expected_tids
+        by_tid = {t: v for t, v in members}
+        for tid in expected_tids:
+            assert by_tid[tid] == pytest.approx(points[tid])
+
+    def test_empty_block_returns_nothing(self):
+        _d, pool = make_pool()
+        grid = make_grid()
+        table, _bids = BaseBlockTable.build(pool, grid, [0], [(0.01, 0.01)])
+        far_bid = grid.bid_of((3, 3))
+        assert table.get_base_block(far_bid) == []
+
+    def test_access_count(self):
+        _d, pool = make_pool()
+        grid = make_grid()
+        table, _bids = BaseBlockTable.build(pool, grid, [0], [(0.01, 0.01)])
+        table.get_base_block(0)
+        table.get_base_block(0)
+        assert table.access_count == 2
+
+    def test_misaligned_inputs_rejected(self):
+        _d, pool = make_pool()
+        with pytest.raises(ValueError):
+            BaseBlockTable.build(pool, make_grid(), [0, 1], [(0.5, 0.5)])
+
+    def test_num_tuples(self):
+        _d, pool = make_pool()
+        points = random_points(50)
+        table, _ = BaseBlockTable.build(
+            pool, make_grid(), list(range(50)), points
+        )
+        assert table.num_tuples == 50
+
+
+class TestRankingCuboid:
+    def make_cuboid(self, rows=None, dims=("a1",), cards=(2,)):
+        _d, pool = make_pool()
+        grid = make_grid()
+        if rows is None:
+            rng = random.Random(9)
+            rows = []
+            for tid in range(100):
+                point = (rng.random(), rng.random())
+                sel = tuple(rng.randrange(c) for c in cards)
+                rows.append((sel, tid, grid.locate(point)))
+        return RankingCuboid.build(pool, dims, cards, grid, rows), rows
+
+    def test_get_pseudo_block_partitions_entries(self):
+        cuboid, rows = self.make_cuboid()
+        seen = set()
+        for value in (0, 1):
+            for pid in range(cuboid.pseudo.num_pseudo_blocks):
+                for tid, bid in cuboid.get_pseudo_block((value,), pid):
+                    assert cuboid.pseudo.pid_of_bid(bid) == pid
+                    seen.add(tid)
+        assert seen == {tid for _s, tid, _b in rows}
+
+    def test_entries_match_cell_semantics(self):
+        cuboid, rows = self.make_cuboid()
+        pid = 0
+        got = sorted(cuboid.get_pseudo_block((1,), pid))
+        expected = sorted(
+            (tid, bid)
+            for sel, tid, bid in rows
+            if sel == (1,) and cuboid.pseudo.pid_of_bid(bid) == pid
+        )
+        assert got == expected
+
+    def test_absent_cell_empty(self):
+        cuboid, _rows = self.make_cuboid(
+            rows=[((0,), 0, 0)], dims=("a1",), cards=(2,)
+        )
+        assert cuboid.get_pseudo_block((1,), 0) == []
+
+    def test_scale_factor_from_cardinalities(self):
+        cuboid, _rows = self.make_cuboid(dims=("a1", "a2"), cards=(2, 2))
+        assert cuboid.scale_factor == 2
+
+    def test_wrong_arity_rejected(self):
+        cuboid, _rows = self.make_cuboid()
+        with pytest.raises(CuboidError):
+            cuboid.get_pseudo_block((0, 1), 0)
+
+    def test_empty_dims_rejected(self):
+        _d, pool = make_pool()
+        with pytest.raises(CuboidError):
+            RankingCuboid(pool, (), (), make_grid())
+
+    def test_misaligned_dims_cards_rejected(self):
+        _d, pool = make_pool()
+        with pytest.raises(CuboidError):
+            RankingCuboid(pool, ("a1",), (2, 3), make_grid())
+
+    def test_build_rejects_wrong_width_rows(self):
+        _d, pool = make_pool()
+        grid = make_grid()
+        with pytest.raises(CuboidError):
+            RankingCuboid.build(pool, ("a1",), (2,), grid, [((0, 1), 0, 0)])
+
+    def test_name_and_repr(self):
+        cuboid, _rows = self.make_cuboid(dims=("a1",), cards=(2,))
+        assert cuboid.name == "a1|n1n2"
+        assert "sf=" in repr(cuboid)
+
+    def test_num_entries(self):
+        cuboid, rows = self.make_cuboid()
+        assert cuboid.num_entries == len(rows)

@@ -1,0 +1,156 @@
+"""Tests for incremental cube maintenance via the delta store."""
+
+import random
+
+import pytest
+
+from repro.core import FragmentedRankingCube, RankingCube, RankingCubeExecutor
+from repro.ranking import LinearFunction
+from repro.relational import Database, Schema, TopKQuery, ranking_attr, selection_attr
+
+
+def make_env(num_rows=800, seed=91):
+    schema = Schema.of(
+        [selection_attr("a1", 4), selection_attr("a2", 3)]
+        + [ranking_attr("n1"), ranking_attr("n2")]
+    )
+    rng = random.Random(seed)
+    rows = [
+        (rng.randrange(4), rng.randrange(3), rng.random(), rng.random())
+        for _ in range(num_rows)
+    ]
+    db = Database()
+    table = db.load_table("R", schema, rows)
+    cube = RankingCube.build(table, block_size=20)
+    return db, table, rows, schema, cube, RankingCubeExecutor(cube, table)
+
+
+def brute_force(schema, rows, query):
+    scored = []
+    for tid, row in enumerate(rows):
+        if query.matches(schema, row):
+            scored.append((query.score_row(schema, row), tid))
+    scored.sort()
+    return scored[: query.k]
+
+
+class TestRefreshDelta:
+    def test_watermark_starts_at_build_size(self):
+        _db, table, rows, _schema, cube, _ex = make_env()
+        assert cube.watermark == len(rows)
+        assert cube.delta_size == 0
+
+    def test_refresh_absorbs_new_tuples(self):
+        _db, table, rows, _schema, cube, _ex = make_env()
+        table.insert_rows([(0, 0, 0.5, 0.5), (1, 2, 0.1, 0.1)])
+        absorbed = cube.refresh_delta(table)
+        assert absorbed == 2
+        assert cube.delta_size == 2
+        assert cube.watermark == len(rows) + 2
+
+    def test_refresh_is_idempotent(self):
+        _db, table, _rows, _schema, cube, _ex = make_env()
+        table.insert_rows([(0, 0, 0.5, 0.5)])
+        assert cube.refresh_delta(table) == 1
+        assert cube.refresh_delta(table) == 0
+        assert cube.delta_size == 1
+
+    def test_needs_rebuild_threshold(self):
+        _db, table, rows, _schema, cube, _ex = make_env(num_rows=100)
+        assert not cube.needs_rebuild()
+        table.insert_rows([(0, 0, 0.5, 0.5)] * 20)
+        cube.refresh_delta(table)
+        assert cube.needs_rebuild(max_delta_fraction=0.1)
+        assert not cube.needs_rebuild(max_delta_fraction=0.5)
+
+
+class TestQueriesSeeDelta:
+    def test_new_best_tuple_wins(self):
+        _db, table, rows, schema, cube, executor = make_env()
+        # insert a tuple that dominates everything for a1=2, a2=1
+        table.insert_rows([(2, 1, 0.0, 0.0)])
+        cube.refresh_delta(table)
+        new_tid = len(rows)
+        query = TopKQuery(1, {"a1": 2, "a2": 1}, LinearFunction(["n1", "n2"], [1, 1]))
+        result = executor.execute(query)
+        assert result.tids == [new_tid]
+        assert result.scores == [pytest.approx(0.0)]
+
+    def test_non_matching_delta_ignored(self):
+        _db, table, rows, schema, cube, executor = make_env()
+        table.insert_rows([(3, 2, 0.0, 0.0)])
+        cube.refresh_delta(table)
+        query = TopKQuery(3, {"a1": 0}, LinearFunction(["n1", "n2"], [1, 1]))
+        result = executor.execute(query)
+        expected = brute_force(schema, rows, query)
+        assert [r.tid for r in result.rows] == [t for _s, t in expected]
+
+    def test_merged_answer_matches_brute_force(self):
+        _db, table, rows, schema, cube, executor = make_env()
+        rng = random.Random(5)
+        extra = [
+            (rng.randrange(4), rng.randrange(3), rng.random(), rng.random())
+            for _ in range(60)
+        ]
+        table.insert_rows(extra)
+        cube.refresh_delta(table)
+        all_rows = rows + extra
+        for _ in range(8):
+            selections = {"a1": rng.randrange(4)}
+            query = TopKQuery(
+                7, selections, LinearFunction(["n1", "n2"], [1, rng.uniform(0.2, 2)])
+            )
+            result = executor.execute(query)
+            expected = brute_force(schema, all_rows, query)
+            assert [r.score for r in result.rows] == pytest.approx(
+                [s for s, _t in expected]
+            )
+
+    def test_no_selection_query_sees_delta(self):
+        _db, table, rows, schema, cube, executor = make_env()
+        table.insert_rows([(0, 0, -1.0, -1.0)])  # outside the grid: clamped bid
+        cube.refresh_delta(table)
+        query = TopKQuery(1, {}, LinearFunction(["n1", "n2"], [1, 1]))
+        result = executor.execute(query)
+        assert result.tids == [len(rows)]
+
+    def test_delta_counts_toward_tuples_examined(self):
+        _db, table, rows, _schema, cube, executor = make_env()
+        table.insert_rows([(0, 0, 0.9, 0.9)] * 5)
+        cube.refresh_delta(table)
+        query = TopKQuery(2, {"a1": 0, "a2": 0}, LinearFunction(["n1", "n2"], [1, 1]))
+        with_delta = executor.execute(query).tuples_examined
+        assert with_delta >= 5
+
+    def test_rebuild_folds_delta(self):
+        db, table, rows, schema, cube, _ex = make_env()
+        table.insert_rows([(2, 1, 0.0, 0.0)])
+        rebuilt = RankingCube.build(table, block_size=20)
+        assert rebuilt.delta_size == 0
+        assert rebuilt.watermark == table.num_rows
+        executor = RankingCubeExecutor(rebuilt, table)
+        query = TopKQuery(1, {"a1": 2, "a2": 1}, LinearFunction(["n1", "n2"], [1, 1]))
+        assert executor.execute(query).scores == [pytest.approx(0.0)]
+
+
+class TestFragmentDelta:
+    def test_fragmented_cube_supports_delta(self):
+        schema = Schema.of(
+            [selection_attr(f"a{i}", 3) for i in range(1, 5)]
+            + [ranking_attr("n1"), ranking_attr("n2")]
+        )
+        rng = random.Random(17)
+        rows = [
+            tuple(rng.randrange(3) for _ in range(4)) + (rng.random(), rng.random())
+            for _ in range(400)
+        ]
+        db = Database()
+        table = db.load_table("R", schema, rows)
+        cube = FragmentedRankingCube.build_fragments(table, fragment_size=2)
+        executor = RankingCubeExecutor(cube, table)
+        table.insert_rows([(1, 2, 0, 1, 0.0, 0.0)])
+        cube.refresh_delta(table)
+        query = TopKQuery(
+            1, {"a1": 1, "a3": 0}, LinearFunction(["n1", "n2"], [1, 1])
+        )
+        assert executor.execute(query).tids == [400]

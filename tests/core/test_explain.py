@@ -1,0 +1,100 @@
+"""Tests for query plan introspection (executor.explain)."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    CubeError,
+    FragmentedRankingCube,
+    RankingCube,
+    RankingCubeExecutor,
+)
+from repro.ranking import LinearFunction, LpDistance
+from repro.relational import Database, Schema, TopKQuery, ranking_attr, selection_attr
+
+
+def make_env(num_dims=4, fragment_size=None, num_rows=600, seed=107):
+    schema = Schema.of(
+        [selection_attr(f"a{i}", 3) for i in range(1, num_dims + 1)]
+        + [ranking_attr("n1"), ranking_attr("n2")]
+    )
+    rng = random.Random(seed)
+    rows = [
+        tuple(rng.randrange(3) for _ in range(num_dims))
+        + (rng.random(), rng.random())
+        for _ in range(num_rows)
+    ]
+    db = Database()
+    table = db.load_table("R", schema, rows)
+    if fragment_size is None:
+        cube = RankingCube.build(table, block_size=20)
+    else:
+        cube = FragmentedRankingCube.build_fragments(
+            table, fragment_size=fragment_size, block_size=20
+        )
+    return db, table, cube, RankingCubeExecutor(cube, table)
+
+
+class TestExplain:
+    def test_single_cuboid_plan(self):
+        _db, _t, _cube, executor = make_env()
+        query = TopKQuery(5, {"a1": 1, "a2": 2}, LinearFunction(["n1", "n2"], [1, 1]))
+        plan = executor.explain(query)
+        assert plan.covering_cuboids == ("a1a2|n1n2",)
+        assert not plan.intersection_required
+        assert 0 <= plan.start_bid < plan.grid_blocks
+        assert plan.delta_tuples == 0
+
+    def test_intersection_plan_for_fragments(self):
+        _db, _t, _cube, executor = make_env(fragment_size=2)
+        query = TopKQuery(5, {"a1": 1, "a3": 2}, LinearFunction(["n1", "n2"], [1, 1]))
+        plan = executor.explain(query)
+        assert plan.intersection_required
+        assert len(plan.covering_cuboids) == 2
+
+    def test_no_selection_plan(self):
+        _db, _t, _cube, executor = make_env()
+        query = TopKQuery(5, {}, LinearFunction(["n1", "n2"], [1, 1]))
+        plan = executor.explain(query)
+        assert plan.covering_cuboids == ()
+        assert "base blocks only" in plan.describe()
+
+    def test_start_block_holds_the_minimizer(self):
+        _db, _t, cube, executor = make_env()
+        fn = LpDistance(["n1", "n2"], [0.5, 0.5])
+        plan = executor.explain(TopKQuery(3, {"a1": 0}, fn))
+        assert plan.start_bid == cube.grid.locate((0.5, 0.5))
+        assert plan.start_bound == pytest.approx(0.0)
+
+    def test_plan_matches_execution_start(self):
+        from repro.core import ExecutorTrace
+
+        _db, _t, _cube, executor = make_env()
+        query = TopKQuery(3, {"a2": 1}, LinearFunction(["n1", "n2"], [1, 2]))
+        plan = executor.explain(query)
+        trace = ExecutorTrace()
+        executor.execute(query, trace=trace)
+        assert trace.candidate_bids[0] == plan.start_bid
+
+    def test_delta_tuples_surfaced(self):
+        _db, table, cube, executor = make_env()
+        table.insert_rows([(0, 0, 0, 0, 0.5, 0.5)])
+        cube.refresh_delta(table)
+        plan = executor.explain(TopKQuery(3, {}, LinearFunction(["n1", "n2"], [1, 1])))
+        assert plan.delta_tuples == 1
+        assert "delta" in plan.describe()
+
+    def test_unknown_ranking_dim_rejected(self):
+        _db, _t, _cube, executor = make_env()
+        query = TopKQuery(3, {}, LinearFunction(["zz"], [1.0]))
+        with pytest.raises(CubeError):
+            executor.explain(query)
+
+    def test_explain_does_no_io(self):
+        db, _t, _cube, executor = make_env()
+        query = TopKQuery(5, {"a1": 1}, LinearFunction(["n1", "n2"], [1, 1]))
+        db.cold_cache()
+        db.device.reset_stats()
+        executor.explain(query)
+        assert db.device.stats.reads == 0

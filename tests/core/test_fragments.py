@@ -1,0 +1,218 @@
+"""Unit and integration tests for ranking fragments."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    CubeError,
+    ExecutorTrace,
+    FragmentedRankingCube,
+    RankingCubeExecutor,
+    estimated_fragment_space,
+    evenly_partition,
+    fragment_cuboid_sets,
+)
+from repro.ranking import LinearFunction
+from repro.relational import Database, Schema, TopKQuery, ranking_attr, selection_attr
+
+
+def make_env(num_dims=6, num_rows=1500, fragment_size=2, cards=4, seed=51):
+    schema = Schema.of(
+        [selection_attr(f"a{i + 1}", cards) for i in range(num_dims)]
+        + [ranking_attr("n1"), ranking_attr("n2")]
+    )
+    rng = random.Random(seed)
+    rows = [
+        tuple(rng.randrange(cards) for _ in range(num_dims))
+        + (rng.random(), rng.random())
+        for _ in range(num_rows)
+    ]
+    db = Database()
+    table = db.load_table("R", schema, rows)
+    cube = FragmentedRankingCube.build_fragments(
+        table, fragment_size=fragment_size, block_size=25
+    )
+    return db, table, rows, schema, cube, RankingCubeExecutor(cube, table)
+
+
+def brute_force(schema, rows, query):
+    scored = []
+    for tid, row in enumerate(rows):
+        if query.matches(schema, row):
+            scored.append((query.score_row(schema, row), tid))
+    scored.sort()
+    return scored[: query.k]
+
+
+class TestGrouping:
+    def test_even_partition(self):
+        fragments = evenly_partition(("a", "b", "c", "d"), 2)
+        assert fragments == [("a", "b"), ("c", "d")]
+
+    def test_uneven_tail(self):
+        fragments = evenly_partition(("a", "b", "c"), 2)
+        assert fragments == [("a", "b"), ("c",)]
+
+    def test_fragment_size_one(self):
+        fragments = evenly_partition(("a", "b"), 1)
+        assert fragments == [("a",), ("b",)]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            evenly_partition(("a",), 0)
+
+    def test_empty_dims_rejected(self):
+        with pytest.raises(ValueError):
+            evenly_partition((), 2)
+
+    def test_cuboid_sets_per_fragment_full_cube(self):
+        sets = fragment_cuboid_sets([("a", "b"), ("c",)])
+        assert set(map(frozenset, sets)) == {
+            frozenset({"a"}),
+            frozenset({"b"}),
+            frozenset({"a", "b"}),
+            frozenset({"c"}),
+        }
+
+    def test_cuboid_sets_dedupe(self):
+        sets = fragment_cuboid_sets([("a",), ("a", "b")])
+        assert len(sets) == len(set(map(frozenset, sets)))
+
+
+class TestSpaceEstimate:
+    def test_lemma2_paper_numbers(self):
+        # S=100, R=2, F=2: (100/2)*(2^2-1)*T + (2+2)*T = 154T
+        assert estimated_fragment_space(100, 2, 1, 2) == 154
+
+    def test_linear_growth_in_dims(self):
+        t = 1000
+        sizes = [estimated_fragment_space(s, 2, t, 2) for s in (10, 20, 40)]
+        assert sizes[1] - sizes[0] == pytest.approx(
+            (sizes[2] - sizes[1]) / 2, rel=0.01
+        )
+
+
+class TestBuild:
+    def test_cuboid_family_is_fragmentwise(self):
+        _db, _t, _rows, _schema, cube, _ex = make_env(num_dims=4, fragment_size=2)
+        assert cube.fragments == [("a1", "a2"), ("a3", "a4")]
+        expected = {
+            frozenset({"a1"}), frozenset({"a2"}), frozenset({"a1", "a2"}),
+            frozenset({"a3"}), frozenset({"a4"}), frozenset({"a3", "a4"}),
+        }
+        assert set(cube.cuboids) == expected
+
+    def test_no_cross_fragment_cuboids(self):
+        _db, _t, _rows, _schema, cube, _ex = make_env(num_dims=6, fragment_size=3)
+        for dims in cube.cuboids:
+            owners = {cube.fragment_of(d) for d in dims}
+            assert len(owners) == 1
+
+    def test_custom_fragments(self):
+        db, table, _rows, _schema, _cube, _ex = make_env(num_dims=4)
+        db2 = Database()
+        rows = [r[1:] for r in table.scan()]
+        table2 = db2.load_table("R", table.schema, rows)
+        cube = FragmentedRankingCube.build_fragments(
+            table2, fragments=[("a1", "a4"), ("a2", "a3")]
+        )
+        assert cube.fragment_of("a4") == ("a1", "a4")
+
+    def test_overlapping_fragments_rejected(self):
+        db, table, _rows, _schema, _cube, _ex = make_env(num_dims=3)
+        db2 = Database()
+        rows = [r[1:] for r in table.scan()]
+        table2 = db2.load_table("R", table.schema, rows)
+        with pytest.raises(CubeError):
+            FragmentedRankingCube.build_fragments(
+                table2, fragments=[("a1", "a2"), ("a2", "a3")]
+            )
+
+    def test_incomplete_fragments_rejected(self):
+        db, table, _rows, _schema, _cube, _ex = make_env(num_dims=3)
+        db2 = Database()
+        rows = [r[1:] for r in table.scan()]
+        table2 = db2.load_table("R", table.schema, rows)
+        with pytest.raises(CubeError):
+            FragmentedRankingCube.build_fragments(table2, fragments=[("a1",)])
+
+    def test_fragment_size_property(self):
+        _db, _t, _rows, _schema, cube, _ex = make_env(num_dims=5, fragment_size=2)
+        assert cube.fragment_size == 2
+
+    def test_covering_fragment_count(self):
+        _db, _t, _rows, _schema, cube, _ex = make_env(num_dims=6, fragment_size=2)
+        assert cube.covering_fragment_count(("a1", "a2")) == 1
+        assert cube.covering_fragment_count(("a1", "a3")) == 2
+        assert cube.covering_fragment_count(("a1", "a3", "a5")) == 3
+
+
+class TestQueryAnswering:
+    def test_single_fragment_query(self):
+        _db, _t, rows, schema, _cube, executor = make_env()
+        query = TopKQuery(10, {"a1": 1, "a2": 2}, LinearFunction(["n1", "n2"], [1, 1]))
+        result = executor.execute(query)
+        expected = brute_force(schema, rows, query)
+        assert [r.score for r in result.rows] == pytest.approx(
+            [s for s, _t in expected]
+        )
+
+    def test_cross_fragment_intersection(self):
+        _db, _t, rows, schema, cube, executor = make_env()
+        query = TopKQuery(10, {"a1": 1, "a3": 2}, LinearFunction(["n1", "n2"], [1, 1]))
+        assert cube.covering_fragment_count(query.selection_names) == 2
+        result = executor.execute(query)
+        expected = brute_force(schema, rows, query)
+        assert [r.score for r in result.rows] == pytest.approx(
+            [s for s, _t in expected]
+        )
+
+    def test_three_fragment_intersection(self):
+        _db, _t, rows, schema, _cube, executor = make_env()
+        query = TopKQuery(
+            5, {"a1": 0, "a3": 1, "a5": 2}, LinearFunction(["n1", "n2"], [1, 2])
+        )
+        result = executor.execute(query)
+        expected = brute_force(schema, rows, query)
+        assert [r.score for r in result.rows] == pytest.approx(
+            [s for s, _t in expected]
+        )
+
+    def test_intersection_uses_multiple_cuboids(self):
+        _db, _t, _rows, _schema, cube, executor = make_env()
+        query = TopKQuery(5, {"a1": 1, "a3": 2}, LinearFunction(["n1", "n2"], [1, 1]))
+        trace = ExecutorTrace()
+        executor.execute(query, trace=trace)
+        covering = cube.covering_cuboids(query.selection_names)
+        assert len(covering) == 2
+
+    def test_random_fragment_queries_match_brute_force(self):
+        _db, _t, rows, schema, _cube, executor = make_env(
+            num_dims=8, num_rows=2000, fragment_size=3
+        )
+        rng = random.Random(77)
+        for _ in range(12):
+            dims = rng.sample([f"a{i + 1}" for i in range(8)], rng.randrange(1, 4))
+            selections = {d: rng.randrange(4) for d in dims}
+            query = TopKQuery(
+                rng.choice([1, 8]),
+                selections,
+                LinearFunction(["n1", "n2"], [1.0, rng.uniform(0.1, 2.0)]),
+            )
+            result = executor.execute(query)
+            expected = brute_force(schema, rows, query)
+            assert [r.score for r in result.rows] == pytest.approx(
+                [s for s, _t in expected]
+            )
+
+    def test_space_grows_linearly_with_dims(self):
+        sizes = []
+        for num_dims in (2, 4, 8):
+            _db, _t, _rows, _schema, cube, _ex = make_env(
+                num_dims=num_dims, num_rows=600
+            )
+            sizes.append(cube.size_in_bytes)
+        growth_1 = sizes[1] - sizes[0]
+        growth_2 = (sizes[2] - sizes[1]) / 2
+        assert growth_2 == pytest.approx(growth_1, rel=0.5)

@@ -1,0 +1,115 @@
+"""Tests for workload-aware fragment grouping."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    FragmentedRankingCube,
+    cooccurrence_counts,
+    cooccurrence_grouping,
+    evenly_partition,
+    expected_covering_fragments,
+)
+from repro.relational import Database, Schema, ranking_attr, selection_attr
+
+
+class TestCooccurrenceCounts:
+    def test_pairs_counted(self):
+        counts = cooccurrence_counts([("a", "b"), ("a", "b", "c")])
+        assert counts[frozenset(("a", "b"))] == 2
+        assert counts[frozenset(("a", "c"))] == 1
+        assert counts[frozenset(("b", "c"))] == 1
+
+    def test_single_dim_queries_contribute_nothing(self):
+        assert cooccurrence_counts([("a",), ("b",)]) == {}
+
+    def test_duplicates_within_query_ignored(self):
+        counts = cooccurrence_counts([("a", "a", "b")])
+        assert counts[frozenset(("a", "b"))] == 1
+
+    def test_empty_workload(self):
+        assert cooccurrence_counts([]) == {}
+
+
+class TestGrouping:
+    def test_cooccurring_dims_share_fragment(self):
+        dims = ["a", "b", "c", "d"]
+        workload = [("a", "c")] * 10 + [("b", "d")] * 10
+        fragments = cooccurrence_grouping(dims, workload, 2)
+        assert set(map(frozenset, fragments)) == {
+            frozenset(("a", "c")),
+            frozenset(("b", "d")),
+        }
+
+    def test_respects_fragment_size(self):
+        dims = [f"a{i}" for i in range(9)]
+        workload = [tuple(dims)] * 5  # everything co-occurs
+        fragments = cooccurrence_grouping(dims, workload, 3)
+        assert all(len(f) <= 3 for f in fragments)
+        assert sorted(d for f in fragments for d in f) == sorted(dims)
+
+    def test_empty_workload_falls_back_to_packing(self):
+        fragments = cooccurrence_grouping(["a", "b", "c", "d", "e"], [], 2)
+        assert all(len(f) <= 2 for f in fragments)
+        assert len(fragments) == 3  # minimal fragment count
+
+    def test_every_dim_placed_exactly_once(self):
+        rng = random.Random(3)
+        dims = [f"d{i}" for i in range(12)]
+        workload = [tuple(rng.sample(dims, 3)) for _ in range(40)]
+        fragments = cooccurrence_grouping(dims, workload, 2)
+        flat = sorted(d for f in fragments for d in f)
+        assert flat == sorted(dims)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            cooccurrence_grouping(["a"], [], 0)
+        with pytest.raises(ValueError):
+            cooccurrence_grouping(["a", "a"], [], 2)
+        with pytest.raises(ValueError):
+            cooccurrence_grouping(["a"], [("a", "ghost")], 2)
+
+    def test_beats_even_grouping_on_skewed_workload(self):
+        dims = [f"a{i}" for i in range(1, 9)]
+        # queries pair up (a1,a8), (a2,a7), ... — the worst case for the
+        # contiguous even grouping
+        workload = [("a1", "a8"), ("a2", "a7"), ("a3", "a6"), ("a4", "a5")] * 5
+        even = evenly_partition(dims, 2)
+        aware = cooccurrence_grouping(dims, workload, 2)
+        assert expected_covering_fragments(aware, workload) == 1.0
+        assert expected_covering_fragments(even, workload) == 2.0
+
+
+class TestExpectedCoveringFragments:
+    def test_single_fragment_workload(self):
+        fragments = [("a", "b"), ("c", "d")]
+        assert expected_covering_fragments(fragments, [("a", "b")]) == 1.0
+
+    def test_mixed(self):
+        fragments = [("a", "b"), ("c", "d")]
+        workload = [("a", "b"), ("a", "c")]
+        assert expected_covering_fragments(fragments, workload) == 1.5
+
+    def test_empty_workload(self):
+        assert expected_covering_fragments([("a",)], []) == 0.0
+
+
+class TestEndToEnd:
+    def test_workload_aware_fragments_answer_queries(self):
+        schema = Schema.of(
+            [selection_attr(f"a{i}", 3) for i in range(1, 7)]
+            + [ranking_attr("n1"), ranking_attr("n2")]
+        )
+        rng = random.Random(13)
+        rows = [
+            tuple(rng.randrange(3) for _ in range(6)) + (rng.random(), rng.random())
+            for _ in range(400)
+        ]
+        db = Database()
+        table = db.load_table("R", schema, rows)
+        workload = [("a1", "a6"), ("a2", "a5")] * 3
+        fragments = cooccurrence_grouping(schema.selection_names, workload, 2)
+        cube = FragmentedRankingCube.build_fragments(table, fragments=fragments)
+        # the hot query is now single-fragment
+        assert cube.covering_fragment_count(("a1", "a6")) == 1

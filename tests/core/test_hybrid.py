@@ -1,0 +1,170 @@
+"""Tests for cost estimation and the hybrid executor."""
+
+import random
+
+import pytest
+
+from repro.core import RankingCube
+from repro.core.estimate import (
+    estimate_baseline_cost,
+    estimate_cube_cost,
+    estimate_qualifying,
+    expected_blocks_to_k,
+)
+from repro.core.hybrid import HybridExecutor
+from repro.ranking import LinearFunction
+from repro.relational import Database, Schema, TopKQuery, ranking_attr, selection_attr
+
+
+def make_env(num_rows=8000, cards=(10, 10, 500), seed=113):
+    schema = Schema.of(
+        [selection_attr(f"a{i + 1}", c) for i, c in enumerate(cards)]
+        + [ranking_attr("n1"), ranking_attr("n2")]
+    )
+    rng = random.Random(seed)
+    rows = [
+        tuple(rng.randrange(c) for c in cards) + (rng.random(), rng.random())
+        for _ in range(num_rows)
+    ]
+    db = Database()
+    table = db.load_table("R", schema, rows)
+    for name in schema.selection_names:
+        table.create_secondary_index(name)
+    cube = RankingCube.build(table, block_size=25)
+    return db, table, rows, schema, cube
+
+
+def fn():
+    return LinearFunction(["n1", "n2"], [1.0, 1.0])
+
+
+class TestEstimates:
+    def test_qualifying_independence(self):
+        _db, table, rows, _schema, _cube = make_env()
+        query = TopKQuery(5, {"a1": 3, "a2": 7}, fn())
+        estimate = estimate_qualifying(table, query)
+        actual = sum(1 for row in rows if row[0] == 3 and row[1] == 7)
+        # independent uniform dims: estimate within a loose band of truth
+        assert estimate == pytest.approx(actual, rel=0.6, abs=30)
+
+    def test_qualifying_no_selections(self):
+        _db, table, rows, _schema, _cube = make_env()
+        assert estimate_qualifying(table, TopKQuery(5, {}, fn())) == len(rows)
+
+    def test_cube_cost_grows_with_k(self):
+        _db, table, _rows, _schema, cube = make_env()
+        small = estimate_cube_cost(cube, table, TopKQuery(5, {"a1": 3}, fn()))
+        large = estimate_cube_cost(cube, table, TopKQuery(100, {"a1": 3}, fn()))
+        assert large.pages > small.pages
+
+    def test_cube_cost_grows_with_moderate_selectivity(self):
+        # with enough qualifying tuples (>= k) more conditions spread the
+        # top-k over more blocks
+        _db, table, _rows, _schema, cube = make_env()
+        loose = estimate_cube_cost(cube, table, TopKQuery(10, {"a1": 3}, fn()))
+        tight = estimate_cube_cost(
+            cube, table, TopKQuery(10, {"a1": 3, "a2": 7}, fn())
+        )
+        assert tight.pages > loose.pages
+
+    def test_cube_cost_stays_small_when_nothing_qualifies(self):
+        # almost-empty qualifying sets skip base blocks (Section 3.2.1):
+        # the sweep is directory probes, not data reads
+        _db, table, _rows, _schema, cube = make_env()
+        estimate = estimate_cube_cost(
+            cube, table, TopKQuery(10, {"a1": 3, "a2": 7, "a3": 5}, fn())
+        )
+        assert estimate.pages < 20
+
+    def test_baseline_prefers_selective_index(self):
+        # cardinality 5000 over 8000 rows: ~1-2 matches, so even 10x-priced
+        # random fetches undercut the sequential scan
+        _db, table, _rows, _schema, _cube = make_env(cards=(10, 10, 5000))
+        estimate = estimate_baseline_cost(
+            table, TopKQuery(5, {"a1": 3, "a3": 5}, fn())
+        )
+        assert estimate.pages < 10
+        assert estimate.io_cost < table.heap.num_pages
+
+    def test_baseline_falls_back_to_scan(self):
+        _db, table, _rows, _schema, _cube = make_env()
+        estimate = estimate_baseline_cost(table, TopKQuery(5, {"a1": 3}, fn()))
+        # a1 matches ~800 rows: scanning is cheaper than 800 random reads
+        assert estimate.pages == table.heap.num_pages
+
+    def test_expected_blocks_helper(self):
+        assert expected_blocks_to_k(10, 100.0, 50) == pytest.approx(5.0)
+        assert expected_blocks_to_k(10, 0.0, 50) == 50.0
+        assert expected_blocks_to_k(1000, 10.0, 50) == 50.0
+        with pytest.raises(ValueError):
+            expected_blocks_to_k(1, 1.0, 0)
+
+
+class TestHybridExecutor:
+    def test_unselective_query_routes_to_cube(self):
+        _db, table, _rows, _schema, cube = make_env()
+        hybrid = HybridExecutor(cube, table)
+        query = TopKQuery(5, {"a1": 3}, fn())
+        hybrid.execute(query)
+        assert hybrid.last_choice == "ranking_cube"
+
+    def test_ultra_selective_index_routes_to_baseline(self):
+        # a3 has cardinality 5000 over 8000 rows: the secondary index
+        # returns ~1-2 rids, cheaper than any progressive search
+        _db, table, _rows, _schema, cube = make_env(cards=(10, 10, 5000))
+        hybrid = HybridExecutor(cube, table)
+        query = TopKQuery(10, {"a3": 5}, fn())
+        hybrid.execute(query)
+        assert hybrid.last_choice == "baseline"
+
+    def test_both_routes_return_identical_answers(self):
+        _db, table, rows, schema, cube = make_env()
+        hybrid = HybridExecutor(cube, table)
+        rng = random.Random(3)
+        for _ in range(8):
+            selections = {"a1": rng.randrange(10)}
+            if rng.random() < 0.5:
+                selections["a3"] = rng.randrange(500)
+            query = TopKQuery(5, selections, fn())
+            result = hybrid.execute(query)
+            expected = sorted(
+                (
+                    (query.score_row(schema, row), tid)
+                    for tid, row in enumerate(rows)
+                    if query.matches(schema, row)
+                )
+            )[: query.k]
+            assert [r.score for r in result.rows] == pytest.approx(
+                [s for s, _t in expected]
+            )
+
+    def test_bias_shifts_decisions(self):
+        _db, table, _rows, _schema, cube = make_env()
+        query = TopKQuery(5, {"a1": 3}, fn())
+        neutral = HybridExecutor(cube, table)
+        neutral.execute(query)
+        assert neutral.last_choice == "ranking_cube"
+        paranoid = HybridExecutor(cube, table, bias=10_000.0)
+        paranoid.execute(query)
+        assert paranoid.last_choice == "baseline"
+
+    def test_invalid_bias(self):
+        _db, table, _rows, _schema, cube = make_env()
+        with pytest.raises(ValueError):
+            HybridExecutor(cube, table, bias=0.0)
+
+    def test_explain_names_choice(self):
+        _db, table, _rows, _schema, cube = make_env()
+        hybrid = HybridExecutor(cube, table)
+        text = hybrid.explain(TopKQuery(5, {"a1": 3}, fn()))
+        assert "-> ranking_cube" in text
+        assert "qualifying" in text
+
+    def test_estimates_recorded(self):
+        _db, table, _rows, _schema, cube = make_env()
+        hybrid = HybridExecutor(cube, table)
+        hybrid.execute(TopKQuery(5, {"a1": 3}, fn()))
+        assert hybrid.last_estimates is not None
+        cube_cost, baseline_cost = hybrid.last_estimates
+        assert cube_cost.method == "ranking_cube"
+        assert baseline_cost.method == "baseline"

@@ -1,0 +1,113 @@
+"""Tests for the many-ranking-dimensions extension (MultiCubeRouter)."""
+
+import random
+
+import pytest
+
+from repro.core import CubeError, MultiCubeRouter
+from repro.ranking import LinearFunction, LpDistance
+from repro.relational import Database, Schema, TopKQuery, ranking_attr, selection_attr
+
+
+def make_env(num_rank=4, num_rows=1200, seed=37, **build_kwargs):
+    schema = Schema.of(
+        [selection_attr("a1", 4), selection_attr("a2", 3)]
+        + [ranking_attr(f"n{j}") for j in range(1, num_rank + 1)]
+    )
+    rng = random.Random(seed)
+    rows = [
+        (rng.randrange(4), rng.randrange(3))
+        + tuple(rng.random() for _ in range(num_rank))
+        for _ in range(num_rows)
+    ]
+    db = Database()
+    table = db.load_table("R", schema, rows)
+    router = MultiCubeRouter.build(table, block_size=25, **build_kwargs)
+    return db, table, rows, schema, router
+
+
+def brute_force(schema, rows, query):
+    scored = []
+    for tid, row in enumerate(rows):
+        if query.matches(schema, row):
+            scored.append((query.score_row(schema, row), tid))
+    scored.sort()
+    return scored[: query.k]
+
+
+class TestBuild:
+    def test_default_all_pairs(self):
+        _db, _t, _rows, _schema, router = make_env(num_rank=4)
+        assert len(router.cubes) == 6  # C(4, 2)
+        assert all(len(dims) == 2 for dims in router.grids())
+
+    def test_group_size_covering_all(self):
+        _db, _t, _rows, _schema, router = make_env(num_rank=3, group_size=3)
+        assert router.grids() == [("n1", "n2", "n3")]
+
+    def test_explicit_groups(self):
+        _db, _t, _rows, _schema, router = make_env(
+            num_rank=4, ranking_groups=[("n1", "n2"), ("n3", "n4")]
+        )
+        assert router.grids() == [("n1", "n2"), ("n3", "n4")]
+
+    def test_empty_cubes_rejected(self):
+        with pytest.raises(CubeError):
+            MultiCubeRouter([])
+
+
+class TestRouting:
+    def test_exact_group_preferred(self):
+        _db, _t, _rows, _schema, router = make_env(
+            num_rank=3, ranking_groups=[("n1", "n2"), ("n1", "n2", "n3")]
+        )
+        query = TopKQuery(3, {}, LinearFunction(["n1", "n2"], [1, 1]))
+        executor = router.route(query)
+        assert executor.cube.grid.dims == ("n1", "n2")
+
+    def test_single_dim_routes_to_covering_pair(self):
+        _db, _t, _rows, _schema, router = make_env(num_rank=4)
+        query = TopKQuery(3, {}, LinearFunction(["n3"], [1.0]))
+        executor = router.route(query)
+        assert "n3" in executor.cube.grid.dims
+
+    def test_uncoverable_rejected(self):
+        _db, _t, _rows, _schema, router = make_env(
+            num_rank=4, ranking_groups=[("n1", "n2")]
+        )
+        query = TopKQuery(3, {}, LinearFunction(["n3", "n4"], [1, 1]))
+        with pytest.raises(CubeError):
+            router.route(query)
+
+
+class TestExecution:
+    def test_pairwise_queries_match_brute_force(self):
+        _db, _t, rows, schema, router = make_env(num_rank=4)
+        rng = random.Random(7)
+        for _ in range(10):
+            dims = rng.sample(["n1", "n2", "n3", "n4"], 2)
+            fn = (
+                LinearFunction(dims, [1.0, rng.uniform(0.2, 2)])
+                if rng.random() < 0.5
+                else LpDistance(dims, [rng.random(), rng.random()])
+            )
+            selections = {"a1": rng.randrange(4)} if rng.random() < 0.7 else {}
+            query = TopKQuery(6, selections, fn)
+            result = router.execute(query)
+            expected = brute_force(schema, rows, query)
+            assert [r.score for r in result.rows] == pytest.approx(
+                [s for s, _t in expected]
+            )
+
+    def test_single_dim_query(self):
+        _db, _t, rows, schema, router = make_env(num_rank=3)
+        query = TopKQuery(5, {"a2": 1}, LinearFunction(["n2"], [1.0]))
+        result = router.execute(query)
+        expected = brute_force(schema, rows, query)
+        assert [r.score for r in result.rows] == pytest.approx(
+            [s for s, _t in expected]
+        )
+
+    def test_size_accounts_all_cubes(self):
+        _db, _t, _rows, _schema, router = make_env(num_rank=3)
+        assert router.size_in_bytes == sum(c.size_in_bytes for c in router.cubes)

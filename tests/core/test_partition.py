@@ -1,0 +1,148 @@
+"""Unit tests for partitioning strategies."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    EquiDepthPartitioner,
+    EquiWidthPartitioner,
+    GridError,
+    QuantileGridPartitioner,
+    bins_for,
+    grid_from_boundaries,
+)
+
+
+def uniform_columns(count=1000, dims=2, seed=7):
+    rng = random.Random(seed)
+    return [[rng.random() for _ in range(count)] for _ in range(dims)]
+
+
+class TestBinsFor:
+    def test_paper_rule(self):
+        # b = ceil((T / P) ** (1 / R))
+        assert bins_for(900, 9, 2) == 10
+        assert bins_for(1000, 10, 3) == 5  # 100 ** (1/3) ~ 4.64 -> 5
+
+    def test_minimum_one_bin(self):
+        assert bins_for(5, 100, 2) == 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            bins_for(0, 10, 2)
+        with pytest.raises(ValueError):
+            bins_for(10, 0, 2)
+        with pytest.raises(ValueError):
+            bins_for(10, 10, 0)
+
+
+class TestEquiDepth:
+    def test_balanced_bin_occupancy(self):
+        columns = uniform_columns(2000)
+        grid = EquiDepthPartitioner().build_grid(("n1", "n2"), columns, 20)
+        counts = [0] * grid.bins_per_dim[0]
+        edges = grid.boundaries[0]
+        for value in columns[0]:
+            for i in range(len(edges) - 1):
+                if edges[i] <= value <= edges[i + 1] and (
+                    value < edges[i + 1] or i == len(edges) - 2
+                ):
+                    counts[i] += 1
+                    break
+        expected = 2000 / grid.bins_per_dim[0]
+        assert all(0.5 * expected <= c <= 1.5 * expected for c in counts)
+
+    def test_covers_data_range(self):
+        columns = uniform_columns()
+        grid = EquiDepthPartitioner().build_grid(("n1", "n2"), columns, 30)
+        for column, edges in zip(columns, grid.boundaries):
+            assert edges[0] == min(column)
+            assert edges[-1] == max(column)
+
+    def test_skewed_data_gets_narrow_bins_in_dense_region(self):
+        rng = random.Random(5)
+        # 90% of mass in [0, 0.1]
+        column = [
+            rng.uniform(0, 0.1) if rng.random() < 0.9 else rng.uniform(0.1, 1.0)
+            for _ in range(3000)
+        ]
+        grid = EquiDepthPartitioner().build_grid(("n1",), [column], 30)
+        edges = grid.boundaries[0]
+        below = sum(1 for e in edges if e <= 0.1)
+        assert below > len(edges) / 2
+
+    def test_duplicate_heavy_column_merges_bins(self):
+        column = [0.5] * 500 + [0.1, 0.9]
+        grid = EquiDepthPartitioner().build_grid(("n1",), [column], 10)
+        edges = grid.boundaries[0]
+        assert all(a < b for a, b in zip(edges, edges[1:]))
+
+    def test_constant_column(self):
+        grid = EquiDepthPartitioner().build_grid(("n1",), [[0.5] * 100], 10)
+        assert grid.bins_per_dim == (1,)
+
+    def test_empty_relation_rejected(self):
+        with pytest.raises(GridError):
+            EquiDepthPartitioner().build_grid(("n1",), [[]], 10)
+
+    def test_column_count_mismatch(self):
+        with pytest.raises(GridError):
+            EquiDepthPartitioner().build_grid(("n1", "n2"), [[0.5]], 10)
+
+    def test_unequal_column_lengths(self):
+        with pytest.raises(GridError):
+            EquiDepthPartitioner().build_grid(("n1", "n2"), [[0.5], [0.5, 0.6]], 10)
+
+
+class TestEquiWidth:
+    def test_uniform_widths(self):
+        columns = uniform_columns()
+        grid = EquiWidthPartitioner().build_grid(("n1", "n2"), columns, 30)
+        edges = grid.boundaries[0]
+        widths = [b - a for a, b in zip(edges, edges[1:])]
+        assert max(widths) - min(widths) < 1e-9
+
+    def test_constant_column_degenerates_gracefully(self):
+        grid = EquiWidthPartitioner().build_grid(("n1",), [[2.0] * 50], 10)
+        assert grid.bins_per_dim[0] >= 1
+
+    def test_same_bin_count_as_equi_depth(self):
+        columns = uniform_columns(900)
+        depth = EquiDepthPartitioner().build_grid(("n1", "n2"), columns, 9)
+        width = EquiWidthPartitioner().build_grid(("n1", "n2"), columns, 9)
+        assert width.bins_per_dim == depth.bins_per_dim
+
+
+class TestQuantileGrid:
+    def test_approximates_equi_depth(self):
+        columns = uniform_columns(5000)
+        exact = EquiDepthPartitioner().build_grid(("n1", "n2"), columns, 50)
+        approx = QuantileGridPartitioner(sample_size=1000).build_grid(
+            ("n1", "n2"), columns, 50
+        )
+        assert approx.bins_per_dim == exact.bins_per_dim
+        for exact_edges, approx_edges in zip(exact.boundaries, approx.boundaries):
+            for e, a in zip(exact_edges[1:-1], approx_edges[1:-1]):
+                assert abs(e - a) < 0.1
+
+    def test_small_data_uses_full_sort(self):
+        columns = uniform_columns(100)
+        grid = QuantileGridPartitioner(sample_size=1000).build_grid(
+            ("n1", "n2"), columns, 10
+        )
+        assert grid.num_blocks >= 1
+
+    def test_invalid_sample_size(self):
+        with pytest.raises(ValueError):
+            QuantileGridPartitioner(sample_size=5)
+
+
+class TestExplicitBoundaries:
+    def test_paper_example_grid(self):
+        grid = grid_from_boundaries(
+            ("n1", "n2"),
+            [(0.0, 0.4, 0.45, 0.8, 1.0), (0.0, 0.2, 0.45, 0.9, 1.0)],
+        )
+        assert grid.num_blocks == 16
+        assert grid.bins_per_dim == (4, 4)

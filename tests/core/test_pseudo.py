@@ -1,0 +1,109 @@
+"""Unit tests for pseudo blocks and scale factors."""
+
+import pytest
+
+from repro.core import BlockGrid, GridError, PseudoBlockMap, scale_factor
+
+
+def make_grid(bins=(4, 4)):
+    boundaries = tuple(
+        tuple(i / b for i in range(b + 1)) for b in bins
+    )
+    return BlockGrid(tuple(f"n{i}" for i in range(len(bins))), boundaries)
+
+
+class TestScaleFactor:
+    def test_paper_example(self):
+        # cardinalities 2 and 2, R=2 -> sf = sqrt(4) = 2 (Example 3)
+        assert scale_factor([2, 2], 2) == 2
+
+    def test_unit_cardinalities(self):
+        assert scale_factor([1, 1], 2) == 1
+        assert scale_factor([], 2) == 1
+
+    def test_ceiling_behavior(self):
+        # prod 10, R=2 -> sqrt(10) ~ 3.16 -> 4
+        assert scale_factor([10], 2) == 4
+
+    def test_exact_root_not_over_ceiled(self):
+        assert scale_factor([9], 2) == 3
+        assert scale_factor([8], 3) == 2
+
+    def test_higher_ranking_dims_shrink_sf(self):
+        assert scale_factor([100], 2) == 10
+        assert scale_factor([100], 4) == 4
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            scale_factor([0], 2)
+        with pytest.raises(ValueError):
+            scale_factor([2], 0)
+
+
+class TestPseudoBlockMap:
+    def test_paper_example_four_pseudo_blocks(self):
+        pseudo = PseudoBlockMap(make_grid((4, 4)), sf=2)
+        assert pseudo.pbins_per_dim == (2, 2)
+        assert pseudo.num_pseudo_blocks == 4
+
+    def test_pid_of_bid_quadrants(self):
+        grid = make_grid((4, 4))
+        pseudo = PseudoBlockMap(grid, sf=2)
+        # paper layout: b1..b4 bottom row -> bids 0..3
+        assert pseudo.pid_of_bid(grid.bid_of((0, 0))) == 0
+        assert pseudo.pid_of_bid(grid.bid_of((1, 1))) == 0
+        assert pseudo.pid_of_bid(grid.bid_of((2, 0))) == 1
+        assert pseudo.pid_of_bid(grid.bid_of((0, 2))) == 2
+        assert pseudo.pid_of_bid(grid.bid_of((3, 3))) == 3
+
+    def test_bids_of_pid_inverse(self):
+        grid = make_grid((4, 4))
+        pseudo = PseudoBlockMap(grid, sf=2)
+        for pid in range(pseudo.num_pseudo_blocks):
+            for bid in pseudo.bids_of_pid(pid):
+                assert pseudo.pid_of_bid(bid) == pid
+
+    def test_bids_partition_the_grid(self):
+        grid = make_grid((4, 4))
+        pseudo = PseudoBlockMap(grid, sf=2)
+        all_bids = sorted(
+            bid
+            for pid in range(pseudo.num_pseudo_blocks)
+            for bid in pseudo.bids_of_pid(pid)
+        )
+        assert all_bids == list(range(grid.num_blocks))
+
+    def test_sf_one_identity(self):
+        grid = make_grid((3, 3))
+        pseudo = PseudoBlockMap(grid, sf=1)
+        assert pseudo.num_pseudo_blocks == grid.num_blocks
+        for bid in range(grid.num_blocks):
+            assert pseudo.pid_of_bid(bid) == bid
+
+    def test_sf_larger_than_grid_collapses_to_one(self):
+        grid = make_grid((3, 3))
+        pseudo = PseudoBlockMap(grid, sf=10)
+        assert pseudo.num_pseudo_blocks == 1
+        assert sorted(pseudo.bids_of_pid(0)) == list(range(9))
+
+    def test_uneven_division(self):
+        grid = make_grid((5, 3))
+        pseudo = PseudoBlockMap(grid, sf=2)
+        assert pseudo.pbins_per_dim == (3, 2)
+        # edge pseudo blocks are smaller
+        last_pid = pseudo.num_pseudo_blocks - 1
+        assert len(pseudo.bids_of_pid(last_pid)) == 1 * 1
+
+    def test_invalid_sf(self):
+        with pytest.raises(GridError):
+            PseudoBlockMap(make_grid((4, 4)), sf=0)
+
+    def test_invalid_pid(self):
+        pseudo = PseudoBlockMap(make_grid((4, 4)), sf=2)
+        with pytest.raises(GridError):
+            pseudo.pcoords_of_pid(4)
+
+    def test_for_cuboid_uses_scale_factor(self):
+        grid = make_grid((4, 4))
+        pseudo = PseudoBlockMap.for_cuboid(grid, [2, 2])
+        assert pseudo.sf == 2

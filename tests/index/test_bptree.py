@@ -1,0 +1,187 @@
+"""Unit tests for the paged B+-tree."""
+
+import random
+
+import pytest
+
+from repro.index import BPlusTree, BPlusTreeError
+from repro.storage import BlockDevice, BufferPool
+
+
+def make_tree(fanout=8, pool_capacity=256):
+    device = BlockDevice()
+    pool = BufferPool(device, capacity=pool_capacity)
+    return device, pool, BPlusTree(pool, fanout=fanout)
+
+
+class TestInsertGet:
+    def test_empty_tree(self):
+        _d, _p, tree = make_tree()
+        assert len(tree) == 0
+        assert tree.get((1,)) is None
+        assert (1,) not in tree
+
+    def test_single_insert(self):
+        _d, _p, tree = make_tree()
+        tree.insert((5,), 50)
+        assert tree.get((5,)) == 50
+        assert (5,) in tree
+        assert len(tree) == 1
+
+    def test_get_default(self):
+        _d, _p, tree = make_tree()
+        assert tree.get((9,), default=-1) == -1
+
+    def test_duplicate_insert_rejected(self):
+        _d, _p, tree = make_tree()
+        tree.insert((5,), 50)
+        with pytest.raises(BPlusTreeError):
+            tree.insert((5,), 51)
+
+    def test_many_inserts_random_order(self):
+        _d, _p, tree = make_tree(fanout=5)
+        keys = list(range(500))
+        random.Random(3).shuffle(keys)
+        for key in keys:
+            tree.insert((key,), key * 10)
+        assert len(tree) == 500
+        for key in range(500):
+            assert tree.get((key,)) == key * 10
+
+    def test_height_grows_logarithmically(self):
+        _d, _p, tree = make_tree(fanout=4)
+        for key in range(200):
+            tree.insert((key,), key)
+        assert 3 <= tree.height <= 8
+
+    def test_composite_keys(self):
+        _d, _p, tree = make_tree()
+        tree.insert((1, 0.5, 7), 1)
+        tree.insert((1, 0.25, 9), 2)
+        tree.insert((0, 0.9, 3), 3)
+        assert tree.get((1, 0.25, 9)) == 2
+        keys = [key for key, _v in tree.items()]
+        assert keys == sorted(keys)
+
+    def test_low_fanout_rejected(self):
+        device = BlockDevice()
+        pool = BufferPool(device)
+        with pytest.raises(BPlusTreeError):
+            BPlusTree(pool, fanout=2)
+
+
+class TestRangeScan:
+    def test_full_scan_sorted(self):
+        _d, _p, tree = make_tree(fanout=4)
+        keys = random.Random(5).sample(range(1000), 300)
+        for key in keys:
+            tree.insert((key,), key)
+        scanned = [key[0] for key, _v in tree.items()]
+        assert scanned == sorted(keys)
+
+    def test_half_open_range(self):
+        _d, _p, tree = make_tree(fanout=4)
+        for key in range(100):
+            tree.insert((key,), key)
+        got = [key[0] for key, _v in tree.range_scan((10,), (20,))]
+        assert got == list(range(10, 20))
+
+    def test_closed_range(self):
+        _d, _p, tree = make_tree(fanout=4)
+        for key in range(100):
+            tree.insert((key,), key)
+        got = [key[0] for key, _v in tree.range_scan((10,), (20,), include_hi=True)]
+        assert got == list(range(10, 21))
+
+    def test_open_ended_scan(self):
+        _d, _p, tree = make_tree(fanout=4)
+        for key in range(50):
+            tree.insert((key,), key)
+        got = [key[0] for key, _v in tree.range_scan((45,), None)]
+        assert got == [45, 46, 47, 48, 49]
+
+    def test_range_with_absent_bounds(self):
+        _d, _p, tree = make_tree(fanout=4)
+        for key in range(0, 100, 2):  # evens only
+            tree.insert((key,), key)
+        got = [key[0] for key, _v in tree.range_scan((11,), (21,))]
+        assert got == [12, 14, 16, 18, 20]
+
+    def test_empty_range(self):
+        _d, _p, tree = make_tree()
+        tree.insert((5,), 5)
+        assert list(tree.range_scan((10,), (20,))) == []
+
+    def test_mixed_type_keys_scan(self):
+        _d, _p, tree = make_tree()
+        tree.insert((1, 0.5), 1)
+        tree.insert((1, float("-inf")), 0)
+        tree.insert((1, float("inf")), 2)
+        got = [v for _k, v in tree.range_scan((1, float("-inf")), (1, float("inf")), include_hi=True)]
+        assert got == [0, 1, 2]
+
+
+class TestBulkLoad:
+    def test_bulk_load_matches_inserts(self):
+        _d, _p, tree = make_tree(fanout=6)
+        pairs = [((k,), k * 2) for k in range(250)]
+        tree.bulk_load(pairs)
+        assert len(tree) == 250
+        for k in range(250):
+            assert tree.get((k,)) == k * 2
+        assert [key for key, _v in tree.items()] == [(k,) for k in range(250)]
+
+    def test_bulk_load_single_pair(self):
+        _d, _p, tree = make_tree()
+        tree.bulk_load([((1,), 10)])
+        assert tree.get((1,)) == 10
+
+    def test_bulk_load_empty(self):
+        _d, _p, tree = make_tree()
+        tree.bulk_load([])
+        assert len(tree) == 0
+
+    def test_bulk_load_unsorted_rejected(self):
+        _d, _p, tree = make_tree()
+        with pytest.raises(BPlusTreeError):
+            tree.bulk_load([((2,), 1), ((1,), 2)])
+
+    def test_bulk_load_duplicates_rejected(self):
+        _d, _p, tree = make_tree()
+        with pytest.raises(BPlusTreeError):
+            tree.bulk_load([((1,), 1), ((1,), 2)])
+
+    def test_bulk_load_nonempty_tree_rejected(self):
+        _d, _p, tree = make_tree()
+        tree.insert((0,), 0)
+        with pytest.raises(BPlusTreeError):
+            tree.bulk_load([((1,), 1)])
+
+    def test_insert_after_bulk_load(self):
+        _d, _p, tree = make_tree(fanout=5)
+        tree.bulk_load([((k,), k) for k in range(0, 100, 2)])
+        for k in range(1, 100, 2):
+            tree.insert((k,), k)
+        assert [key[0] for key, _v in tree.items()] == list(range(100))
+
+    def test_range_scan_after_bulk_load(self):
+        _d, _p, tree = make_tree(fanout=6)
+        tree.bulk_load([((k,), k) for k in range(1000)])
+        got = [key[0] for key, _v in tree.range_scan((500,), (510,))]
+        assert got == list(range(500, 510))
+
+
+class TestIOBehaviour:
+    def test_lookup_io_is_bounded_by_height(self):
+        device, pool, tree = make_tree(fanout=8, pool_capacity=512)
+        tree.bulk_load([((k,), k) for k in range(2000)])
+        pool.clear()
+        device.reset_stats()
+        tree.get((1234,))
+        assert device.stats.reads <= tree.height
+
+    def test_node_pages_on_device(self):
+        device, _pool, tree = make_tree(fanout=8)
+        tree.bulk_load([((k,), k) for k in range(500)])
+        assert tree.num_nodes <= device.num_pages
+        assert tree.size_in_bytes == tree.num_nodes * device.page_size

@@ -1,0 +1,65 @@
+"""Unit tests for the non-clustered secondary index."""
+
+from repro.index import SecondaryIndex
+from repro.storage import BlockDevice, BufferPool
+
+
+def make_index(entries, page_size=4096):
+    device = BlockDevice(page_size=page_size)
+    pool = BufferPool(device, capacity=512)
+    index = SecondaryIndex(pool, "a1")
+    index.build(entries)
+    return device, pool, index
+
+
+class TestLookup:
+    def test_basic_lookup(self):
+        _d, _p, index = make_index([(0, (0, 0)), (1, (0, 1)), (0, (1, 0))])
+        assert sorted(index.lookup(0)) == [(0, 0), (1, 0)]
+        assert index.lookup(1) == [(0, 1)]
+
+    def test_missing_value_empty(self):
+        _d, _p, index = make_index([(0, (0, 0))])
+        assert index.lookup(99) == []
+
+    def test_count(self):
+        _d, _p, index = make_index([(3, (0, i)) for i in range(7)])
+        assert index.count(3) == 7
+        assert index.count(4) == 0
+
+    def test_len_counts_entries(self):
+        _d, _p, index = make_index([(i % 3, (0, i)) for i in range(30)])
+        assert len(index) == 30
+
+    def test_empty_build(self):
+        _d, _p, index = make_index([])
+        assert index.lookup(0) == []
+        assert len(index) == 0
+
+
+class TestPostingChains:
+    def test_long_posting_list_spans_pages(self):
+        # page 4096, posting record "ii" = 8 bytes -> ~510 per page
+        entries = [(7, (i // 100, i % 100)) for i in range(2000)]
+        _d, _p, index = make_index(entries)
+        rids = index.lookup(7)
+        assert len(rids) == 2000
+        assert rids == [(i // 100, i % 100) for i in range(2000)]
+
+    def test_lookup_io_proportional_to_postings(self):
+        entries = [(7, (0, i)) for i in range(2000)] + [(8, (1, 0))]
+        device, pool, index = make_index(entries)
+        pool.clear()
+        device.reset_stats()
+        index.lookup(8)
+        small = device.stats.reads
+        pool.clear()
+        device.reset_stats()
+        index.lookup(7)
+        large = device.stats.reads
+        assert large > small
+
+    def test_size_accounts_tree_and_chains(self):
+        _d, _p, index = make_index([(i % 5, (0, i)) for i in range(100)])
+        assert index.size_in_bytes > 0
+        assert index.size_in_bytes % 4096 == 0

@@ -1,0 +1,185 @@
+"""Property-based tests on the core data structures."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BlockGrid,
+    EquiDepthPartitioner,
+    PseudoBlockMap,
+    scale_factor,
+)
+from repro.index import BPlusTree
+from repro.ranking import LinearFunction, LpDistance
+from repro.storage import BlockDevice, BufferPool
+
+
+# ----------------------------------------------------------------------
+# B+-tree behaves like a sorted dict
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    entries=st.dictionaries(st.integers(0, 10_000), st.integers(), max_size=200),
+    fanout=st.sampled_from([3, 4, 8, 32]),
+)
+def test_bptree_equals_dict_model(entries, fanout):
+    device = BlockDevice()
+    pool = BufferPool(device, capacity=1024)
+    tree = BPlusTree(pool, fanout=fanout)
+    for key, value in entries.items():
+        tree.insert((key,), value)
+    assert len(tree) == len(entries)
+    for key, value in entries.items():
+        assert tree.get((key,)) == value
+    assert [k[0] for k, _v in tree.items()] == sorted(entries)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    keys=st.sets(st.integers(0, 1000), max_size=150),
+    lo=st.integers(0, 1000),
+    span=st.integers(0, 300),
+)
+def test_bptree_range_scan_equals_model(keys, lo, span):
+    device = BlockDevice()
+    pool = BufferPool(device, capacity=1024)
+    tree = BPlusTree(pool, fanout=5)
+    tree.bulk_load(sorted(((k,), k) for k in keys))
+    hi = lo + span
+    got = [k[0] for k, _v in tree.range_scan((lo,), (hi,))]
+    assert got == sorted(k for k in keys if lo <= k < hi)
+
+
+# ----------------------------------------------------------------------
+# partitioning invariants
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    values=st.lists(
+        st.floats(0, 1, allow_nan=False, width=32), min_size=2, max_size=300
+    ),
+    block_size=st.integers(1, 50),
+)
+def test_equi_depth_invariants(values, block_size):
+    grid = EquiDepthPartitioner().build_grid(("n1",), [values], block_size)
+    edges = grid.boundaries[0]
+    # strictly increasing, covering the data
+    assert all(a < b for a, b in zip(edges, edges[1:]))
+    assert edges[0] <= min(values)
+    assert edges[-1] >= max(values)
+    # every value locates into a valid block
+    for value in values:
+        assert 0 <= grid.locate((value,)) < grid.num_blocks
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    bins=st.tuples(st.integers(1, 9), st.integers(1, 9)),
+    sf=st.integers(1, 12),
+)
+def test_pseudo_blocks_partition_grid(bins, sf):
+    boundaries = tuple(
+        tuple(i / b for i in range(b + 1)) for b in bins
+    )
+    grid = BlockGrid(("x", "y"), boundaries)
+    pseudo = PseudoBlockMap(grid, sf=sf)
+    seen = []
+    for pid in range(pseudo.num_pseudo_blocks):
+        for bid in pseudo.bids_of_pid(pid):
+            assert pseudo.pid_of_bid(bid) == pid
+            seen.append(bid)
+    assert sorted(seen) == list(range(grid.num_blocks))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    cards=st.lists(st.integers(1, 500), min_size=0, max_size=4),
+    r=st.integers(1, 4),
+)
+def test_scale_factor_restores_occupancy(cards, r):
+    sf = scale_factor(cards, r)
+    product = 1
+    for c in cards:
+        product *= c
+    # sf^r >= prod(c) (cells re-fill the physical block) and sf is minimal
+    assert sf ** r >= product * (1 - 1e-9)
+    if sf > 1:
+        assert (sf - 1) ** r < product
+
+
+# ----------------------------------------------------------------------
+# block lower bounds really are lower bounds
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    weights=st.tuples(
+        st.floats(-3, 3, allow_nan=False), st.floats(-3, 3, allow_nan=False)
+    ),
+    lower=st.tuples(st.floats(0, 0.8, allow_nan=False), st.floats(0, 0.8, allow_nan=False)),
+    width=st.tuples(st.floats(0.01, 0.2), st.floats(0.01, 0.2)),
+    point=st.tuples(st.floats(0, 1), st.floats(0, 1)),
+)
+def test_linear_block_bound_is_sound(weights, lower, width, point):
+    fn = LinearFunction(["x", "y"], list(weights))
+    upper = tuple(lo + w for lo, w in zip(lower, width))
+    interior = tuple(lo + p * (hi - lo) for lo, hi, p in zip(lower, upper, point))
+    assert fn.min_over_box(lower, upper) <= fn.score(interior) + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    target=st.tuples(st.floats(0, 1, allow_nan=False), st.floats(0, 1, allow_nan=False)),
+    p=st.sampled_from([1.0, 2.0, 3.0]),
+    lower=st.tuples(st.floats(0, 0.8, allow_nan=False), st.floats(0, 0.8, allow_nan=False)),
+    width=st.tuples(st.floats(0.01, 0.2), st.floats(0.01, 0.2)),
+    point=st.tuples(st.floats(0, 1), st.floats(0, 1)),
+)
+def test_lp_block_bound_is_sound(target, p, lower, width, point):
+    fn = LpDistance(["x", "y"], list(target), p=p)
+    upper = tuple(lo + w for lo, w in zip(lower, width))
+    interior = tuple(lo + t * (hi - lo) for lo, hi, t in zip(lower, upper, point))
+    assert fn.min_over_box(lower, upper) <= fn.score(interior) + 1e-9
+
+
+# ----------------------------------------------------------------------
+# buffer pool behaves like an LRU model
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    accesses=st.lists(st.integers(0, 9), min_size=1, max_size=100),
+    capacity=st.integers(1, 6),
+)
+def test_buffer_pool_matches_lru_model(accesses, capacity):
+    device = BlockDevice(page_size=64)
+    ids = device.allocate_many(10)
+    pool = BufferPool(device, capacity=capacity)
+
+    model: list[int] = []  # LRU order, most recent last
+    expected_hits = 0
+    for page in accesses:
+        if page in model:
+            expected_hits += 1
+            model.remove(page)
+        elif len(model) >= capacity:
+            model.pop(0)
+        model.append(page)
+        pool.get(ids[page])
+    assert pool.stats.hits == expected_hits
+    assert pool.resident == len(model)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    edges1=st.lists(st.floats(0, 1, allow_nan=False), min_size=2, max_size=8,
+                    unique=True).map(sorted),
+    edges2=st.lists(st.floats(0, 1, allow_nan=False), min_size=2, max_size=8,
+                    unique=True).map(sorted),
+    points=st.lists(
+        st.tuples(st.floats(-1, 2, allow_nan=False), st.floats(-1, 2, allow_nan=False)),
+        min_size=1, max_size=60,
+    ),
+)
+def test_locate_many_equals_locate(edges1, edges2, points):
+    grid = BlockGrid(("x", "y"), (tuple(edges1), tuple(edges2)))
+    assert grid.locate_many(points) == [grid.locate(p) for p in points]

@@ -1,0 +1,165 @@
+"""Property-based tests: every executor agrees with brute force.
+
+This is the repository's central invariant — the ranking cube, the ranking
+fragments, and both baselines must return exactly the top-k scores that a
+naive scan computes, for arbitrary data, selections, and convex ranking
+functions.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import BaselineExecutor, RankMappingExecutor
+from repro.core import FragmentedRankingCube, RankingCube, RankingCubeExecutor
+from repro.ranking import LinearFunction, LpDistance
+from repro.relational import Database, Schema, TopKQuery, ranking_attr, selection_attr
+
+CARDS = (3, 4)
+SCHEMA = Schema.of(
+    [selection_attr("a1", CARDS[0]), selection_attr("a2", CARDS[1])]
+    + [ranking_attr("n1"), ranking_attr("n2")]
+)
+
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(0, CARDS[0] - 1),
+        st.integers(0, CARDS[1] - 1),
+        st.floats(0, 1, allow_nan=False, width=32),
+        st.floats(0, 1, allow_nan=False, width=32),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+selection_strategy = st.dictionaries(
+    st.sampled_from(["a1", "a2"]),
+    st.integers(0, 2),
+    max_size=2,
+)
+
+linear_strategy = st.tuples(
+    st.floats(-2, 2, allow_nan=False).filter(lambda w: abs(w) > 1e-3),
+    st.floats(-2, 2, allow_nan=False).filter(lambda w: abs(w) > 1e-3),
+).map(lambda ws: LinearFunction(["n1", "n2"], list(ws)))
+
+lp_strategy = st.tuples(
+    st.floats(0, 1, allow_nan=False),
+    st.floats(0, 1, allow_nan=False),
+    st.sampled_from([1.0, 2.0]),
+).map(lambda args: LpDistance(["n1", "n2"], [args[0], args[1]], p=args[2]))
+
+function_strategy = st.one_of(linear_strategy, lp_strategy)
+
+
+def brute_force(rows, query):
+    scored = []
+    for tid, row in enumerate(rows):
+        if query.matches(SCHEMA, row):
+            scored.append((query.score_row(SCHEMA, row), tid))
+    scored.sort()
+    return scored[: query.k]
+
+
+def assert_scores_match(result, expected):
+    got = [r.score for r in result.rows]
+    assert len(got) == len(expected)
+    for g, (e, _tid) in zip(got, expected):
+        assert g == pytest.approx(e, abs=1e-9)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    rows=rows_strategy,
+    selections=selection_strategy,
+    fn=function_strategy,
+    k=st.integers(1, 15),
+    block_size=st.sampled_from([2, 5, 20]),
+)
+def test_ranking_cube_matches_brute_force(rows, selections, fn, k, block_size):
+    db = Database()
+    table = db.load_table("R", SCHEMA, rows)
+    cube = RankingCube.build(table, block_size=block_size)
+    executor = RankingCubeExecutor(cube, table)
+    query = TopKQuery(k, selections, fn)
+    assert_scores_match(executor.execute(query), brute_force(rows, query))
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    rows=rows_strategy,
+    selections=selection_strategy,
+    fn=linear_strategy,
+    k=st.integers(1, 10),
+)
+def test_fragments_match_brute_force(rows, selections, fn, k):
+    db = Database()
+    table = db.load_table("R", SCHEMA, rows)
+    cube = FragmentedRankingCube.build_fragments(table, fragment_size=1, block_size=5)
+    executor = RankingCubeExecutor(cube, table)
+    query = TopKQuery(k, selections, fn)
+    assert_scores_match(executor.execute(query), brute_force(rows, query))
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    rows=rows_strategy,
+    selections=selection_strategy,
+    fn=function_strategy,
+    k=st.integers(1, 10),
+)
+def test_baseline_matches_brute_force(rows, selections, fn, k):
+    db = Database()
+    table = db.load_table("R", SCHEMA, rows)
+    for name in SCHEMA.selection_names:
+        table.create_secondary_index(name)
+    executor = BaselineExecutor(table)
+    query = TopKQuery(k, selections, fn)
+    result = executor.execute(query)
+    expected = brute_force(rows, query)
+    # the baseline is exact on tids too (no tie ambiguity: it sees all rows)
+    assert [(r.score, r.tid) for r in result.rows] == [
+        (pytest.approx(s), t) for s, t in expected
+    ]
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    rows=rows_strategy,
+    selections=selection_strategy,
+    fn=function_strategy,
+    k=st.integers(1, 10),
+)
+def test_rank_mapping_matches_brute_force(rows, selections, fn, k):
+    db = Database()
+    table = db.load_table("R", SCHEMA, rows)
+    table.create_composite_index(["a1", "a2"])
+    executor = RankMappingExecutor(table)
+    query = TopKQuery(k, selections, fn)
+    assert_scores_match(executor.execute(query), brute_force(rows, query))
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    rows=rows_strategy,
+    selections=selection_strategy,
+    fn=linear_strategy,
+    k=st.integers(1, 8),
+)
+def test_all_methods_agree_with_each_other(rows, selections, fn, k):
+    db = Database()
+    table = db.load_table("R", SCHEMA, rows)
+    for name in SCHEMA.selection_names:
+        table.create_secondary_index(name)
+    table.create_composite_index(["a1", "a2"])
+    cube = RankingCube.build(table, block_size=10)
+    query = TopKQuery(k, selections, fn)
+    results = [
+        BaselineExecutor(table).execute(query),
+        RankMappingExecutor(table).execute(query),
+        RankingCubeExecutor(cube, table).execute(query),
+    ]
+    reference = [r.score for r in results[0].rows]
+    for result in results[1:]:
+        assert [r.score for r in result.rows] == pytest.approx(reference, abs=1e-9)

@@ -1,0 +1,180 @@
+"""Unit tests for ranking functions."""
+
+import pytest
+
+from repro.ranking import (
+    ConvexFunction,
+    LinearFunction,
+    LpDistance,
+    NegatedFunction,
+    QuadraticForm,
+    RankingFunctionError,
+    descending,
+    is_convex_on_samples,
+)
+
+
+class TestLinearFunction:
+    def test_score(self):
+        fn = LinearFunction(["x", "y"], [2.0, -1.0])
+        assert fn.score([1.0, 3.0]) == -1.0
+
+    def test_offset(self):
+        fn = LinearFunction(["x"], [1.0], offset=5.0)
+        assert fn.score([2.0]) == 7.0
+
+    def test_min_over_box_positive_weights(self):
+        fn = LinearFunction(["x", "y"], [1.0, 2.0])
+        assert fn.min_over_box([0.1, 0.2], [0.9, 0.8]) == pytest.approx(0.5)
+
+    def test_min_over_box_negative_weight_picks_upper(self):
+        fn = LinearFunction(["x", "y"], [1.0, -1.0])
+        assert fn.min_over_box([0.0, 0.0], [1.0, 1.0]) == pytest.approx(-1.0)
+        assert fn.argmin_over_box([0.0, 0.0], [1.0, 1.0]) == (0.0, 1.0)
+
+    def test_global_minimizer(self):
+        fn = LinearFunction(["x", "y"], [1.0, 1.0])
+        assert fn.global_minimizer() == (0.0, 0.0)
+
+    def test_skewness(self):
+        assert LinearFunction(["x", "y"], [1.0, 0.25]).skewness() == 0.25
+        assert LinearFunction(["x", "y"], [-4.0, 1.0]).skewness() == 0.25
+        assert LinearFunction(["x"], [3.0]).skewness() == 1.0
+        assert LinearFunction(["x", "y"], [0.0, 0.0]).skewness() == 1.0
+
+    def test_weight_count_mismatch(self):
+        with pytest.raises(RankingFunctionError):
+            LinearFunction(["x", "y"], [1.0])
+
+    def test_duplicate_dims_rejected(self):
+        with pytest.raises(RankingFunctionError):
+            LinearFunction(["x", "x"], [1.0, 2.0])
+
+    def test_empty_dims_rejected(self):
+        with pytest.raises(RankingFunctionError):
+            LinearFunction([], [])
+
+    def test_is_convex(self):
+        fn = LinearFunction(["x", "y"], [1.0, -2.0])
+        points = [(0.1, 0.9), (0.5, 0.5), (0.9, 0.1), (0.0, 0.0)]
+        assert is_convex_on_samples(fn, points)
+
+    def test_callable(self):
+        fn = LinearFunction(["x"], [2.0])
+        assert fn([3.0]) == 6.0
+
+
+class TestLpDistance:
+    def test_l2_score(self):
+        fn = LpDistance(["x", "y"], [0.5, 0.5], p=2)
+        assert fn.score([0.5, 0.5]) == 0.0
+        assert fn.score([1.0, 0.5]) == pytest.approx(0.25)
+
+    def test_l1_score(self):
+        fn = LpDistance(["x", "y"], [0.0, 0.0], p=1)
+        assert fn.score([0.3, 0.4]) == pytest.approx(0.7)
+
+    def test_weighted(self):
+        fn = LpDistance(["x"], [0.0], p=2, weights=[4.0])
+        assert fn.score([0.5]) == pytest.approx(1.0)
+
+    def test_min_over_box_target_inside(self):
+        fn = LpDistance(["x", "y"], [0.5, 0.5])
+        assert fn.min_over_box([0.0, 0.0], [1.0, 1.0]) == 0.0
+
+    def test_min_over_box_target_outside_clamps(self):
+        fn = LpDistance(["x", "y"], [0.0, 0.0])
+        assert fn.argmin_over_box([0.2, 0.3], [1.0, 1.0]) == (0.2, 0.3)
+        assert fn.min_over_box([0.2, 0.3], [1.0, 1.0]) == pytest.approx(0.04 + 0.09)
+
+    def test_p_below_one_rejected(self):
+        with pytest.raises(RankingFunctionError):
+            LpDistance(["x"], [0.0], p=0.5)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(RankingFunctionError):
+            LpDistance(["x"], [0.0], weights=[-1.0])
+
+    def test_target_length_mismatch(self):
+        with pytest.raises(RankingFunctionError):
+            LpDistance(["x", "y"], [0.0])
+
+    def test_is_convex(self):
+        fn = LpDistance(["x", "y"], [0.4, 0.6], p=2)
+        points = [(0.0, 0.0), (1.0, 1.0), (0.2, 0.8), (0.9, 0.3)]
+        assert is_convex_on_samples(fn, points)
+
+
+class TestQuadraticForm:
+    def test_psd_accepted_and_scored(self):
+        fn = QuadraticForm(["x", "y"], [[2.0, 0.0], [0.0, 3.0]], center=[0.5, 0.5])
+        assert fn.score([0.5, 0.5]) == 0.0
+        assert fn.score([1.0, 0.5]) == pytest.approx(0.5)
+
+    def test_correlated_psd(self):
+        fn = QuadraticForm(["x", "y"], [[2.0, 1.0], [1.0, 2.0]])
+        assert fn.score([1.0, 1.0]) == pytest.approx(6.0)
+
+    def test_indefinite_rejected(self):
+        with pytest.raises(RankingFunctionError):
+            QuadraticForm(["x", "y"], [[1.0, 0.0], [0.0, -1.0]])
+
+    def test_linear_term(self):
+        fn = QuadraticForm(["x"], [[1.0]], linear=[2.0])
+        assert fn.score([3.0]) == pytest.approx(9.0 + 6.0)
+
+    def test_min_over_box_numeric(self):
+        fn = QuadraticForm(["x", "y"], [[1.0, 0.0], [0.0, 1.0]], center=[0.5, 0.5])
+        assert fn.min_over_box([0.0, 0.0], [1.0, 1.0]) == pytest.approx(0.0, abs=1e-6)
+        assert fn.min_over_box([0.7, 0.7], [1.0, 1.0]) == pytest.approx(0.08, abs=1e-5)
+
+    def test_non_square_matrix_rejected(self):
+        with pytest.raises(RankingFunctionError):
+            QuadraticForm(["x", "y"], [[1.0, 0.0]])
+
+    def test_is_convex(self):
+        fn = QuadraticForm(["x", "y"], [[2.0, 1.0], [1.0, 2.0]], center=[0.3, 0.3])
+        points = [(0.0, 0.0), (1.0, 1.0), (0.1, 0.9)]
+        assert is_convex_on_samples(fn, points)
+
+
+class TestConvexFunction:
+    def test_wraps_callable(self):
+        fn = ConvexFunction(["x", "y"], lambda x, y: x * x + y, name="mixed")
+        assert fn.score([2.0, 1.0]) == 5.0
+
+    def test_numeric_min_over_box(self):
+        fn = ConvexFunction(["x"], lambda x: (x - 0.3) ** 2)
+        assert fn.min_over_box([0.0], [1.0]) == pytest.approx(0.0, abs=1e-6)
+        assert fn.min_over_box([0.5], [1.0]) == pytest.approx(0.04, abs=1e-5)
+
+    def test_convexity_spot_check_rejects_concave(self):
+        fn = ConvexFunction(["x"], lambda x: -(x - 0.5) ** 2)
+        assert not is_convex_on_samples(fn, [(0.0,), (1.0,), (0.5,)])
+
+
+class TestDescending:
+    def test_negates_scores(self):
+        fn = LinearFunction(["x"], [1.0])
+        flipped = descending(fn)
+        assert flipped.score([0.7]) == -0.7
+
+    def test_double_negation_returns_original(self):
+        fn = LinearFunction(["x"], [1.0])
+        assert descending(descending(fn)) is fn
+
+    def test_min_over_box_linear_closed_form(self):
+        fn = descending(LinearFunction(["x", "y"], [1.0, 1.0]))
+        # minimizing -x-y over the unit box = -2 at (1, 1)
+        assert fn.min_over_box([0.0, 0.0], [1.0, 1.0]) == pytest.approx(-2.0)
+        assert fn.argmin_over_box([0.0, 0.0], [1.0, 1.0]) == (1.0, 1.0)
+
+    def test_offset_preserved(self):
+        fn = descending(LinearFunction(["x"], [2.0], offset=1.0))
+        assert fn.min_over_box([0.0], [1.0]) == pytest.approx(-3.0)
+        assert fn.score([1.0]) == pytest.approx(-3.0)
+
+    def test_wraps_generic(self):
+        inner = LpDistance(["x"], [0.5])
+        flipped = NegatedFunction(inner)
+        assert flipped.score([0.5]) == 0.0

@@ -1,0 +1,87 @@
+"""Unit tests for schemas and attributes."""
+
+import pytest
+
+from repro.relational import (
+    Attribute,
+    AttributeKind,
+    Schema,
+    SchemaError,
+    ranking_attr,
+    selection_attr,
+)
+
+
+class TestAttribute:
+    def test_selection_requires_cardinality(self):
+        with pytest.raises(ValueError):
+            Attribute("a", AttributeKind.SELECTION)
+
+    def test_selection_rejects_zero_cardinality(self):
+        with pytest.raises(ValueError):
+            selection_attr("a", 0)
+
+    def test_ranking_rejects_cardinality(self):
+        with pytest.raises(ValueError):
+            Attribute("n", AttributeKind.RANKING, cardinality=5)
+
+    def test_role_predicates(self):
+        assert selection_attr("a", 3).is_selection
+        assert not selection_attr("a", 3).is_ranking
+        assert ranking_attr("n").is_ranking
+
+
+def make_schema():
+    return Schema.of(
+        [
+            selection_attr("a1", 3),
+            selection_attr("a2", 5),
+            ranking_attr("n1"),
+            ranking_attr("n2"),
+        ]
+    )
+
+
+class TestSchema:
+    def test_positions_follow_declaration_order(self):
+        schema = make_schema()
+        assert schema.position("a1") == 0
+        assert schema.position("n2") == 3
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            make_schema().position("nope")
+
+    def test_contains_and_len(self):
+        schema = make_schema()
+        assert "a1" in schema
+        assert "zz" not in schema
+        assert len(schema) == 4
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of([selection_attr("a", 2), ranking_attr("a")])
+
+    def test_role_views(self):
+        schema = make_schema()
+        assert schema.selection_names == ("a1", "a2")
+        assert schema.ranking_names == ("n1", "n2")
+
+    def test_cardinalities(self):
+        schema = make_schema()
+        assert schema.cardinalities(["a2", "a1"]) == (5, 3)
+
+    def test_cardinalities_reject_ranking(self):
+        with pytest.raises(SchemaError):
+            make_schema().cardinalities(["n1"])
+
+    def test_record_format(self):
+        assert make_schema().record_format() == "qiidd"
+
+    def test_project(self):
+        projected = make_schema().project(["n1", "a2"])
+        assert projected.attributes[0].name == "n1"
+        assert projected.attributes[1].cardinality == 5
+
+    def test_attribute_lookup(self):
+        assert make_schema().attribute("a2").cardinality == 5

@@ -1,0 +1,189 @@
+"""Unit tests for tables and the database catalog."""
+
+import random
+
+import pytest
+
+from repro.relational import (
+    Database,
+    Schema,
+    TableError,
+    ranking_attr,
+    selection_attr,
+)
+
+
+def make_schema():
+    return Schema.of(
+        [
+            selection_attr("a1", 3),
+            selection_attr("a2", 4),
+            ranking_attr("n1"),
+            ranking_attr("n2"),
+        ]
+    )
+
+
+def make_rows(count=200, seed=19):
+    rng = random.Random(seed)
+    return [
+        (rng.randrange(3), rng.randrange(4), rng.random(), rng.random())
+        for _ in range(count)
+    ]
+
+
+def make_table(count=200):
+    db = Database()
+    rows = make_rows(count)
+    table = db.load_table("r", make_schema(), rows)
+    return db, table, rows
+
+
+class TestLoading:
+    def test_row_count(self):
+        _db, table, rows = make_table()
+        assert table.num_rows == len(rows)
+        assert len(table) == len(rows)
+
+    def test_wrong_width_rejected(self):
+        db = Database()
+        table = db.create_table("r", make_schema())
+        with pytest.raises(TableError):
+            table.insert_rows([(1, 2, 0.5)])
+
+    def test_incremental_loads_continue_tids(self):
+        db = Database()
+        table = db.create_table("r", make_schema())
+        table.insert_rows([(0, 0, 0.1, 0.2)])
+        table.insert_rows([(1, 1, 0.3, 0.4)])
+        assert table.fetch_by_tid(0) == (0, 0, 0.1, 0.2)
+        assert table.fetch_by_tid(1) == (1, 1, 0.3, 0.4)
+
+
+class TestAccessPaths:
+    def test_scan_order_and_tids(self):
+        _db, table, rows = make_table(50)
+        for record, expected in zip(table.scan(), rows):
+            assert record[1:] == expected
+        tids = [record[0] for record in table.scan()]
+        assert tids == list(range(50))
+
+    def test_fetch_by_tid(self):
+        _db, table, rows = make_table()
+        assert table.fetch_by_tid(123) == rows[123]
+
+    def test_fetch_by_tid_out_of_range(self):
+        _db, table, _rows = make_table(10)
+        with pytest.raises(TableError):
+            table.fetch_by_tid(10)
+        with pytest.raises(TableError):
+            table.fetch_by_tid(-1)
+
+    def test_rid_of_arithmetic(self):
+        _db, table, _rows = make_table()
+        per_page = table.heap.records_per_page
+        assert table.rid_of(0) == (0, 0)
+        assert table.rid_of(per_page) == (1, 0)
+        assert table.rid_of(per_page + 3) == (1, 3)
+
+    def test_fetch_by_rid_includes_tid(self):
+        _db, table, rows = make_table()
+        record = table.fetch_by_rid(table.rid_of(7))
+        assert record == (7, *rows[7])
+
+
+class TestIndexes:
+    def test_secondary_index_lookup_matches_scan(self):
+        _db, table, rows = make_table()
+        index = table.create_secondary_index("a1")
+        rids = index.lookup(2)
+        got = sorted(table.fetch_by_rid(rid)[0] for rid in rids)
+        expected = sorted(tid for tid, row in enumerate(rows) if row[0] == 2)
+        assert got == expected
+
+    def test_create_secondary_index_idempotent(self):
+        _db, table, _rows = make_table()
+        first = table.create_secondary_index("a1")
+        second = table.create_secondary_index("a1")
+        assert first is second
+
+    def test_secondary_index_on_ranking_rejected(self):
+        _db, table, _rows = make_table()
+        with pytest.raises(TableError):
+            table.create_secondary_index("n1")
+
+    def test_composite_index_default_ranking_dims(self):
+        _db, table, _rows = make_table()
+        index = table.create_composite_index(["a1", "a2"])
+        assert index.ranking_dims == ("n1", "n2")
+        assert len(index) == len(table)
+
+    def test_find_composite_index_prefers_leading_match(self):
+        _db, table, _rows = make_table()
+        table.create_composite_index(["a1", "a2"])
+        table.create_composite_index(["a2"])
+        found = table.find_composite_index(["a2"])
+        assert found is not None
+        assert found.selection_dims == ("a2",)
+
+    def test_find_composite_index_none_when_uncovered(self):
+        _db, table, _rows = make_table()
+        table.create_composite_index(["a1"])
+        assert table.find_composite_index(["a1", "a2"]) is None
+
+
+class TestStatistics:
+    def test_selectivity_exact(self):
+        _db, table, rows = make_table()
+        expected = sum(1 for row in rows if row[1] == 3) / len(rows)
+        assert table.selectivity("a2", 3) == pytest.approx(expected)
+
+    def test_value_count(self):
+        _db, table, rows = make_table()
+        assert table.value_count("a1", 0) == sum(1 for row in rows if row[0] == 0)
+
+    def test_selectivity_unknown_attr(self):
+        _db, table, _rows = make_table()
+        with pytest.raises(TableError):
+            table.selectivity("n1", 0)
+
+    def test_sizes(self):
+        _db, table, _rows = make_table()
+        table.create_secondary_index("a1")
+        assert table.data_size_in_bytes > 0
+        assert table.index_size_in_bytes > 0
+
+
+class TestDatabase:
+    def test_duplicate_table_rejected(self):
+        db = Database()
+        db.create_table("r", make_schema())
+        with pytest.raises(TableError):
+            db.create_table("r", make_schema())
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(TableError):
+            Database().table("ghost")
+
+    def test_catalog(self):
+        db = Database()
+        db.create_table("b", make_schema())
+        db.create_table("a", make_schema())
+        assert db.table_names() == ["a", "b"]
+        assert "a" in db
+
+    def test_io_snapshots(self):
+        db, table, _rows = make_table()
+        db.cold_cache()
+        before = db.io_snapshot()
+        table.fetch_by_tid(0)
+        delta = db.io_since(before)
+        assert delta.reads >= 1
+
+    def test_cold_cache_forces_reads(self):
+        db, table, _rows = make_table()
+        table.fetch_by_tid(0)
+        db.cold_cache()
+        db.device.reset_stats()
+        table.fetch_by_tid(0)
+        assert db.device.stats.reads == 1

@@ -1,0 +1,62 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.sqlmini import SqlError, TokenKind, tokenize
+from repro.sqlmini.lexer import number_value
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT top From WHERE")
+        assert [t.kind for t in tokens[:-1]] == [TokenKind.KEYWORD] * 4
+        assert [t.text for t in tokens[:-1]] == ["select", "top", "from", "where"]
+
+    def test_identifiers(self):
+        tokens = tokenize("price mileage_2 _x")
+        assert all(t.kind is TokenKind.IDENT for t in tokens[:-1])
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 10k 3K")
+        assert [t.kind for t in tokens[:-1]] == [TokenKind.NUMBER] * 4
+
+    def test_number_values(self):
+        assert number_value("1") == 1.0
+        assert number_value("2.5") == 2.5
+        assert number_value("10k") == 10_000.0
+        assert number_value("3K") == 3_000.0
+
+    def test_strings(self):
+        tokens = tokenize("'sedan'")
+        assert tokens[0].kind is TokenKind.STRING
+        assert tokens[0].text == "sedan"
+
+    def test_symbols(self):
+        tokens = tokenize("( ) + - * / ** , =")
+        assert all(t.kind is TokenKind.SYMBOL for t in tokens[:-1])
+        assert tokens[6].text == "**"
+
+    def test_end_token(self):
+        tokens = tokenize("x")
+        assert tokens[-1].kind is TokenKind.END
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab  cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 4
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlError):
+            tokenize("price @ 3")
+
+    def test_empty_input(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.END
+
+    def test_kilo_suffix_requires_word_boundary(self):
+        tokens = tokenize("10kg")
+        # '10k' then 'g' would be wrong; must lex as 10 then ident 'kg'
+        assert tokens[0].kind is TokenKind.NUMBER
+        assert tokens[0].text == "10"
+        assert tokens[1].kind is TokenKind.IDENT

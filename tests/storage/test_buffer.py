@@ -1,0 +1,142 @@
+"""Unit tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.storage import BlockDevice, BufferPool, StorageError
+
+
+def make_pool(capacity=3, pages=6, page_size=64):
+    device = BlockDevice(page_size=page_size)
+    ids = device.allocate_many(pages)
+    for i, page_id in enumerate(ids):
+        device.write(page_id, bytes([i]) * 8)
+    device.reset_stats()
+    return device, BufferPool(device, capacity=capacity), ids
+
+
+class TestHitsAndMisses:
+    def test_first_get_misses_then_hits(self):
+        device, pool, ids = make_pool()
+        pool.get(ids[0])
+        pool.get(ids[0])
+        assert pool.stats.misses == 1
+        assert pool.stats.hits == 1
+        assert device.stats.reads == 1
+
+    def test_content_served_correctly(self):
+        device, pool, ids = make_pool()
+        assert pool.get(ids[2])[0] == 2
+        assert pool.get(ids[2])[0] == 2
+
+    def test_capacity_one_thrash(self):
+        device, pool, ids = make_pool(capacity=1)
+        pool.get(ids[0])
+        pool.get(ids[1])
+        pool.get(ids[0])
+        assert pool.stats.misses == 3
+        assert pool.stats.evictions == 2
+
+
+class TestLRUPolicy:
+    def test_least_recent_is_evicted(self):
+        device, pool, ids = make_pool(capacity=2)
+        pool.get(ids[0])
+        pool.get(ids[1])
+        pool.get(ids[0])       # refresh 0; 1 is now LRU
+        pool.get(ids[2])       # evicts 1
+        assert ids[1] not in pool
+        assert ids[0] in pool
+
+    def test_eviction_count(self):
+        device, pool, ids = make_pool(capacity=2)
+        for page_id in ids[:4]:
+            pool.get(page_id)
+        assert pool.stats.evictions == 2
+        assert pool.resident == 2
+
+
+class TestDirtyPages:
+    def test_put_marks_dirty_and_writes_back_on_eviction(self):
+        device, pool, ids = make_pool(capacity=1)
+        pool.put(ids[0], b"NEW" + bytes(61))
+        pool.get(ids[1])  # evicts page 0, must write it back
+        assert pool.stats.writebacks == 1
+        assert device.read(ids[0]).startswith(b"NEW")
+
+    def test_flush_writes_all_dirty(self):
+        device, pool, ids = make_pool(capacity=4)
+        pool.put(ids[0], b"A" + bytes(63))
+        pool.put(ids[1], b"B" + bytes(63))
+        pool.flush()
+        assert device.read(ids[0]).startswith(b"A")
+        assert device.read(ids[1]).startswith(b"B")
+        assert pool.stats.writebacks == 2
+
+    def test_flush_twice_writes_once(self):
+        device, pool, ids = make_pool()
+        pool.put(ids[0], b"A" + bytes(63))
+        pool.flush()
+        pool.flush()
+        assert pool.stats.writebacks == 1
+
+    def test_clear_flushes_and_drops(self):
+        device, pool, ids = make_pool()
+        pool.put(ids[0], b"A" + bytes(63))
+        pool.clear()
+        assert pool.resident == 0
+        assert device.read(ids[0]).startswith(b"A")
+
+    def test_put_overwrites_resident_frame(self):
+        device, pool, ids = make_pool()
+        pool.get(ids[0])
+        pool.put(ids[0], b"XY" + bytes(62))
+        assert pool.get(ids[0]).startswith(b"XY")
+
+
+class TestPinning:
+    def test_pinned_page_not_evicted(self):
+        device, pool, ids = make_pool(capacity=2)
+        pool.pin(ids[0])
+        pool.get(ids[1])
+        pool.get(ids[2])  # must evict 1, not pinned 0
+        assert ids[0] in pool
+
+    def test_unpin_allows_eviction(self):
+        device, pool, ids = make_pool(capacity=2)
+        pool.pin(ids[0])
+        pool.unpin(ids[0])
+        pool.get(ids[1])
+        pool.get(ids[2])
+        assert ids[0] not in pool
+
+    def test_unpin_unpinned_rejected(self):
+        device, pool, ids = make_pool()
+        with pytest.raises(StorageError):
+            pool.unpin(ids[0])
+
+    def test_all_pinned_eviction_fails(self):
+        device, pool, ids = make_pool(capacity=2)
+        pool.pin(ids[0])
+        pool.pin(ids[1])
+        with pytest.raises(StorageError):
+            pool.get(ids[2])
+
+    def test_clear_with_pinned_page_rejected(self):
+        device, pool, ids = make_pool()
+        pool.pin(ids[0])
+        with pytest.raises(StorageError):
+            pool.clear()
+
+
+class TestConstruction:
+    def test_zero_capacity_rejected(self):
+        device = BlockDevice()
+        with pytest.raises(ValueError):
+            BufferPool(device, capacity=0)
+
+    def test_hit_rate(self):
+        device, pool, ids = make_pool()
+        assert pool.stats.hit_rate == 0.0
+        pool.get(ids[0])
+        pool.get(ids[0])
+        assert pool.stats.hit_rate == 0.5

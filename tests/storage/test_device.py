@@ -1,0 +1,186 @@
+"""Unit tests for the simulated block device."""
+
+import pytest
+
+from repro.storage import (
+    BlockDevice,
+    IOStats,
+    PageCorruptionError,
+    PageNotAllocatedError,
+    StorageError,
+)
+
+
+class TestAllocation:
+    def test_allocate_returns_sequential_ids(self):
+        device = BlockDevice()
+        assert device.allocate() == 0
+        assert device.allocate() == 1
+        assert device.allocate() == 2
+
+    def test_allocate_many_is_contiguous(self):
+        device = BlockDevice()
+        ids = device.allocate_many(5)
+        assert ids == [0, 1, 2, 3, 4]
+
+    def test_allocate_many_zero(self):
+        device = BlockDevice()
+        assert device.allocate_many(0) == []
+
+    def test_allocate_many_negative_rejected(self):
+        device = BlockDevice()
+        with pytest.raises(ValueError):
+            device.allocate_many(-1)
+
+    def test_num_pages_and_size(self):
+        device = BlockDevice(page_size=512)
+        device.allocate_many(3)
+        assert device.num_pages == 3
+        assert device.size_in_bytes == 3 * 512
+
+    def test_invalid_page_size_rejected(self):
+        with pytest.raises(ValueError):
+            BlockDevice(page_size=0)
+
+
+class TestReadWrite:
+    def test_fresh_page_reads_zeroed(self):
+        device = BlockDevice(page_size=64)
+        page_id = device.allocate()
+        assert device.read(page_id) == bytes(64)
+
+    def test_write_then_read_roundtrip(self):
+        device = BlockDevice(page_size=64)
+        page_id = device.allocate()
+        device.write(page_id, b"hello")
+        data = device.read(page_id)
+        assert data.startswith(b"hello")
+        assert len(data) == 64
+
+    def test_write_pads_to_page_size(self):
+        device = BlockDevice(page_size=32)
+        page_id = device.allocate()
+        device.write(page_id, b"x")
+        assert len(device.read(page_id)) == 32
+
+    def test_oversized_write_rejected(self):
+        device = BlockDevice(page_size=16)
+        page_id = device.allocate()
+        with pytest.raises(StorageError):
+            device.write(page_id, b"y" * 17)
+
+    def test_unallocated_read_rejected(self):
+        device = BlockDevice()
+        with pytest.raises(PageNotAllocatedError):
+            device.read(0)
+
+    def test_unallocated_write_rejected(self):
+        device = BlockDevice()
+        with pytest.raises(PageNotAllocatedError):
+            device.write(3, b"z")
+
+
+class TestChecksums:
+    def test_corruption_detected_on_read(self):
+        device = BlockDevice(page_size=64)
+        page_id = device.allocate()
+        device.write(page_id, b"important")
+        device.corrupt(page_id)
+        with pytest.raises(PageCorruptionError):
+            device.read(page_id)
+
+    def test_corruption_at_offset(self):
+        device = BlockDevice(page_size=64)
+        page_id = device.allocate()
+        device.write(page_id, b"important data here")
+        device.corrupt(page_id, offset=10)
+        with pytest.raises(PageCorruptionError):
+            device.read(page_id)
+
+    def test_verification_can_be_disabled(self):
+        device = BlockDevice(page_size=64, verify_checksums=False)
+        page_id = device.allocate()
+        device.write(page_id, b"data")
+        device.corrupt(page_id)
+        device.read(page_id)  # no exception
+
+    def test_rewrite_heals_checksum(self):
+        device = BlockDevice(page_size=64)
+        page_id = device.allocate()
+        device.write(page_id, b"v1")
+        device.corrupt(page_id)
+        device.write(page_id, b"v2")
+        assert device.read(page_id).startswith(b"v2")
+
+
+class TestIOAccounting:
+    def test_reads_and_writes_counted(self):
+        device = BlockDevice(page_size=64)
+        a, b = device.allocate(), device.allocate()
+        device.write(a, b"a")
+        device.write(b, b"b")
+        device.read(a)
+        device.read(b)
+        assert device.stats.writes == 2
+        assert device.stats.reads == 2
+
+    def test_sequential_read_detection(self):
+        device = BlockDevice(page_size=64)
+        ids = device.allocate_many(4)
+        for page_id in ids:
+            device.read(page_id)
+        # first read is random, the rest sequential
+        assert device.stats.random_reads == 1
+        assert device.stats.sequential_reads == 3
+
+    def test_backward_read_is_random(self):
+        device = BlockDevice(page_size=64)
+        ids = device.allocate_many(3)
+        device.read(ids[2])
+        device.read(ids[1])
+        device.read(ids[0])
+        assert device.stats.random_reads == 3
+        assert device.stats.sequential_reads == 0
+
+    def test_repeated_same_page_is_random(self):
+        device = BlockDevice(page_size=64)
+        page_id = device.allocate()
+        device.read(page_id)
+        device.read(page_id)
+        assert device.stats.random_reads == 2
+
+    def test_bytes_counted(self):
+        device = BlockDevice(page_size=128)
+        page_id = device.allocate()
+        device.write(page_id, b"x")
+        device.read(page_id)
+        assert device.stats.bytes_written == 128
+        assert device.stats.bytes_read == 128
+
+    def test_reset_stats_clears_read_head(self):
+        device = BlockDevice(page_size=64)
+        ids = device.allocate_many(2)
+        device.read(ids[0])
+        device.reset_stats()
+        device.read(ids[1])
+        # would be sequential without the reset of the head position
+        assert device.stats.random_reads == 1
+
+    def test_cost_weights_random_over_sequential(self):
+        stats = IOStats(random_reads=1, sequential_reads=1)
+        assert stats.cost() > 2 * stats.sequential_reads
+
+    def test_snapshot_and_delta(self):
+        device = BlockDevice(page_size=64)
+        page_id = device.allocate()
+        device.write(page_id, b"x")
+        before = device.stats.snapshot()
+        device.read(page_id)
+        delta = device.stats.delta(before)
+        assert delta.reads == 1
+        assert delta.writes == 0
+
+    def test_stats_addition(self):
+        total = IOStats(reads=1, writes=2) + IOStats(reads=3, writes=4)
+        assert total.reads == 4
+        assert total.writes == 6

@@ -1,0 +1,119 @@
+"""Unit tests for heap files."""
+
+import pytest
+
+from repro.storage import BlockDevice, BufferPool, HeapFile, RecordCodec, StorageError
+
+
+def make_heap(page_size=256, pool_capacity=16):
+    device = BlockDevice(page_size=page_size)
+    pool = BufferPool(device, capacity=pool_capacity)
+    return device, pool, HeapFile(pool, RecordCodec("qd"))
+
+
+class TestAppendFetch:
+    def test_append_returns_rid_and_fetch_roundtrips(self):
+        _d, _p, heap = make_heap()
+        rid = heap.append((7, 3.5))
+        assert heap.fetch(rid) == (7, 3.5)
+
+    def test_extend_many_pages(self):
+        _d, _p, heap = make_heap()
+        records = [(i, i * 0.5) for i in range(100)]
+        rids = heap.extend(records)
+        assert len(heap) == 100
+        assert heap.num_pages > 1
+        for rid, record in zip(rids, records):
+            assert heap.fetch(rid) == record
+
+    def test_rids_are_page_slot_pairs(self):
+        _d, _p, heap = make_heap()
+        rids = heap.extend([(i, 0.0) for i in range(50)])
+        per_page = heap.records_per_page
+        assert rids[0] == (0, 0)
+        assert rids[per_page] == (1, 0)
+
+    def test_fetch_missing_slot_rejected(self):
+        _d, _p, heap = make_heap()
+        heap.append((1, 1.0))
+        with pytest.raises(StorageError):
+            heap.fetch((0, 5))
+
+    def test_fetch_missing_page_rejected(self):
+        _d, _p, heap = make_heap()
+        with pytest.raises(StorageError):
+            heap.fetch((3, 0))
+
+
+class TestScan:
+    def test_scan_returns_insertion_order(self):
+        _d, _p, heap = make_heap()
+        records = [(i, float(i)) for i in range(75)]
+        heap.extend(records)
+        assert list(heap.scan_records()) == records
+
+    def test_scan_yields_rids(self):
+        _d, _p, heap = make_heap()
+        rids = heap.extend([(i, 0.0) for i in range(30)])
+        scanned_rids = [rid for rid, _record in heap.scan()]
+        assert scanned_rids == rids
+
+    def test_empty_scan(self):
+        _d, _p, heap = make_heap()
+        assert list(heap.scan()) == []
+
+    def test_fetch_page_returns_block(self):
+        _d, _p, heap = make_heap()
+        heap.extend([(i, 0.0) for i in range(40)])
+        page0 = heap.fetch_page(0)
+        assert len(page0) == heap.records_per_page
+
+
+class TestSeal:
+    def test_seal_then_read_meters_io(self):
+        device, pool, heap = make_heap(pool_capacity=4)
+        heap.extend([(i, 0.0) for i in range(10)])
+        heap.seal()
+        pool.clear()
+        device.reset_stats()
+        heap.fetch((0, 0))
+        assert device.stats.reads == 1
+
+    def test_append_after_seal_continues_page(self):
+        _d, _p, heap = make_heap()
+        heap.extend([(i, 0.0) for i in range(3)])
+        heap.seal()
+        heap.append((99, 9.9))
+        assert heap.num_pages == 1  # same page continued
+        assert list(heap.scan_records())[-1] == (99, 9.9)
+
+    def test_seal_empty_heap(self):
+        _d, _p, heap = make_heap()
+        heap.seal()
+        assert len(heap) == 0
+
+
+class TestSizing:
+    def test_size_in_bytes(self):
+        _d, _p, heap = make_heap(page_size=256)
+        heap.extend([(i, 0.0) for i in range(100)])
+        assert heap.size_in_bytes == heap.num_pages * 256
+
+    def test_pages_linked(self):
+        device, pool, heap = make_heap()
+        heap.extend([(i, 0.0) for i in range(100)])
+        heap.seal()
+        # walk the chain through raw pages
+        from repro.storage.pages import RecordPage
+
+        count_pages = 0
+        page_index = 0
+        while True:
+            page = RecordPage.from_bytes(
+                pool.get(heap._page_ids[page_index]), heap.codec, 256
+            )
+            count_pages += 1
+            if page.next_page_id is None:
+                break
+            page_index += 1
+        assert count_pages == heap.num_pages

@@ -1,0 +1,114 @@
+"""Unit tests for page layouts and record codecs."""
+
+import pytest
+
+from repro.storage import BytesPage, PageFormatError, RecordCodec, RecordPage
+from repro.storage.pages import page_header_size
+
+
+class TestRecordCodec:
+    def test_record_size(self):
+        codec = RecordCodec("qdd")
+        assert codec.record_size == 8 + 8 + 8
+
+    def test_capacity(self):
+        codec = RecordCodec("qd")  # 16 bytes
+        capacity = codec.capacity(4096)
+        assert capacity == (4096 - page_header_size()) // 16
+
+    def test_capacity_too_small_page(self):
+        codec = RecordCodec("q" * 100)
+        with pytest.raises(PageFormatError):
+            codec.capacity(64)
+
+    def test_pack_unpack_roundtrip(self):
+        codec = RecordCodec("qid")
+        records = [(1, 2, 3.5), (-7, 0, -0.25)]
+        data = codec.pack(records)
+        assert codec.unpack(data, 2) == records
+
+    def test_float_precision_preserved(self):
+        codec = RecordCodec("d")
+        value = 0.1234567890123456789
+        data = codec.pack([(value,)])
+        (unpacked,) = codec.unpack(data, 1)[0]
+        assert unpacked == value  # float64 exact roundtrip
+
+
+class TestRecordPage:
+    def test_append_and_serialize_roundtrip(self):
+        codec = RecordCodec("qd")
+        page = RecordPage(codec, 256)
+        page.append((1, 0.5))
+        page.append((2, 1.5))
+        restored = RecordPage.from_bytes(page.to_bytes(), codec, 256)
+        assert restored.records == [(1, 0.5), (2, 1.5)]
+
+    def test_append_returns_slot(self):
+        codec = RecordCodec("q")
+        page = RecordPage(codec, 256)
+        assert page.append((10,)) == 0
+        assert page.append((20,)) == 1
+
+    def test_full_page_rejects_append(self):
+        codec = RecordCodec("q")
+        page = RecordPage(codec, 64)
+        for i in range(page.capacity):
+            page.append((i,))
+        assert page.is_full
+        with pytest.raises(PageFormatError):
+            page.append((99,))
+
+    def test_next_page_id_roundtrip(self):
+        codec = RecordCodec("q")
+        page = RecordPage(codec, 128)
+        page.next_page_id = 42
+        restored = RecordPage.from_bytes(page.to_bytes(), codec, 128)
+        assert restored.next_page_id == 42
+
+    def test_no_next_page_roundtrip(self):
+        codec = RecordCodec("q")
+        page = RecordPage(codec, 128)
+        restored = RecordPage.from_bytes(page.to_bytes(), codec, 128)
+        assert restored.next_page_id is None
+
+    def test_record_coerced_to_tuple(self):
+        codec = RecordCodec("qi")
+        page = RecordPage(codec, 128)
+        page.append([5, 6])  # list input
+        assert page.records[0] == (5, 6)
+
+    def test_wrong_page_type_rejected(self):
+        codec = RecordCodec("q")
+        blob = BytesPage(128, b"payload")
+        with pytest.raises(PageFormatError):
+            RecordPage.from_bytes(blob.to_bytes(), codec, 128)
+
+
+class TestBytesPage:
+    def test_roundtrip(self):
+        page = BytesPage(256, b"node contents")
+        restored = BytesPage.from_bytes(page.to_bytes(), 256)
+        assert restored.payload == b"node contents"
+
+    def test_empty_payload(self):
+        page = BytesPage(256)
+        restored = BytesPage.from_bytes(page.to_bytes(), 256)
+        assert restored.payload == b""
+
+    def test_oversized_payload_rejected(self):
+        page = BytesPage(64, b"z" * 64)
+        with pytest.raises(PageFormatError):
+            page.to_bytes()
+
+    def test_max_payload_exact_fit(self):
+        page = BytesPage(64)
+        page.payload = b"y" * page.max_payload
+        restored = BytesPage.from_bytes(page.to_bytes(), 64)
+        assert restored.payload == page.payload
+
+    def test_wrong_page_type_rejected(self):
+        codec = RecordCodec("q")
+        record_page = RecordPage(codec, 128)
+        with pytest.raises(PageFormatError):
+            BytesPage.from_bytes(record_page.to_bytes(), 128)

@@ -1,0 +1,99 @@
+"""Unit tests for varint coding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage import (
+    VarintError,
+    decode_uvarint,
+    delta_decode_sorted,
+    delta_encode_sorted,
+    encode_uvarint,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+
+class TestUvarint:
+    def test_small_values_one_byte(self):
+        for value in (0, 1, 127):
+            out = bytearray()
+            encode_uvarint(value, out)
+            assert len(out) == 1
+            assert decode_uvarint(bytes(out), 0) == (value, 1)
+
+    def test_boundary_values(self):
+        for value in (128, 16383, 16384, 2 ** 32, 2 ** 56):
+            out = bytearray()
+            encode_uvarint(value, out)
+            assert decode_uvarint(bytes(out), 0)[0] == value
+
+    def test_negative_rejected(self):
+        with pytest.raises(VarintError):
+            encode_uvarint(-1, bytearray())
+
+    def test_truncated_stream_rejected(self):
+        out = bytearray()
+        encode_uvarint(300, out)
+        with pytest.raises(VarintError):
+            decode_uvarint(bytes(out[:-1]), 0)
+
+    def test_concatenated_stream(self):
+        out = bytearray()
+        for value in (5, 1000, 0, 77):
+            encode_uvarint(value, out)
+        data = bytes(out)
+        offset = 0
+        decoded = []
+        for _ in range(4):
+            value, offset = decode_uvarint(data, offset)
+            decoded.append(value)
+        assert decoded == [5, 1000, 0, 77]
+        assert offset == len(data)
+
+    @given(st.integers(0, 2 ** 62))
+    def test_roundtrip_property(self, value):
+        out = bytearray()
+        encode_uvarint(value, out)
+        assert decode_uvarint(bytes(out), 0) == (value, len(out))
+
+
+class TestZigzag:
+    @given(st.integers(-(2 ** 40), 2 ** 40))
+    def test_roundtrip(self, value):
+        assert zigzag_decode(zigzag_encode(value)) == value
+
+    def test_small_magnitudes_stay_small(self):
+        assert zigzag_encode(0) == 0
+        assert zigzag_encode(-1) == 1
+        assert zigzag_encode(1) == 2
+        assert zigzag_encode(-2) == 3
+
+
+class TestDeltaEncoding:
+    def test_roundtrip(self):
+        values = [3, 3, 10, 500, 501, 10_000]
+        blob = delta_encode_sorted(values)
+        decoded, offset = delta_decode_sorted(blob)
+        assert decoded == values
+        assert offset == len(blob)
+
+    def test_empty(self):
+        blob = delta_encode_sorted([])
+        assert delta_decode_sorted(blob) == ([], len(blob))
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(VarintError):
+            delta_encode_sorted([5, 3])
+
+    def test_dense_sequences_compress_well(self):
+        values = list(range(1000, 2000))
+        blob = delta_encode_sorted(values)
+        assert len(blob) < 1.2 * len(values)  # ~1 byte per gap
+
+    @given(st.lists(st.integers(0, 2 ** 40), max_size=100))
+    def test_roundtrip_property(self, values):
+        values.sort()
+        blob = delta_encode_sorted(values)
+        assert delta_decode_sorted(blob)[0] == values

@@ -1,0 +1,207 @@
+"""End-to-end integration tests: SQL in, ranked tuples out.
+
+These exercise the full pipeline — SQL parsing, cube construction over the
+paged storage engine, query execution, projection back to the relation —
+plus cross-method agreement and failure injection through the real read
+path.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    BaselineExecutor,
+    Database,
+    FragmentedRankingCube,
+    RankMappingExecutor,
+    RankingCube,
+    RankingCubeExecutor,
+    Schema,
+    compile_topk,
+)
+from repro.relational import ranking_attr, selection_attr
+from repro.storage import PageCorruptionError
+from repro.workloads import (
+    CoverTypeSpec,
+    QueryGenerator,
+    QuerySpec,
+    SyntheticSpec,
+    generate,
+    generate_covertype,
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    dataset = generate(SyntheticSpec(num_tuples=6000, seed=3))
+    db = Database()
+    table = dataset.load_into(db)
+    cube = RankingCube.build(table, block_size=25)
+    return dataset, db, table, RankingCubeExecutor(cube, table)
+
+
+class TestSqlToAnswer:
+    def test_linear_sql_query(self, pipeline):
+        dataset, _db, table, executor = pipeline
+        query = compile_topk(
+            "SELECT TOP 4 FROM R WHERE a1 = 2 ORDER BY n1 + n2", dataset.schema
+        )
+        result = executor.execute(query)
+        assert len(result.rows) == 4
+        assert result.scores == sorted(result.scores)
+        for row in result.rows:
+            assert table.fetch_by_tid(row.tid)[0] == 2
+
+    def test_distance_sql_query(self, pipeline):
+        dataset, _db, _table, executor = pipeline
+        query = compile_topk(
+            "SELECT TOP 3 FROM R WHERE a2 = 1 "
+            "ORDER BY (n1 - 0.5)**2 + (n2 - 0.5)**2",
+            dataset.schema,
+        )
+        result = executor.execute(query)
+        assert len(result.rows) == 3
+        assert result.scores[0] < 0.05  # something near the center exists
+
+    def test_desc_sql_query(self, pipeline):
+        dataset, _db, table, executor = pipeline
+        query = compile_topk(
+            "SELECT TOP 3 FROM R ORDER BY n1 DESC", dataset.schema
+        )
+        result = executor.execute(query)
+        values = [table.fetch_by_tid(row.tid)[3] for row in result.rows]
+        assert values == sorted(values, reverse=True)
+        assert values[0] > 0.99
+
+    def test_projection_sql_query(self, pipeline):
+        dataset, _db, table, executor = pipeline
+        query = compile_topk(
+            "SELECT TOP 2 a2, n1 FROM R WHERE a1 = 0 ORDER BY n1 + n2",
+            dataset.schema,
+        )
+        result = executor.execute(query)
+        for row in result.rows:
+            record = table.fetch_by_tid(row.tid)
+            assert row.values == (record[1], record[3])
+
+
+class TestCrossMethodAgreement:
+    def test_three_methods_many_random_queries(self):
+        dataset = generate(SyntheticSpec(num_tuples=4000, seed=11))
+        db = Database()
+        table = dataset.load_into(db)
+        for name in dataset.schema.selection_names:
+            table.create_secondary_index(name)
+        table.create_composite_index(list(dataset.schema.selection_names))
+        cube = RankingCube.build(table, block_size=25)
+        executors = [
+            BaselineExecutor(table),
+            RankMappingExecutor(table),
+            RankingCubeExecutor(cube, table),
+        ]
+        gen = QueryGenerator(dataset.schema, QuerySpec(k=7, seed=23))
+        for query in gen.batch(10):
+            answers = [
+                [round(r.score, 9) for r in ex.execute(query).rows]
+                for ex in executors
+            ]
+            assert answers[0] == answers[1] == answers[2]
+
+    def test_fragments_agree_on_covertype(self):
+        dataset = generate_covertype(CoverTypeSpec(num_tuples=4000, seed=31))
+        db = Database()
+        table = dataset.load_into(db)
+        cube = FragmentedRankingCube.build_fragments(table, fragment_size=3)
+        executor = RankingCubeExecutor(cube, table)
+        for name in dataset.schema.selection_names:
+            table.create_secondary_index(name)
+        baseline = BaselineExecutor(table)
+        gen = QueryGenerator(
+            dataset.schema,
+            QuerySpec(k=5, num_selections=3, num_ranking_dims=3, seed=41),
+        )
+        for query in gen.batch(6):
+            a = [round(r.score, 9) for r in executor.execute(query).rows]
+            b = [round(r.score, 9) for r in baseline.execute(query).rows]
+            assert a == b
+
+
+class TestFailureInjection:
+    def make_cube(self):
+        dataset = generate(SyntheticSpec(num_tuples=1200, seed=43))
+        db = Database()
+        table = dataset.load_into(db)
+        cube = RankingCube.build(table, block_size=20)
+        return dataset, db, table, cube
+
+    def test_corrupted_page_surfaces_cleanly(self):
+        dataset, db, table, cube = self.make_cube()
+        executor = RankingCubeExecutor(cube, table)
+        query = compile_topk(
+            "SELECT TOP 5 FROM R WHERE a1 = 1 ORDER BY n1 + n2", dataset.schema
+        )
+        # find which pages a healthy run touches, then corrupt one of them
+        db.cold_cache()
+        db.device.reset_stats()
+        executor.execute(query)
+        touched_pages = db.device.stats.reads
+        assert touched_pages > 0
+        # corrupt every allocated page: the next cold query MUST notice
+        for page_id in range(db.device.num_pages):
+            db.device.corrupt(page_id)
+        db.cold_cache()
+        with pytest.raises(PageCorruptionError):
+            executor.execute(query)
+
+    def test_duplicate_scores_handled(self):
+        schema = Schema.of(
+            [selection_attr("a1", 2), ranking_attr("n1"), ranking_attr("n2")]
+        )
+        db = Database()
+        rows = [(0, 0.5, 0.5)] * 20 + [(0, 0.1, 0.1)]
+        table = db.load_table("R", schema, rows)
+        cube = RankingCube.build(table, block_size=5)
+        executor = RankingCubeExecutor(cube, table)
+        query = compile_topk(
+            "SELECT TOP 5 FROM R WHERE a1 = 0 ORDER BY n1 + n2", schema
+        )
+        result = executor.execute(query)
+        assert len(result.rows) == 5
+        assert result.scores[0] == pytest.approx(0.2)
+        assert all(s == pytest.approx(1.0) for s in result.scores[1:])
+
+    def test_single_tuple_relation(self):
+        schema = Schema.of(
+            [selection_attr("a1", 2), ranking_attr("n1"), ranking_attr("n2")]
+        )
+        db = Database()
+        table = db.load_table("R", schema, [(1, 0.3, 0.7)])
+        cube = RankingCube.build(table, block_size=5)
+        executor = RankingCubeExecutor(cube, table)
+        query = compile_topk(
+            "SELECT TOP 10 FROM R WHERE a1 = 1 ORDER BY n1 + n2", schema
+        )
+        result = executor.execute(query)
+        assert result.tids == [0]
+        query_miss = compile_topk(
+            "SELECT TOP 10 FROM R WHERE a1 = 0 ORDER BY n1 + n2", schema
+        )
+        assert executor.execute(query_miss).rows == []
+
+    def test_identical_ranking_values_everywhere(self):
+        schema = Schema.of(
+            [selection_attr("a1", 2), ranking_attr("n1"), ranking_attr("n2")]
+        )
+        rng = random.Random(5)
+        rows = [(rng.randrange(2), 0.25, 0.75) for _ in range(100)]
+        db = Database()
+        table = db.load_table("R", schema, rows)
+        cube = RankingCube.build(table, block_size=10)
+        executor = RankingCubeExecutor(cube, table)
+        query = compile_topk(
+            "SELECT TOP 3 FROM R WHERE a1 = 1 ORDER BY n1 + n2", schema
+        )
+        result = executor.execute(query)
+        assert len(result.rows) == 3
+        assert all(s == pytest.approx(1.0) for s in result.scores)

@@ -1,0 +1,93 @@
+"""Full lifecycle integration test.
+
+One scenario through the complete API surface: generate data, build,
+query via SQL, insert, absorb into the delta, rebuild, persist, restore,
+and keep answering — with brute-force verification at every stage.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    Database,
+    RankingCube,
+    RankingCubeExecutor,
+    Workspace,
+    compile_topk,
+    load_workspace,
+)
+from repro.workloads import SyntheticSpec, generate
+
+
+def brute_force(schema, rows, query):
+    scored = []
+    for tid, row in enumerate(rows):
+        if query.matches(schema, row):
+            scored.append((query.score_row(schema, row), tid))
+    scored.sort()
+    return scored[: query.k]
+
+
+def assert_correct(executor, schema, rows, query):
+    result = executor.execute(query)
+    expected = brute_force(schema, rows, query)
+    assert [r.score for r in result.rows] == pytest.approx(
+        [s for s, _t in expected]
+    )
+    return result
+
+
+class TestLifecycle:
+    def test_build_query_insert_rebuild_persist_restore(self, tmp_path):
+        rng = random.Random(211)
+        dataset = generate(SyntheticSpec(num_tuples=3000, seed=211))
+        schema = dataset.schema
+        rows = list(dataset.rows)
+
+        # stage 1: build and query
+        db = Database()
+        table = dataset.load_into(db)
+        cube = RankingCube.build(table, block_size=25)
+        executor = RankingCubeExecutor(cube, table)
+        query = compile_topk(
+            "SELECT TOP 7 FROM R WHERE a1 = 4 ORDER BY n1 + 2*n2", schema
+        )
+        assert_correct(executor, schema, rows, query)
+
+        # stage 2: three insert batches, each absorbed into the delta
+        for batch in range(3):
+            extra = [
+                (rng.randrange(10), rng.randrange(10), rng.randrange(10),
+                 rng.random(), rng.random())
+                for _ in range(40)
+            ]
+            table.insert_rows(extra)
+            rows.extend(extra)
+            absorbed = cube.refresh_delta(table)
+            assert absorbed == 40
+            assert_correct(executor, schema, rows, query)
+        assert cube.delta_size == 120
+
+    # stage 3: the delta outgrew the threshold -> rebuild
+        assert cube.needs_rebuild(max_delta_fraction=0.03)
+        cube = RankingCube.build(table, block_size=25)
+        assert cube.delta_size == 0
+        executor = RankingCubeExecutor(cube, table)
+        assert_correct(executor, schema, rows, query)
+
+        # stage 4: persist and restore; the restored cube still answers
+        path = tmp_path / "lifecycle.rcube"
+        Workspace(db=db, cubes={"R": cube}).save(path)
+        restored = load_workspace(path)
+        restored_executor = RankingCubeExecutor(
+            restored.cube("R"), restored.db.table("R")
+        )
+        assert_correct(restored_executor, schema, rows, query)
+
+        # stage 5: the restored workspace accepts further inserts
+        restored_table = restored.db.table("R")
+        restored_table.insert_rows([(4, 0, 0, 0.0, 0.0)])
+        restored.cube("R").refresh_delta(restored_table)
+        best = restored_executor.execute(query)
+        assert best.scores[0] == pytest.approx(0.0)

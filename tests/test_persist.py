@@ -1,0 +1,127 @@
+"""Tests for workspace persistence."""
+
+import pickle
+
+import pytest
+
+from repro.core import RankingCube, RankingCubeExecutor
+from repro.persist import FORMAT_VERSION, PersistError, Workspace, load_workspace, save_workspace
+from repro.ranking import LinearFunction
+from repro.relational import Database, TopKQuery
+from repro.workloads import QueryGenerator, QuerySpec, SyntheticSpec, generate
+
+
+@pytest.fixture()
+def workspace():
+    dataset = generate(SyntheticSpec(num_tuples=1500, seed=19))
+    db = Database()
+    table = dataset.load_into(db)
+    cube = RankingCube.build(table, block_size=20)
+    ws = Workspace(db=db)
+    ws.add_cube("R", cube)
+    return dataset, ws
+
+
+class TestRoundtrip:
+    def test_save_load_answers_identically(self, workspace, tmp_path):
+        dataset, ws = workspace
+        path = tmp_path / "snapshot.rcube"
+        written = ws.save(path)
+        assert written == path.stat().st_size
+
+        restored = load_workspace(path)
+        table = restored.db.table("R")
+        executor = RankingCubeExecutor(restored.cube("R"), table)
+        original = RankingCubeExecutor(ws.cube("R"), ws.db.table("R"))
+        gen = QueryGenerator(dataset.schema, QuerySpec(k=5, seed=3))
+        for query in gen.batch(5):
+            a = original.execute(query)
+            b = executor.execute(query)
+            assert [(r.tid, round(r.score, 9)) for r in a.rows] == [
+                (r.tid, round(r.score, 9)) for r in b.rows
+            ]
+
+    def test_delta_store_survives(self, workspace, tmp_path):
+        dataset, ws = workspace
+        table = ws.db.table("R")
+        table.insert_rows([(0, 0, 0, 0.0, 0.0)])
+        ws.cube("R").refresh_delta(table)
+        path = tmp_path / "s.rcube"
+        ws.save(path)
+        restored = load_workspace(path)
+        assert restored.cube("R").delta_size == 1
+        executor = RankingCubeExecutor(restored.cube("R"), restored.db.table("R"))
+        query = TopKQuery(1, {"a1": 0, "a2": 0}, LinearFunction(["n1", "n2"], [1, 1]))
+        assert executor.execute(query).scores == [pytest.approx(0.0)]
+
+    def test_save_workspace_helper(self, workspace, tmp_path):
+        _dataset, ws = workspace
+        path = tmp_path / "h.rcube"
+        save_workspace(ws.db, ws.cubes, path)
+        assert load_workspace(path).db.table_names() == ["R"]
+
+
+class TestValidation:
+    def test_wrong_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk"
+        path.write_bytes(b"definitely not a snapshot")
+        with pytest.raises(PersistError, match="not a ranking-cube"):
+            load_workspace(path)
+
+    def test_truncated_file_rejected(self, workspace, tmp_path):
+        _dataset, ws = workspace
+        path = tmp_path / "s.rcube"
+        ws.save(path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(PersistError, match="truncated"):
+            load_workspace(path)
+
+    def test_corrupted_payload_rejected(self, workspace, tmp_path):
+        _dataset, ws = workspace
+        path = tmp_path / "s.rcube"
+        ws.save(path)
+        data = bytearray(path.read_bytes())
+        data[-10] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(PersistError, match="checksum"):
+            load_workspace(path)
+
+    def test_version_mismatch_rejected(self, workspace, tmp_path):
+        _dataset, ws = workspace
+        path = tmp_path / "s.rcube"
+        ws.save(path)
+        data = bytearray(path.read_bytes())
+        data[8] = FORMAT_VERSION + 1  # little-endian version field
+        path.write_bytes(bytes(data))
+        with pytest.raises(PersistError, match="format"):
+            load_workspace(path)
+
+    def test_non_workspace_pickle_rejected(self, tmp_path):
+        import hashlib
+
+        payload = pickle.dumps({"not": "a workspace"})
+        header = (
+            b"RCUBEWS\n"
+            + FORMAT_VERSION.to_bytes(4, "little")
+            + len(payload).to_bytes(8, "little")
+            + hashlib.sha256(payload).digest()
+        )
+        path = tmp_path / "s.rcube"
+        path.write_bytes(header + payload)
+        with pytest.raises(PersistError, match="not a Workspace"):
+            load_workspace(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(PersistError, match="cannot read"):
+            load_workspace(tmp_path / "ghost.rcube")
+
+    def test_duplicate_cube_name_rejected(self, workspace):
+        _dataset, ws = workspace
+        with pytest.raises(PersistError):
+            ws.add_cube("R", ws.cube("R"))
+
+    def test_unknown_cube_name_rejected(self, workspace):
+        _dataset, ws = workspace
+        with pytest.raises(PersistError):
+            ws.cube("ghost")

@@ -1,0 +1,133 @@
+"""Tests for the interactive shell."""
+
+import pytest
+
+from repro.persist import PersistError, Workspace
+from repro.shell import Shell
+
+
+@pytest.fixture(scope="module")
+def shell():
+    return Shell.from_synthetic(num_tuples=2000, seed=11)
+
+
+class TestQueries:
+    def test_select_returns_rows_and_costs(self, shell):
+        output, keep = shell.execute_line(
+            "SELECT TOP 3 FROM R WHERE a1 = 2 ORDER BY n1 + n2"
+        )
+        assert keep
+        assert "3 row(s)" in output
+        assert "pages" in output
+        assert "tuples examined" in output
+
+    def test_empty_result_message(self, shell):
+        # impossible conjunction of many conditions on tiny data is likely
+        # empty; use an out-of-data value instead: cardinality 10, so all
+        # values exist — use three conditions to make it empty
+        output, _ = shell.execute_line(
+            "SELECT TOP 3 FROM R WHERE a1 = 0 AND a2 = 1 AND a3 = 2 "
+            "ORDER BY n1 + n2"
+        )
+        assert "row(s)" in output
+
+    def test_syntax_error_reported_not_fatal(self, shell):
+        output, keep = shell.execute_line("SELEKT TOPP 3")
+        assert keep
+        assert "syntax error" in output
+
+    def test_semantic_error_reported(self, shell):
+        output, keep = shell.execute_line(
+            "SELECT TOP 3 FROM R WHERE a1 = 999 ORDER BY n1"
+        )
+        assert keep
+        assert "error" in output
+
+    def test_blank_line_ignored(self, shell):
+        assert shell.execute_line("   ") == ("", True)
+
+
+class TestDotCommands:
+    def test_help(self, shell):
+        output, keep = shell.execute_line(".help")
+        assert keep
+        assert ".schema" in output
+
+    def test_schema(self, shell):
+        output, _ = shell.execute_line(".schema")
+        assert "a1" in output
+        assert "cardinality 10" in output
+        assert "ranking" in output
+
+    def test_describe(self, shell):
+        output, _ = shell.execute_line(".describe")
+        assert "RankingCube" in output
+
+    def test_stats(self, shell):
+        output, _ = shell.execute_line(".stats")
+        assert "reads" in output
+
+    def test_explain(self, shell):
+        output, _ = shell.execute_line(
+            ".explain SELECT TOP 3 FROM R WHERE a1 = 1 ORDER BY n1 + n2"
+        )
+        assert "covering cuboids" in output
+
+    def test_explain_without_sql(self, shell):
+        output, _ = shell.execute_line(".explain")
+        assert "usage" in output
+
+    def test_unknown_command(self, shell):
+        output, keep = shell.execute_line(".frobnicate")
+        assert keep
+        assert "unknown command" in output
+
+    def test_quit(self, shell):
+        output, keep = shell.execute_line(".quit")
+        assert not keep
+
+    def test_save_and_reload(self, shell, tmp_path):
+        path = tmp_path / "shell.rcube"
+        output, _ = shell.execute_line(f".save {path}")
+        assert "saved" in output
+        restored = Shell.from_workspace(str(path))
+        a, _ = shell.execute_line("SELECT TOP 3 FROM R WHERE a1 = 1 ORDER BY n1")
+        b, _ = restored.execute_line("SELECT TOP 3 FROM R WHERE a1 = 1 ORDER BY n1")
+        # same rows (strip the timing line, which differs)
+        assert a.splitlines()[:-1] == b.splitlines()[:-1]
+
+
+class TestRunLoop:
+    def test_scripted_session(self, shell):
+        outputs = []
+        shell.run(
+            lines=[".schema", "SELECT TOP 2 FROM R ORDER BY n1", ".quit", ".stats"],
+            write=outputs.append,
+        )
+        text = "\n".join(outputs)
+        assert "ranking-cube shell" in text  # banner
+        assert "2 row(s)" in text
+        assert "bye" in text
+        assert ".stats" not in text  # loop stopped at .quit
+
+    def test_workspace_with_wrong_shape_rejected(self, tmp_path):
+        from repro.relational import Database
+
+        ws = Workspace(db=Database())
+        path = tmp_path / "empty.rcube"
+        ws.save(path)
+        with pytest.raises(PersistError):
+            Shell.from_workspace(str(path))
+
+
+class TestMain:
+    def test_main_with_piped_input(self, monkeypatch, capsys):
+        import io
+
+        from repro.__main__ import main
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(".quit\n"))
+        code = main(["--tuples", "500"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ranking-cube shell" in out

@@ -1,0 +1,82 @@
+"""Unit tests for the CoverType stand-in generator."""
+
+import pytest
+
+from repro.workloads import (
+    RANKING_PROFILE,
+    SELECTION_PROFILE,
+    CoverTypeSpec,
+    covertype_schema,
+    generate_covertype,
+)
+
+
+class TestSchema:
+    def test_profile_matches_paper(self):
+        # 12 selection attributes with the paper's cardinalities
+        cards = sorted(card for _name, card in SELECTION_PROFILE)
+        assert cards == sorted([55, 7, 2, 85, 67, 7, 2, 2, 2, 2, 2, 2])
+        assert len(RANKING_PROFILE) == 3
+
+    def test_schema_shape(self):
+        schema = covertype_schema()
+        assert len(schema.selection_names) == 12
+        assert len(schema.ranking_names) == 3
+        assert schema.attribute("slope").cardinality == 55
+
+
+class TestGeneration:
+    def test_row_shape(self):
+        dataset = generate_covertype(CoverTypeSpec(num_tuples=500))
+        assert len(dataset.rows) == 500
+        assert len(dataset.rows[0]) == 15
+
+    def test_values_in_domain(self):
+        dataset = generate_covertype(CoverTypeSpec(num_tuples=1000))
+        schema = dataset.schema
+        for row in dataset.rows[:200]:
+            for i, name in enumerate(schema.selection_names):
+                assert 0 <= row[i] < schema.attribute(name).cardinality
+            for value in row[12:]:
+                assert 0.0 <= value <= 1.0
+
+    def test_deterministic(self):
+        a = generate_covertype(CoverTypeSpec(num_tuples=100, seed=1))
+        b = generate_covertype(CoverTypeSpec(num_tuples=100, seed=1))
+        assert a.rows == b.rows
+
+    def test_binary_flags_are_skewed_not_uniform(self):
+        dataset = generate_covertype(CoverTypeSpec(num_tuples=5000))
+        schema = dataset.schema
+        binary_positions = [
+            i
+            for i, name in enumerate(schema.selection_names)
+            if schema.attribute(name).cardinality == 2
+        ]
+        skewed = 0
+        for position in binary_positions:
+            ones = sum(row[position] for row in dataset.rows)
+            fraction = ones / len(dataset.rows)
+            if abs(fraction - 0.5) > 0.05:
+                skewed += 1
+        assert skewed >= len(binary_positions) // 2
+
+    def test_ranking_dims_have_duplicates(self):
+        # integer-quantized attributes must produce duplicate values
+        dataset = generate_covertype(CoverTypeSpec(num_tuples=5000))
+        elevations = [row[12] for row in dataset.rows]
+        assert len(set(elevations)) < len(elevations)
+
+    def test_ranking_dims_correlated(self):
+        dataset = generate_covertype(CoverTypeSpec(num_tuples=5000))
+        a = [row[12] for row in dataset.rows]
+        b = [row[13] for row in dataset.rows]
+        mean_a, mean_b = sum(a) / len(a), sum(b) / len(b)
+        cov = sum((x - mean_a) * (y - mean_b) for x, y in zip(a, b)) / len(a)
+        var_a = sum((x - mean_a) ** 2 for x in a) / len(a)
+        var_b = sum((y - mean_b) ** 2 for y in b) / len(b)
+        assert cov / (var_a * var_b) ** 0.5 > 0.3
+
+    def test_invalid_spec(self):
+        with pytest.raises(ValueError):
+            CoverTypeSpec(num_tuples=0)

@@ -1,0 +1,109 @@
+"""Unit tests for the query workload generator."""
+
+import random
+
+import pytest
+
+from repro.ranking import LinearFunction, LpDistance
+from repro.workloads import QueryGenerator, QuerySpec, SyntheticSpec, skewed_weights
+
+
+def make_schema(num_sel=4, num_rank=3, cardinality=10):
+    return SyntheticSpec(
+        num_selection_dims=num_sel,
+        num_ranking_dims=num_rank,
+        cardinality=cardinality,
+    ).schema()
+
+
+class TestSpecValidation:
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            QuerySpec(k=0)
+        with pytest.raises(ValueError):
+            QuerySpec(num_selections=-1)
+        with pytest.raises(ValueError):
+            QuerySpec(num_ranking_dims=0)
+        with pytest.raises(ValueError):
+            QuerySpec(skewness=0.0)
+        with pytest.raises(ValueError):
+            QuerySpec(skewness=1.5)
+        with pytest.raises(ValueError):
+            QuerySpec(function_family="cubic")
+
+    def test_generator_rejects_oversized_specs(self):
+        schema = make_schema(num_sel=2)
+        with pytest.raises(ValueError):
+            QueryGenerator(schema, QuerySpec(num_selections=3))
+        with pytest.raises(ValueError):
+            QueryGenerator(schema, QuerySpec(num_ranking_dims=9))
+
+
+class TestGeneration:
+    def test_query_shape(self):
+        gen = QueryGenerator(make_schema(), QuerySpec(k=7, num_selections=2))
+        query = gen.generate()
+        assert query.k == 7
+        assert len(query.selections) == 2
+        assert len(query.ranking.dims) == 2
+
+    def test_values_within_domains(self):
+        schema = make_schema(cardinality=5)
+        gen = QueryGenerator(schema, QuerySpec(num_selections=3))
+        for query in gen.batch(50):
+            query.validate_against(schema)
+
+    def test_deterministic_per_seed(self):
+        schema = make_schema()
+        a = QueryGenerator(schema, QuerySpec(seed=3)).batch(5)
+        b = QueryGenerator(schema, QuerySpec(seed=3)).batch(5)
+        assert [q.selections for q in a] == [q.selections for q in b]
+        assert [q.ranking.weights for q in a] == [q.ranking.weights for q in b]
+
+    def test_skewness_respected(self):
+        gen = QueryGenerator(make_schema(), QuerySpec(skewness=0.25))
+        for query in gen.batch(20):
+            assert isinstance(query.ranking, LinearFunction)
+            assert query.ranking.skewness() == pytest.approx(0.25)
+
+    def test_lp_family(self):
+        gen = QueryGenerator(
+            make_schema(), QuerySpec(function_family="lp", p=2.0)
+        )
+        query = gen.generate()
+        assert isinstance(query.ranking, LpDistance)
+
+    def test_zero_selections(self):
+        gen = QueryGenerator(make_schema(), QuerySpec(num_selections=0))
+        assert gen.generate().selections == {}
+
+    def test_stream(self):
+        gen = QueryGenerator(make_schema(), QuerySpec())
+        stream = gen.stream()
+        assert next(stream).k == next(stream).k == 10
+
+    def test_constrained_uses_exact_dims(self):
+        gen = QueryGenerator(make_schema(), QuerySpec(num_selections=2))
+        query = gen.constrained(["a1", "a3"])
+        assert set(query.selections) == {"a1", "a3"}
+
+    def test_constrained_varies_with_offset(self):
+        gen = QueryGenerator(make_schema(cardinality=50), QuerySpec())
+        q1 = gen.constrained(["a1"], seed_offset=1)
+        q2 = gen.constrained(["a1"], seed_offset=2)
+        assert q1.selections != q2.selections or q1.ranking.weights != q2.ranking.weights
+
+
+class TestSkewedWeights:
+    def test_ratio_exact(self):
+        rng = random.Random(1)
+        for count in (2, 3, 5):
+            weights = skewed_weights(count, 0.1, rng)
+            assert min(weights) / max(weights) == pytest.approx(0.1)
+
+    def test_single_weight(self):
+        assert skewed_weights(1, 0.5, random.Random(1)) == [1.0]
+
+    def test_balanced(self):
+        weights = skewed_weights(4, 1.0, random.Random(2))
+        assert all(w == pytest.approx(1.0) for w in weights)

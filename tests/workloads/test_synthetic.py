@@ -1,0 +1,105 @@
+"""Unit tests for synthetic data generation."""
+
+import pytest
+
+from repro.relational import Database
+from repro.workloads import SyntheticSpec, generate
+
+
+class TestSpecValidation:
+    def test_defaults(self):
+        spec = SyntheticSpec()
+        assert spec.num_selection_dims == 3
+        assert spec.num_ranking_dims == 2
+        assert spec.cardinality == 10
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(num_selection_dims=-1)
+        with pytest.raises(ValueError):
+            SyntheticSpec(num_ranking_dims=0)
+        with pytest.raises(ValueError):
+            SyntheticSpec(num_tuples=0)
+        with pytest.raises(ValueError):
+            SyntheticSpec(cardinality=0)
+        with pytest.raises(ValueError):
+            SyntheticSpec(selection_distribution="weird")
+        with pytest.raises(ValueError):
+            SyntheticSpec(ranking_distribution="weird")
+
+    def test_names(self):
+        spec = SyntheticSpec(num_selection_dims=2, num_ranking_dims=3)
+        assert spec.selection_names == ("a1", "a2")
+        assert spec.ranking_names == ("n1", "n2", "n3")
+
+    def test_schema_shape(self):
+        schema = SyntheticSpec(num_selection_dims=2, cardinality=7).schema()
+        assert schema.selection_names == ("a1", "a2")
+        assert schema.attribute("a1").cardinality == 7
+
+
+class TestGeneration:
+    def test_row_shape_and_types(self):
+        dataset = generate(SyntheticSpec(num_tuples=100))
+        assert len(dataset.rows) == 100
+        row = dataset.rows[0]
+        assert len(row) == 5
+        assert all(isinstance(v, int) for v in row[:3])
+        assert all(isinstance(v, float) for v in row[3:])
+
+    def test_values_in_domain(self):
+        spec = SyntheticSpec(num_tuples=500, cardinality=6)
+        dataset = generate(spec)
+        for row in dataset.rows:
+            assert all(0 <= v < 6 for v in row[:3])
+            assert all(0.0 <= v <= 1.0 for v in row[3:])
+
+    def test_deterministic_per_seed(self):
+        a = generate(SyntheticSpec(num_tuples=50, seed=5))
+        b = generate(SyntheticSpec(num_tuples=50, seed=5))
+        c = generate(SyntheticSpec(num_tuples=50, seed=6))
+        assert a.rows == b.rows
+        assert a.rows != c.rows
+
+    def test_zipf_is_skewed(self):
+        spec = SyntheticSpec(
+            num_tuples=5000, selection_distribution="zipf", cardinality=10
+        )
+        dataset = generate(spec)
+        counts = [0] * 10
+        for row in dataset.rows:
+            counts[row[0]] += 1
+        assert counts[0] > 2 * counts[9]
+
+    def test_gaussian_clusters_mid_space(self):
+        spec = SyntheticSpec(num_tuples=5000, ranking_distribution="gaussian")
+        dataset = generate(spec)
+        values = [row[3] for row in dataset.rows]
+        mid = sum(1 for v in values if 0.25 <= v <= 0.75)
+        assert mid > 0.8 * len(values)
+
+    def test_correlated_dimensions(self):
+        spec = SyntheticSpec(num_tuples=5000, ranking_distribution="correlated")
+        dataset = generate(spec)
+        n1 = [row[3] for row in dataset.rows]
+        n2 = [row[4] for row in dataset.rows]
+        mean1 = sum(n1) / len(n1)
+        mean2 = sum(n2) / len(n2)
+        cov = sum((a - mean1) * (b - mean2) for a, b in zip(n1, n2)) / len(n1)
+        var1 = sum((a - mean1) ** 2 for a in n1) / len(n1)
+        var2 = sum((b - mean2) ** 2 for b in n2) / len(n2)
+        correlation = cov / (var1 * var2) ** 0.5
+        assert correlation > 0.5
+
+    def test_load_into_database(self):
+        dataset = generate(SyntheticSpec(num_tuples=200))
+        db = Database()
+        table = dataset.load_into(db)
+        assert table.num_rows == 200
+        assert table.schema is dataset.schema or len(table.schema) == len(
+            dataset.schema
+        )
+
+    def test_no_selection_dims(self):
+        dataset = generate(SyntheticSpec(num_selection_dims=0, num_tuples=20))
+        assert len(dataset.rows[0]) == 2
