@@ -23,7 +23,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiments",
         nargs="*",
         default=["all"],
-        help="experiment ids (fig04..fig15, ablation_*) or 'all'",
+        help="experiment ids (fig04..fig15, ablation_*), 'fault-matrix', or 'all'",
     )
     parser.add_argument(
         "--tuples", type=int, default=None, help="override dataset size"
@@ -39,9 +39,24 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     wanted = list(ALL_EXPERIMENTS) if args.experiments == ["all"] or args.experiments == [] else args.experiments
+    run_faults = "fault-matrix" in wanted
+    wanted = [name for name in wanted if name != "fault-matrix"]
     unknown = [name for name in wanted if name not in ALL_EXPERIMENTS]
     if unknown:
-        parser.error(f"unknown experiments: {unknown}; known: {sorted(ALL_EXPERIMENTS)}")
+        parser.error(
+            f"unknown experiments: {unknown}; "
+            f"known: {sorted(ALL_EXPERIMENTS)} + ['fault-matrix']"
+        )
+
+    if run_faults:
+        # deterministic fixed-seed fault matrix (see repro.bench.faultmatrix)
+        from .faultmatrix import run_fault_matrix
+
+        result = run_fault_matrix()
+        print(result.format_table())
+        print()
+        if not result.consistent:
+            return 1
 
     for name in wanted:
         fn = ALL_EXPERIMENTS[name]

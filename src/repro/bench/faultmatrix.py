@@ -1,0 +1,335 @@
+"""Crash-consistency schedules and the fault-matrix runner.
+
+A *schedule* is one reproducible storm: build a ranking cube on a
+:class:`~repro.storage.faults.FaultyBlockDevice` under a seeded transient
+fault plan, run top-k queries through the retrying storage stack, then
+simulate a crash — tear a few in-flight page writes, discard every
+unflushed buffer-pool frame — "reopen" the surviving device image, and
+check the two guarantees this repository makes about failure:
+
+1. **No silent wrong answers.**  Every query, before and after the crash,
+   either returns exactly the pristine-device top-k or raises a typed
+   :class:`~repro.storage.device.StorageError` subclass (usually
+   :class:`~repro.core.executor.QueryAbortedError` with partial results
+   attached).
+2. **Detectable damage only.**  After the crash, every device page is
+   either readable or *detectably* invalid — scrubbing finds exactly the
+   pages the crash tore, never an undetected mutation.
+
+``run_fault_matrix`` sweeps a fixed seed tuple so CI stays deterministic
+and fast (``python -m repro.bench fault-matrix``); the crash-consistency
+test suite drives ``run_schedule`` across 100 seeds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..core import RankingCube, RankingCubeExecutor
+from ..ranking import LinearFunction
+from ..relational import (
+    Database,
+    Schema,
+    TopKQuery,
+    ranking_attr,
+    selection_attr,
+)
+from ..storage import (
+    BlockDevice,
+    FaultyBlockDevice,
+    RetryPolicy,
+    StorageError,
+    transient_fault_plan,
+)
+
+#: Fixed seeds for the CI fault matrix (`python -m repro.bench fault-matrix`).
+DEFAULT_MATRIX_SEEDS = (11, 23, 47)
+
+_CARDS = (3, 4)
+
+
+class HarnessError(AssertionError):
+    """A crash-consistency guarantee was violated (this is the bug alarm)."""
+
+
+@dataclass
+class ScheduleOutcome:
+    """What one seeded schedule observed.
+
+    ``silent_wrong`` and ``undetected_damage`` must be zero for the
+    schedule to uphold the consistency guarantees; everything else is
+    descriptive (how hard the storm hit, how often retries saved a query).
+    """
+
+    seed: int
+    built: bool = False
+    build_error: str | None = None
+    queries_ok: int = 0
+    queries_aborted: int = 0
+    silent_wrong: int = 0
+    post_crash_ok: int = 0
+    post_crash_aborted: int = 0
+    undetected_damage: int = 0
+    torn_pages: int = 0
+    corrupt_pages_detected: int = 0
+    dirty_pages_lost: int = 0
+    faults_injected: int = 0
+    retried_reads: int = 0
+    retried_writes: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def consistent(self) -> bool:
+        return self.silent_wrong == 0 and self.undetected_damage == 0
+
+
+@dataclass
+class FaultMatrixResult:
+    """Aggregate of :func:`run_schedule` over a seed sweep."""
+
+    outcomes: list[ScheduleOutcome]
+
+    @property
+    def consistent(self) -> bool:
+        return all(outcome.consistent for outcome in self.outcomes)
+
+    @property
+    def total_faults(self) -> int:
+        return sum(outcome.faults_injected for outcome in self.outcomes)
+
+    def format_table(self) -> str:
+        header = (
+            f"fault-matrix over {len(self.outcomes)} schedule(s)  "
+            f"[consistent={'yes' if self.consistent else 'NO'}]"
+        )
+        columns = (
+            "seed built ok abort wrong post_ok post_abort torn detected "
+            "lost faults rd_retry wr_retry"
+        ).split()
+        lines = [header, "  ".join(f"{c:>10}" for c in columns)]
+        for o in self.outcomes:
+            row = [
+                o.seed,
+                "yes" if o.built else "no",
+                o.queries_ok,
+                o.queries_aborted,
+                o.silent_wrong,
+                o.post_crash_ok,
+                o.post_crash_aborted,
+                o.torn_pages,
+                o.corrupt_pages_detected,
+                o.dirty_pages_lost,
+                o.faults_injected,
+                o.retried_reads,
+                o.retried_writes,
+            ]
+            lines.append("  ".join(f"{str(v):>10}" for v in row))
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# schedule ingredients
+# ----------------------------------------------------------------------
+def _schema() -> Schema:
+    return Schema.of(
+        [selection_attr("a1", _CARDS[0]), selection_attr("a2", _CARDS[1])]
+        + [ranking_attr("n1"), ranking_attr("n2")]
+    )
+
+
+def _rows(rng: random.Random, count: int) -> list[tuple]:
+    return [
+        (rng.randrange(_CARDS[0]), rng.randrange(_CARDS[1]), rng.random(), rng.random())
+        for _ in range(count)
+    ]
+
+
+def _queries(rng: random.Random, count: int) -> list[TopKQuery]:
+    queries = []
+    for _ in range(count):
+        selections = {}
+        if rng.random() < 0.8:
+            selections["a1"] = rng.randrange(_CARDS[0])
+        if rng.random() < 0.5:
+            selections["a2"] = rng.randrange(_CARDS[1])
+        fn = LinearFunction(
+            ["n1", "n2"], [0.1 + rng.random(), 0.1 + rng.random()]
+        )
+        queries.append(TopKQuery(rng.randint(1, 8), selections, fn))
+    return queries
+
+
+def brute_force_scores(
+    schema: Schema, rows: list[tuple], query: TopKQuery
+) -> list[float]:
+    """Reference top-k scores, computed with no storage at all."""
+    scored = sorted(
+        query.score_row(schema, row)
+        for row in rows
+        if query.matches(schema, row)
+    )
+    return scored[: query.k]
+
+
+def _scores_match(result_rows, expected: list[float], tol: float = 1e-9) -> bool:
+    got = [row.score for row in result_rows]
+    if len(got) != len(expected):
+        return False
+    return all(abs(g - e) <= tol for g, e in zip(got, expected))
+
+
+# ----------------------------------------------------------------------
+# one schedule
+# ----------------------------------------------------------------------
+def run_schedule(
+    seed: int,
+    *,
+    num_rows: int = 80,
+    num_queries: int = 4,
+    crash_torn_pages: int = 3,
+    page_size: int = 512,
+    retry_attempts: int = 6,
+) -> ScheduleOutcome:
+    """Run one seeded build/query/crash/reopen schedule.
+
+    Raises :class:`HarnessError` if a consistency guarantee is violated —
+    a query result that differs from the pristine reference without a
+    typed error, a non-``StorageError`` escaping the stack, or post-crash
+    damage the scrub cannot detect.
+    """
+    outcome = ScheduleOutcome(seed=seed)
+    rng = random.Random(seed)
+    schema = _schema()
+    rows = _rows(rng, num_rows)
+    queries = _queries(rng, num_queries)
+    references = [brute_force_scores(schema, rows, q) for q in queries]
+
+    injector = transient_fault_plan(rng.randrange(2**31))
+    device = FaultyBlockDevice(BlockDevice(page_size=page_size), injector)
+    db = Database(
+        buffer_capacity=512,
+        device=device,
+        retry_policy=RetryPolicy(max_attempts=retry_attempts),
+    )
+
+    # --- build under fire -------------------------------------------------
+    try:
+        table = db.load_table("R", schema, rows)
+        cube = RankingCube.build(table, block_size=rng.choice([4, 8, 16]))
+        outcome.built = True
+    except StorageError as exc:
+        # a typed abort is an acceptable (if unlucky) outcome; anything
+        # else would propagate out of this function as the bug it is
+        outcome.build_error = f"{type(exc).__name__}: {exc}"
+        outcome.faults_injected = injector.stats.total
+        return outcome
+
+    executor = RankingCubeExecutor(cube, table)
+
+    # --- queries under fire ----------------------------------------------
+    for query, expected in zip(queries, references):
+        try:
+            db.cold_cache()  # force every page access to face the device
+            result = executor.execute(query)
+        except StorageError:
+            # QueryAbortedError (with partial rows) or a retry-exhausted /
+            # corruption escalation from the cold_cache flush: all typed
+            outcome.queries_aborted += 1
+            continue
+        if _scores_match(result.rows, expected):
+            outcome.queries_ok += 1
+        else:
+            outcome.silent_wrong += 1
+            outcome.notes.append(f"pre-crash silent wrong answer for {query}")
+
+    # --- checkpoint, then crash with writes in flight ---------------------
+    injector.disarm()
+    db.pool.flush()  # checkpoint: the durable state queries will reopen
+    # writes in flight at the moment of the crash: a few pages get torn
+    # (partial image, stale checksum), a few buffered updates are lost
+    # outright (dirtied in the pool, never flushed)
+    tearable = list(range(device.num_pages))
+    rng.shuffle(tearable)
+    torn: list[int] = []
+    for page_id in tearable[:crash_torn_pages]:
+        garbage = bytes(rng.randrange(256) for _ in range(rng.randint(1, page_size)))
+        device.patch(page_id, garbage, update_checksum=False)
+        torn.append(page_id)
+    outcome.torn_pages = len(torn)
+    for page_id in tearable[crash_torn_pages : crash_torn_pages + 2]:
+        db.pool.put(page_id, b"\x7fLOST" + bytes(page_size - 5))
+    outcome.dirty_pages_lost = len(db.pool.dirty_pages)
+    db.pool.crash()
+
+    # --- reopen and verify ------------------------------------------------
+    scrub = device.scrub()
+    outcome.corrupt_pages_detected = len(scrub.corrupt_page_ids) + len(
+        scrub.unreadable_page_ids
+    )
+    undetected = [
+        page_id
+        for page_id in torn
+        if page_id not in scrub.corrupt_page_ids
+        and page_id not in scrub.unreadable_page_ids
+        and not _patch_was_noop(device, page_id)
+    ]
+    outcome.undetected_damage = len(undetected)
+    if undetected:
+        outcome.notes.append(f"torn pages not detected by scrub: {undetected}")
+    unexpected = [
+        page_id
+        for page_id in scrub.corrupt_page_ids + scrub.unreadable_page_ids
+        if page_id not in torn
+    ]
+    if unexpected:
+        # scrubbing flagged a page the crash did not tear: the transient
+        # fault plan leaked persistent damage, which would be a retry bug
+        outcome.undetected_damage += len(unexpected)
+        outcome.notes.append(f"unexpected corrupt pages: {unexpected}")
+
+    for query, expected in zip(queries, references):
+        try:
+            result = executor.execute(query)
+        except StorageError:
+            outcome.post_crash_aborted += 1
+            continue
+        if _scores_match(result.rows, expected):
+            outcome.post_crash_ok += 1
+        else:
+            outcome.silent_wrong += 1
+            outcome.notes.append(f"post-crash silent wrong answer for {query}")
+
+    outcome.faults_injected = injector.stats.total
+    outcome.retried_reads = device.stats.retried_reads
+    outcome.retried_writes = device.stats.retried_writes
+
+    if not outcome.consistent:
+        raise HarnessError(
+            f"schedule seed={seed} violated crash consistency: "
+            f"silent_wrong={outcome.silent_wrong}, "
+            f"undetected_damage={outcome.undetected_damage}, "
+            f"notes={outcome.notes}"
+        )
+    return outcome
+
+
+def _patch_was_noop(device: FaultyBlockDevice, page_id: int) -> bool:
+    """True when a torn patch happened to leave the page image intact."""
+    try:
+        device.inner.read(page_id)
+        return True
+    except StorageError:
+        return False
+
+
+# ----------------------------------------------------------------------
+# the matrix
+# ----------------------------------------------------------------------
+def run_fault_matrix(
+    seeds: tuple[int, ...] = DEFAULT_MATRIX_SEEDS, **schedule_kwargs
+) -> FaultMatrixResult:
+    """Run :func:`run_schedule` for each seed and aggregate the outcomes."""
+    return FaultMatrixResult(
+        outcomes=[run_schedule(seed, **schedule_kwargs) for seed in seeds]
+    )

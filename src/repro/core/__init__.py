@@ -18,7 +18,7 @@ from .estimate import (
     estimate_cube_cost,
     estimate_qualifying,
 )
-from .executor import ExecutorTrace, QueryPlan, RankingCubeExecutor
+from .executor import ExecutorTrace, QueryAbortedError, QueryPlan, RankingCubeExecutor
 from .fragments import (
     FragmentedRankingCube,
     estimated_fragment_space,
@@ -61,6 +61,7 @@ __all__ = [
     "MultiCubeRouter",
     "Partitioner",
     "PseudoBlockMap",
+    "QueryAbortedError",
     "QueryPlan",
     "QuantileGridPartitioner",
     "RankingCube",

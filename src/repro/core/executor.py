@@ -27,8 +27,44 @@ from dataclasses import dataclass, field
 
 from ..relational.query import QueryResult, ResultRow, TopKQuery
 from ..relational.table import Table
+from ..storage.device import StorageError
 from .cube import CubeError, RankingCube
 from .cuboid import RankingCuboid
+
+
+class QueryAbortedError(StorageError):
+    """A top-k query hit an unrecoverable storage fault mid-execution.
+
+    Retries below the executor absorb transient faults; when they run out
+    (or on-disk damage persists), the executor aborts with this error
+    rather than a random traceback.  It is *partial-result-aware*: the
+    best-first candidates scored before the fault are attached, ranked, so
+    an any-time caller can degrade gracefully — but they are explicitly
+    **not** a correct top-k answer (unexamined blocks may hold better
+    tuples).
+
+    Attributes
+    ----------
+    partial_rows:
+        The top-k heap's contents at abort time, best score first.
+    blocks_accessed:
+        Candidate blocks examined before the fault.
+    cause:
+        The underlying typed storage error.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        partial_rows: list[ResultRow],
+        blocks_accessed: int,
+        cause: StorageError,
+    ):
+        super().__init__(message)
+        self.partial_rows = partial_rows
+        self.blocks_accessed = blocks_accessed
+        self.cause = cause
 
 
 @dataclass
@@ -127,43 +163,52 @@ class RankingCubeExecutor:
         buffers: list[dict[int, dict[int, list[int]]]] = [{} for _ in covering]
 
         result = QueryResult()
-        while frontier:
-            s_unseen = frontier[0][0]
-            if len(topk) >= query.k and -topk[0][0] <= s_unseen:
-                break
-            _bound, bid = heapq.heappop(frontier)
-            result.blocks_accessed += 1
-            if trace is not None:
-                trace.candidate_bids.append(bid)
+        try:
+            while frontier:
+                s_unseen = frontier[0][0]
+                if len(topk) >= query.k and -topk[0][0] <= s_unseen:
+                    break
+                _bound, bid = heapq.heappop(frontier)
+                result.blocks_accessed += 1
+                if trace is not None:
+                    trace.candidate_bids.append(bid)
 
-            qualifying = self._retrieve(bid, covering, cell_values, buffers, trace)
-            if qualifying is None or qualifying:
-                self._evaluate(bid, qualifying, fn, positions, query.k, topk, result, trace)
-            elif trace is not None:
-                trace.empty_cells_skipped += 1
+                qualifying = self._retrieve(bid, covering, cell_values, buffers, trace)
+                if qualifying is None or qualifying:
+                    self._evaluate(bid, qualifying, fn, positions, query.k, topk, result, trace)
+                elif trace is not None:
+                    trace.empty_cells_skipped += 1
 
-            for neighbor in grid.neighbors(bid):
-                if neighbor in inserted:
-                    continue
-                inserted.add(neighbor)
-                heapq.heappush(
-                    frontier, (self._block_bound(neighbor, fn, positions), neighbor)
-                )
-            if trace is not None:
-                trace.frontier_peak = max(trace.frontier_peak, len(frontier))
+                for neighbor in grid.neighbors(bid):
+                    if neighbor in inserted:
+                        continue
+                    inserted.add(neighbor)
+                    heapq.heappush(
+                        frontier, (self._block_bound(neighbor, fn, positions), neighbor)
+                    )
+                if trace is not None:
+                    trace.frontier_peak = max(trace.frontier_peak, len(frontier))
 
-        # Merge the cube's delta store: tuples appended after the build are
-        # held in memory and scored against every query (see
-        # RankingCube.refresh_delta).
-        for tid, rank_values in self.cube.delta_matches(dict(query.selections)):
-            point = [rank_values[d] for d in fn.dims]
-            score = fn.score(point)
-            result.tuples_examined += 1
-            entry = (-score, -tid)
-            if len(topk) < query.k:
-                heapq.heappush(topk, entry)
-            elif entry > topk[0]:
-                heapq.heapreplace(topk, entry)
+            # Merge the cube's delta store: tuples appended after the build
+            # are held in memory and scored against every query (see
+            # RankingCube.refresh_delta).
+            for tid, rank_values in self.cube.delta_matches(dict(query.selections)):
+                point = [rank_values[d] for d in fn.dims]
+                score = fn.score(point)
+                result.tuples_examined += 1
+                entry = (-score, -tid)
+                if len(topk) < query.k:
+                    heapq.heappush(topk, entry)
+                elif entry > topk[0]:
+                    heapq.heapreplace(topk, entry)
+        except StorageError as exc:
+            raise QueryAbortedError(
+                f"query aborted after {result.blocks_accessed} block "
+                f"access(es): {exc}",
+                partial_rows=_rows_from_heap(topk),
+                blocks_accessed=result.blocks_accessed,
+                cause=exc,
+            ) from exc
 
         rows = _rows_from_heap(topk)
         if query.projection:

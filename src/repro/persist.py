@@ -17,12 +17,14 @@ from __future__ import annotations
 
 import hashlib
 import io
+import os
 import pickle
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from .core.cube import RankingCube
 from .relational.database import Database
+from .storage.device import PageCorruptionError, StorageError
 
 _MAGIC = b"RCUBEWS\n"
 FORMAT_VERSION = 1
@@ -62,9 +64,21 @@ class Workspace:
 
     # ------------------------------------------------------------------
     def save(self, path: str | Path) -> int:
-        """Write the workspace snapshot; returns bytes written."""
+        """Write the workspace snapshot; returns bytes written.
+
+        The write is atomic (temp file + rename): a crash mid-save leaves
+        either the previous snapshot or none, never a torn one.  A storage
+        fault while flushing dirty pages aborts the save with a typed
+        :class:`PersistError` — the dirty frames keep their state, so the
+        save can be retried once the fault clears.
+        """
         # flush buffered pages so the device holds the complete state
-        self.db.pool.flush()
+        try:
+            self.db.pool.flush()
+        except StorageError as exc:
+            raise PersistError(
+                f"cannot snapshot: flushing dirty pages failed ({exc})"
+            ) from exc
         payload = pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
         digest = hashlib.sha256(payload).digest()
         header = (
@@ -74,8 +88,28 @@ class Workspace:
             + digest
         )
         data = header + payload
-        Path(path).write_bytes(data)
+        target = Path(path)
+        tmp = target.with_name(target.name + ".tmp")
+        tmp.write_bytes(data)
+        os.replace(tmp, target)
         return len(data)
+
+    def verify_integrity(self) -> list[int]:
+        """Read every device page, returning the ids that are damaged.
+
+        The crash-consistency check: after reopening a workspace (or after
+        a simulated crash dropped unflushed pages), every page must be
+        readable or *detectably* invalid.  Detection is by typed error;
+        anything else propagates as the bug it would be.
+        """
+        device = self.db.device
+        corrupt: list[int] = []
+        for page_id in range(device.num_pages):
+            try:
+                device.read(page_id)
+            except (PageCorruptionError, StorageError):
+                corrupt.append(page_id)
+        return corrupt
 
     @classmethod
     def load(cls, path: str | Path) -> "Workspace":

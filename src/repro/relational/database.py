@@ -12,6 +12,7 @@ from typing import Iterable, Sequence
 
 from ..storage.buffer import BufferPool
 from ..storage.device import DEFAULT_PAGE_SIZE, BlockDevice, IOStats
+from ..storage.faults import RetryPolicy
 from .schema import Schema
 from .table import Table, TableError
 
@@ -22,19 +23,30 @@ class Database:
     Parameters
     ----------
     page_size:
-        Page size of the underlying device.
+        Page size of the underlying device (ignored when ``device`` is
+        supplied).
     buffer_capacity:
         Frames in the shared buffer pool.  Benchmarks clear the pool between
         queries (cold cache) so capacity mostly bounds build-time memory.
+    device:
+        Bring-your-own device — e.g. a
+        :class:`~repro.storage.faults.FaultyBlockDevice` for failure
+        testing.  Anything with the :class:`BlockDevice` interface works.
+    retry_policy:
+        Retry contract handed to the buffer pool (``None`` = pool default).
     """
 
     def __init__(
         self,
         page_size: int = DEFAULT_PAGE_SIZE,
         buffer_capacity: int = 4096,
+        device: BlockDevice | None = None,
+        retry_policy: RetryPolicy | None = None,
     ):
-        self.device = BlockDevice(page_size=page_size)
-        self.pool = BufferPool(self.device, capacity=buffer_capacity)
+        self.device = device if device is not None else BlockDevice(page_size=page_size)
+        self.pool = BufferPool(
+            self.device, capacity=buffer_capacity, retry_policy=retry_policy
+        )
         self._tables: dict[str, Table] = {}
 
     # ------------------------------------------------------------------

@@ -18,6 +18,26 @@ from .device import (
     PageNotAllocatedError,
     StorageError,
 )
+from .faults import (
+    BIT_FLIP,
+    FAULT_KINDS,
+    LATENCY,
+    READ_ERROR,
+    TORN_WRITE,
+    WRITE_ERROR,
+    FaultInjector,
+    FaultRule,
+    FaultStats,
+    FaultyBlockDevice,
+    RetryExhaustedError,
+    RetryPolicy,
+    ScrubReport,
+    TornWriteError,
+    TransientReadError,
+    TransientStorageFault,
+    TransientWriteError,
+    transient_fault_plan,
+)
 from .heap import HeapFile, Rid
 from .pages import BytesPage, PageFormatError, RecordCodec, RecordPage
 from .varint import (
@@ -31,12 +51,22 @@ from .varint import (
 )
 
 __all__ = [
+    "BIT_FLIP",
     "DEFAULT_PAGE_SIZE",
+    "FAULT_KINDS",
+    "LATENCY",
+    "READ_ERROR",
+    "TORN_WRITE",
+    "WRITE_ERROR",
     "BlobStore",
     "BlockDevice",
     "BufferPool",
     "BufferStats",
     "BytesPage",
+    "FaultInjector",
+    "FaultRule",
+    "FaultStats",
+    "FaultyBlockDevice",
     "HeapFile",
     "IOStats",
     "PageCorruptionError",
@@ -44,9 +74,17 @@ __all__ = [
     "PageNotAllocatedError",
     "RecordCodec",
     "RecordPage",
+    "RetryExhaustedError",
+    "RetryPolicy",
     "Rid",
+    "ScrubReport",
     "StorageError",
+    "TornWriteError",
+    "TransientReadError",
+    "TransientStorageFault",
+    "TransientWriteError",
     "VarintError",
+    "transient_fault_plan",
     "decode_uvarint",
     "delta_decode_sorted",
     "delta_encode_sorted",

@@ -14,7 +14,7 @@ from typing import Iterable
 
 from ..index.bptree import BPlusTree
 from .buffer import BufferPool
-from .device import StorageError
+from .device import PageCorruptionError, StorageError
 from .pages import BytesPage
 
 
@@ -81,15 +81,35 @@ class BlobStore:
         page_index, offset, length = _unpack_locator(locator)
         chunks = []
         while length > 0:
-            payload = BytesPage.from_bytes(
-                self.pool.get(self._page_ids[page_index]), self.page_size
-            ).payload
+            payload = self._load_payload(page_index)
             take = payload[offset:offset + length]
+            if not take:
+                raise PageCorruptionError(
+                    f"blob {key!r} expects {length} more byte(s) at page "
+                    f"index {page_index} offset {offset}, but the page "
+                    "payload ends early (damaged page or directory)",
+                    page_id=self._page_ids[page_index],
+                )
             chunks.append(take)
             length -= len(take)
             page_index += 1
             offset = 0
         return b"".join(chunks)
+
+    def _load_payload(self, page_index: int) -> bytes:
+        if not 0 <= page_index < len(self._page_ids):
+            raise StorageError(f"blob store has no page index {page_index}")
+        page_id = self._page_ids[page_index]
+        try:
+            return BytesPage.from_bytes(
+                self.pool.get(page_id), self.page_size, page_id
+            ).payload
+        except PageCorruptionError:
+            # quarantine-and-refetch, same contract as HeapFile._load_page
+            self.pool.invalidate(page_id)
+            return BytesPage.from_bytes(
+                self.pool.get(page_id), self.page_size, page_id
+            ).payload
 
     def __contains__(self, key: tuple) -> bool:
         return self.directory.get(tuple(key)) is not None

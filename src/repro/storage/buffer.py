@@ -5,6 +5,13 @@ A hit serves the cached image for free; a miss reads through to the device
 (which is where I/O is metered) and may evict the least-recently-used frame,
 writing it back if dirty.
 
+The pool is also where the storage stack's fault tolerance lives: every
+device read and write goes through a retry-with-backoff loop (see
+:class:`~repro.storage.faults.RetryPolicy`) that absorbs transient injected
+faults and checksum mismatches.  A dirty frame whose write-back keeps
+failing is *never* dropped — it stays resident with its dirty bit set, so
+no acknowledged write is lost to a fault.
+
 Query executors snapshot device stats around a query, so the pool's size is
 part of the experimental configuration: the paper's query-time comparisons
 assume a cold-ish cache for the base data, and our benches call
@@ -16,7 +23,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
-from .device import BlockDevice, StorageError
+from .device import BlockDevice, PageCorruptionError, StorageError
+from .faults import RetryExhaustedError, RetryPolicy, TransientStorageFault
 
 
 @dataclass
@@ -25,6 +33,9 @@ class BufferStats:
     misses: int = 0
     evictions: int = 0
     writebacks: int = 0
+    read_retries: int = 0
+    write_retries: int = 0
+    backoff_s: float = 0.0
 
     @property
     def hit_rate(self) -> float:
@@ -36,6 +47,9 @@ class BufferStats:
         self.misses = 0
         self.evictions = 0
         self.writebacks = 0
+        self.read_retries = 0
+        self.write_retries = 0
+        self.backoff_s = 0.0
 
 
 class _Frame:
@@ -53,16 +67,27 @@ class BufferPool:
     Parameters
     ----------
     device:
-        Backing block device.
+        Backing block device (possibly a
+        :class:`~repro.storage.faults.FaultyBlockDevice`).
     capacity:
         Maximum number of resident frames.  Must be at least 1.
+    retry_policy:
+        Retry-with-backoff contract for transient device faults.  The
+        default policy retries a few times with simulated backoff; on a
+        pristine device it never engages.
     """
 
-    def __init__(self, device: BlockDevice, capacity: int = 256):
+    def __init__(
+        self,
+        device: BlockDevice,
+        capacity: int = 256,
+        retry_policy: RetryPolicy | None = None,
+    ):
         if capacity < 1:
             raise ValueError("buffer pool capacity must be >= 1")
         self.device = device
         self.capacity = capacity
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self.stats = BufferStats()
         self._frames: OrderedDict[int, _Frame] = OrderedDict()
 
@@ -75,7 +100,7 @@ class BufferPool:
             self._frames.move_to_end(page_id)
             return frame.data
         self.stats.misses += 1
-        data = self.device.read(page_id)
+        data = self._read_with_retry(page_id)
         self._admit(page_id, _Frame(data))
         return data
 
@@ -103,11 +128,33 @@ class BufferPool:
             raise StorageError(f"page {page_id} is not pinned")
         frame.pins -= 1
 
+    def invalidate(self, page_id: int) -> None:
+        """Drop a clean cached frame so the next access refetches from disk.
+
+        The quarantine step of corruption handling: when a caller decodes a
+        cached image and finds it damaged, it invalidates the frame and
+        re-reads.  Dirty or pinned frames hold unacknowledged state and are
+        refused.
+        """
+        frame = self._frames.get(page_id)
+        if frame is None:
+            return
+        if frame.dirty:
+            raise StorageError(f"refusing to invalidate dirty page {page_id}")
+        if frame.pins:
+            raise StorageError(f"refusing to invalidate pinned page {page_id}")
+        del self._frames[page_id]
+
     def flush(self) -> None:
-        """Write back every dirty frame (frames stay resident)."""
+        """Write back every dirty frame (frames stay resident).
+
+        A frame whose write-back fails even after retries keeps its dirty
+        bit — the error escalates, but nothing is lost; a later flush can
+        still succeed once the fault clears.
+        """
         for page_id, frame in self._frames.items():
             if frame.dirty:
-                self.device.write(page_id, frame.data)
+                self._write_with_retry(page_id, frame.data)
                 frame.dirty = False
                 self.stats.writebacks += 1
 
@@ -119,12 +166,88 @@ class BufferPool:
             raise StorageError(f"cannot clear pool with pinned pages: {pinned}")
         self._frames.clear()
 
+    def crash(self) -> None:
+        """Discard every frame *without* flushing — simulates process death.
+
+        Dirty pages that were never written back are simply gone, exactly
+        as a crash would lose them; the device keeps whatever images the
+        last successful writes left.  Pins are irrelevant to a dead
+        process, so they are discarded too.
+        """
+        self._frames.clear()
+
     @property
     def resident(self) -> int:
         return len(self._frames)
 
+    @property
+    def dirty_pages(self) -> list[int]:
+        """Page ids of resident dirty frames (unflushed state)."""
+        return [pid for pid, frame in self._frames.items() if frame.dirty]
+
+    def is_dirty(self, page_id: int) -> bool:
+        frame = self._frames.get(page_id)
+        return frame is not None and frame.dirty
+
     def __contains__(self, page_id: int) -> bool:
         return page_id in self._frames
+
+    # ------------------------------------------------------------------
+    # retrying device I/O
+    # ------------------------------------------------------------------
+    def _read_with_retry(self, page_id: int) -> bytes:
+        """Device read with transient-fault retries and corruption refetch.
+
+        :class:`PageCorruptionError` is retried like a transient fault:
+        nothing is cached yet, so the refetch *is* the quarantine — a
+        damaged transfer is re-read from the stored image, and persistent
+        on-disk damage escalates after the policy's attempts run out.
+        """
+        policy = self.retry_policy
+        delays = policy.delays()
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return self.device.read(page_id)
+            except (TransientStorageFault, PageCorruptionError) as exc:
+                delay = next(delays, None)
+                if delay is None:
+                    if isinstance(exc, PageCorruptionError):
+                        # persistent on-disk damage: the structured
+                        # corruption error is the meaningful one
+                        raise
+                    raise RetryExhaustedError(
+                        f"read of page {page_id} failed after {attempt} "
+                        f"attempt(s): {exc}",
+                        page_id=page_id,
+                        attempts=attempt,
+                    ) from exc
+                self.stats.read_retries += 1
+                self.stats.backoff_s += delay
+                policy.backoff(delay)
+
+    def _write_with_retry(self, page_id: int, data: bytes) -> None:
+        policy = self.retry_policy
+        delays = policy.delays()
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                self.device.write(page_id, data)
+                return
+            except TransientStorageFault as exc:
+                delay = next(delays, None)
+                if delay is None:
+                    raise RetryExhaustedError(
+                        f"write of page {page_id} failed after {attempt} "
+                        f"attempt(s): {exc}",
+                        page_id=page_id,
+                        attempts=attempt,
+                    ) from exc
+                self.stats.write_retries += 1
+                self.stats.backoff_s += delay
+                policy.backoff(delay)
 
     # ------------------------------------------------------------------
     def _admit(self, page_id: int, frame: _Frame) -> None:
@@ -132,7 +255,17 @@ class BufferPool:
             victim_id = self._find_victim()
             victim = self._frames.pop(victim_id)
             if victim.dirty:
-                self.device.write(victim_id, victim.data)
+                try:
+                    self._write_with_retry(victim_id, victim.data)
+                except StorageError:
+                    # Write-back failed even after retries: the victim must
+                    # not be evicted and must keep its dirty bit, or its
+                    # unflushed state would be silently lost.  Reinsert at
+                    # the cold end so it stays the preferred victim once
+                    # the fault clears, then escalate.
+                    self._frames[victim_id] = victim
+                    self._frames.move_to_end(victim_id, last=False)
+                    raise
                 self.stats.writebacks += 1
             self.stats.evictions += 1
         self._frames[page_id] = frame

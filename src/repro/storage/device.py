@@ -39,7 +39,28 @@ class PageNotAllocatedError(StorageError):
 
 
 class PageCorruptionError(StorageError):
-    """Raised when a page image fails its checksum on read."""
+    """Raised when a page image fails an integrity check on read.
+
+    Carries enough context for callers to quarantine and report the damage:
+    the device page id (``None`` when the raiser only sees a raw image) and
+    the expected/actual CRC-32 values when a checksum comparison failed.
+    Structural corruption detected while decoding (impossible record counts,
+    out-of-range payload lengths) raises this too, with the checksums left
+    ``None``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        page_id: int | None = None,
+        expected_checksum: int | None = None,
+        actual_checksum: int | None = None,
+    ):
+        super().__init__(message)
+        self.page_id = page_id
+        self.expected_checksum = expected_checksum
+        self.actual_checksum = actual_checksum
 
 
 @dataclass
@@ -55,6 +76,12 @@ class IOStats:
         Total page writes.
     random_reads / sequential_reads:
         Partition of ``reads`` by access pattern.
+    retried_reads / retried_writes:
+        Failed attempts (injected faults, checksum mismatches) that a caller
+        is expected to retry.  ``reads`` and ``writes`` count one per
+        *successful* delivery, so benchmark I/O numbers stay comparable
+        whether or not faults were injected; the retry traffic is visible
+        here instead.
     """
 
     reads: int = 0
@@ -63,6 +90,8 @@ class IOStats:
     sequential_reads: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
+    retried_reads: int = 0
+    retried_writes: int = 0
 
     def cost(self) -> float:
         """Weighted I/O cost (random reads dominate)."""
@@ -81,6 +110,8 @@ class IOStats:
             sequential_reads=self.sequential_reads,
             bytes_read=self.bytes_read,
             bytes_written=self.bytes_written,
+            retried_reads=self.retried_reads,
+            retried_writes=self.retried_writes,
         )
 
     def delta(self, earlier: "IOStats") -> "IOStats":
@@ -92,6 +123,8 @@ class IOStats:
             sequential_reads=self.sequential_reads - earlier.sequential_reads,
             bytes_read=self.bytes_read - earlier.bytes_read,
             bytes_written=self.bytes_written - earlier.bytes_written,
+            retried_reads=self.retried_reads - earlier.retried_reads,
+            retried_writes=self.retried_writes - earlier.retried_writes,
         )
 
     def reset(self) -> None:
@@ -101,6 +134,8 @@ class IOStats:
         self.sequential_reads = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        self.retried_reads = 0
+        self.retried_writes = 0
 
     def __add__(self, other: "IOStats") -> "IOStats":
         return IOStats(
@@ -110,6 +145,8 @@ class IOStats:
             sequential_reads=self.sequential_reads + other.sequential_reads,
             bytes_read=self.bytes_read + other.bytes_read,
             bytes_written=self.bytes_written + other.bytes_written,
+            retried_reads=self.retried_reads + other.retried_reads,
+            retried_writes=self.retried_writes + other.retried_writes,
         )
 
 
@@ -172,8 +209,25 @@ class BlockDevice:
     # I/O
     # ------------------------------------------------------------------
     def read(self, page_id: int) -> bytes:
-        """Read one page, metering the access as random or sequential."""
+        """Read one page, metering the access as random or sequential.
+
+        Only a *successful* delivery counts toward ``stats.reads``; a
+        checksum failure counts toward ``stats.retried_reads`` (the caller
+        is expected to retry or escalate) and leaves the read head where it
+        was, so retries don't skew the random/sequential split.
+        """
         page = self._page(page_id)
+        if self.verify_checksums:
+            actual = zlib.crc32(page.data)
+            if actual != page.checksum:
+                self.stats.retried_reads += 1
+                raise PageCorruptionError(
+                    f"checksum mismatch on page {page_id} "
+                    f"(expected {page.checksum:#010x}, found {actual:#010x})",
+                    page_id=page_id,
+                    expected_checksum=page.checksum,
+                    actual_checksum=actual,
+                )
         self.stats.reads += 1
         self.stats.bytes_read += self.page_size
         if self._last_read_page_id is not None and page_id == self._last_read_page_id + 1:
@@ -181,8 +235,6 @@ class BlockDevice:
         else:
             self.stats.random_reads += 1
         self._last_read_page_id = page_id
-        if self.verify_checksums and zlib.crc32(page.data) != page.checksum:
-            raise PageCorruptionError(f"checksum mismatch on page {page_id}")
         return page.data
 
     def write(self, page_id: int, data: bytes) -> None:
@@ -208,6 +260,28 @@ class BlockDevice:
         data = bytearray(page.data)
         data[offset] ^= 0xFF
         page.data = bytes(data)
+
+    def patch(
+        self, page_id: int, data: bytes, *, update_checksum: bool = False
+    ) -> None:
+        """Overwrite a prefix of the stored image, bypassing I/O metering.
+
+        With ``update_checksum=False`` (the default) the recorded CRC stays
+        whatever the last full :meth:`write` left — the storage-level model
+        of a *torn write*: bytes changed on the platter with no matching
+        checksum update, so the next read detects the damage.  Fault
+        injection only; normal traffic must use :meth:`write`.
+        """
+        if len(data) > self.page_size:
+            raise StorageError(
+                f"patch of {len(data)} bytes exceeds page size {self.page_size}"
+            )
+        page = self._page(page_id)
+        image = bytearray(page.data)
+        image[: len(data)] = data
+        page.data = bytes(image)
+        if update_checksum:
+            page.checksum = zlib.crc32(page.data)
 
     def reset_stats(self) -> None:
         """Zero the counters and forget read-head position."""

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator
 
 from .buffer import BufferPool
-from .device import StorageError
+from .device import PageCorruptionError, StorageError
 from .pages import RecordCodec, RecordPage
 
 Rid = tuple[int, int]
@@ -149,5 +149,14 @@ class HeapFile:
             raise StorageError(f"heap has no page {page_index}")
         if self._tail is not None and page_index == len(self._page_ids) - 1:
             return self._tail
-        data = self.pool.get(self._page_ids[page_index])
-        return RecordPage.from_bytes(data, self.codec, self.page_size)
+        page_id = self._page_ids[page_index]
+        data = self.pool.get(page_id)
+        try:
+            return RecordPage.from_bytes(data, self.codec, self.page_size, page_id)
+        except PageCorruptionError:
+            # Quarantine-and-refetch: the cached image decoded as damaged;
+            # drop the frame and re-read the stored image once.  Persistent
+            # on-disk damage raises again, typed, from the refetch/decode.
+            self.pool.invalidate(page_id)
+            data = self.pool.get(page_id)
+            return RecordPage.from_bytes(data, self.codec, self.page_size, page_id)

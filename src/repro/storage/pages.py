@@ -17,11 +17,13 @@ from __future__ import annotations
 import struct
 from typing import Iterable, Sequence
 
-from .device import StorageError
+from .device import PageCorruptionError, StorageError
 
 #: Page-type tags written into the header byte.
 PAGE_TYPE_RECORD = 1
 PAGE_TYPE_BYTES = 2
+
+_KNOWN_PAGE_TYPES = (PAGE_TYPE_RECORD, PAGE_TYPE_BYTES)
 
 _HEADER = struct.Struct("<BxHI")  # type, pad, record_count/blob flag, next_page_id+1
 
@@ -30,7 +32,14 @@ NO_NEXT_PAGE = 0xFFFFFFFF
 
 
 class PageFormatError(StorageError):
-    """Raised when a page image does not match the expected layout."""
+    """Raised when a page image does not match the expected layout.
+
+    Distinct from :class:`~repro.storage.device.PageCorruptionError`: a
+    format error means the caller decoded a *valid* page with the wrong
+    codec or layout (a bug), while corruption means the image itself is
+    structurally impossible (bit rot, torn write) — decoders raise the
+    latter so damaged pages are detectably invalid, never silently wrong.
+    """
 
 
 class RecordCodec:
@@ -117,13 +126,27 @@ class RecordPage:
         return image
 
     @classmethod
-    def from_bytes(cls, data: bytes, codec: RecordCodec, page_size: int) -> "RecordPage":
+    def from_bytes(
+        cls,
+        data: bytes,
+        codec: RecordCodec,
+        page_size: int,
+        page_id: int | None = None,
+    ) -> "RecordPage":
         page_type, count, next_encoded = _HEADER.unpack_from(data)
+        if page_type not in _KNOWN_PAGE_TYPES:
+            raise PageCorruptionError(
+                f"unknown page type {page_type} (damaged header)", page_id=page_id
+            )
         if page_type != PAGE_TYPE_RECORD:
             raise PageFormatError(f"expected record page, found type {page_type}")
         page = cls(codec, page_size)
         if count > page.capacity:
-            raise PageFormatError(f"record count {count} exceeds capacity {page.capacity}")
+            raise PageCorruptionError(
+                f"record count {count} exceeds page capacity {page.capacity} "
+                "(damaged header)",
+                page_id=page_id,
+            )
         page.records = codec.unpack(data[_HEADER.size:], count)
         page.next_page_id = None if next_encoded == NO_NEXT_PAGE else next_encoded
         return page
@@ -149,12 +172,24 @@ class BytesPage:
         return header + struct.pack("<I", len(self.payload)) + self.payload
 
     @classmethod
-    def from_bytes(cls, data: bytes, page_size: int) -> "BytesPage":
+    def from_bytes(
+        cls, data: bytes, page_size: int, page_id: int | None = None
+    ) -> "BytesPage":
         page_type, _count, _next = _HEADER.unpack_from(data)
+        if page_type not in _KNOWN_PAGE_TYPES:
+            raise PageCorruptionError(
+                f"unknown page type {page_type} (damaged header)", page_id=page_id
+            )
         if page_type != PAGE_TYPE_BYTES:
             raise PageFormatError(f"expected bytes page, found type {page_type}")
         (length,) = struct.unpack_from("<I", data, _HEADER.size)
         start = _HEADER.size + 4
+        if length > len(data) - start:
+            raise PageCorruptionError(
+                f"payload length {length} exceeds the {len(data) - start} bytes "
+                "available in the page (damaged header)",
+                page_id=page_id,
+            )
         return cls(page_size, data[start:start + length])
 
 

@@ -1,0 +1,64 @@
+"""Crash-consistency test harness.
+
+The schedule machinery lives in :mod:`repro.bench.faultmatrix` so the CI
+fault matrix (``python -m repro.bench fault-matrix``) and this test suite
+drive the *same* code; this module is the test-facing surface, adding the
+assertion helpers the suites use.
+
+A schedule builds a ranking cube on a fault-injecting device, runs top-k
+queries through the retrying storage stack, simulates a crash (tears a few
+in-flight page writes, discards unflushed buffer-pool frames), reopens the
+surviving device image, and verifies:
+
+* every query — before and after the crash — returns exactly the pristine
+  reference top-k or raises a typed ``StorageError`` subclass;
+* every post-crash page is readable or detectably invalid — the scrub
+  flags exactly the damage the crash made, never less.
+"""
+
+from __future__ import annotations
+
+from repro.bench.faultmatrix import (
+    DEFAULT_MATRIX_SEEDS,
+    FaultMatrixResult,
+    HarnessError,
+    ScheduleOutcome,
+    brute_force_scores,
+    run_fault_matrix,
+    run_schedule,
+)
+
+__all__ = [
+    "DEFAULT_MATRIX_SEEDS",
+    "FaultMatrixResult",
+    "HarnessError",
+    "ScheduleOutcome",
+    "assert_schedule_consistent",
+    "brute_force_scores",
+    "run_fault_matrix",
+    "run_schedule",
+]
+
+
+def assert_schedule_consistent(seed: int, **schedule_kwargs) -> ScheduleOutcome:
+    """Run one schedule, asserting the crash-consistency guarantees.
+
+    ``run_schedule`` already raises :class:`HarnessError` on a violation;
+    this wrapper re-checks the outcome's invariants explicitly so a test
+    failure names the guarantee that broke.
+    """
+    outcome = run_schedule(seed, **schedule_kwargs)
+    assert outcome.silent_wrong == 0, (
+        f"seed {seed}: {outcome.silent_wrong} silently wrong quer(ies): "
+        f"{outcome.notes}"
+    )
+    assert outcome.undetected_damage == 0, (
+        f"seed {seed}: {outcome.undetected_damage} page(s) of undetected "
+        f"damage: {outcome.notes}"
+    )
+    if outcome.built:
+        # every query must have resolved one way or the other
+        total = outcome.queries_ok + outcome.queries_aborted
+        post = outcome.post_crash_ok + outcome.post_crash_aborted
+        assert total == post, f"seed {seed}: query phases disagree on count"
+    return outcome

@@ -1,0 +1,158 @@
+"""Property tests: transient faults never change top-k answers.
+
+For any seeded fault plan containing only *transient* faults (injected
+read/write errors, in-transit bit flips, torn writes that a retry rewrites,
+latency spikes), a query through ``FaultyBlockDevice`` + the retrying
+buffer pool must return exactly the same top-k as the pristine device —
+for all four access methods: ranking cube, baseline scan, Onion, PREFER.
+
+Transience is what makes this a theorem rather than a hope: every injected
+fault either leaves the stored image intact (read error, bit flip) or is
+healed by the pool's retry rewrite (write error, torn write), so with a
+retry budget deep enough that exhaustion probability is negligible the
+faulty stack is observationally equivalent to the pristine one.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines import BaselineExecutor, OnionIndex, PreferView
+from repro.core import RankingCube, RankingCubeExecutor
+from repro.ranking import LinearFunction
+from repro.relational import Database, Schema, TopKQuery, ranking_attr, selection_attr
+from repro.storage import (
+    BlockDevice,
+    FaultyBlockDevice,
+    RetryPolicy,
+    transient_fault_plan,
+)
+
+pytestmark = pytest.mark.faults
+
+PAGE_SIZE = 512
+CARDS = (3, 4)
+SCHEMA = Schema.of(
+    [selection_attr("a1", CARDS[0]), selection_attr("a2", CARDS[1])]
+    + [ranking_attr("n1"), ranking_attr("n2")]
+)
+SEEDS = (2, 5, 11, 17, 29, 41)
+
+
+def make_rows(rng, count=90):
+    return [
+        (rng.randrange(CARDS[0]), rng.randrange(CARDS[1]), rng.random(), rng.random())
+        for _ in range(count)
+    ]
+
+
+def make_queries(rng, count=4):
+    """Random selections; positive weights (PREFER requires them)."""
+    queries = []
+    for _ in range(count):
+        selections = {}
+        if rng.random() < 0.7:
+            selections["a1"] = rng.randrange(CARDS[0])
+        if rng.random() < 0.4:
+            selections["a2"] = rng.randrange(CARDS[1])
+        fn = LinearFunction(
+            ["n1", "n2"], [0.1 + rng.random(), 0.1 + rng.random()]
+        )
+        queries.append(TopKQuery(rng.randint(1, 8), selections, fn))
+    return queries
+
+
+def faulty_database(seed):
+    injector = transient_fault_plan(seed)
+    device = FaultyBlockDevice(BlockDevice(page_size=PAGE_SIZE), injector)
+    # max_attempts=6 makes retry exhaustion vanishingly unlikely (~p^6
+    # per access) while every injected fault stays observable in stats
+    return (
+        Database(
+            buffer_capacity=64,
+            device=device,
+            retry_policy=RetryPolicy(max_attempts=6),
+        ),
+        device,
+    )
+
+
+def scores(result):
+    return [r.score for r in result.rows]
+
+
+class Env:
+    """Pristine and faulty storage stacks loaded with the same relation."""
+
+    def __init__(self, seed):
+        rng = random.Random(seed)
+        self.rows = make_rows(rng)
+        self.queries = make_queries(rng)
+        self.pristine_db = Database(page_size=PAGE_SIZE, buffer_capacity=64)
+        self.pristine = self.pristine_db.load_table("R", SCHEMA, self.rows)
+        self.faulty_db, self.device = faulty_database(seed)
+        self.faulty = self.faulty_db.load_table("R", SCHEMA, self.rows)
+
+    def check(self, make_executor):
+        """Same answers on both stacks, query by query, cold caches."""
+        reference = make_executor(self.pristine_db, self.pristine)
+        subject = make_executor(self.faulty_db, self.faulty)
+        for query in self.queries:
+            self.pristine_db.cold_cache()
+            self.faulty_db.cold_cache()
+            expected = scores(reference.execute(query))
+            got = scores(subject.execute(query))
+            assert got == pytest.approx(expected, abs=1e-9), (
+                f"faulty stack diverged on {query}"
+            )
+
+
+@pytest.fixture(params=SEEDS)
+def env(request):
+    return Env(request.param)
+
+
+def test_ranking_cube_unaffected_by_transient_faults(env):
+    env.check(
+        lambda db, table: RankingCubeExecutor(
+            RankingCube.build(table, block_size=8), table
+        )
+    )
+    assert env.device.fault_stats.total > 0  # the storm actually hit
+
+
+def test_scan_baseline_unaffected_by_transient_faults(env):
+    def build(db, table):
+        for name in SCHEMA.selection_names:
+            if name not in table.secondary_indexes:
+                table.create_secondary_index(name)
+        return BaselineExecutor(table)
+
+    env.check(build)
+    assert env.device.fault_stats.total > 0
+
+
+def test_onion_unaffected_by_transient_faults(env):
+    env.check(lambda db, table: OnionIndex(table))
+    assert env.device.fault_stats.total > 0
+
+
+def test_prefer_unaffected_by_transient_faults(env):
+    env.check(lambda db, table: PreferView(table))
+    assert env.device.fault_stats.total > 0
+
+
+def test_fault_plan_is_deterministic_per_seed():
+    """Two runs of the same seed inject the identical fault sequence."""
+
+    def run(seed):
+        db, device = faulty_database(seed)
+        table = db.load_table("R", SCHEMA, make_rows(random.Random(seed)))
+        executor = RankingCubeExecutor(RankingCube.build(table, block_size=8), table)
+        for query in make_queries(random.Random(seed + 1)):
+            db.cold_cache()
+            executor.execute(query)
+        stats = device.fault_stats
+        return tuple(sorted(stats.injected.items()))
+
+    assert run(3) == run(3)

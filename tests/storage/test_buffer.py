@@ -2,7 +2,17 @@
 
 import pytest
 
-from repro.storage import BlockDevice, BufferPool, StorageError
+from repro.storage import (
+    WRITE_ERROR,
+    BlockDevice,
+    BufferPool,
+    FaultInjector,
+    FaultRule,
+    FaultyBlockDevice,
+    RetryExhaustedError,
+    RetryPolicy,
+    StorageError,
+)
 
 
 def make_pool(capacity=3, pages=6, page_size=64):
@@ -12,6 +22,19 @@ def make_pool(capacity=3, pages=6, page_size=64):
         device.write(page_id, bytes([i]) * 8)
     device.reset_stats()
     return device, BufferPool(device, capacity=capacity), ids
+
+
+def make_faulty_pool(capacity=2, pages=6, max_attempts=2):
+    """A pool over a FaultyBlockDevice; rules are added by the test."""
+    device = FaultyBlockDevice(BlockDevice(page_size=64), FaultInjector(seed=1))
+    ids = device.allocate_many(pages)
+    for i, page_id in enumerate(ids):
+        device.write(page_id, bytes([i]) * 8)
+    device.reset_stats()
+    pool = BufferPool(
+        device, capacity=capacity, retry_policy=RetryPolicy(max_attempts=max_attempts)
+    )
+    return device, pool, ids
 
 
 class TestHitsAndMisses:
@@ -126,6 +149,86 @@ class TestPinning:
         pool.pin(ids[0])
         with pytest.raises(StorageError):
             pool.clear()
+
+
+class TestEvictionUnderFaults:
+    """Dirty-page write-back failure must neither evict the page nor lose
+    the dirty bit (satellite: eviction under faults)."""
+
+    def test_failed_writeback_keeps_page_and_dirty_bit(self):
+        device, pool, ids = make_faulty_pool()
+        pool.put(ids[0], b"DIRTY" + bytes(59))
+        pool.get(ids[1])  # fill capacity; ids[0] is LRU
+        device.injector.add_rule(FaultRule(WRITE_ERROR, probability=1.0))
+        with pytest.raises(RetryExhaustedError):
+            pool.get(ids[2])  # eviction of ids[0] fails to write back
+        assert ids[0] in pool
+        assert pool.is_dirty(ids[0])
+        assert ids[0] in pool.dirty_pages
+
+    def test_data_survives_failed_writeback(self):
+        device, pool, ids = make_faulty_pool()
+        pool.put(ids[0], b"DIRTY" + bytes(59))
+        pool.get(ids[1])
+        device.injector.add_rule(FaultRule(WRITE_ERROR, probability=1.0))
+        with pytest.raises(RetryExhaustedError):
+            pool.get(ids[2])
+        # the device was never updated, but the pool still has the bytes
+        assert device.read(ids[0]).startswith(bytes([0]))
+        assert pool.get(ids[0]).startswith(b"DIRTY")
+
+    def test_flush_succeeds_after_fault_clears(self):
+        device, pool, ids = make_faulty_pool()
+        pool.put(ids[0], b"DIRTY" + bytes(59))
+        pool.get(ids[1])
+        device.injector.add_rule(FaultRule(WRITE_ERROR, probability=1.0))
+        with pytest.raises(RetryExhaustedError):
+            pool.get(ids[2])
+        device.injector.disarm()  # fault clears
+        pool.flush()
+        assert device.read(ids[0]).startswith(b"DIRTY")
+        assert not pool.dirty_pages
+
+    def test_transient_writeback_fault_retried_through(self):
+        device, pool, ids = make_faulty_pool(max_attempts=3)
+        pool.put(ids[0], b"DIRTY" + bytes(59))
+        pool.get(ids[1])
+        device.injector.add_rule(FaultRule(WRITE_ERROR, nth=1))  # one-shot
+        pool.get(ids[2])  # eviction retries past the single fault
+        assert ids[0] not in pool
+        assert device.read(ids[0]).startswith(b"DIRTY")
+        assert pool.stats.write_retries == 1
+
+    def test_failed_writeback_does_not_count_as_eviction(self):
+        device, pool, ids = make_faulty_pool()
+        pool.put(ids[0], b"DIRTY" + bytes(59))
+        pool.get(ids[1])
+        before = pool.stats.evictions
+        device.injector.add_rule(FaultRule(WRITE_ERROR, probability=1.0))
+        with pytest.raises(RetryExhaustedError):
+            pool.get(ids[2])
+        assert pool.stats.evictions == before
+
+
+class TestCrash:
+    def test_crash_drops_dirty_frames_without_flushing(self):
+        device, pool, ids = make_pool()
+        pool.put(ids[0], b"LOST" + bytes(60))
+        pool.crash()
+        assert pool.resident == 0
+        assert device.read(ids[0]).startswith(bytes([0]))  # old image
+
+    def test_invalidate_drops_clean_frame(self):
+        device, pool, ids = make_pool()
+        pool.get(ids[0])
+        pool.invalidate(ids[0])
+        assert ids[0] not in pool
+
+    def test_invalidate_refuses_dirty_frame(self):
+        device, pool, ids = make_pool()
+        pool.put(ids[0], b"D" + bytes(63))
+        with pytest.raises(StorageError):
+            pool.invalidate(ids[0])
 
 
 class TestConstruction:

@@ -1,0 +1,292 @@
+"""Unit tests for the fault-injection layer (`repro.storage.faults`)."""
+
+import pytest
+
+from repro.storage import (
+    BIT_FLIP,
+    LATENCY,
+    READ_ERROR,
+    TORN_WRITE,
+    WRITE_ERROR,
+    BlockDevice,
+    BufferPool,
+    FaultInjector,
+    FaultRule,
+    FaultyBlockDevice,
+    PageCorruptionError,
+    RetryExhaustedError,
+    RetryPolicy,
+    TornWriteError,
+    TransientReadError,
+    TransientWriteError,
+    transient_fault_plan,
+)
+
+pytestmark = pytest.mark.faults
+
+PAGE = 128
+
+
+def make_device(rules, seed=7, pages=4):
+    injector = FaultInjector(seed=seed)
+    device = FaultyBlockDevice(BlockDevice(page_size=PAGE), injector)
+    ids = device.allocate_many(pages)
+    for i, page_id in enumerate(ids):
+        device.write(page_id, bytes([i + 1]) * 16)
+    device.reset_stats()
+    for rule in rules:
+        injector.add_rule(rule)  # after setup, so setup I/O is fault-free
+    return device, ids
+
+
+class TestFaultRule:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule("disk_on_fire")
+
+    def test_probability_range_checked(self):
+        with pytest.raises(ValueError):
+            FaultRule(READ_ERROR, probability=1.5)
+
+    def test_nth_implies_single_trigger(self):
+        rule = FaultRule(READ_ERROR, nth=3)
+        assert rule.max_triggers == 1
+
+    def test_page_set_restricts_matching(self):
+        rule = FaultRule(READ_ERROR, page_ids=[2, 5])
+        assert rule.matches_page(2)
+        assert not rule.matches_page(3)
+
+    def test_predicate_restricts_matching(self):
+        rule = FaultRule(READ_ERROR, predicate=lambda pid: pid % 2 == 0)
+        assert rule.matches_page(4)
+        assert not rule.matches_page(5)
+
+
+class TestInjectorDeterminism:
+    def trigger_trace(self, seed):
+        device, ids = make_device(
+            [FaultRule(READ_ERROR, probability=0.5)], seed=seed
+        )
+        trace = []
+        for _ in range(20):
+            for page_id in ids:
+                try:
+                    device.read(page_id)
+                    trace.append(0)
+                except TransientReadError:
+                    trace.append(1)
+        return trace
+
+    def test_same_seed_same_schedule(self):
+        assert self.trigger_trace(13) == self.trigger_trace(13)
+
+    def test_different_seed_different_schedule(self):
+        assert self.trigger_trace(13) != self.trigger_trace(14)
+
+    def test_nth_access_trigger_is_exact(self):
+        device, ids = make_device([FaultRule(READ_ERROR, nth=3)])
+        device.read(ids[0])
+        device.read(ids[0])
+        with pytest.raises(TransientReadError):
+            device.read(ids[0])
+        device.read(ids[0])  # nth rules fire once
+
+    def test_max_triggers_budget(self):
+        device, ids = make_device(
+            [FaultRule(READ_ERROR, probability=1.0, max_triggers=2)]
+        )
+        for _ in range(2):
+            with pytest.raises(TransientReadError):
+                device.read(ids[0])
+        device.read(ids[0])  # budget exhausted: no more injections
+
+    def test_disarm_stops_injection(self):
+        device, ids = make_device([FaultRule(READ_ERROR, probability=1.0)])
+        device.injector.disarm()
+        device.read(ids[0])
+        device.injector.arm()
+        with pytest.raises(TransientReadError):
+            device.read(ids[0])
+
+
+class TestFaultKinds:
+    def test_read_error_leaves_page_intact(self):
+        device, ids = make_device([FaultRule(READ_ERROR, nth=1)])
+        with pytest.raises(TransientReadError) as excinfo:
+            device.read(ids[0])
+        assert excinfo.value.page_id == ids[0]
+        assert device.read(ids[0]) == bytes([1]) * 16 + bytes(PAGE - 16)
+
+    def test_write_error_leaves_page_intact(self):
+        device, ids = make_device([FaultRule(WRITE_ERROR, nth=1)])
+        with pytest.raises(TransientWriteError):
+            device.write(ids[0], b"NEW")
+        assert device.read(ids[0]).startswith(bytes([1]))
+        device.write(ids[0], b"NEW")  # retry succeeds
+        assert device.read(ids[0]).startswith(b"NEW")
+
+    def test_bit_flip_detected_by_checksum_and_transient(self):
+        device, ids = make_device([FaultRule(BIT_FLIP, nth=1)])
+        with pytest.raises(PageCorruptionError) as excinfo:
+            device.read(ids[2])
+        err = excinfo.value
+        assert err.page_id == ids[2]
+        assert err.expected_checksum is not None
+        assert err.actual_checksum is not None
+        assert err.expected_checksum != err.actual_checksum
+        # the flip was in transit: the stored image re-reads fine
+        assert device.read(ids[2]).startswith(bytes([3]))
+
+    def test_torn_write_detectable_until_rewritten(self):
+        device, ids = make_device([FaultRule(TORN_WRITE, nth=1)])
+        with pytest.raises(TornWriteError):
+            device.write(ids[1], b"FULL PAGE IMAGE")
+        # the stored image is now damaged, and detectably so
+        with pytest.raises(PageCorruptionError):
+            device.read(ids[1])
+        device.write(ids[1], b"FULL PAGE IMAGE")  # retry heals
+        assert device.read(ids[1]).startswith(b"FULL PAGE IMAGE")
+
+    def test_latency_is_accounted_not_slept(self):
+        device, ids = make_device(
+            [FaultRule(LATENCY, probability=1.0, latency_s=0.25)]
+        )
+        device.read(ids[0])
+        device.read(ids[1])
+        assert device.fault_stats.simulated_latency_s == pytest.approx(0.5)
+        assert device.fault_stats.count(LATENCY) == 2
+
+    def test_latency_stacks_with_errors(self):
+        device, ids = make_device(
+            [
+                FaultRule(LATENCY, probability=1.0, latency_s=0.1),
+                FaultRule(READ_ERROR, nth=1),
+            ]
+        )
+        with pytest.raises(TransientReadError):
+            device.read(ids[0])
+        assert device.fault_stats.count(LATENCY) == 1
+        assert device.fault_stats.count(READ_ERROR) == 1
+
+
+class TestIOStatsUnderFaults:
+    """Satellite: reads count once per *successful* delivery."""
+
+    def test_injected_then_retried_read_counts_once(self):
+        device, ids = make_device([FaultRule(READ_ERROR, nth=1)])
+        with pytest.raises(TransientReadError):
+            device.read(ids[0])
+        device.read(ids[0])
+        assert device.stats.reads == 1
+        assert device.stats.retried_reads == 1
+        assert device.stats.bytes_read == PAGE
+
+    def test_bit_flip_retry_counts_once(self):
+        device, ids = make_device([FaultRule(BIT_FLIP, nth=1)])
+        with pytest.raises(PageCorruptionError):
+            device.read(ids[0])
+        device.read(ids[0])
+        assert device.stats.reads == 1
+        assert device.stats.retried_reads == 1
+
+    def test_faulty_run_matches_pristine_io_numbers(self):
+        """The benchmark-comparability contract: the same access sequence
+        yields the same successful-I/O counters with or without faults."""
+        pristine = BlockDevice(page_size=PAGE)
+        p_ids = pristine.allocate_many(4)
+        faulty, f_ids = make_device(
+            [FaultRule(READ_ERROR, probability=0.3, max_triggers=8)], seed=3
+        )
+        for i, page_id in enumerate(p_ids):
+            pristine.write(page_id, bytes([i + 1]) * 16)
+        pristine.reset_stats()
+
+        def drive(device, ids):
+            for page_id in list(ids) + list(reversed(ids)):
+                while True:
+                    try:
+                        device.read(page_id)
+                        break
+                    except TransientReadError:
+                        continue
+
+        drive(pristine, p_ids)
+        drive(faulty, f_ids)
+        assert faulty.stats.reads == pristine.stats.reads
+        assert faulty.stats.bytes_read == pristine.stats.bytes_read
+        assert faulty.stats.random_reads == pristine.stats.random_reads
+        assert faulty.stats.sequential_reads == pristine.stats.sequential_reads
+        assert faulty.stats.retried_reads > 0
+        assert pristine.stats.retried_reads == 0
+
+    def test_write_error_counts_as_retried_write(self):
+        device, ids = make_device([FaultRule(WRITE_ERROR, nth=1)])
+        with pytest.raises(TransientWriteError):
+            device.write(ids[0], b"x")
+        device.write(ids[0], b"x")
+        assert device.stats.writes == 1
+        assert device.stats.retried_writes == 1
+
+
+class TestScrub:
+    def test_clean_device_scrubs_clean(self):
+        device, ids = make_device([])
+        report = device.scrub()
+        assert report.clean
+        assert report.total_pages == len(ids)
+
+    def test_scrub_finds_torn_page(self):
+        device, ids = make_device([])
+        device.patch(ids[2], b"\xde\xad\xbe\xef", update_checksum=False)
+        report = device.scrub()
+        assert report.corrupt_page_ids == (ids[2],)
+        assert not report.clean
+
+
+class TestRetryPolicy:
+    def test_delays_are_exponential_and_capped(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay_s=0.01, multiplier=2.0, max_delay_s=0.03
+        )
+        assert list(policy.delays()) == [0.01, 0.02, 0.03, 0.03]
+
+    def test_at_least_one_attempt(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+    def test_pool_retries_through_transient_faults(self):
+        device, ids = make_device([FaultRule(READ_ERROR, nth=1)])
+        pool = BufferPool(device, capacity=4, retry_policy=RetryPolicy(max_attempts=3))
+        assert pool.get(ids[0]).startswith(bytes([1]))
+        assert pool.stats.read_retries == 1
+        assert pool.stats.backoff_s > 0
+
+    def test_pool_escalates_after_exhaustion(self):
+        device, ids = make_device(
+            [FaultRule(READ_ERROR, probability=1.0)]  # unlimited budget
+        )
+        pool = BufferPool(device, capacity=4, retry_policy=RetryPolicy(max_attempts=3))
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            pool.get(ids[0])
+        assert excinfo.value.page_id == ids[0]
+        assert excinfo.value.attempts == 3
+
+    def test_pool_escalates_persistent_corruption_as_corruption(self):
+        device, ids = make_device([])
+        device.patch(ids[1], b"torn", update_checksum=False)
+        pool = BufferPool(device, capacity=4, retry_policy=RetryPolicy(max_attempts=2))
+        with pytest.raises(PageCorruptionError) as excinfo:
+            pool.get(ids[1])
+        assert excinfo.value.page_id == ids[1]
+
+
+class TestTransientFaultPlan:
+    def test_plan_covers_all_fault_kinds(self):
+        injector = transient_fault_plan(1)
+        kinds = {rule.kind for rule in injector.rules}
+        assert kinds == {READ_ERROR, WRITE_ERROR, BIT_FLIP, TORN_WRITE, LATENCY}
+
+    def test_plan_is_bounded(self):
+        injector = transient_fault_plan(1)
+        assert all(rule.max_triggers is not None for rule in injector.rules)

@@ -20,6 +20,7 @@ from repro import (
     Schema,
     compile_topk,
 )
+from repro.core import QueryAbortedError
 from repro.relational import ranking_attr, selection_attr
 from repro.storage import PageCorruptionError
 from repro.workloads import (
@@ -147,12 +148,16 @@ class TestFailureInjection:
         executor.execute(query)
         touched_pages = db.device.stats.reads
         assert touched_pages > 0
-        # corrupt every allocated page: the next cold query MUST notice
+        # corrupt every allocated page: the next cold query MUST notice,
+        # aborting with the typed partial-result-aware error whose cause
+        # is the structured corruption report
         for page_id in range(db.device.num_pages):
             db.device.corrupt(page_id)
         db.cold_cache()
-        with pytest.raises(PageCorruptionError):
+        with pytest.raises(QueryAbortedError) as excinfo:
             executor.execute(query)
+        assert isinstance(excinfo.value.cause, PageCorruptionError)
+        assert excinfo.value.cause.page_id is not None
 
     def test_duplicate_scores_handled(self):
         schema = Schema.of(
