@@ -15,6 +15,12 @@ from .experiments import ALL_EXPERIMENTS
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "serve":
+        # the serving benchmark has its own flags (see repro.bench.serve)
+        from .serve import main as serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's evaluation figures.",
@@ -23,7 +29,10 @@ def main(argv: list[str] | None = None) -> int:
         "experiments",
         nargs="*",
         default=["all"],
-        help="experiment ids (fig04..fig15, ablation_*), 'fault-matrix', or 'all'",
+        help=(
+            "experiment ids (fig04..fig15, ablation_*), 'fault-matrix', "
+            "'serve' (own flags; see --help after it), or 'all'"
+        ),
     )
     parser.add_argument(
         "--tuples", type=int, default=None, help="override dataset size"

@@ -63,6 +63,8 @@ class RankingCube:
         self._delta_selection_dims: frozenset = frozenset().union(
             *cuboids
         ) if cuboids else frozenset()
+        #: serving-layer caches subscribed to maintenance events
+        self._invalidation_listeners: list = []
 
     # ------------------------------------------------------------------
     # construction
@@ -200,6 +202,44 @@ class RankingCube:
             raise CubeError(f"no cuboid on dimensions {tuple(dims)}") from None
 
     # ------------------------------------------------------------------
+    # cache invalidation hooks (serving layer)
+    # ------------------------------------------------------------------
+    def add_invalidation_listener(self, listener) -> None:
+        """Subscribe a shared cache to this cube's maintenance events.
+
+        ``listener(cuboid_names)`` is called with the names of every
+        cuboid of this cube whenever the maintenance paths absorb new
+        tuples (:meth:`refresh_delta`) — conservatively, since a delta
+        append changes what the *complete* answer for any cached cell is,
+        even though the materialized tid lists themselves are immutable.
+        :class:`repro.serve.cache.PseudoBlockCache.invalidate_cuboids` is
+        the canonical listener.
+        """
+        self._invalidation_listeners.append(listener)
+
+    def remove_invalidation_listener(self, listener) -> None:
+        try:
+            self._invalidation_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    @property
+    def cuboid_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.cuboids.values())
+
+    def _notify_invalidation(self) -> None:
+        names = self.cuboid_names
+        for listener in list(self._invalidation_listeners):
+            listener(names)
+
+    # Listeners are live serving-layer caches; a persisted snapshot must
+    # not capture them (they hold locks and process-local state).
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_invalidation_listeners"] = []
+        return state
+
+    # ------------------------------------------------------------------
     # incremental maintenance (delta store)
     # ------------------------------------------------------------------
     def refresh_delta(self, table: Table) -> int:
@@ -221,6 +261,8 @@ class RankingCube:
             self._delta.append((tid, selections, rankings))
             absorbed += 1
         self.watermark = table.num_rows
+        if absorbed:
+            self._notify_invalidation()
         return absorbed
 
     def delta_matches(

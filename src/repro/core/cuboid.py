@@ -131,6 +131,22 @@ class RankingCuboid:
         key = tuple(int(v) for v in sel_values) + (int(pid),)
         return [(int(tid), int(bid)) for tid, bid in self._store.get(key)]
 
+    def decode_pseudo_block(
+        self, sel_values: Sequence[int], pid: int
+    ) -> dict[int, list[int]]:
+        """Pseudo block decoded to the retrieve step's working form.
+
+        Groups :meth:`get_pseudo_block`'s ``(tid, bid)`` pairs by bid —
+        the shape the executor's per-query buffer and the serving layer's
+        shared :class:`~repro.serve.cache.PseudoBlockCache` both store.
+        The grouping happens here so every caching layer shares one
+        decoder (and pays it exactly once per cold fetch).
+        """
+        by_bid: dict[int, list[int]] = {}
+        for tid, entry_bid in self.get_pseudo_block(sel_values, pid):
+            by_bid.setdefault(entry_bid, []).append(tid)
+        return by_bid
+
     def pid_of_bid(self, bid: int) -> int:
         return self.pseudo.pid_of_bid(bid)
 

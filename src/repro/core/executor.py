@@ -18,6 +18,14 @@ The algorithm runs the paper's four steps:
 
 The loop stops when ``S_k <= S_unseen``, i.e. the k-th best seen score is
 no worse than the best possible score of any unexamined block.
+
+Beyond the paper, the executor composes with the serving layer
+(:mod:`repro.serve`): it accepts an injected shared
+:class:`~repro.serve.cache.PseudoBlockCache` (decoded tid lists reused
+*across* queries, not just within one) and a shared
+:class:`~repro.serve.cache.BoundMemo` (``f(bid)`` computed once per
+ranking-function/grid pair across a whole query stream).  Both are
+optional; a bare executor behaves exactly as the paper describes.
 """
 
 from __future__ import annotations
@@ -48,7 +56,7 @@ class QueryAbortedError(StorageError):
     partial_rows:
         The top-k heap's contents at abort time, best score first.
     blocks_accessed:
-        Candidate blocks examined before the fault.
+        Actual block fetches issued before the fault.
     cause:
         The underlying typed storage error.
     """
@@ -69,14 +77,36 @@ class QueryAbortedError(StorageError):
 
 @dataclass
 class ExecutorTrace:
-    """Optional per-query diagnostics (used by tests and ablations)."""
+    """Optional per-query diagnostics (used by tests and ablations).
+
+    The retrieve-step counters attribute each pseudo-block request to the
+    layer that answered it, so ablations can credit I/O savings correctly:
+
+    * ``pseudo_block_fetches`` — cold fetches that read and decoded pages,
+    * ``pseudo_block_buffer_hits`` — answered by this query's own buffer,
+    * ``shared_cache_hits`` — answered by the cross-query
+      :class:`~repro.serve.cache.PseudoBlockCache`.
+
+    ``bound_memo_hits`` counts frontier bounds served by the shared
+    :class:`~repro.serve.cache.BoundMemo` instead of being minimized anew.
+    """
 
     candidate_bids: list[int] = field(default_factory=list)
     pseudo_block_fetches: int = 0
     pseudo_block_buffer_hits: int = 0
+    shared_cache_hits: int = 0
+    bound_memo_hits: int = 0
     base_block_reads: int = 0
     empty_cells_skipped: int = 0
     frontier_peak: int = 0
+
+    def cache_attribution(self) -> dict[str, int]:
+        """Retrieve-step requests by answering layer (for ablation tables)."""
+        return {
+            "cold_fetches": self.pseudo_block_fetches,
+            "query_buffer_hits": self.pseudo_block_buffer_hits,
+            "shared_cache_hits": self.shared_cache_hits,
+        }
 
 
 @dataclass(frozen=True)
@@ -90,6 +120,7 @@ class QueryPlan:
     grid_blocks: int
     scale_factors: tuple[int, ...]
     delta_tuples: int
+    cache_layers: tuple[str, ...] = ()
 
     def describe(self) -> str:
         lines = [
@@ -102,6 +133,8 @@ class QueryPlan:
             f"  start block: bid={self.start_bid} (bound {self.start_bound:.4f}) "
             f"of {self.grid_blocks} blocks"
         )
+        if self.cache_layers:
+            lines.append(f"  cache layers: {', '.join(self.cache_layers)}")
         if self.delta_tuples:
             lines.append(f"  + merge {self.delta_tuples} delta tuple(s)")
         return "\n".join(lines)
@@ -120,6 +153,19 @@ class RankingCubeExecutor:
     buffer_pseudo_blocks:
         The paper's retrieve-step buffering.  Disabling it (ablation) makes
         every bid request re-read its pseudo block.
+    pseudo_cache:
+        Optional shared :class:`~repro.serve.cache.PseudoBlockCache`
+        consulted between the per-query buffer and a cold fetch.  The
+        executor only *inserts* fully decoded blocks, so an aborted query
+        cannot poison it.
+    bound_memo:
+        Optional shared :class:`~repro.serve.cache.BoundMemo` for frontier
+        lower bounds.
+
+    The executor keeps no per-query state on ``self``, so one instance may
+    be shared by concurrent threads **provided** its buffer pool is the
+    thread-safe read path (see ``repro.storage.buffer``) — this is how
+    :class:`repro.serve.QueryService` drives it.
     """
 
     def __init__(
@@ -127,10 +173,14 @@ class RankingCubeExecutor:
         cube: RankingCube,
         relation: Table | None = None,
         buffer_pseudo_blocks: bool = True,
+        pseudo_cache=None,
+        bound_memo=None,
     ):
         self.cube = cube
         self.relation = relation
         self.buffer_pseudo_blocks = buffer_pseudo_blocks
+        self.pseudo_cache = pseudo_cache
+        self.bound_memo = bound_memo
 
     # ------------------------------------------------------------------
     def execute(
@@ -149,14 +199,16 @@ class RankingCubeExecutor:
             tuple(query.selections[d] for d in cuboid.dims) for cuboid in covering
         ]
         positions = grid.project(fn.dims)
+        memo = self.bound_memo.group(fn, grid) if self.bound_memo is not None else None
 
         # --- search state -------------------------------------------------
-        # top-k seen scores as a max-heap of (-score, -tid)
+        # top-k seen scores as a max-heap of (-score, -tid); see _push_topk
+        # for the tie-breaking contract
         topk: list[tuple[float, int]] = []
         # frontier of candidate blocks as a min-heap of (f(bid), bid)
         start_bid = self._start_block(query)
         frontier: list[tuple[float, int]] = [
-            (self._block_bound(start_bid, fn, positions), start_bid)
+            (self._block_bound(start_bid, fn, positions, memo, trace), start_bid)
         ]
         inserted = {start_bid}
         # per-cuboid buffer: pid -> {bid: [tid, ...]}
@@ -166,14 +218,19 @@ class RankingCubeExecutor:
         try:
             while frontier:
                 s_unseen = frontier[0][0]
-                if len(topk) >= query.k and -topk[0][0] <= s_unseen:
+                # strict <: a block whose lower bound *ties* the kth score
+                # may still hold an equal-score tuple with a smaller tid,
+                # which the tie-breaking contract requires us to keep
+                if len(topk) >= query.k and -topk[0][0] < s_unseen:
                     break
                 _bound, bid = heapq.heappop(frontier)
-                result.blocks_accessed += 1
+                result.candidates_examined += 1
                 if trace is not None:
                     trace.candidate_bids.append(bid)
 
-                qualifying = self._retrieve(bid, covering, cell_values, buffers, trace)
+                qualifying = self._retrieve(
+                    bid, covering, cell_values, buffers, result, trace
+                )
                 if qualifying is None or qualifying:
                     self._evaluate(bid, qualifying, fn, positions, query.k, topk, result, trace)
                 elif trace is not None:
@@ -184,7 +241,8 @@ class RankingCubeExecutor:
                         continue
                     inserted.add(neighbor)
                     heapq.heappush(
-                        frontier, (self._block_bound(neighbor, fn, positions), neighbor)
+                        frontier,
+                        (self._block_bound(neighbor, fn, positions, memo, trace), neighbor),
                     )
                 if trace is not None:
                     trace.frontier_peak = max(trace.frontier_peak, len(frontier))
@@ -196,15 +254,11 @@ class RankingCubeExecutor:
                 point = [rank_values[d] for d in fn.dims]
                 score = fn.score(point)
                 result.tuples_examined += 1
-                entry = (-score, -tid)
-                if len(topk) < query.k:
-                    heapq.heappush(topk, entry)
-                elif entry > topk[0]:
-                    heapq.heapreplace(topk, entry)
+                _push_topk(topk, query.k, score, tid)
         except StorageError as exc:
             raise QueryAbortedError(
                 f"query aborted after {result.blocks_accessed} block "
-                f"access(es): {exc}",
+                f"fetch(es): {exc}",
                 partial_rows=_rows_from_heap(topk),
                 blocks_accessed=result.blocks_accessed,
                 cause=exc,
@@ -221,7 +275,8 @@ class RankingCubeExecutor:
 
         Resolves the covering cuboids, the start block, and the frontier's
         initial bound — the pre-process step plus the first search step —
-        and packages them with cost-model context (block/cell geometry).
+        and packages them with cost-model context (block/cell geometry)
+        plus the caching layers the retrieve step will consult.
         """
         grid = self.cube.grid
         fn = query.ranking
@@ -231,14 +286,22 @@ class RankingCubeExecutor:
         covering = self.cube.covering_cuboids(query.selection_names)
         positions = grid.project(fn.dims)
         start_bid = self._start_block(query)
+        layers = []
+        if self.buffer_pseudo_blocks:
+            layers.append("per-query pseudo-block buffer")
+        if self.pseudo_cache is not None:
+            layers.append("shared pseudo-block cache")
+        if self.bound_memo is not None and fn.cache_key() is not None:
+            layers.append("shared bound memo")
         return QueryPlan(
             covering_cuboids=tuple(c.name for c in covering),
             intersection_required=len(covering) > 1,
             start_bid=start_bid,
-            start_bound=self._block_bound(start_bid, fn, positions),
+            start_bound=self._block_bound(start_bid, fn, positions, None, None),
             grid_blocks=grid.num_blocks,
             scale_factors=tuple(c.scale_factor for c in covering),
             delta_tuples=self.cube.delta_size,
+            cache_layers=tuple(layers),
         )
 
     # ------------------------------------------------------------------
@@ -259,11 +322,29 @@ class RankingCubeExecutor:
         return grid.locate(point)
 
     def _block_bound(
-        self, bid: int, fn, positions: tuple[int, ...]
+        self,
+        bid: int,
+        fn,
+        positions: tuple[int, ...],
+        memo: dict[int, float] | None = None,
+        trace: ExecutorTrace | None = None,
     ) -> float:
-        """``f(bid)``: minimum of the ranking function over the block box."""
+        """``f(bid)``: minimum of the ranking function over the block box.
+
+        With a shared bound memo attached, each (function, grid, bid)
+        minimization happens once across the whole query stream.
+        """
+        if memo is not None:
+            cached = self.bound_memo.lookup(memo, bid)
+            if cached is not None:
+                if trace is not None:
+                    trace.bound_memo_hits += 1
+                return cached
         lower, upper = self.cube.grid.sub_box(bid, positions)
-        return fn.min_over_box(lower, upper)
+        bound = fn.min_over_box(lower, upper)
+        if memo is not None:
+            self.bound_memo.store(memo, bid, bound)
+        return bound
 
     def _retrieve(
         self,
@@ -271,10 +352,18 @@ class RankingCubeExecutor:
         covering: list[RankingCuboid],
         cell_values: list[tuple[int, ...]],
         buffers: list[dict[int, dict[int, list[int]]]],
+        result: QueryResult,
         trace: ExecutorTrace | None,
     ) -> set[int] | None:
         """Qualifying tids in ``bid``; ``None`` means "every tuple" (no
-        selection conditions — the base block table answers directly)."""
+        selection conditions — the base block table answers directly).
+
+        Three layers answer, cheapest first: the query's own buffer, the
+        shared cross-query cache, a cold fetch.  Only the cold fetch costs
+        I/O — it is the only path that bumps ``result.blocks_accessed``.
+        Decoded maps are shared read-only between the layers; nothing here
+        may mutate them.
+        """
         if not covering:
             return None
         qualifying: set[int] | None = None
@@ -282,12 +371,26 @@ class RankingCubeExecutor:
             pid = cuboid.pid_of_bid(bid)
             by_bid = buffer.get(pid)
             if by_bid is None:
-                entries = cuboid.get_pseudo_block(values, pid)
-                if trace is not None:
-                    trace.pseudo_block_fetches += 1
-                by_bid = {}
-                for tid, entry_bid in entries:
-                    by_bid.setdefault(entry_bid, []).append(tid)
+                cache_key = (cuboid.name, values, pid)
+                cached = (
+                    self.pseudo_cache.get(cache_key)
+                    if self.pseudo_cache is not None
+                    else None
+                )
+                if cached is not None:
+                    by_bid = cached
+                    if trace is not None:
+                        trace.shared_cache_hits += 1
+                else:
+                    by_bid = cuboid.decode_pseudo_block(values, pid)
+                    result.blocks_accessed += 1
+                    if trace is not None:
+                        trace.pseudo_block_fetches += 1
+                    if self.pseudo_cache is not None:
+                        # insert only after a complete decode: a fault that
+                        # aborts the query raises before reaching here, so
+                        # the shared cache never sees partial state
+                        self.pseudo_cache.put(cache_key, by_bid)
                 if self.buffer_pseudo_blocks:
                     buffer[pid] = by_bid
             elif trace is not None:
@@ -321,11 +424,7 @@ class RankingCubeExecutor:
             point = [values[p] for p in positions]
             score = fn.score(point)
             result.tuples_examined += 1
-            entry = (-score, -tid)
-            if len(topk) < k:
-                heapq.heappush(topk, entry)
-            elif entry > topk[0]:
-                heapq.heapreplace(topk, entry)
+            _push_topk(topk, k, score, tid)
 
     def _project(self, row: ResultRow, query: TopKQuery) -> ResultRow:
         """Fetch projected attribute values from the original relation."""
@@ -337,6 +436,24 @@ class RankingCubeExecutor:
             record[schema.position(name)] for name in (query.projection or ())
         )
         return ResultRow(tid=row.tid, score=row.score, values=values)
+
+
+def _push_topk(topk: list[tuple[float, int]], k: int, score: float, tid: int) -> None:
+    """Offer one scored tuple to the top-k max-heap.
+
+    Entries are ``(-score, -tid)`` so the heap root is the *worst* kept
+    tuple — largest score, and among equal scores the largest tid.  A new
+    tuple displaces the root when it is strictly better under the same
+    order, so ties on the k-th score break toward the smaller tid: the
+    retained set and the presented order (see :func:`_unpack_topk`) agree
+    on tid-ascending tie-breaking, the contract documented on
+    :class:`~repro.relational.query.QueryResult`.
+    """
+    entry = (-score, -tid)
+    if len(topk) < k:
+        heapq.heappush(topk, entry)
+    elif entry > topk[0]:
+        heapq.heapreplace(topk, entry)
 
 
 def _unpack_topk(topk: list[tuple[float, int]]) -> list[tuple[float, int]]:

@@ -72,6 +72,17 @@ class RankingFunction(ABC):
         """A minimizer over the unit hypercube (query start point)."""
         return self.argmin_over_box([0.0] * self.arity, [1.0] * self.arity)
 
+    def cache_key(self) -> tuple | None:
+        """Value-based signature for cross-query bound memoization.
+
+        Two functions with equal keys score every point identically, so
+        their block bounds are interchangeable (the contract
+        :class:`repro.serve.cache.BoundMemo` relies on).  ``None`` means
+        "no reliable signature" — the function is not memoized.  The
+        closed-form families override; opaque callables keep the default.
+        """
+        return None
+
     def __call__(self, point: Sequence[float]) -> float:
         return self.score(point)
 
@@ -112,6 +123,9 @@ class LinearFunction(RankingFunction):
         return tuple(
             lo if w >= 0 else hi for w, lo, hi in zip(self.weights, lower, upper)
         )
+
+    def cache_key(self) -> tuple:
+        return ("linear", self.dims, self.weights, self.offset)
 
     def skewness(self) -> float:
         """Query skewness ``u = min|w| / max|w|`` (Section 5.1.3)."""
@@ -173,6 +187,9 @@ class LpDistance(RankingFunction):
             min(max(t, lo), hi) for t, lo, hi in zip(self.target, lower, upper)
         )
 
+    def cache_key(self) -> tuple:
+        return ("lp", self.dims, self.target, self.p, self.weights)
+
     def __repr__(self) -> str:
         return f"LpDistance(dims={self.dims}, target={self.target}, p={self.p:g})"
 
@@ -211,6 +228,15 @@ class QuadraticForm(RankingFunction):
             for j in range(len(diff))
         )
         return quad + sum(b * x for b, x in zip(self.linear, point))
+
+    def cache_key(self) -> tuple:
+        return (
+            "quadratic",
+            self.dims,
+            tuple(tuple(row) for row in self.matrix),
+            self.center,
+            self.linear,
+        )
 
     def __repr__(self) -> str:
         return f"QuadraticForm(dims={self.dims})"
@@ -276,6 +302,10 @@ class NegatedFunction(RankingFunction):
             )
             return flipped.argmin_over_box(lower, upper)
         return super().argmin_over_box(lower, upper)
+
+    def cache_key(self) -> tuple | None:
+        inner = self.inner.cache_key()
+        return None if inner is None else ("negated", inner)
 
     def __repr__(self) -> str:
         return f"NegatedFunction({self.inner!r})"

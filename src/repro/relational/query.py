@@ -123,15 +123,27 @@ class ResultRow:
 class QueryResult:
     """Ordered top-k answer plus execution counters.
 
+    **Ordering contract:** rows are sorted ascending by ``(score, tid)``.
+    Ties on score break toward the *smaller* tid, both in presentation
+    order and in which tuples survive when more than ``k`` tuples share
+    the k-th best score — every executor in this repository honours the
+    same rule, so answers are deterministic and comparable across access
+    methods and across serial/concurrent execution.
+
     ``tuples_examined`` counts tuples whose ranking values were actually
     evaluated, the paper's notion of "seen" tuples; ``blocks_accessed``
-    counts logical block requests made by the executor (the I/O meter on
-    the shared device records the physical truth).
+    counts *actual* block fetches issued by the executor — pseudo-block
+    and base-block reads that cost I/O (the meter on the shared device
+    records the physical truth).  ``candidates_examined`` counts frontier
+    candidates popped by search-style executors, including ones answered
+    from a buffer or skipped as empty cells with zero new I/O; it is the
+    logical-work counter that ``blocks_accessed`` used to conflate.
     """
 
     rows: list[ResultRow] = field(default_factory=list)
     tuples_examined: int = 0
     blocks_accessed: int = 0
+    candidates_examined: int = 0
 
     @property
     def tids(self) -> list[int]:

@@ -1,0 +1,33 @@
+"""Concurrent query serving with cross-query caching.
+
+The paper's executor amortizes I/O *within* one query (the retrieve-step
+pseudo-block buffer); this package extends the amortization *across* a
+query stream and makes the read path safe for concurrent workers:
+
+* :class:`PseudoBlockCache` — shared LRU of decoded pseudo blocks,
+* :class:`BoundMemo` — shared memo of block lower bounds ``f(bid)``,
+* :class:`QueryService` — worker-pool front end with ``submit`` /
+  ``run_batch`` APIs and per-query latency/IO accounting.
+
+``python -m repro.bench serve`` replays a skewed multi-tenant stream
+through these layers and reports throughput, latency percentiles, and
+per-layer cache attribution (``BENCH_serve.json``).
+"""
+
+from .cache import BoundMemo, CacheStats, PseudoBlockCache
+from .service import (
+    QueryRecord,
+    QueryService,
+    ServiceClosedError,
+    ServiceStats,
+)
+
+__all__ = [
+    "BoundMemo",
+    "CacheStats",
+    "PseudoBlockCache",
+    "QueryRecord",
+    "QueryService",
+    "ServiceClosedError",
+    "ServiceStats",
+]

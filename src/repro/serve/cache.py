@@ -1,0 +1,268 @@
+"""Cross-query caches for the serving layer.
+
+Two cache families let a query *stream* amortize work the paper's
+executor only amortizes *within* one query:
+
+* :class:`PseudoBlockCache` — a memory-bounded, thread-safe LRU over
+  decoded pseudo blocks.  Keys are ``(cuboid_name, cell_values, pid)``
+  and values are the decoded ``{bid: [tid, ...]}`` maps, so a repeated
+  selection skips both the page I/O *and* the decode work of
+  ``get_pseudo_block``.  Invalidation hooks are wired to the cube's
+  append/refresh paths (see :meth:`repro.core.cube.RankingCube
+  .add_invalidation_listener`); invalidation is conservative — any
+  maintenance event drops every entry of the affected cuboids.
+* :class:`BoundMemo` — memoizes the convex lower bound ``f(bid)`` per
+  ``(ranking-function signature, grid signature)``.  The bound depends
+  only on the function and the grid geometry, never on the data, so a
+  query stream that reuses popular ranking functions computes each block
+  bound exactly once.  Functions without a value-based signature (opaque
+  callables) are simply not memoized.
+
+Both caches are safe under concurrent readers/writers: every public
+method holds the cache's lock for its full (short, pure-Python) critical
+section.  Entries are only inserted after a *successful* decode, so a
+query aborted mid-flight by a storage fault can never poison them.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+#: Key of one cached pseudo block: (cuboid name, cell values, pid).
+PseudoKey = tuple[str, tuple[int, ...], int]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one shared cache."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            insertions=self.insertions,
+            evictions=self.evictions,
+            invalidations=self.invalidations,
+        )
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+
+class PseudoBlockCache:
+    """Memory-bounded LRU of decoded pseudo blocks, shared across queries.
+
+    Parameters
+    ----------
+    capacity_entries:
+        Maximum number of resident ``{bid: [tid, ...]}`` maps.
+    capacity_tids:
+        Optional additional bound on the total number of cached tids
+        (the dominant memory cost); eviction runs until both bounds hold.
+        ``None`` disables the tid bound.
+    """
+
+    def __init__(
+        self,
+        capacity_entries: int = 1024,
+        capacity_tids: int | None = None,
+    ):
+        if capacity_entries < 1:
+            raise ValueError("capacity_entries must be >= 1")
+        if capacity_tids is not None and capacity_tids < 1:
+            raise ValueError("capacity_tids must be >= 1 (or None)")
+        self.capacity_entries = capacity_entries
+        self.capacity_tids = capacity_tids
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[PseudoKey, dict[int, list[int]]] = OrderedDict()
+        self._resident_tids = 0
+
+    # ------------------------------------------------------------------
+    def get(self, key: PseudoKey) -> dict[int, list[int]] | None:
+        """The decoded map for ``key``, or ``None`` on a miss.
+
+        Callers must treat the returned map as immutable — it is shared
+        with every other query that hits the same key.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+
+    def put(self, key: PseudoKey, by_bid: dict[int, list[int]]) -> None:
+        """Insert a fully decoded pseudo block (idempotent per key)."""
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                self._entries.move_to_end(key)
+                return
+            self._entries[key] = by_bid
+            self._resident_tids += sum(len(tids) for tids in by_bid.values())
+            self.stats.insertions += 1
+            self._evict_locked()
+
+    def _evict_locked(self) -> None:
+        while len(self._entries) > self.capacity_entries or (
+            self.capacity_tids is not None
+            and self._resident_tids > self.capacity_tids
+            and len(self._entries) > 1
+        ):
+            _key, victim = self._entries.popitem(last=False)
+            self._resident_tids -= sum(len(tids) for tids in victim.values())
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    # invalidation
+    # ------------------------------------------------------------------
+    def invalidate_cuboids(self, cuboid_names) -> int:
+        """Drop every entry belonging to the named cuboids.
+
+        This is the listener the cube's maintenance paths call (see
+        ``RankingCube.add_invalidation_listener``); returns the number of
+        entries dropped.
+        """
+        names = set(cuboid_names)
+        with self._lock:
+            doomed = [key for key in self._entries if key[0] in names]
+            for key in doomed:
+                victim = self._entries.pop(key)
+                self._resident_tids -= sum(len(t) for t in victim.values())
+            self.stats.invalidations += len(doomed)
+            return len(doomed)
+
+    def clear(self) -> None:
+        """Drop everything (counts as invalidation, not eviction)."""
+        with self._lock:
+            self.stats.invalidations += len(self._entries)
+            self._entries.clear()
+            self._resident_tids = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def resident_entries(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def resident_tids(self) -> int:
+        with self._lock:
+            return self._resident_tids
+
+    def __contains__(self, key: PseudoKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        return self.resident_entries
+
+
+class BoundMemo:
+    """Memo of block lower bounds ``f(bid)`` keyed by (function, grid).
+
+    The memo is safe to share across every query and every cube: bounds
+    depend only on the ranking-function values and the grid boundaries,
+    both captured in the key.  Ranking functions advertise a value-based
+    signature via :meth:`repro.ranking.functions.RankingFunction.cache_key`;
+    functions that cannot (opaque convex callables) return ``None`` and
+    are not memoized — ``lookup`` reports a pass-through miss and ``store``
+    drops the value.
+
+    Entries never go stale (neither operand is mutable), so there is no
+    invalidation path; ``clear`` exists for memory pressure only.  The memo
+    is bounded by ``capacity`` *(function, grid)* groups, evicted LRU.
+    """
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        # (fn_key, grid_key) -> {bid: bound}
+        self._groups: OrderedDict[tuple, dict[int, float]] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def grid_key(grid) -> tuple:
+        """Value-based identity of a grid's geometry."""
+        return (grid.dims, grid.boundaries)
+
+    def group(self, fn, grid) -> dict[int, float] | None:
+        """The mutable ``{bid: bound}`` memo for one (function, grid).
+
+        Returns ``None`` when the function has no value-based signature.
+        The returned dict is shared: the executor reads and writes it
+        directly, which is safe because CPython dict get/set are atomic
+        and bounds are deterministic — concurrent writers store the same
+        value.
+        """
+        fn_key = fn.cache_key()
+        if fn_key is None:
+            return None
+        key = (fn_key, self.grid_key(grid))
+        with self._lock:
+            memo = self._groups.get(key)
+            if memo is None:
+                memo = {}
+                self._groups[key] = memo
+                while len(self._groups) > self.capacity:
+                    self._groups.popitem(last=False)
+                    self.stats.evictions += 1
+            else:
+                self._groups.move_to_end(key)
+            return memo
+
+    def lookup(self, memo: dict[int, float] | None, bid: int) -> float | None:
+        """Memoized bound for ``bid``, counting hit/miss."""
+        if memo is None:
+            self.stats.misses += 1
+            return None
+        bound = memo.get(bid)
+        if bound is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return bound
+
+    def store(self, memo: dict[int, float] | None, bid: int, bound: float) -> None:
+        if memo is not None:
+            memo[bid] = bound
+            self.stats.insertions += 1
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        with self._lock:
+            self.stats.invalidations += len(self._groups)
+            self._groups.clear()
+
+    @property
+    def resident_groups(self) -> int:
+        with self._lock:
+            return len(self._groups)
+
+    @property
+    def resident_bounds(self) -> int:
+        with self._lock:
+            return sum(len(memo) for memo in self._groups.values())

@@ -1,0 +1,256 @@
+"""Concurrent query serving over a ranking cube.
+
+:class:`QueryService` is the front end the ROADMAP's "heavy traffic"
+north star asks for: a worker thread pool draining a query stream through
+one shared :class:`~repro.core.executor.RankingCubeExecutor`, with the
+cross-query caches of :mod:`repro.serve.cache` attached:
+
+* the **shared pseudo-block cache** — repeated selections skip page I/O
+  and decode work entirely,
+* the **bound memo** — each ``f(bid)`` lower bound is minimized once per
+  (ranking function, grid) across the whole stream,
+* the **thread-safe buffer pool** underneath (lock-striped page latches),
+  so concurrent cold reads stay correct and metered.
+
+The service is an *any-time, many-query* regime in the sense of the
+ranked-enumeration literature: answers are exact (identical to serial
+execution — property-tested), only the amortization changes.
+
+Failure semantics: a query that exhausts the storage retry budget aborts
+with :class:`~repro.core.executor.QueryAbortedError` carried by its
+future; the shared caches only ever receive fully decoded entries, so an
+aborted query cannot poison state used by its neighbors.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from ..core.cube import RankingCube
+from ..core.executor import ExecutorTrace, QueryAbortedError, RankingCubeExecutor
+from ..relational.query import QueryResult, TopKQuery
+from ..relational.table import Table
+from .cache import BoundMemo, PseudoBlockCache
+
+
+class ServiceClosedError(RuntimeError):
+    """Raised when submitting to a closed :class:`QueryService`."""
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """Per-query accounting kept by the service (latency + I/O + caches)."""
+
+    latency_s: float
+    blocks_accessed: int
+    candidates_examined: int
+    tuples_examined: int
+    cold_fetches: int
+    query_buffer_hits: int
+    shared_cache_hits: int
+    bound_memo_hits: int
+    base_block_reads: int
+    aborted: bool = False
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate view over every query the service has finished."""
+
+    records: list[QueryRecord] = field(default_factory=list)
+
+    @property
+    def queries(self) -> int:
+        return len(self.records)
+
+    @property
+    def aborted(self) -> int:
+        return sum(1 for r in self.records if r.aborted)
+
+    def latency_percentile(self, fraction: float) -> float:
+        """Latency (seconds) at a quantile in [0, 1] (nearest-rank)."""
+        if not self.records:
+            return 0.0
+        ordered = sorted(r.latency_s for r in self.records)
+        rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+        return ordered[rank]
+
+    def mean(self, attribute: str) -> float:
+        if not self.records:
+            return 0.0
+        return sum(getattr(r, attribute) for r in self.records) / len(self.records)
+
+    def total(self, attribute: str) -> int:
+        return sum(getattr(r, attribute) for r in self.records)
+
+
+class QueryService:
+    """A thread-pooled, cache-sharing query server over one ranking cube.
+
+    Parameters
+    ----------
+    cube:
+        The cube to serve (full or fragmented).  The service registers its
+        pseudo-block cache as an invalidation listener, so delta appends
+        (:meth:`RankingCube.refresh_delta`) atomically drop any cached tid
+        list that the append could have extended.
+    relation:
+        Original relation, for queries that project extra attributes.
+    workers:
+        Worker threads.  ``1`` is a valid (serial, still cache-sharing)
+        configuration.
+    pseudo_cache / bound_memo:
+        Injected shared caches; built with defaults when omitted.  Passing
+        ``None`` explicitly and ``share_caches=False`` disables a layer.
+    share_caches:
+        Ablation switch: ``False`` serves concurrently but without the
+        cross-query layers (per-query buffers still apply).
+    """
+
+    def __init__(
+        self,
+        cube: RankingCube,
+        relation: Table | None = None,
+        workers: int = 4,
+        pseudo_cache: PseudoBlockCache | None = None,
+        bound_memo: BoundMemo | None = None,
+        share_caches: bool = True,
+        buffer_pseudo_blocks: bool = True,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.cube = cube
+        self.workers = workers
+        if share_caches:
+            # explicit None tests: an *empty* injected cache is falsy
+            # (it has __len__), yet must still be the one we use
+            self.pseudo_cache = (
+                pseudo_cache if pseudo_cache is not None else PseudoBlockCache()
+            )
+            self.bound_memo = bound_memo if bound_memo is not None else BoundMemo()
+        else:
+            self.pseudo_cache = None
+            self.bound_memo = None
+        self.executor = RankingCubeExecutor(
+            cube,
+            relation,
+            buffer_pseudo_blocks=buffer_pseudo_blocks,
+            pseudo_cache=self.pseudo_cache,
+            bound_memo=self.bound_memo,
+        )
+        self.stats = ServiceStats()
+        self._stats_lock = threading.Lock()
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve"
+        )
+        self._closed = False
+        if self.pseudo_cache is not None:
+            self._listener = self.pseudo_cache.invalidate_cuboids
+            cube.add_invalidation_listener(self._listener)
+        else:
+            self._listener = None
+
+    # ------------------------------------------------------------------
+    # serving APIs
+    # ------------------------------------------------------------------
+    def submit(self, query: TopKQuery) -> "Future[QueryResult]":
+        """Enqueue one query; the future resolves to its :class:`QueryResult`.
+
+        A storage-fault abort surfaces as the future's exception
+        (:class:`QueryAbortedError`, partial results attached).
+        """
+        if self._closed:
+            raise ServiceClosedError("QueryService is closed")
+        return self._pool.submit(self._run_one, query)
+
+    def run_batch(self, queries) -> list[QueryResult]:
+        """Run a batch concurrently, returning answers in request order."""
+        futures = [self.submit(q) for q in queries]
+        return [f.result() for f in futures]
+
+    def _run_one(self, query: TopKQuery) -> QueryResult:
+        trace = ExecutorTrace()
+        started = time.perf_counter()
+        try:
+            result = self.executor.execute(query, trace=trace)
+        except QueryAbortedError as exc:
+            self._record(
+                trace,
+                time.perf_counter() - started,
+                blocks=exc.blocks_accessed,
+                candidates=len(trace.candidate_bids),
+                tuples=0,
+                aborted=True,
+            )
+            raise
+        self._record(
+            trace,
+            time.perf_counter() - started,
+            blocks=result.blocks_accessed,
+            candidates=result.candidates_examined,
+            tuples=result.tuples_examined,
+            aborted=False,
+        )
+        return result
+
+    def _record(
+        self,
+        trace: ExecutorTrace,
+        latency_s: float,
+        *,
+        blocks: int,
+        candidates: int,
+        tuples: int,
+        aborted: bool,
+    ) -> None:
+        record = QueryRecord(
+            latency_s=latency_s,
+            blocks_accessed=blocks,
+            candidates_examined=candidates,
+            tuples_examined=tuples,
+            cold_fetches=trace.pseudo_block_fetches,
+            query_buffer_hits=trace.pseudo_block_buffer_hits,
+            shared_cache_hits=trace.shared_cache_hits,
+            bound_memo_hits=trace.bound_memo_hits,
+            base_block_reads=trace.base_block_reads,
+            aborted=aborted,
+        )
+        with self._stats_lock:
+            self.stats.records.append(record)
+
+    # ------------------------------------------------------------------
+    # cache administration
+    # ------------------------------------------------------------------
+    def invalidate_caches(self) -> None:
+        """Drop both shared caches (e.g. after an external rebuild)."""
+        if self.pseudo_cache is not None:
+            self.pseudo_cache.clear()
+        if self.bound_memo is not None:
+            self.bound_memo.clear()
+
+    def cache_hit_rate(self) -> float:
+        """Shared pseudo-block cache hit rate (0.0 when disabled)."""
+        if self.pseudo_cache is None:
+            return 0.0
+        return self.pseudo_cache.stats.hit_rate
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting queries, drain the pool, unhook invalidation."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.shutdown(wait=wait)
+        if self._listener is not None:
+            self.cube.remove_invalidation_listener(self._listener)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

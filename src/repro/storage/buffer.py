@@ -20,11 +20,15 @@ assume a cold-ish cache for the base data, and our benches call
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
 from .device import BlockDevice, PageCorruptionError, StorageError
 from .faults import RetryExhaustedError, RetryPolicy, TransientStorageFault
+
+#: Default number of lock stripes for page latches (see BufferPool).
+DEFAULT_LATCH_STRIPES = 16
 
 
 @dataclass
@@ -82,51 +86,108 @@ class BufferPool:
         device: BlockDevice,
         capacity: int = 256,
         retry_policy: RetryPolicy | None = None,
+        latch_stripes: int = DEFAULT_LATCH_STRIPES,
     ):
         if capacity < 1:
             raise ValueError("buffer pool capacity must be >= 1")
+        if latch_stripes < 1:
+            raise ValueError("latch_stripes must be >= 1")
         self.device = device
         self.capacity = capacity
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self.stats = BufferStats()
         self._frames: OrderedDict[int, _Frame] = OrderedDict()
+        # Concurrency protocol (the serving layer's read path):
+        #   * ``_lock`` — the pool mutex — guards the frame map, the LRU
+        #     order, pin counts, dirty bits, and stats.  Critical sections
+        #     are pure in-memory bookkeeping, never device I/O (with one
+        #     deliberate exception: eviction write-back, which stays under
+        #     the mutex so a dirty victim can't be read half-written).
+        #   * ``_latches`` — lock-striped page latches — serialize the
+        #     *miss* path per page stripe, so concurrent readers missing
+        #     on the same page issue one device read, not N.  Latch order
+        #     is always latch-then-mutex; no code path acquires a latch
+        #     while holding the mutex, which rules out deadlock.
+        self.latch_stripes = latch_stripes
+        self._lock = threading.RLock()
+        self._latches = tuple(threading.Lock() for _ in range(latch_stripes))
+
+    def _latch(self, page_id: int) -> threading.Lock:
+        return self._latches[page_id % len(self._latches)]
+
+    # Locks are process-local: strip on pickle (persist snapshots), rebuild
+    # on unpickle.
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]
+        del state["_latches"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+        self._latches = tuple(threading.Lock() for _ in range(self.latch_stripes))
 
     # ------------------------------------------------------------------
     def get(self, page_id: int) -> bytes:
         """Return the page image, reading through on a miss."""
-        frame = self._frames.get(page_id)
-        if frame is not None:
-            self.stats.hits += 1
-            self._frames.move_to_end(page_id)
-            return frame.data
-        self.stats.misses += 1
-        data = self._read_with_retry(page_id)
-        self._admit(page_id, _Frame(data))
-        return data
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                self.stats.hits += 1
+                self._frames.move_to_end(page_id)
+                return frame.data
+        with self._latch(page_id):
+            # recheck: another thread may have admitted it while we waited
+            with self._lock:
+                frame = self._frames.get(page_id)
+                if frame is not None:
+                    self.stats.hits += 1
+                    self._frames.move_to_end(page_id)
+                    return frame.data
+                self.stats.misses += 1
+            data = self._read_with_retry(page_id)
+            with self._lock:
+                self._admit(page_id, _Frame(data))
+            return data
 
     def put(self, page_id: int, data: bytes) -> None:
         """Install a new image for ``page_id`` and mark it dirty."""
-        frame = self._frames.get(page_id)
-        if frame is None:
-            frame = _Frame(data)
-            frame.dirty = True
-            self._admit(page_id, frame)
-        else:
-            frame.data = data
-            frame.dirty = True
-            self._frames.move_to_end(page_id)
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is None:
+                frame = _Frame(data)
+                frame.dirty = True
+                self._admit(page_id, frame)
+            else:
+                frame.data = data
+                frame.dirty = True
+                self._frames.move_to_end(page_id)
 
     def pin(self, page_id: int) -> bytes:
         """Get a page and protect it from eviction until unpinned."""
-        data = self.get(page_id)
-        self._frames[page_id].pins += 1
-        return data
+        with self._latch(page_id):
+            with self._lock:
+                frame = self._frames.get(page_id)
+                if frame is not None:
+                    self.stats.hits += 1
+                    self._frames.move_to_end(page_id)
+                    frame.pins += 1
+                    return frame.data
+                self.stats.misses += 1
+            data = self._read_with_retry(page_id)
+            with self._lock:
+                frame = _Frame(data)
+                frame.pins = 1
+                self._admit(page_id, frame)
+            return data
 
     def unpin(self, page_id: int) -> None:
-        frame = self._frames.get(page_id)
-        if frame is None or frame.pins == 0:
-            raise StorageError(f"page {page_id} is not pinned")
-        frame.pins -= 1
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is None or frame.pins == 0:
+                raise StorageError(f"page {page_id} is not pinned")
+            frame.pins -= 1
 
     def invalidate(self, page_id: int) -> None:
         """Drop a clean cached frame so the next access refetches from disk.
@@ -136,14 +197,15 @@ class BufferPool:
         re-reads.  Dirty or pinned frames hold unacknowledged state and are
         refused.
         """
-        frame = self._frames.get(page_id)
-        if frame is None:
-            return
-        if frame.dirty:
-            raise StorageError(f"refusing to invalidate dirty page {page_id}")
-        if frame.pins:
-            raise StorageError(f"refusing to invalidate pinned page {page_id}")
-        del self._frames[page_id]
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is None:
+                return
+            if frame.dirty:
+                raise StorageError(f"refusing to invalidate dirty page {page_id}")
+            if frame.pins:
+                raise StorageError(f"refusing to invalidate pinned page {page_id}")
+            del self._frames[page_id]
 
     def flush(self) -> None:
         """Write back every dirty frame (frames stay resident).
@@ -152,19 +214,21 @@ class BufferPool:
         bit — the error escalates, but nothing is lost; a later flush can
         still succeed once the fault clears.
         """
-        for page_id, frame in self._frames.items():
-            if frame.dirty:
-                self._write_with_retry(page_id, frame.data)
-                frame.dirty = False
-                self.stats.writebacks += 1
+        with self._lock:
+            for page_id, frame in self._frames.items():
+                if frame.dirty:
+                    self._write_with_retry(page_id, frame.data)
+                    frame.dirty = False
+                    self.stats.writebacks += 1
 
     def clear(self) -> None:
         """Flush and drop all frames — simulates a cold cache."""
-        self.flush()
-        pinned = [pid for pid, frame in self._frames.items() if frame.pins]
-        if pinned:
-            raise StorageError(f"cannot clear pool with pinned pages: {pinned}")
-        self._frames.clear()
+        with self._lock:
+            self.flush()
+            pinned = [pid for pid, frame in self._frames.items() if frame.pins]
+            if pinned:
+                raise StorageError(f"cannot clear pool with pinned pages: {pinned}")
+            self._frames.clear()
 
     def crash(self) -> None:
         """Discard every frame *without* flushing — simulates process death.
@@ -174,23 +238,28 @@ class BufferPool:
         last successful writes left.  Pins are irrelevant to a dead
         process, so they are discarded too.
         """
-        self._frames.clear()
+        with self._lock:
+            self._frames.clear()
 
     @property
     def resident(self) -> int:
-        return len(self._frames)
+        with self._lock:
+            return len(self._frames)
 
     @property
     def dirty_pages(self) -> list[int]:
         """Page ids of resident dirty frames (unflushed state)."""
-        return [pid for pid, frame in self._frames.items() if frame.dirty]
+        with self._lock:
+            return [pid for pid, frame in self._frames.items() if frame.dirty]
 
     def is_dirty(self, page_id: int) -> bool:
-        frame = self._frames.get(page_id)
-        return frame is not None and frame.dirty
+        with self._lock:
+            frame = self._frames.get(page_id)
+            return frame is not None and frame.dirty
 
     def __contains__(self, page_id: int) -> bool:
-        return page_id in self._frames
+        with self._lock:
+            return page_id in self._frames
 
     # ------------------------------------------------------------------
     # retrying device I/O
@@ -223,8 +292,9 @@ class BufferPool:
                         page_id=page_id,
                         attempts=attempt,
                     ) from exc
-                self.stats.read_retries += 1
-                self.stats.backoff_s += delay
+                with self._lock:
+                    self.stats.read_retries += 1
+                    self.stats.backoff_s += delay
                 policy.backoff(delay)
 
     def _write_with_retry(self, page_id: int, data: bytes) -> None:
@@ -245,8 +315,9 @@ class BufferPool:
                         page_id=page_id,
                         attempts=attempt,
                     ) from exc
-                self.stats.write_retries += 1
-                self.stats.backoff_s += delay
+                with self._lock:
+                    self.stats.write_retries += 1
+                    self.stats.backoff_s += delay
                 policy.backoff(delay)
 
     # ------------------------------------------------------------------

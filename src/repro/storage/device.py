@@ -15,6 +15,7 @@ meter.
 
 from __future__ import annotations
 
+import threading
 import zlib
 from dataclasses import dataclass, field
 
@@ -179,16 +180,32 @@ class BlockDevice:
         self.stats = IOStats()
         self._pages: list[_StoredPage | None] = []
         self._last_read_page_id: int | None = None
+        # One device mutex serializes page access and stats updates so the
+        # concurrent serving layer (repro.serve) meters I/O exactly; the
+        # in-memory "transfer" is so cheap that striping buys nothing here.
+        self._lock = threading.Lock()
+
+    # Locks are process-local: strip on pickle (persist snapshots), rebuild
+    # on unpickle.
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # allocation
     # ------------------------------------------------------------------
     def allocate(self) -> int:
         """Allocate a fresh zeroed page and return its page id."""
-        page_id = len(self._pages)
-        data = bytes(self.page_size)
-        self._pages.append(_StoredPage(data=data, checksum=zlib.crc32(data)))
-        return page_id
+        with self._lock:
+            page_id = len(self._pages)
+            data = bytes(self.page_size)
+            self._pages.append(_StoredPage(data=data, checksum=zlib.crc32(data)))
+            return page_id
 
     def allocate_many(self, count: int) -> list[int]:
         """Allocate ``count`` consecutive pages (a contiguous extent)."""
@@ -216,26 +233,27 @@ class BlockDevice:
         is expected to retry or escalate) and leaves the read head where it
         was, so retries don't skew the random/sequential split.
         """
-        page = self._page(page_id)
-        if self.verify_checksums:
-            actual = zlib.crc32(page.data)
-            if actual != page.checksum:
-                self.stats.retried_reads += 1
-                raise PageCorruptionError(
-                    f"checksum mismatch on page {page_id} "
-                    f"(expected {page.checksum:#010x}, found {actual:#010x})",
-                    page_id=page_id,
-                    expected_checksum=page.checksum,
-                    actual_checksum=actual,
-                )
-        self.stats.reads += 1
-        self.stats.bytes_read += self.page_size
-        if self._last_read_page_id is not None and page_id == self._last_read_page_id + 1:
-            self.stats.sequential_reads += 1
-        else:
-            self.stats.random_reads += 1
-        self._last_read_page_id = page_id
-        return page.data
+        with self._lock:
+            page = self._page(page_id)
+            if self.verify_checksums:
+                actual = zlib.crc32(page.data)
+                if actual != page.checksum:
+                    self.stats.retried_reads += 1
+                    raise PageCorruptionError(
+                        f"checksum mismatch on page {page_id} "
+                        f"(expected {page.checksum:#010x}, found {actual:#010x})",
+                        page_id=page_id,
+                        expected_checksum=page.checksum,
+                        actual_checksum=actual,
+                    )
+            self.stats.reads += 1
+            self.stats.bytes_read += self.page_size
+            if self._last_read_page_id is not None and page_id == self._last_read_page_id + 1:
+                self.stats.sequential_reads += 1
+            else:
+                self.stats.random_reads += 1
+            self._last_read_page_id = page_id
+            return page.data
 
     def write(self, page_id: int, data: bytes) -> None:
         """Write one page image (padded to the page size)."""
@@ -243,13 +261,14 @@ class BlockDevice:
             raise StorageError(
                 f"page image of {len(data)} bytes exceeds page size {self.page_size}"
             )
-        page = self._page(page_id)
-        if len(data) < self.page_size:
-            data = data + bytes(self.page_size - len(data))
-        page.data = data
-        page.checksum = zlib.crc32(data)
-        self.stats.writes += 1
-        self.stats.bytes_written += self.page_size
+        with self._lock:
+            page = self._page(page_id)
+            if len(data) < self.page_size:
+                data = data + bytes(self.page_size - len(data))
+            page.data = data
+            page.checksum = zlib.crc32(data)
+            self.stats.writes += 1
+            self.stats.bytes_written += self.page_size
 
     def corrupt(self, page_id: int, offset: int = 0) -> None:
         """Flip a byte in the stored image without updating the checksum.

@@ -27,6 +27,7 @@ Three pieces:
 from __future__ import annotations
 
 import random
+import threading
 import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Collection, Iterable, Iterator, Sequence
@@ -294,6 +295,22 @@ class FaultyBlockDevice:
         for page_id in range(inner.num_pages):
             self._checksums[page_id] = zlib.crc32(inner.read(page_id))
         inner.reset_stats()
+        # Serializes fault decisions (seeded RNG + rule bookkeeping) and
+        # shadow-checksum updates under the concurrent serving layer; the
+        # injected schedule stays deterministic *per access sequence*, and
+        # the lock is what keeps that sequence well-defined.
+        self._lock = threading.RLock()
+
+    # Locks are process-local: strip on pickle (persist snapshots), rebuild
+    # on unpickle.
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # passthrough surface
@@ -319,9 +336,10 @@ class FaultyBlockDevice:
         return self.inner.size_in_bytes
 
     def allocate(self) -> int:
-        page_id = self.inner.allocate()
-        self._checksums[page_id] = zlib.crc32(bytes(self.page_size))
-        return page_id
+        with self._lock:
+            page_id = self.inner.allocate()
+            self._checksums[page_id] = zlib.crc32(bytes(self.page_size))
+            return page_id
 
     def allocate_many(self, count: int) -> list[int]:
         return [self.allocate() for _ in range(count)]
@@ -339,6 +357,10 @@ class FaultyBlockDevice:
     # faulty I/O
     # ------------------------------------------------------------------
     def read(self, page_id: int) -> bytes:
+        with self._lock:
+            return self._read_locked(page_id)
+
+    def _read_locked(self, page_id: int) -> bytes:
         rules = self.injector.decide("read", page_id)
         error_rule = next((r for r in rules if r.kind != LATENCY), None)
         if error_rule is not None and error_rule.kind == READ_ERROR:
@@ -378,6 +400,10 @@ class FaultyBlockDevice:
         return data
 
     def write(self, page_id: int, data: bytes) -> None:
+        with self._lock:
+            self._write_locked(page_id, data)
+
+    def _write_locked(self, page_id: int, data: bytes) -> None:
         rules = self.injector.decide("write", page_id)
         error_rule = next((r for r in rules if r.kind != LATENCY), None)
         if error_rule is not None and error_rule.kind == WRITE_ERROR:

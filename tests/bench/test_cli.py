@@ -36,3 +36,29 @@ class TestCli:
         code = main(["fig11", "--tuples", "1500"])
         assert code == 0
         assert "[space_bytes]" in capsys.readouterr().out
+
+
+@pytest.mark.serve
+@pytest.mark.slow
+class TestServeCli:
+    def test_smoke_mode_writes_report(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "BENCH_serve.json"
+        code = main(["serve", "--smoke", "--out", str(out)])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "serve_shared" in stdout
+        payload = json.loads(out.read_text())
+        assert payload["benchmark"] == "serve"
+        assert payload["equivalent_answers"] is True
+        assert set(payload["scenarios"]) == {
+            "serial_cold", "serial_warm", "serve_unshared", "serve_shared",
+        }
+        # fixed-seed CI mode: the smoke config is deterministic
+        assert payload["config"]["seed"] == 17
+        assert payload["config"]["num_tuples"] == 2000
+
+    def test_serve_rejects_unknown_flag(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--nonsense"])

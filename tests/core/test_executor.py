@@ -229,6 +229,103 @@ class TestEfficiency:
             assert trace.base_block_reads < len(trace.candidate_bids)
 
 
+class TestAccounting:
+    """``blocks_accessed`` counts actual fetches; popped candidates are
+    metered separately (the counter inflation fixed in the serving PR)."""
+
+    def test_blocks_accessed_counts_fetches_not_candidates(self):
+        db, table, rows, schema, executor = make_env()
+        query = TopKQuery(10, {"a1": 1}, LinearFunction(["n1", "n2"], [1, 1]))
+        trace = ExecutorTrace()
+        result = executor.execute(query, trace=trace)
+        assert result.blocks_accessed == (
+            trace.pseudo_block_fetches + trace.base_block_reads
+        )
+        assert result.candidates_examined == len(trace.candidate_bids)
+
+    def test_empty_cell_skips_cost_no_block_io(self):
+        # high-cardinality selection: most candidate blocks have no
+        # qualifying tuples, answered from the buffered pseudo block with
+        # zero new I/O — they must not inflate blocks_accessed
+        db, table, rows, schema, executor = make_env(num_rows=300, cards=(30, 3))
+        query = TopKQuery(3, {"a1": 7}, LinearFunction(["n1", "n2"], [1, 1]))
+        trace = ExecutorTrace()
+        result = executor.execute(query, trace=trace)
+        assert result.candidates_examined >= result.blocks_accessed
+        if trace.empty_cells_skipped:
+            assert result.candidates_examined > result.blocks_accessed
+
+    def test_buffered_candidates_do_not_recount(self):
+        db, table, rows, schema, executor = make_env()
+        query = TopKQuery(20, {"a1": 1}, LinearFunction(["n1", "n2"], [1, 1]))
+        trace = ExecutorTrace()
+        result = executor.execute(query, trace=trace)
+        if trace.pseudo_block_buffer_hits:
+            # buffer hits examined candidates without fetching blocks
+            assert result.blocks_accessed < 2 * result.candidates_examined
+
+
+class TestTieBreaking:
+    """Regression lock for the QueryResult ordering contract: ascending
+    ``(score, tid)``, both in presentation and in which tuples survive a
+    tie on the k-th score."""
+
+    def make_tied_env(self, arrival):
+        """Rows whose scores all tie; ``arrival`` permutes insert order."""
+        schema = Schema.of(
+            [selection_attr("a1", 2), ranking_attr("n1"), ranking_attr("n2")]
+        )
+        # every row scores exactly 1.0 under f = n1 + n2
+        rows = [(0, 0.5, 0.5) for _ in arrival]
+        db = Database()
+        table = db.load_table("R", schema, rows)
+        cube = RankingCube.build(table, block_size=4)
+        return RankingCubeExecutor(cube, table)
+
+    @pytest.mark.parametrize("order", [range(8), reversed(range(8))])
+    def test_ties_keep_smallest_tids(self, order):
+        executor = self.make_tied_env(list(order))
+        query = TopKQuery(3, {"a1": 0}, LinearFunction(["n1", "n2"], [1, 1]))
+        result = executor.execute(query)
+        # of 8 tuples tied at score 1.0, the 3 smallest tids survive,
+        # presented tid-ascending
+        assert [r.tid for r in result.rows] == [0, 1, 2]
+        assert all(r.score == pytest.approx(1.0) for r in result.rows)
+
+    def test_partial_tie_orders_by_score_then_tid(self):
+        schema = Schema.of(
+            [selection_attr("a1", 2), ranking_attr("n1"), ranking_attr("n2")]
+        )
+        rows = [
+            (0, 0.2, 0.2),  # tid 0: score 0.4
+            (0, 0.3, 0.1),  # tid 1: score 0.4 (tie with 0)
+            (0, 0.1, 0.1),  # tid 2: score 0.2 (best)
+            (0, 0.4, 0.0),  # tid 3: score 0.4 (tie with 0, 1)
+        ]
+        db = Database()
+        table = db.load_table("R", schema, rows)
+        executor = RankingCubeExecutor(RankingCube.build(table, block_size=2), table)
+        query = TopKQuery(3, {"a1": 0}, LinearFunction(["n1", "n2"], [1, 1]))
+        result = executor.execute(query)
+        assert [r.tid for r in result.rows] == [2, 0, 1]
+
+    def test_delta_tuples_respect_tie_breaking(self):
+        schema = Schema.of(
+            [selection_attr("a1", 2), ranking_attr("n1"), ranking_attr("n2")]
+        )
+        rows = [(0, 0.5, 0.5) for _ in range(4)]
+        db = Database()
+        table = db.load_table("R", schema, rows)
+        cube = RankingCube.build(table, block_size=4)
+        executor = RankingCubeExecutor(cube, table)
+        # delta tuples tie with the materialized ones
+        table.insert_rows([(0, 0.5, 0.5), (0, 0.5, 0.5)])
+        cube.refresh_delta(table)
+        query = TopKQuery(5, {"a1": 0}, LinearFunction(["n1", "n2"], [1, 1]))
+        result = executor.execute(query)
+        assert [r.tid for r in result.rows] == [0, 1, 2, 3, 4]
+
+
 class TestValidation:
     def test_unknown_ranking_dim_rejected(self):
         db, table, rows, schema, executor = make_env()

@@ -1,0 +1,168 @@
+"""Property tests: concurrent cached serving never changes answers.
+
+For any seeded query stream, running it through :class:`QueryService`
+(N worker threads, shared pseudo-block cache + bound memo) must return
+exactly the rows of a serial, cache-free executor — under a pristine
+device AND under a transient-fault plan with a deep retry budget.  And
+after delta appends, the cache-invalidation hooks must guarantee that no
+query ever sees a stale tid list: serve → append → serve equals a serial
+run against the final state.
+
+These are the serving layer's two load-bearing claims — concurrency and
+cross-query caching change *amortization only*, never answers — so they
+get the same seeded-property treatment as the fault-equivalence suite.
+"""
+
+import random
+
+import pytest
+
+from repro.core import RankingCube, RankingCubeExecutor
+from repro.ranking import LinearFunction, LpDistance
+from repro.relational import Database, Schema, TopKQuery, ranking_attr, selection_attr
+from repro.serve import QueryService
+from repro.storage import (
+    BlockDevice,
+    FaultyBlockDevice,
+    RetryPolicy,
+    transient_fault_plan,
+)
+
+pytestmark = [pytest.mark.serve, pytest.mark.faults]
+
+CARDS = (3, 4)
+SCHEMA = Schema.of(
+    [selection_attr("a1", CARDS[0]), selection_attr("a2", CARDS[1])]
+    + [ranking_attr("n1"), ranking_attr("n2")]
+)
+SEEDS = (2, 5, 11, 17, 29, 41)
+WORKERS = 4
+
+
+def make_rows(rng, count=120):
+    return [
+        (rng.randrange(CARDS[0]), rng.randrange(CARDS[1]), rng.random(), rng.random())
+        for _ in range(count)
+    ]
+
+
+def make_stream(rng, count=20):
+    """Skewed stream: a small pool of templates, replayed with repeats."""
+    pool = []
+    for _ in range(max(4, count // 3)):
+        selections = {}
+        if rng.random() < 0.8:
+            selections["a1"] = rng.randrange(CARDS[0])
+        if rng.random() < 0.4:
+            selections["a2"] = rng.randrange(CARDS[1])
+        if rng.random() < 0.5:
+            fn = LinearFunction(
+                ["n1", "n2"], [0.1 + rng.random(), 0.1 + rng.random()]
+            )
+        else:
+            fn = LpDistance(["n1", "n2"], [rng.random(), rng.random()])
+        pool.append(TopKQuery(rng.randint(1, 8), selections, fn))
+    return [pool[rng.randrange(len(pool))] for _ in range(count)]
+
+
+def pristine_database(seed):
+    return Database(buffer_capacity=64)
+
+
+def faulty_database(seed):
+    injector = transient_fault_plan(seed)
+    device = FaultyBlockDevice(BlockDevice(), injector)
+    return Database(
+        buffer_capacity=64,
+        device=device,
+        retry_policy=RetryPolicy(max_attempts=6),
+    )
+
+
+def signatures(results):
+    return [[(row.tid, round(row.score, 9)) for row in r.rows] for r in results]
+
+
+DEVICE_CONFIGS = {"pristine": pristine_database, "faulty": faulty_database}
+
+
+@pytest.fixture(params=SEEDS)
+def seed(request):
+    return request.param
+
+
+@pytest.fixture(params=sorted(DEVICE_CONFIGS))
+def make_db(request):
+    return DEVICE_CONFIGS[request.param]
+
+
+def build_stack(make_db, seed, rows):
+    db = make_db(seed)
+    table = db.load_table("R", SCHEMA, rows)
+    cube = RankingCube.build(table, block_size=8)
+    return db, table, cube
+
+
+def test_concurrent_cached_stream_equals_serial(make_db, seed):
+    rng = random.Random(seed)
+    rows = make_rows(rng)
+    stream = make_stream(rng)
+
+    ref_db, ref_table, ref_cube = build_stack(pristine_database, seed, rows)
+    serial = RankingCubeExecutor(ref_cube, ref_table)
+    expected = signatures([serial.execute(q) for q in stream])
+
+    db, table, cube = build_stack(make_db, seed, rows)
+    with QueryService(cube, table, workers=WORKERS) as service:
+        got = signatures(service.run_batch(stream))
+        # replay warm: every answer must survive a fully cached second pass
+        warm = signatures(service.run_batch(stream))
+
+    assert got == expected
+    assert warm == expected
+
+
+def test_no_stale_answers_after_delta_appends(make_db, seed):
+    """serve → append+refresh → serve must equal serial-on-final-state."""
+    rng = random.Random(seed)
+    rows = make_rows(rng)
+    stream = make_stream(rng, count=12)
+    appended = make_rows(rng, count=15)
+
+    db, table, cube = build_stack(make_db, seed, rows)
+    with QueryService(cube, table, workers=WORKERS) as service:
+        service.run_batch(stream)  # warm the shared caches on the old state
+        table.insert_rows(appended)
+        assert cube.refresh_delta(table) == len(appended)
+        got = signatures(service.run_batch(stream))
+
+    ref_db, ref_table, ref_cube = build_stack(
+        pristine_database, seed, rows + appended
+    )
+    serial = RankingCubeExecutor(ref_cube, ref_table)
+    expected = signatures([serial.execute(q) for q in stream])
+    assert got == expected
+
+
+def test_interleaved_appends_between_batches(seed):
+    """Repeated append/serve rounds stay exact (pristine device)."""
+    rng = random.Random(seed)
+    rows = make_rows(rng, count=60)
+    stream = make_stream(rng, count=8)
+
+    db, table, cube = build_stack(pristine_database, seed, rows)
+    all_rows = list(rows)
+    with QueryService(cube, table, workers=WORKERS) as service:
+        for _round in range(3):
+            batch = make_rows(rng, count=7)
+            table.insert_rows(batch)
+            cube.refresh_delta(table)
+            all_rows.extend(batch)
+            got = signatures(service.run_batch(stream))
+
+            ref_db, ref_table, ref_cube = build_stack(
+                pristine_database, seed, all_rows
+            )
+            serial = RankingCubeExecutor(ref_cube, ref_table)
+            expected = signatures([serial.execute(q) for q in stream])
+            assert got == expected

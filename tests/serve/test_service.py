@@ -1,0 +1,257 @@
+"""Tests for the concurrent serving layer (repro.serve.service)."""
+
+import random
+
+import pytest
+
+from repro.core import RankingCube, RankingCubeExecutor
+from repro.core.executor import QueryAbortedError
+from repro.ranking import LinearFunction
+from repro.relational import Database, Schema, TopKQuery, ranking_attr, selection_attr
+from repro.serve import (
+    BoundMemo,
+    PseudoBlockCache,
+    QueryService,
+    ServiceClosedError,
+)
+from repro.storage import (
+    READ_ERROR,
+    BlockDevice,
+    FaultInjector,
+    FaultRule,
+    FaultyBlockDevice,
+    RetryPolicy,
+)
+
+pytestmark = pytest.mark.serve
+
+CARDS = (3, 4)
+SCHEMA = Schema.of(
+    [selection_attr("a1", CARDS[0]), selection_attr("a2", CARDS[1])]
+    + [ranking_attr("n1"), ranking_attr("n2")]
+)
+
+
+def make_rows(seed, count=400):
+    rng = random.Random(seed)
+    return [
+        (rng.randrange(CARDS[0]), rng.randrange(CARDS[1]), rng.random(), rng.random())
+        for _ in range(count)
+    ]
+
+
+def make_queries(seed, count=24):
+    rng = random.Random(seed)
+    queries = []
+    for _ in range(count):
+        selections = {"a1": rng.randrange(CARDS[0])}
+        if rng.random() < 0.5:
+            selections["a2"] = rng.randrange(CARDS[1])
+        fn = LinearFunction(["n1", "n2"], [rng.random() + 0.1, rng.random() + 0.1])
+        queries.append(TopKQuery(rng.randint(1, 10), selections, fn))
+    return queries
+
+
+def make_env(seed=7, rows=None, buffer_capacity=256):
+    db = Database(buffer_capacity=buffer_capacity)
+    table = db.load_table("R", SCHEMA, rows or make_rows(seed))
+    cube = RankingCube.build(table, block_size=16)
+    return db, table, cube
+
+
+def signature(result):
+    return [(r.tid, round(r.score, 9)) for r in result.rows]
+
+
+class TestServiceEquivalence:
+    def test_batch_matches_serial_executor(self):
+        db, table, cube = make_env()
+        serial = RankingCubeExecutor(cube, table)
+        queries = make_queries(11)
+        expected = [signature(serial.execute(q)) for q in queries]
+        with QueryService(cube, table, workers=4) as service:
+            got = [signature(r) for r in service.run_batch(queries)]
+        assert got == expected
+
+    def test_repeated_queries_hit_shared_cache(self):
+        db, table, cube = make_env()
+        query = make_queries(3, count=1)[0]
+        with QueryService(cube, table, workers=2) as service:
+            service.run_batch([query] * 12)
+            assert service.cache_hit_rate() > 0.5
+            assert service.stats.total("shared_cache_hits") > 0
+            assert service.bound_memo.stats.hits > 0
+
+    def test_submit_returns_future(self):
+        db, table, cube = make_env()
+        serial = RankingCubeExecutor(cube, table)
+        query = make_queries(5, count=1)[0]
+        with QueryService(cube, table, workers=2) as service:
+            future = service.submit(query)
+            assert signature(future.result()) == signature(serial.execute(query))
+
+    def test_single_worker_still_valid(self):
+        db, table, cube = make_env()
+        queries = make_queries(13, count=6)
+        serial = RankingCubeExecutor(cube, table)
+        expected = [signature(serial.execute(q)) for q in queries]
+        with QueryService(cube, table, workers=1) as service:
+            assert [signature(r) for r in service.run_batch(queries)] == expected
+
+    def test_share_caches_false_disables_layers(self):
+        db, table, cube = make_env()
+        with QueryService(cube, table, workers=2, share_caches=False) as service:
+            assert service.pseudo_cache is None
+            assert service.bound_memo is None
+            service.run_batch(make_queries(17, count=4))
+            assert service.cache_hit_rate() == 0.0
+
+    def test_injected_caches_are_used(self):
+        db, table, cube = make_env()
+        cache = PseudoBlockCache(capacity_entries=8)
+        memo = BoundMemo(capacity=4)
+        query = make_queries(19, count=1)[0]
+        with QueryService(
+            cube, table, workers=2, pseudo_cache=cache, bound_memo=memo
+        ) as service:
+            service.run_batch([query] * 6)
+        assert cache.stats.hits > 0
+        assert memo.stats.hits > 0
+
+
+class TestInvalidation:
+    def test_delta_append_invalidates_and_serves_fresh_rows(self):
+        db, table, cube = make_env()
+        # a tuple that dominates every selection cell
+        winner_by_cell = [
+            (a1, a2, 0.0, 0.0) for a1 in range(CARDS[0]) for a2 in range(CARDS[1])
+        ]
+        query = TopKQuery(3, {"a1": 0}, LinearFunction(["n1", "n2"], [1.0, 1.0]))
+        with QueryService(cube, table, workers=2) as service:
+            before = service.run_batch([query] * 4)[-1]
+            assert len(service.pseudo_cache) > 0
+            first_new_tid = table.num_rows
+            table.insert_rows(winner_by_cell)
+            assert cube.refresh_delta(table) == len(winner_by_cell)
+            # the append dropped this cube's cached tid lists
+            assert len(service.pseudo_cache) == 0
+            assert service.pseudo_cache.stats.invalidations > 0
+            after = service.run_batch([query] * 2)[-1]
+        new_tids = {r.tid for r in after.rows} - {r.tid for r in before.rows}
+        assert any(tid >= first_new_tid for tid in new_tids)
+        assert after.rows[0].score == pytest.approx(0.0)
+
+    def test_close_unhooks_listener(self):
+        db, table, cube = make_env()
+        service = QueryService(cube, table, workers=1)
+        cache = service.pseudo_cache
+        service.run_batch(make_queries(23, count=2))
+        service.close()
+        invalidations_at_close = cache.stats.invalidations
+        table.insert_rows([(0, 0, 0.5, 0.5)])
+        cube.refresh_delta(table)
+        assert cache.stats.invalidations == invalidations_at_close
+
+    def test_invalidate_caches_drops_both_layers(self):
+        db, table, cube = make_env()
+        with QueryService(cube, table, workers=1) as service:
+            service.run_batch(make_queries(29, count=3))
+            assert len(service.pseudo_cache) > 0
+            service.invalidate_caches()
+            assert len(service.pseudo_cache) == 0
+            assert service.bound_memo.resident_groups == 0
+
+
+class TestFaultSemantics:
+    def make_faulty_env(self, seed=31):
+        """Every page read fails twice before succeeding; with a retry
+        budget of 1 the first query aborts, yet reads eventually heal."""
+        injector = FaultInjector(
+            seed, [FaultRule(READ_ERROR, probability=1.0, max_triggers=2)]
+        )
+        device = FaultyBlockDevice(BlockDevice(), injector)
+        db = Database(device=device, retry_policy=RetryPolicy(max_attempts=1))
+        table = db.load_table("R", SCHEMA, make_rows(seed))
+        injector.enabled = False  # loading/building must not trip the rules
+        cube = RankingCube.build(table, block_size=16)
+        db.cold_cache()
+        injector.enabled = True
+        return db, table, cube
+
+    def test_aborted_query_does_not_poison_shared_caches(self):
+        db, table, cube = self.make_faulty_env()
+        query = make_queries(37, count=1)[0]
+        with QueryService(cube, table, workers=1) as service:
+            aborts = 0
+            result = None
+            for _ in range(8):
+                try:
+                    result = service.run_batch([query])[0]
+                    break
+                except QueryAbortedError:
+                    aborts += 1
+            assert aborts > 0, "fault plan never fired"
+            assert result is not None, "reads never healed"
+            assert service.stats.aborted == aborts
+            # the healed answer equals a pristine serial run
+            pristine_db, pristine_table, pristine_cube = make_env(31)
+            pristine = RankingCubeExecutor(pristine_cube, pristine_table)
+            assert signature(result) == signature(pristine.execute(query))
+            # and the cache the aborted attempts warmed serves the same rows
+            again = service.run_batch([query])[0]
+            assert signature(again) == signature(result)
+
+    def test_abort_surfaces_through_future(self):
+        db, table, cube = self.make_faulty_env(seed=41)
+        query = make_queries(43, count=1)[0]
+        with QueryService(cube, table, workers=1) as service:
+            future = service.submit(query)
+            with pytest.raises(QueryAbortedError):
+                future.result()
+            record = service.stats.records[-1]
+            assert record.aborted
+
+
+class TestLifecycleAndAccounting:
+    def test_closed_service_rejects_submissions(self):
+        db, table, cube = make_env()
+        service = QueryService(cube, table, workers=1)
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.submit(make_queries(47, count=1)[0])
+        service.close()  # idempotent
+
+    def test_rejects_zero_workers(self):
+        db, table, cube = make_env()
+        with pytest.raises(ValueError):
+            QueryService(cube, table, workers=0)
+
+    def test_per_query_records_account_io(self):
+        db, table, cube = make_env()
+        queries = make_queries(53, count=5)
+        with QueryService(cube, table, workers=2) as service:
+            results = service.run_batch(queries)
+            stats = service.stats
+        assert stats.queries == len(queries)
+        assert stats.aborted == 0
+        for record, result in zip(stats.records, results):
+            assert record.latency_s >= 0.0
+            assert record.blocks_accessed == (
+                record.cold_fetches + record.base_block_reads
+            )
+        assert stats.total("blocks_accessed") == sum(
+            r.blocks_accessed for r in results
+        )
+        assert stats.latency_percentile(0.5) <= stats.latency_percentile(0.95)
+
+    def test_explain_reports_cache_layers(self):
+        db, table, cube = make_env()
+        query = make_queries(59, count=1)[0]
+        with QueryService(cube, table, workers=1) as service:
+            plan = service.executor.explain(query)
+        assert "shared pseudo-block cache" in plan.cache_layers
+        assert "shared bound memo" in plan.cache_layers
+        assert "per-query pseudo-block buffer" in plan.cache_layers
+        assert "cache layers" in plan.describe()
+        bare = RankingCubeExecutor(cube, table).explain(query)
+        assert "shared pseudo-block cache" not in bare.cache_layers
