@@ -1,0 +1,29 @@
+#!/bin/sh
+# Tier-1 gate: the checks every change must pass before merging.
+#
+#   1. fast test suite  — pytest -m "not slow and not serve and not faults"
+#                         (the sub-minute core: storage, cube, executor,
+#                         obs invariants; the slow/serve/faults suites run
+#                         in the full gate, `PYTHONPATH=src python -m pytest`)
+#   2. bench check      — re-runs the smoke-sized checked-in baselines in
+#                         results/ and fails on any metric outside its
+#                         declared tolerance (see repro/bench/check.py)
+#   3. obs coverage     — >= 85% line coverage on src/repro/obs via the
+#                         stdlib tracer (scripts/obs_coverage.py)
+#
+# Run from the repository root:  sh scripts/tier1.sh
+set -e
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+echo "== tier1 1/3: fast test suite =="
+python -m pytest -m "not slow and not serve and not faults" -q
+
+echo "== tier1 2/3: bench regression gate (smoke) =="
+python -m repro.bench check --baseline results/ --smoke
+
+echo "== tier1 3/3: obs coverage floor =="
+python scripts/obs_coverage.py
+
+echo "tier1: all gates passed"

@@ -21,6 +21,16 @@ def main(argv: list[str] | None = None) -> int:
         from .serve import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "profile":
+        # span-tree profiling report (see repro.bench.profile)
+        from .profile import main as profile_main
+
+        return profile_main(argv[1:])
+    if argv and argv[0] == "check":
+        # baseline regression gate (see repro.bench.check)
+        from .check import main as check_main
+
+        return check_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's evaluation figures.",
@@ -31,7 +41,8 @@ def main(argv: list[str] | None = None) -> int:
         default=["all"],
         help=(
             "experiment ids (fig04..fig15, ablation_*), 'fault-matrix', "
-            "'serve' (own flags; see --help after it), or 'all'"
+            "'serve'/'profile'/'check' (own flags; see --help after each), "
+            "or 'all'"
         ),
     )
     parser.add_argument(

@@ -1,0 +1,204 @@
+"""Span-tree profiling CLI: ``python -m repro.bench profile``.
+
+Builds a small synthetic cube, replays a fixed-seed query workload with
+per-query tracing enabled, and prints:
+
+* one fully rendered span tree per *distinct query shape* (so repeated
+  selections don't flood the terminal),
+* a per-span-name aggregate (count, total time, mean/total of every
+  counter folded into spans of that name),
+* the registry snapshot (every ``storage.*`` / ``serve.*`` series the
+  run produced), optionally as JSON or line protocol.
+
+This is the human face of :mod:`repro.obs`: where ``python -m
+repro.bench serve`` answers *how fast*, ``profile`` answers *where the
+I/O and candidate work went* — per phase (plan → cuboid selection →
+block frontier → delta merge) and per attribution class (cold fetch vs
+query-buffer hit vs shared-cache hit).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import OrderedDict
+
+from ..core.cube import RankingCube
+from ..core.executor import ExecutorTrace, RankingCubeExecutor
+from ..obs.export import (
+    registry_to_dict,
+    render_span_tree,
+    span_to_dict,
+    to_line_protocol,
+)
+from ..obs.tracing import Tracer
+from ..relational.database import Database
+from ..workloads.queries import QueryGenerator, QuerySpec
+from ..workloads.synthetic import SyntheticSpec, generate
+
+
+def run_profile(
+    num_tuples: int = 5_000,
+    num_queries: int = 12,
+    k: int = 10,
+    num_selections: int = 2,
+    seed: int = 17,
+    block_size: int = 30,
+    cold: bool = True,
+):
+    """Execute a traced workload; return ``(tracer, registry, results)``.
+
+    One :class:`~repro.obs.tracing.Tracer` carries every query so the
+    report can aggregate across the stream; each query is still its own
+    root span.  ``cold`` drops the buffer pool before each query so the
+    retrieve spans show real device traffic instead of all-hits.
+    """
+    dataset = generate(
+        SyntheticSpec(
+            num_selection_dims=3,
+            num_ranking_dims=2,
+            num_tuples=num_tuples,
+            cardinality=8,
+            selection_distribution="zipf",
+            seed=seed,
+        )
+    )
+    db = Database()
+    table = dataset.load_into(db)
+    cube = RankingCube.build(table, block_size=block_size)
+    executor = RankingCubeExecutor(cube, table)
+    queries = QueryGenerator(
+        table.schema, QuerySpec(k=k, num_selections=num_selections, seed=seed)
+    ).batch(num_queries)
+
+    tracer = Tracer(db.pool.registry)
+    results = []
+    for query in queries:
+        if cold:
+            db.cold_cache()
+        trace = ExecutorTrace()
+        results.append(executor.execute(query, trace=trace, tracer=tracer))
+    return tracer, db.pool.registry, results
+
+
+def _span_signature(span) -> tuple:
+    """Shape of a query span (selection dims + k), for dedup in the report."""
+    attrs = span.attributes
+    selections = attrs.get("selections")
+    sel_dims = tuple(sorted(selections)) if isinstance(selections, dict) else ()
+    return (sel_dims, attrs.get("k"), attrs.get("ranking"))
+
+
+def aggregate_spans(roots) -> "OrderedDict[str, dict]":
+    """Per-span-name totals across every span tree.
+
+    Returns ``{name: {count, total_s, counters: {name: total}}}`` in
+    first-seen (i.e. execution) order.
+    """
+    agg: OrderedDict[str, dict] = OrderedDict()
+    for root in roots:
+        for span in root.walk():
+            bucket = agg.setdefault(
+                span.name, {"count": 0, "total_s": 0.0, "counters": {}}
+            )
+            bucket["count"] += 1
+            bucket["total_s"] += span.duration_s or 0.0
+            for counter, value in span.counters.items():
+                bucket["counters"][counter] = (
+                    bucket["counters"].get(counter, 0) + value
+                )
+    return agg
+
+
+def format_aggregate(agg: "OrderedDict[str, dict]") -> str:
+    lines = [
+        "per-span aggregate over the stream",
+        f"{'span':>16}{'count':>8}{'total_ms':>12}  counters (totals)",
+        "-" * 72,
+    ]
+    for name, bucket in agg.items():
+        counters = "  ".join(
+            f"{key}={value}"
+            for key, value in sorted(bucket["counters"].items())
+            if value
+        )
+        lines.append(
+            f"{name:>16}{bucket['count']:>8}"
+            f"{bucket['total_s'] * 1000.0:>12.2f}  {counters}"
+        )
+    return "\n".join(lines)
+
+
+def format_profile_report(tracer: Tracer, registry, max_trees: int = 3) -> str:
+    """The full human-readable report (distinct trees + aggregate + registry)."""
+    sections = []
+    seen: set[tuple] = set()
+    shown = 0
+    for root in tracer.roots:
+        signature = _span_signature(root)
+        if signature in seen:
+            continue
+        seen.add(signature)
+        if shown < max_trees:
+            sections.append(render_span_tree(root))
+            shown += 1
+    remaining = len(seen) - shown
+    if remaining > 0:
+        sections.append(f"... {remaining} more distinct query shape(s) elided")
+    sections.append(format_aggregate(aggregate_spans(tracer.roots)))
+    snapshot = registry_to_dict(registry)
+    lines = ["registry counters"]
+    for series, value in sorted(snapshot["counters"].items()):
+        lines.append(f"  {series} = {value}")
+    sections.append("\n".join(lines))
+    return "\n\n".join(sections)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench profile",
+        description="Trace a fixed-seed workload and print where the work went.",
+    )
+    parser.add_argument("--tuples", type=int, default=5_000)
+    parser.add_argument("--queries", type=int, default=12)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--selections", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument(
+        "--warm", action="store_true", help="keep the buffer pool warm between queries"
+    )
+    parser.add_argument(
+        "--trees", type=int, default=3, help="max distinct span trees to render"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "lines"),
+        default="text",
+        help="text report, JSON (spans + registry), or line protocol (registry)",
+    )
+    args = parser.parse_args(argv)
+
+    tracer, registry, _results = run_profile(
+        num_tuples=args.tuples,
+        num_queries=args.queries,
+        k=args.k,
+        num_selections=args.selections,
+        seed=args.seed,
+        cold=not args.warm,
+    )
+    if args.format == "json":
+        payload = {
+            "spans": [span_to_dict(root) for root in tracer.roots],
+            "registry": registry_to_dict(registry),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    elif args.format == "lines":
+        print(to_line_protocol(registry))
+    else:
+        print(format_profile_report(tracer, registry, max_trees=args.trees))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

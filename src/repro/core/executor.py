@@ -31,13 +31,23 @@ optional; a bare executor behaves exactly as the paper describes.
 from __future__ import annotations
 
 import heapq
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
+from ..obs.tracing import Tracer, maybe_span
 from ..relational.query import QueryResult, ResultRow, TopKQuery
 from ..relational.table import Table
 from ..storage.device import StorageError
 from .cube import CubeError, RankingCube
 from .cuboid import RankingCuboid
+
+#: Reusable inert context for untraced executions (stateless, shareable).
+_NULL_CM = nullcontext()
+
+
+def _measured(tracer: Tracer | None, span):
+    """Attribute a block's watched-metric deltas to ``span`` when tracing."""
+    return tracer.measure(span) if tracer is not None else _NULL_CM
 
 
 class QueryAbortedError(StorageError):
@@ -107,6 +117,32 @@ class ExecutorTrace:
             "query_buffer_hits": self.pseudo_block_buffer_hits,
             "shared_cache_hits": self.shared_cache_hits,
         }
+
+
+@dataclass(frozen=True)
+class _TraceBase:
+    """Counter values at query start, so span attribution stays correct
+    when a caller hands the executor an already-used :class:`ExecutorTrace`."""
+
+    pseudo_block_fetches: int = 0
+    pseudo_block_buffer_hits: int = 0
+    shared_cache_hits: int = 0
+    bound_memo_hits: int = 0
+    base_block_reads: int = 0
+    empty_cells_skipped: int = 0
+
+    @staticmethod
+    def capture(trace: ExecutorTrace | None) -> "_TraceBase | None":
+        if trace is None:
+            return None
+        return _TraceBase(
+            pseudo_block_fetches=trace.pseudo_block_fetches,
+            pseudo_block_buffer_hits=trace.pseudo_block_buffer_hits,
+            shared_cache_hits=trace.shared_cache_hits,
+            bound_memo_hits=trace.bound_memo_hits,
+            base_block_reads=trace.base_block_reads,
+            empty_cells_skipped=trace.empty_cells_skipped,
+        )
 
 
 @dataclass(frozen=True)
@@ -184,29 +220,73 @@ class RankingCubeExecutor:
 
     # ------------------------------------------------------------------
     def execute(
-        self, query: TopKQuery, trace: ExecutorTrace | None = None
+        self,
+        query: TopKQuery,
+        trace: ExecutorTrace | None = None,
+        tracer: Tracer | None = None,
     ) -> QueryResult:
-        """Run one top-k query and return its ordered answer."""
+        """Run one top-k query and return its ordered answer.
+
+        ``trace`` collects per-query counters (cheap, always available);
+        ``tracer`` additionally builds an observability span tree — plan →
+        search (retrieve/evaluate aggregates) → delta-merge — with every
+        retrieve attributed to the layer that answered it and per-span
+        watched-metric I/O deltas (see :mod:`repro.obs.tracing`).  Span
+        I/O attribution is exact for serial execution.
+        """
+        if tracer is not None and trace is None:
+            trace = ExecutorTrace()
+        with maybe_span(
+            tracer,
+            "query",
+            k=query.k,
+            selections=dict(sorted(query.selections.items())),
+            ranking=",".join(query.ranking.dims),
+        ) as query_span:
+            return self._execute_traced(query, trace, tracer, query_span)
+
+    def _execute_traced(
+        self,
+        query: TopKQuery,
+        trace: ExecutorTrace | None,
+        tracer: Tracer | None,
+        query_span,
+    ) -> QueryResult:
         grid = self.cube.grid
         fn = query.ranking
-        missing = [d for d in fn.dims if d not in grid.dims]
-        if missing:
-            raise CubeError(f"ranking dimensions {missing} not in the cube")
-        if self.relation is not None:
-            query.validate_against(self.relation.schema)
-        covering = self.cube.covering_cuboids(query.selection_names)
-        cell_values = [
-            tuple(query.selections[d] for d in cuboid.dims) for cuboid in covering
-        ]
-        positions = grid.project(fn.dims)
-        memo = self.bound_memo.group(fn, grid) if self.bound_memo is not None else None
+
+        # --- pre-process (plan): covering cuboids + start block ----------
+        with maybe_span(tracer, "plan") as plan_span:
+            missing = [d for d in fn.dims if d not in grid.dims]
+            if missing:
+                raise CubeError(f"ranking dimensions {missing} not in the cube")
+            if self.relation is not None:
+                query.validate_against(self.relation.schema)
+            with maybe_span(tracer, "cuboid_selection") as cuboid_span:
+                covering = self.cube.covering_cuboids(query.selection_names)
+                if cuboid_span is not None:
+                    cuboid_span.attributes["covering"] = tuple(
+                        c.name for c in covering
+                    )
+                    cuboid_span.add("covering_cuboids", len(covering))
+            cell_values = [
+                tuple(query.selections[d] for d in cuboid.dims) for cuboid in covering
+            ]
+            positions = grid.project(fn.dims)
+            memo = (
+                self.bound_memo.group(fn, grid) if self.bound_memo is not None else None
+            )
+            start_bid = self._start_block(query)
+            if plan_span is not None:
+                plan_span.add("grid_blocks", grid.num_blocks)
+                plan_span.attributes["start_bid"] = start_bid
 
         # --- search state -------------------------------------------------
+        trace_base = _TraceBase.capture(trace)
         # top-k seen scores as a max-heap of (-score, -tid); see _push_topk
         # for the tie-breaking contract
         topk: list[tuple[float, int]] = []
         # frontier of candidate blocks as a min-heap of (f(bid), bid)
-        start_bid = self._start_block(query)
         frontier: list[tuple[float, int]] = [
             (self._block_bound(start_bid, fn, positions, memo, trace), start_bid)
         ]
@@ -216,45 +296,100 @@ class RankingCubeExecutor:
 
         result = QueryResult()
         try:
-            while frontier:
-                s_unseen = frontier[0][0]
-                # strict <: a block whose lower bound *ties* the kth score
-                # may still hold an equal-score tuple with a smaller tid,
-                # which the tie-breaking contract requires us to keep
-                if len(topk) >= query.k and -topk[0][0] < s_unseen:
-                    break
-                _bound, bid = heapq.heappop(frontier)
-                result.candidates_examined += 1
-                if trace is not None:
-                    trace.candidate_bids.append(bid)
-
-                qualifying = self._retrieve(
-                    bid, covering, cell_values, buffers, result, trace
+            with maybe_span(tracer, "block_frontier") as search_span:
+                retrieve_span = (
+                    search_span.child("retrieve") if search_span is not None else None
                 )
-                if qualifying is None or qualifying:
-                    self._evaluate(bid, qualifying, fn, positions, query.k, topk, result, trace)
-                elif trace is not None:
-                    trace.empty_cells_skipped += 1
+                evaluate_span = (
+                    search_span.child("evaluate") if search_span is not None else None
+                )
+                while frontier:
+                    s_unseen = frontier[0][0]
+                    # strict <: a block whose lower bound *ties* the kth score
+                    # may still hold an equal-score tuple with a smaller tid,
+                    # which the tie-breaking contract requires us to keep
+                    if len(topk) >= query.k and -topk[0][0] < s_unseen:
+                        break
+                    _bound, bid = heapq.heappop(frontier)
+                    result.candidates_examined += 1
+                    if trace is not None:
+                        trace.candidate_bids.append(bid)
 
-                for neighbor in grid.neighbors(bid):
-                    if neighbor in inserted:
-                        continue
-                    inserted.add(neighbor)
-                    heapq.heappush(
-                        frontier,
-                        (self._block_bound(neighbor, fn, positions, memo, trace), neighbor),
+                    with _measured(tracer, retrieve_span):
+                        qualifying = self._retrieve(
+                            bid, covering, cell_values, buffers, result, trace
+                        )
+                    if qualifying is None or qualifying:
+                        with _measured(tracer, evaluate_span):
+                            self._evaluate(
+                                bid, qualifying, fn, positions, query.k, topk,
+                                result, trace,
+                            )
+                    elif trace is not None:
+                        trace.empty_cells_skipped += 1
+
+                    for neighbor in grid.neighbors(bid):
+                        if neighbor in inserted:
+                            continue
+                        inserted.add(neighbor)
+                        heapq.heappush(
+                            frontier,
+                            (
+                                self._block_bound(
+                                    neighbor, fn, positions, memo, trace
+                                ),
+                                neighbor,
+                            ),
+                        )
+                    if trace is not None:
+                        trace.frontier_peak = max(trace.frontier_peak, len(frontier))
+                if search_span is not None:
+                    assert trace is not None and trace_base is not None
+                    search_span.add_many(
+                        candidates_examined=result.candidates_examined,
+                        frontier_peak=trace.frontier_peak,
+                        empty_cells_skipped=(
+                            trace.empty_cells_skipped - trace_base.empty_cells_skipped
+                        ),
+                        bound_memo_hits=(
+                            trace.bound_memo_hits - trace_base.bound_memo_hits
+                        ),
                     )
-                if trace is not None:
-                    trace.frontier_peak = max(trace.frontier_peak, len(frontier))
+                    retrieve_span.add_many(
+                        cold_fetches=(
+                            trace.pseudo_block_fetches
+                            - trace_base.pseudo_block_fetches
+                        ),
+                        query_buffer_hits=(
+                            trace.pseudo_block_buffer_hits
+                            - trace_base.pseudo_block_buffer_hits
+                        ),
+                        shared_cache_hits=(
+                            trace.shared_cache_hits - trace_base.shared_cache_hits
+                        ),
+                    )
+                    evaluate_span.add_many(
+                        base_block_reads=(
+                            trace.base_block_reads - trace_base.base_block_reads
+                        ),
+                        tuples_examined=result.tuples_examined,
+                    )
 
             # Merge the cube's delta store: tuples appended after the build
             # are held in memory and scored against every query (see
             # RankingCube.refresh_delta).
-            for tid, rank_values in self.cube.delta_matches(dict(query.selections)):
-                point = [rank_values[d] for d in fn.dims]
-                score = fn.score(point)
-                result.tuples_examined += 1
-                _push_topk(topk, query.k, score, tid)
+            with maybe_span(tracer, "delta_merge") as delta_span:
+                delta_examined = 0
+                for tid, rank_values in self.cube.delta_matches(
+                    dict(query.selections)
+                ):
+                    point = [rank_values[d] for d in fn.dims]
+                    score = fn.score(point)
+                    result.tuples_examined += 1
+                    delta_examined += 1
+                    _push_topk(topk, query.k, score, tid)
+                if delta_span is not None:
+                    delta_span.add("delta_tuples_examined", delta_examined)
         except StorageError as exc:
             raise QueryAbortedError(
                 f"query aborted after {result.blocks_accessed} block "
@@ -268,6 +403,13 @@ class RankingCubeExecutor:
         if query.projection:
             rows = [self._project(row, query) for row in rows]
         result.rows = rows
+        if query_span is not None:
+            query_span.add_many(
+                blocks_accessed=result.blocks_accessed,
+                candidates_examined=result.candidates_examined,
+                tuples_examined=result.tuples_examined,
+                rows_returned=len(rows),
+            )
         return result
 
     def explain(self, query: TopKQuery) -> "QueryPlan":

@@ -1,0 +1,59 @@
+"""repro.obs — the unified observability layer.
+
+One :class:`MetricsRegistry` per storage tree is the single source of
+truth for every counter in the system; the per-layer stats objects
+(device ``IOStats`` live counters, ``BufferStats``, ``CacheStats``) are
+:class:`RegistryStatsView` facades over it, a :class:`Tracer` turns one
+query into a span tree with per-span I/O deltas, and the exporters in
+:mod:`repro.obs.export` serialize both.  See DESIGN.md section 10.
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    RegistryStatsView,
+    series_key,
+)
+from .tracing import (
+    DEFAULT_WATCHED_METRICS,
+    Span,
+    Tracer,
+    TracingError,
+    maybe_span,
+)
+from .export import (
+    canonical_span,
+    registry_to_dict,
+    render_span_tree,
+    span_diff,
+    span_to_dict,
+    to_json,
+    to_line_protocol,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "DEFAULT_WATCHED_METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsError",
+    "MetricsRegistry",
+    "RegistryStatsView",
+    "Span",
+    "Tracer",
+    "TracingError",
+    "canonical_span",
+    "maybe_span",
+    "registry_to_dict",
+    "render_span_tree",
+    "series_key",
+    "span_diff",
+    "span_to_dict",
+    "to_json",
+    "to_line_protocol",
+]

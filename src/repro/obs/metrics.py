@@ -1,0 +1,357 @@
+"""The metrics spine: one registry, every counter a view over it.
+
+The paper's central claims are I/O claims — the ranking cube wins because
+it reads fewer blocks — so the numbers this repository reports must be
+*provably* consistent with each other.  Before this module, each layer
+kept its own ad-hoc dataclass of plain ``int`` fields (``IOStats`` on the
+device, ``BufferStats`` on the pool, ``CacheStats`` on the serving
+caches), mutated with unlocked ``+=`` and reconciled by convention only.
+
+:class:`MetricsRegistry` replaces that with a single labeled time-series
+store:
+
+* :class:`Counter` — monotonic-by-convention accumulator.  Increments are
+  atomic under the registry mutex, so eight threads hammering one device
+  produce *exact* totals (see ``tests/storage/test_buffer_concurrency``).
+  Negative adjustments are permitted for one documented use: metering
+  reclassification (a delivered-then-detected-corrupt read moves from
+  ``reads`` to ``retried_reads``).
+* :class:`Gauge` — a settable level (resident frames, frontier depth).
+* :class:`Histogram` — fixed-bucket distribution (latencies).
+
+Layers do not talk to the registry directly on their hot paths; they hold
+a :class:`RegistryStatsView` subclass whose attributes *are* registry
+series.  The view keeps the old field-access API (``stats.reads``,
+``stats.hits += 1``) working, while `inc`/`inc_many` provide the atomic
+path used under concurrency.  One registry per storage tree (device,
+pool, caches, service) means every layer's accounting is a projection of
+the same spine — which is what makes the invariants in
+``tests/obs/test_invariants.py`` checkable at all.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Iterable, Iterator
+
+#: Default histogram bucket upper bounds (seconds-flavoured, exponential).
+DEFAULT_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+LabelItems = tuple[tuple[str, str], ...]
+
+
+class MetricsError(Exception):
+    """Raised on registry misuse (type conflicts, unknown series)."""
+
+
+def _label_items(labels: dict) -> LabelItems:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def series_key(name: str, labels: dict | LabelItems = ()) -> str:
+    """Flattened ``name{k=v,...}`` identity of one series."""
+    items = _label_items(labels) if isinstance(labels, dict) else tuple(labels)
+    if not items:
+        return name
+    return name + "{" + ",".join(f"{k}={v}" for k, v in items) + "}"
+
+
+class _Instrument:
+    """Common identity for every registry series."""
+
+    kind = "instrument"
+    __slots__ = ("name", "labels", "_registry")
+
+    def __init__(self, registry: "MetricsRegistry", name: str, labels: LabelItems):
+        self.name = name
+        self.labels = labels
+        self._registry = registry
+
+    @property
+    def key(self) -> str:
+        return series_key(self.name, self.labels)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.key}={self.value!r})"
+
+
+class Counter(_Instrument):
+    """An accumulator whose updates are atomic under the registry mutex."""
+
+    kind = "counter"
+    __slots__ = ("_value",)
+
+    def __init__(self, registry, name, labels):
+        super().__init__(registry, name, labels)
+        self._value = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        with self._registry._lock:
+            self._value += n
+
+    #: ``add`` is the honest name when ``n`` may be negative (metering
+    #: reclassification on the fault path).
+    add = inc
+
+    def set(self, value: int | float) -> None:
+        with self._registry._lock:
+            self._value = value
+
+    @property
+    def value(self) -> int | float:
+        return self._value
+
+    def reset(self) -> None:
+        self.set(0)
+
+
+class Gauge(_Instrument):
+    """A settable level."""
+
+    kind = "gauge"
+    __slots__ = ("_value",)
+
+    def __init__(self, registry, name, labels):
+        super().__init__(registry, name, labels)
+        self._value = 0
+
+    def set(self, value: int | float) -> None:
+        with self._registry._lock:
+            self._value = value
+
+    def inc(self, n: int | float = 1) -> None:
+        with self._registry._lock:
+            self._value += n
+
+    def dec(self, n: int | float = 1) -> None:
+        self.inc(-n)
+
+    @property
+    def value(self) -> int | float:
+        return self._value
+
+    def reset(self) -> None:
+        self.set(0)
+
+
+class Histogram(_Instrument):
+    """A fixed-bucket distribution (counts per upper bound, plus +Inf)."""
+
+    kind = "histogram"
+    __slots__ = ("bounds", "bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(self, registry, name, labels, buckets: Iterable[float] = DEFAULT_BUCKETS):
+        super().__init__(registry, name, labels)
+        self.bounds = tuple(sorted(buckets))
+        if not self.bounds:
+            raise MetricsError("histogram needs at least one bucket bound")
+        self.bucket_counts = [0] * (len(self.bounds) + 1)  # last = +Inf
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        with self._registry._lock:
+            idx = bisect.bisect_left(self.bounds, value)
+            self.bucket_counts[idx] += 1
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    @property
+    def value(self) -> float:
+        """The running sum (so histograms flatten like other series)."""
+        return self.sum
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Approximate quantile: the upper bound of the covering bucket."""
+        if not 0.0 <= fraction <= 1.0:
+            raise MetricsError(f"fraction must be in [0, 1], got {fraction}")
+        if self.count == 0:
+            return 0.0
+        rank = fraction * self.count
+        seen = 0
+        for idx, n in enumerate(self.bucket_counts):
+            seen += n
+            if seen >= rank and n:
+                if idx < len(self.bounds):
+                    return self.bounds[idx]
+                return self.max
+        return self.max
+
+    def reset(self) -> None:
+        with self._registry._lock:
+            self.bucket_counts = [0] * (len(self.bounds) + 1)
+            self.count = 0
+            self.sum = 0.0
+            self.min = float("inf")
+            self.max = float("-inf")
+
+
+class MetricsRegistry:
+    """A process-local store of labeled metric series.
+
+    One registry is shared by a whole storage tree: the device mints it,
+    the buffer pool, the serving caches and the query service reuse it
+    (see ``Database`` / ``QueryService``).  Series are created on first
+    touch and live for the registry's lifetime; re-requesting a series
+    returns the same instrument, so views over the registry are cheap.
+    """
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._series: dict[tuple[str, LabelItems], _Instrument] = {}
+
+    # Locks are process-local: strip on pickle (persist snapshots),
+    # rebuild on unpickle.
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # series creation / lookup
+    # ------------------------------------------------------------------
+    def _get_or_create(self, cls, name: str, labels: dict, **kwargs) -> _Instrument:
+        key = (name, _label_items(labels))
+        with self._lock:
+            instrument = self._series.get(key)
+            if instrument is None:
+                instrument = cls(self, name, key[1], **kwargs)
+                self._series[key] = instrument
+            elif not isinstance(instrument, cls):
+                raise MetricsError(
+                    f"series {series_key(name, labels)!r} already registered "
+                    f"as {instrument.kind}, requested {cls.kind}"
+                )
+            return instrument
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(self, name: str, buckets: Iterable[float] | None = None, **labels) -> Histogram:
+        kwargs = {} if buckets is None else {"buckets": buckets}
+        return self._get_or_create(Histogram, name, labels, **kwargs)
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def series(self) -> Iterator[_Instrument]:
+        """Every registered instrument, in stable (name, labels) order."""
+        with self._lock:
+            items = sorted(self._series.items())
+        for _key, instrument in items:
+            yield instrument
+
+    def value(self, name: str, **labels) -> int | float:
+        """Current value of one series (0 if never touched)."""
+        instrument = self._series.get((name, _label_items(labels)))
+        return instrument.value if instrument is not None else 0
+
+    def total(self, name: str) -> int | float:
+        """Sum of a metric across all label sets (counters and gauges)."""
+        with self._lock:
+            return sum(
+                inst.value
+                for (n, _), inst in self._series.items()
+                if n == name and not isinstance(inst, Histogram)
+            )
+
+    def snapshot(self) -> dict[str, int | float]:
+        """Flat ``{series_key: value}`` of every non-histogram series."""
+        with self._lock:
+            return {
+                inst.key: inst.value
+                for inst in self._series.values()
+                if not isinstance(inst, Histogram)
+            }
+
+    def reset(self) -> None:
+        """Zero every series (keeps the series themselves registered)."""
+        with self._lock:
+            for instrument in self._series.values():
+                instrument.reset()
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+
+class RegistryStatsView:
+    """Field-style facade over a group of registry counters.
+
+    Subclasses declare ``_PREFIX`` and ``_FIELDS``; each field becomes a
+    registry counter named ``_PREFIX + field`` carrying the view's labels.
+    Plain attribute reads and writes keep the pre-registry API working
+    (``stats.reads``, ``stats.hits += 1`` — the latter is get-then-set and
+    therefore **not** atomic); concurrent paths must use :meth:`inc` /
+    :meth:`inc_many`, which update under the registry mutex.
+    """
+
+    _PREFIX = ""
+    _FIELDS: tuple[str, ...] = ()
+
+    def __init__(self, registry: MetricsRegistry | None = None, **labels):
+        registry = registry if registry is not None else MetricsRegistry()
+        self.__dict__["registry"] = registry
+        self.__dict__["labels"] = dict(labels)
+        self.__dict__["_counters"] = {
+            field: registry.counter(self._PREFIX + field, **labels)
+            for field in self._FIELDS
+        }
+
+    def __getattr__(self, name: str):
+        counters = self.__dict__.get("_counters")
+        if counters is not None and name in counters:
+            return counters[name].value
+        raise AttributeError(
+            f"{type(self).__name__!s} object has no attribute {name!r}"
+        )
+
+    def __setattr__(self, name: str, value) -> None:
+        counters = self.__dict__.get("_counters")
+        if counters is not None and name in counters:
+            counters[name].set(value)
+        else:
+            self.__dict__[name] = value
+
+    # ------------------------------------------------------------------
+    def inc(self, field: str, n: int | float = 1) -> None:
+        """Atomically add ``n`` to one field."""
+        self._counters[field].inc(n)
+
+    def inc_many(self, **fields: int | float) -> None:
+        """Atomically add several fields under one lock acquisition."""
+        counters = self._counters
+        with self.registry._lock:
+            for field, n in fields.items():
+                counters[field]._value += n
+
+    def reset(self) -> None:
+        for counter in self._counters.values():
+            counter.set(0)
+
+    def as_dict(self) -> dict[str, int | float]:
+        return {field: c.value for field, c in self._counters.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"{type(self).__name__}({inner})"

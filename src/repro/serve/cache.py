@@ -28,42 +28,34 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
+
+from ..obs.metrics import MetricsRegistry, RegistryStatsView
 
 #: Key of one cached pseudo block: (cuboid name, cell values, pid).
 PseudoKey = tuple[str, tuple[int, ...], int]
 
 
-@dataclass
-class CacheStats:
-    """Hit/miss/eviction counters for one shared cache."""
+class CacheStats(RegistryStatsView):
+    """Hit/miss/eviction counters for one shared cache.
 
-    hits: int = 0
-    misses: int = 0
-    insertions: int = 0
-    evictions: int = 0
-    invalidations: int = 0
+    A view over ``serve.cache.*`` registry series, labeled with the cache
+    instance's name — so a service's pseudo-block cache and bound memo
+    publish to the same spine as the device and buffer pool under it, and
+    the invariant *shared-cache misses == cold fetches* is checkable from
+    one registry snapshot.
+    """
+
+    _PREFIX = "serve.cache."
+    _FIELDS = ("hits", "misses", "insertions", "evictions", "invalidations")
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
-    def snapshot(self) -> "CacheStats":
-        return CacheStats(
-            hits=self.hits,
-            misses=self.misses,
-            insertions=self.insertions,
-            evictions=self.evictions,
-            invalidations=self.invalidations,
-        )
-
-    def reset(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.insertions = 0
-        self.evictions = 0
-        self.invalidations = 0
+    def snapshot(self) -> dict[str, int]:
+        """A detached plain-value copy of the current counters."""
+        return self.as_dict()
 
 
 class PseudoBlockCache:
@@ -77,12 +69,17 @@ class PseudoBlockCache:
         Optional additional bound on the total number of cached tids
         (the dominant memory cost); eviction runs until both bounds hold.
         ``None`` disables the tid bound.
+    registry:
+        Metrics registry the cache's counters attach to (a private one
+        when omitted).  The serving layer passes the storage tree's
+        registry so cache accounting shares the spine.
     """
 
     def __init__(
         self,
         capacity_entries: int = 1024,
         capacity_tids: int | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         if capacity_entries < 1:
             raise ValueError("capacity_entries must be >= 1")
@@ -90,7 +87,7 @@ class PseudoBlockCache:
             raise ValueError("capacity_tids must be >= 1 (or None)")
         self.capacity_entries = capacity_entries
         self.capacity_tids = capacity_tids
-        self.stats = CacheStats()
+        self.stats = CacheStats(registry, cache="pseudo_block")
         self._lock = threading.Lock()
         self._entries: OrderedDict[PseudoKey, dict[int, list[int]]] = OrderedDict()
         self._resident_tids = 0
@@ -105,9 +102,9 @@ class PseudoBlockCache:
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
-                self.stats.misses += 1
+                self.stats.inc("misses")
                 return None
-            self.stats.hits += 1
+            self.stats.inc("hits")
             self._entries.move_to_end(key)
             return entry
 
@@ -120,7 +117,7 @@ class PseudoBlockCache:
                 return
             self._entries[key] = by_bid
             self._resident_tids += sum(len(tids) for tids in by_bid.values())
-            self.stats.insertions += 1
+            self.stats.inc("insertions")
             self._evict_locked()
 
     def _evict_locked(self) -> None:
@@ -131,7 +128,7 @@ class PseudoBlockCache:
         ):
             _key, victim = self._entries.popitem(last=False)
             self._resident_tids -= sum(len(tids) for tids in victim.values())
-            self.stats.evictions += 1
+            self.stats.inc("evictions")
 
     # ------------------------------------------------------------------
     # invalidation
@@ -149,13 +146,13 @@ class PseudoBlockCache:
             for key in doomed:
                 victim = self._entries.pop(key)
                 self._resident_tids -= sum(len(t) for t in victim.values())
-            self.stats.invalidations += len(doomed)
+            self.stats.inc("invalidations", len(doomed))
             return len(doomed)
 
     def clear(self) -> None:
         """Drop everything (counts as invalidation, not eviction)."""
         with self._lock:
-            self.stats.invalidations += len(self._entries)
+            self.stats.inc("invalidations", len(self._entries))
             self._entries.clear()
             self._resident_tids = 0
 
@@ -194,11 +191,11 @@ class BoundMemo:
     is bounded by ``capacity`` *(function, grid)* groups, evicted LRU.
     """
 
-    def __init__(self, capacity: int = 64):
+    def __init__(self, capacity: int = 64, registry: MetricsRegistry | None = None):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
-        self.stats = CacheStats()
+        self.stats = CacheStats(registry, cache="bound_memo")
         self._lock = threading.Lock()
         # (fn_key, grid_key) -> {bid: bound}
         self._groups: OrderedDict[tuple, dict[int, float]] = OrderedDict()
@@ -229,7 +226,7 @@ class BoundMemo:
                 self._groups[key] = memo
                 while len(self._groups) > self.capacity:
                     self._groups.popitem(last=False)
-                    self.stats.evictions += 1
+                    self.stats.inc("evictions")
             else:
                 self._groups.move_to_end(key)
             return memo
@@ -237,24 +234,24 @@ class BoundMemo:
     def lookup(self, memo: dict[int, float] | None, bid: int) -> float | None:
         """Memoized bound for ``bid``, counting hit/miss."""
         if memo is None:
-            self.stats.misses += 1
+            self.stats.inc("misses")
             return None
         bound = memo.get(bid)
         if bound is None:
-            self.stats.misses += 1
+            self.stats.inc("misses")
         else:
-            self.stats.hits += 1
+            self.stats.inc("hits")
         return bound
 
     def store(self, memo: dict[int, float] | None, bid: int, bound: float) -> None:
         if memo is not None:
             memo[bid] = bound
-            self.stats.insertions += 1
+            self.stats.inc("insertions")
 
     # ------------------------------------------------------------------
     def clear(self) -> None:
         with self._lock:
-            self.stats.invalidations += len(self._groups)
+            self.stats.inc("invalidations", len(self._groups))
             self._groups.clear()
 
     @property

@@ -31,13 +31,30 @@ from dataclasses import dataclass, field
 
 from ..core.cube import RankingCube
 from ..core.executor import ExecutorTrace, QueryAbortedError, RankingCubeExecutor
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import Span, Tracer
 from ..relational.query import QueryResult, TopKQuery
 from ..relational.table import Table
 from .cache import BoundMemo, PseudoBlockCache
 
+#: Retained span trees when ``trace_spans`` is enabled (a ring buffer —
+#: profiling wants recent queries, not unbounded memory).
+DEFAULT_SPAN_CAPACITY = 256
+
 
 class ServiceClosedError(RuntimeError):
     """Raised when submitting to a closed :class:`QueryService`."""
+
+
+def _storage_registry(cube: RankingCube) -> MetricsRegistry | None:
+    """The metrics registry of the storage tree under ``cube``, if any.
+
+    Reached through the base table's buffer pool; fragmented cubes and
+    cubes built over registry-less storage return ``None`` and the
+    service falls back to a private registry.
+    """
+    pool = getattr(getattr(cube, "base_table", None), "pool", None)
+    return getattr(pool, "registry", None)
 
 
 @dataclass(frozen=True)
@@ -108,6 +125,17 @@ class QueryService:
     share_caches:
         Ablation switch: ``False`` serves concurrently but without the
         cross-query layers (per-query buffers still apply).
+    registry:
+        Metrics spine the service publishes to (queries, aborts, latency
+        histogram) and hands to default-constructed caches.  Defaults to
+        the storage tree's registry reached through the cube, so *every*
+        layer under one service accounts into one registry.
+    trace_spans:
+        When true, each query is executed under a per-query
+        :class:`~repro.obs.tracing.Tracer` and its completed span tree is
+        retained in :attr:`spans` (a bounded ring).  Span structure and
+        logical counters are exact; watched-metric I/O deltas include
+        concurrent neighbours' traffic (see :mod:`repro.obs.tracing`).
     """
 
     def __init__(
@@ -119,21 +147,43 @@ class QueryService:
         bound_memo: BoundMemo | None = None,
         share_caches: bool = True,
         buffer_pseudo_blocks: bool = True,
+        registry: MetricsRegistry | None = None,
+        trace_spans: bool = False,
+        span_capacity: int = DEFAULT_SPAN_CAPACITY,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.cube = cube
         self.workers = workers
+        if registry is None:
+            registry = _storage_registry(cube)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.trace_spans = trace_spans
+        self.span_capacity = span_capacity
+        self.spans: list[Span] = []
         if share_caches:
             # explicit None tests: an *empty* injected cache is falsy
             # (it has __len__), yet must still be the one we use
             self.pseudo_cache = (
-                pseudo_cache if pseudo_cache is not None else PseudoBlockCache()
+                pseudo_cache
+                if pseudo_cache is not None
+                else PseudoBlockCache(registry=self.registry)
             )
-            self.bound_memo = bound_memo if bound_memo is not None else BoundMemo()
+            self.bound_memo = (
+                bound_memo
+                if bound_memo is not None
+                else BoundMemo(registry=self.registry)
+            )
         else:
             self.pseudo_cache = None
             self.bound_memo = None
+        self._queries_counter = self.registry.counter("serve.service.queries")
+        self._aborted_counter = self.registry.counter("serve.service.aborted")
+        self._latency_hist = self.registry.histogram("serve.service.latency_s")
+        self._blocks_counter = self.registry.counter("serve.service.blocks_accessed")
+        self._candidates_counter = self.registry.counter(
+            "serve.service.candidates_examined"
+        )
         self.executor = RankingCubeExecutor(
             cube,
             relation,
@@ -173,10 +223,12 @@ class QueryService:
 
     def _run_one(self, query: TopKQuery) -> QueryResult:
         trace = ExecutorTrace()
+        tracer = Tracer(self.registry) if self.trace_spans else None
         started = time.perf_counter()
         try:
-            result = self.executor.execute(query, trace=trace)
+            result = self.executor.execute(query, trace=trace, tracer=tracer)
         except QueryAbortedError as exc:
+            self._retain_spans(tracer)
             self._record(
                 trace,
                 time.perf_counter() - started,
@@ -186,6 +238,7 @@ class QueryService:
                 aborted=True,
             )
             raise
+        self._retain_spans(tracer)
         self._record(
             trace,
             time.perf_counter() - started,
@@ -220,6 +273,22 @@ class QueryService:
         )
         with self._stats_lock:
             self.stats.records.append(record)
+        # service-level registry series: the aggregate face of the same
+        # events ``records`` keeps per query
+        self._queries_counter.inc()
+        if aborted:
+            self._aborted_counter.inc()
+        self._latency_hist.observe(latency_s)
+        self._blocks_counter.inc(blocks)
+        self._candidates_counter.inc(candidates)
+
+    def _retain_spans(self, tracer: Tracer | None) -> None:
+        if tracer is None or not tracer.roots:
+            return
+        with self._stats_lock:
+            self.spans.extend(tracer.roots)
+            if len(self.spans) > self.span_capacity:
+                del self.spans[: len(self.spans) - self.span_capacity]
 
     # ------------------------------------------------------------------
     # cache administration

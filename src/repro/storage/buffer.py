@@ -22,8 +22,8 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
 
+from ..obs.metrics import RegistryStatsView
 from .device import BlockDevice, PageCorruptionError, StorageError
 from .faults import RetryExhaustedError, RetryPolicy, TransientStorageFault
 
@@ -31,29 +31,34 @@ from .faults import RetryExhaustedError, RetryPolicy, TransientStorageFault
 DEFAULT_LATCH_STRIPES = 16
 
 
-@dataclass
-class BufferStats:
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-    writebacks: int = 0
-    read_retries: int = 0
-    write_retries: int = 0
-    backoff_s: float = 0.0
+class BufferStats(RegistryStatsView):
+    """Pool counters, backed by the same registry as the device's.
+
+    ``storage.buffer.misses`` and ``storage.device.reads`` living in one
+    registry is what lets the invariant suite assert *device reads ==
+    buffer misses* instead of trusting two independent books.  Logical
+    metrics count once per pool-level event (a miss that needed three
+    attempts is one miss); the per-attempt traffic is the device view's
+    ``retried_reads`` / ``retried_writes``, mirrored here as
+    ``read_retries`` / ``write_retries`` for the retry loop's own
+    bookkeeping.
+    """
+
+    _PREFIX = "storage.buffer."
+    _FIELDS = (
+        "hits",
+        "misses",
+        "evictions",
+        "writebacks",
+        "read_retries",
+        "write_retries",
+        "backoff_s",
+    )
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
-
-    def reset(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.writebacks = 0
-        self.read_retries = 0
-        self.write_retries = 0
-        self.backoff_s = 0.0
 
 
 class _Frame:
@@ -95,7 +100,12 @@ class BufferPool:
         self.device = device
         self.capacity = capacity
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
-        self.stats = BufferStats()
+        # The pool joins the device's metrics registry (one spine per
+        # storage tree); devices without one get a private registry.
+        self.registry = getattr(device, "registry", None)
+        self.stats = BufferStats(self.registry)
+        if self.registry is None:
+            self.registry = self.stats.registry
         self._frames: OrderedDict[int, _Frame] = OrderedDict()
         # Concurrency protocol (the serving layer's read path):
         #   * ``_lock`` — the pool mutex — guards the frame map, the LRU
@@ -134,7 +144,7 @@ class BufferPool:
         with self._lock:
             frame = self._frames.get(page_id)
             if frame is not None:
-                self.stats.hits += 1
+                self.stats.inc("hits")
                 self._frames.move_to_end(page_id)
                 return frame.data
         with self._latch(page_id):
@@ -142,10 +152,10 @@ class BufferPool:
             with self._lock:
                 frame = self._frames.get(page_id)
                 if frame is not None:
-                    self.stats.hits += 1
+                    self.stats.inc("hits")
                     self._frames.move_to_end(page_id)
                     return frame.data
-                self.stats.misses += 1
+                self.stats.inc("misses")
             data = self._read_with_retry(page_id)
             with self._lock:
                 self._admit(page_id, _Frame(data))
@@ -170,11 +180,11 @@ class BufferPool:
             with self._lock:
                 frame = self._frames.get(page_id)
                 if frame is not None:
-                    self.stats.hits += 1
+                    self.stats.inc("hits")
                     self._frames.move_to_end(page_id)
                     frame.pins += 1
                     return frame.data
-                self.stats.misses += 1
+                self.stats.inc("misses")
             data = self._read_with_retry(page_id)
             with self._lock:
                 frame = _Frame(data)
@@ -219,7 +229,7 @@ class BufferPool:
                 if frame.dirty:
                     self._write_with_retry(page_id, frame.data)
                     frame.dirty = False
-                    self.stats.writebacks += 1
+                    self.stats.inc("writebacks")
 
     def clear(self) -> None:
         """Flush and drop all frames — simulates a cold cache."""
@@ -293,8 +303,7 @@ class BufferPool:
                         attempts=attempt,
                     ) from exc
                 with self._lock:
-                    self.stats.read_retries += 1
-                    self.stats.backoff_s += delay
+                    self.stats.inc_many(read_retries=1, backoff_s=delay)
                 policy.backoff(delay)
 
     def _write_with_retry(self, page_id: int, data: bytes) -> None:
@@ -316,8 +325,7 @@ class BufferPool:
                         attempts=attempt,
                     ) from exc
                 with self._lock:
-                    self.stats.write_retries += 1
-                    self.stats.backoff_s += delay
+                    self.stats.inc_many(write_retries=1, backoff_s=delay)
                 policy.backoff(delay)
 
     # ------------------------------------------------------------------
@@ -337,8 +345,8 @@ class BufferPool:
                     self._frames[victim_id] = victim
                     self._frames.move_to_end(victim_id, last=False)
                     raise
-                self.stats.writebacks += 1
-            self.stats.evictions += 1
+                self.stats.inc("writebacks")
+            self.stats.inc("evictions")
         self._frames[page_id] = frame
 
     def _find_victim(self) -> int:

@@ -19,6 +19,8 @@ import threading
 import zlib
 from dataclasses import dataclass, field
 
+from ..obs.metrics import MetricsRegistry, RegistryStatsView
+
 
 DEFAULT_PAGE_SIZE = 4096
 
@@ -151,6 +153,51 @@ class IOStats:
         )
 
 
+class DeviceIOStats(RegistryStatsView):
+    """Live device counters, backed by the shared metrics registry.
+
+    This is the :class:`IOStats` *view*: same field names, same helper
+    methods, but every field is a registry counter
+    (``storage.device.<field>``), so the device, the buffer pool, the
+    serving caches and the tracer all read one spine instead of keeping
+    parallel books.  :meth:`snapshot` and :meth:`delta` still hand out
+    plain :class:`IOStats` value objects, so measurement code is
+    unchanged.
+
+    Increments on the device's hot path go through :meth:`inc` /
+    :meth:`inc_many` (atomic under the registry mutex) — plain ``+=`` on
+    a view field is get-then-set and must only be used single-threaded.
+    """
+
+    _PREFIX = "storage.device."
+    _FIELDS = (
+        "reads",
+        "writes",
+        "random_reads",
+        "sequential_reads",
+        "bytes_read",
+        "bytes_written",
+        "retried_reads",
+        "retried_writes",
+    )
+
+    def cost(self) -> float:
+        """Weighted I/O cost (random reads dominate)."""
+        return (
+            RANDOM_READ_WEIGHT * self.random_reads
+            + SEQ_READ_WEIGHT * self.sequential_reads
+            + WRITE_WEIGHT * self.writes
+        )
+
+    def snapshot(self) -> IOStats:
+        """A plain value copy of the current counters."""
+        return IOStats(**self.as_dict())
+
+    def delta(self, earlier: IOStats) -> IOStats:
+        """Counters accumulated since ``earlier`` was snapshotted."""
+        return self.snapshot().delta(earlier)
+
+
 @dataclass
 class _StoredPage:
     data: bytes
@@ -170,14 +217,26 @@ class BlockDevice:
         When true (default), every read verifies the CRC recorded at write
         time and raises :class:`PageCorruptionError` on mismatch.  Tests use
         :meth:`corrupt` to exercise this path.
+    registry:
+        The metrics spine this device publishes to.  Defaults to a fresh
+        :class:`~repro.obs.metrics.MetricsRegistry`; the buffer pool, the
+        serving caches and the query service above the device all attach
+        their counters to the same registry, so cross-layer accounting
+        invariants are checkable (see ``tests/obs/test_invariants.py``).
     """
 
-    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE, verify_checksums: bool = True):
+    def __init__(
+        self,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        verify_checksums: bool = True,
+        registry: MetricsRegistry | None = None,
+    ):
         if page_size <= 0:
             raise ValueError(f"page_size must be positive, got {page_size}")
         self.page_size = page_size
         self.verify_checksums = verify_checksums
-        self.stats = IOStats()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.stats = DeviceIOStats(self.registry)
         self._pages: list[_StoredPage | None] = []
         self._last_read_page_id: int | None = None
         # One device mutex serializes page access and stats updates so the
@@ -238,7 +297,7 @@ class BlockDevice:
             if self.verify_checksums:
                 actual = zlib.crc32(page.data)
                 if actual != page.checksum:
-                    self.stats.retried_reads += 1
+                    self.stats.inc("retried_reads")
                     raise PageCorruptionError(
                         f"checksum mismatch on page {page_id} "
                         f"(expected {page.checksum:#010x}, found {actual:#010x})",
@@ -246,12 +305,16 @@ class BlockDevice:
                         expected_checksum=page.checksum,
                         actual_checksum=actual,
                     )
-            self.stats.reads += 1
-            self.stats.bytes_read += self.page_size
-            if self._last_read_page_id is not None and page_id == self._last_read_page_id + 1:
-                self.stats.sequential_reads += 1
-            else:
-                self.stats.random_reads += 1
+            sequential = (
+                self._last_read_page_id is not None
+                and page_id == self._last_read_page_id + 1
+            )
+            self.stats.inc_many(
+                reads=1,
+                bytes_read=self.page_size,
+                sequential_reads=1 if sequential else 0,
+                random_reads=0 if sequential else 1,
+            )
             self._last_read_page_id = page_id
             return page.data
 
@@ -267,8 +330,7 @@ class BlockDevice:
                 data = data + bytes(self.page_size - len(data))
             page.data = data
             page.checksum = zlib.crc32(data)
-            self.stats.writes += 1
-            self.stats.bytes_written += self.page_size
+            self.stats.inc_many(writes=1, bytes_written=self.page_size)
 
     def corrupt(self, page_id: int, offset: int = 0) -> None:
         """Flip a byte in the stored image without updating the checksum.

@@ -324,6 +324,11 @@ class FaultyBlockDevice:
         return self.inner.stats
 
     @property
+    def registry(self):
+        """The inner device's metrics registry (one spine per tree)."""
+        return self.inner.registry
+
+    @property
     def fault_stats(self) -> FaultStats:
         return self.injector.stats
 
@@ -364,7 +369,11 @@ class FaultyBlockDevice:
         rules = self.injector.decide("read", page_id)
         error_rule = next((r for r in rules if r.kind != LATENCY), None)
         if error_rule is not None and error_rule.kind == READ_ERROR:
-            self.stats.retried_reads += 1
+            # The wrapper mutates the *inner* device's counters from
+            # outside the inner device's lock, so every adjustment here
+            # must go through the stats view's atomic path (one mutex —
+            # the registry's) rather than plain ``+=``.
+            self.stats.inc("retried_reads")
             raise TransientReadError(
                 f"injected read error on page {page_id}", page_id=page_id
             )
@@ -382,14 +391,17 @@ class FaultyBlockDevice:
             expected = self._checksums.get(page_id)
             actual = zlib.crc32(data)
             if expected is not None and actual != expected:
-                # the metered read delivered garbage: reclassify as a retry
-                self.stats.reads -= 1
-                self.stats.bytes_read -= self.page_size
-                if self.stats.sequential_reads > seq_before:
-                    self.stats.sequential_reads -= 1
-                else:
-                    self.stats.random_reads -= 1
-                self.stats.retried_reads += 1
+                # the metered read delivered garbage: reclassify as a
+                # retry — one atomic multi-field adjustment, so no reader
+                # ever observes the counters mid-reclassification
+                was_sequential = self.stats.sequential_reads > seq_before
+                self.stats.inc_many(
+                    reads=-1,
+                    bytes_read=-self.page_size,
+                    sequential_reads=-1 if was_sequential else 0,
+                    random_reads=0 if was_sequential else -1,
+                    retried_reads=1,
+                )
                 raise PageCorruptionError(
                     f"checksum mismatch on page {page_id} after transfer "
                     f"(expected {expected:#010x}, found {actual:#010x})",
@@ -407,7 +419,7 @@ class FaultyBlockDevice:
         rules = self.injector.decide("write", page_id)
         error_rule = next((r for r in rules if r.kind != LATENCY), None)
         if error_rule is not None and error_rule.kind == WRITE_ERROR:
-            self.stats.retried_writes += 1
+            self.stats.inc("retried_writes")
             raise TransientWriteError(
                 f"injected write error on page {page_id}", page_id=page_id
             )
@@ -415,7 +427,7 @@ class FaultyBlockDevice:
             padded = bytes(data) + bytes(max(0, self.page_size - len(data)))
             torn_len = max(1, self.injector.rng.randrange(1, self.page_size))
             self.inner.patch(page_id, padded[:torn_len], update_checksum=False)
-            self.stats.retried_writes += 1
+            self.stats.inc("retried_writes")
             raise TornWriteError(
                 f"injected torn write on page {page_id} "
                 f"({torn_len} of {self.page_size} bytes reached storage)",

@@ -1,0 +1,23 @@
+"""Repo-wide pytest hooks.
+
+``--update-golden`` re-blesses golden snapshot files instead of comparing
+against them (see ``tests/obs/test_golden_traces.py``).  Run it after an
+*intentional* executor or tracing change, then review the diff of
+``tests/obs/golden/`` like any other code change.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite golden snapshot files from the current run",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    return request.config.getoption("--update-golden")

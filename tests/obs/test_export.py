@@ -1,0 +1,138 @@
+"""Unit tests for registry/span exporters (JSON, line protocol, diffs)."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    canonical_span,
+    registry_to_dict,
+    render_span_tree,
+    span_diff,
+    span_to_dict,
+    to_json,
+    to_line_protocol,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Span, Tracer
+
+
+def _registry():
+    registry = MetricsRegistry()
+    registry.counter("storage.device.reads").inc(7)
+    registry.counter("serve.cache.hits", cache="pseudo").inc(3)
+    registry.gauge("pool.resident").set(12)
+    hist = registry.histogram("latency_s", buckets=(0.01, 0.1, 1.0))
+    hist.observe(0.05)
+    hist.observe(0.5)
+    return registry
+
+
+class TestRegistryExport:
+    def test_registry_to_dict_sections(self):
+        doc = registry_to_dict(_registry())
+        assert doc["counters"] == {
+            "serve.cache.hits{cache=pseudo}": 3,
+            "storage.device.reads": 7,
+        }
+        assert doc["gauges"] == {"pool.resident": 12}
+        summary = doc["histograms"]["latency_s"]
+        assert summary["count"] == 2
+        assert summary["sum"] == pytest.approx(0.55)
+        assert summary["min"] == pytest.approx(0.05)
+        assert summary["max"] == pytest.approx(0.5)
+        assert summary["p50"] == pytest.approx(0.1)
+
+    def test_empty_histogram_has_null_extremes(self):
+        registry = MetricsRegistry()
+        registry.histogram("h")
+        summary = registry_to_dict(registry)["histograms"]["h"]
+        assert summary["min"] is None and summary["max"] is None
+
+    def test_to_json_round_trips(self):
+        doc = json.loads(to_json(_registry()))
+        assert doc["counters"]["storage.device.reads"] == 7
+
+    def test_line_protocol_shape(self):
+        lines = to_line_protocol(_registry()).splitlines()
+        assert "storage.device.reads value=7" in lines
+        assert "serve.cache.hits,cache=pseudo value=3" in lines
+        assert "pool.resident value=12" in lines
+        assert any(line.startswith("latency_s count=2,sum=") for line in lines)
+
+
+def _tree() -> Span:
+    tracer = Tracer()
+    with tracer.span("query", k=10) as query:
+        with tracer.span("plan"):
+            pass
+        with tracer.span("search") as search:
+            search.add("candidates", 5)
+    return query
+
+
+class TestSpanExport:
+    def test_span_to_dict_includes_timing(self):
+        doc = span_to_dict(_tree())
+        assert doc["name"] == "query"
+        assert "duration_s" in doc
+        assert [c["name"] for c in doc["children"]] == ["plan", "search"]
+
+    def test_span_to_dict_without_timing(self):
+        doc = span_to_dict(_tree(), include_timing=False)
+        assert "duration_s" not in doc
+        assert all("duration_s" not in c for c in doc["children"])
+
+    def test_canonical_span_is_deterministic_and_timing_free(self):
+        doc = canonical_span(_tree())
+        assert "duration_s" not in json.dumps(doc)
+        assert doc["attributes"] == {"k": 10}
+        assert doc["children"][1]["counters"] == {"candidates": 5}
+        assert list(doc["children"][1]["counters"]) == sorted(
+            doc["children"][1]["counters"]
+        )
+
+    def test_error_preserved(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError
+        assert canonical_span(tracer.root)["error"] == "ValueError"
+
+    def test_render_span_tree(self):
+        text = render_span_tree(_tree(), include_timing=False)
+        assert "query [k=10]" in text
+        assert "├─ plan" in text
+        assert "└─ search" in text
+        assert "· candidates = 5" in text
+        assert "ms" not in text  # timing suppressed
+
+    def test_render_includes_timing_by_default(self):
+        assert "ms)" in render_span_tree(_tree())
+
+
+class TestSpanDiff:
+    def test_identical_trees_have_no_diffs(self):
+        doc = canonical_span(_tree())
+        assert span_diff(doc, json.loads(json.dumps(doc))) == []
+
+    def test_counter_drift_is_named(self):
+        expected = canonical_span(_tree())
+        actual = json.loads(json.dumps(expected))
+        actual["children"][1]["counters"]["candidates"] = 9
+        diffs = span_diff(expected, actual)
+        assert len(diffs) == 1
+        assert "candidates" in diffs[0]
+        assert "/query/search" in diffs[0]
+        assert "expected 5" in diffs[0] and "got 9" in diffs[0]
+
+    def test_missing_child_is_named(self):
+        expected = canonical_span(_tree())
+        actual = json.loads(json.dumps(expected))
+        del actual["children"][0]
+        diffs = span_diff(expected, actual)
+        assert any("2 child span(s) expected, got 1" in d for d in diffs)
+
+    def test_name_mismatch_short_circuits(self):
+        diffs = span_diff({"name": "a"}, {"name": "b"})
+        assert diffs == ["/a: span name 'a' != 'b'"]

@@ -1,0 +1,237 @@
+"""Unit tests for the metrics spine (registry, instruments, stats views)."""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    RegistryStatsView,
+    series_key,
+)
+
+
+class TestSeriesKey:
+    def test_bare_name(self):
+        assert series_key("storage.device.reads") == "storage.device.reads"
+
+    def test_labels_sorted_into_key(self):
+        key = series_key("serve.cache.hits", {"cache": "pseudo", "zone": "a"})
+        assert key == "serve.cache.hits{cache=pseudo,zone=a}"
+        # insertion order must not matter
+        assert key == series_key("serve.cache.hits", {"zone": "a", "cache": "pseudo"})
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = MetricsRegistry().counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_adjustment_allowed(self):
+        # the fault path reclassifies a delivered-then-corrupt read
+        counter = MetricsRegistry().counter("c")
+        counter.inc(3)
+        counter.add(-1)
+        assert counter.value == 2
+
+    def test_set_and_reset(self):
+        counter = MetricsRegistry().counter("c")
+        counter.set(42)
+        assert counter.value == 42
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+
+class TestHistogram:
+    def test_observe_updates_summary(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 9.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(14.0)
+        assert hist.mean == pytest.approx(3.5)
+        assert hist.min == pytest.approx(0.5)
+        assert hist.max == pytest.approx(9.0)
+        assert hist.bucket_counts == [1, 1, 1, 1]  # one overflow (+Inf)
+
+    def test_percentile_is_bucket_upper_bound(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 0.6, 0.7, 3.0):
+            hist.observe(value)
+        assert hist.percentile(0.5) == pytest.approx(1.0)
+        assert hist.percentile(1.0) == pytest.approx(4.0)
+
+    def test_percentile_of_empty_is_zero(self):
+        hist = MetricsRegistry().histogram("h")
+        assert hist.percentile(0.95) == 0.0
+
+    def test_percentile_rejects_out_of_range(self):
+        hist = MetricsRegistry().histogram("h")
+        with pytest.raises(MetricsError):
+            hist.percentile(1.5)
+
+    def test_needs_at_least_one_bucket(self):
+        with pytest.raises(MetricsError):
+            MetricsRegistry().histogram("h", buckets=())
+
+    def test_reset(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0,))
+        hist.observe(0.5)
+        hist.reset()
+        assert hist.count == 0
+        assert hist.sum == 0.0
+        assert hist.bucket_counts == [0, 0]
+
+
+class TestMetricsRegistry:
+    def test_same_series_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+        assert registry.counter("c", zone="a") is registry.counter("c", zone="a")
+
+    def test_label_sets_are_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("c", zone="a").inc(1)
+        registry.counter("c", zone="b").inc(2)
+        assert registry.value("c", zone="a") == 1
+        assert registry.value("c", zone="b") == 2
+        assert registry.total("c") == 3
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(MetricsError, match="already registered as counter"):
+            registry.gauge("x")
+
+    def test_value_of_untouched_series_is_zero(self):
+        assert MetricsRegistry().value("nope") == 0
+
+    def test_total_excludes_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("m", kind="c").inc(5)
+        registry.histogram("m", kind="h").observe(100.0)
+        assert registry.total("m") == 5
+
+    def test_snapshot_is_flat_and_detached(self):
+        registry = MetricsRegistry()
+        registry.counter("c", zone="a").inc(7)
+        registry.gauge("g").set(3)
+        snapshot = registry.snapshot()
+        assert snapshot == {"c{zone=a}": 7, "g": 3}
+        registry.counter("c", zone="a").inc()
+        assert snapshot["c{zone=a}"] == 7
+
+    def test_series_iterates_in_stable_order(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.counter("a", zone="z")
+        registry.counter("a", zone="a")
+        keys = [inst.key for inst in registry.series()]
+        assert keys == sorted(keys)
+
+    def test_reset_zeroes_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(5)
+        registry.histogram("h").observe(1.0)
+        registry.reset()
+        assert registry.value("c") == 0
+        assert registry.histogram("h").count == 0
+
+    def test_pickle_roundtrip_rebuilds_lock(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(9)
+        clone = pickle.loads(pickle.dumps(registry))
+        assert clone.value("c") == 9
+        clone.counter("c").inc()  # the rebuilt lock must work
+        assert clone.value("c") == 10
+
+
+class _View(RegistryStatsView):
+    _PREFIX = "test.view."
+    _FIELDS = ("reads", "writes")
+
+
+class TestRegistryStatsView:
+    def test_fields_are_registry_series(self):
+        registry = MetricsRegistry()
+        view = _View(registry)
+        view.reads += 2
+        view.inc("writes", 3)
+        assert registry.value("test.view.reads") == 2
+        assert registry.value("test.view.writes") == 3
+        assert view.reads == 2 and view.writes == 3
+
+    def test_private_registry_when_omitted(self):
+        view = _View()
+        view.inc("reads")
+        assert view.registry.value("test.view.reads") == 1
+
+    def test_labels_namespace_the_series(self):
+        registry = MetricsRegistry()
+        a, b = _View(registry, tree="a"), _View(registry, tree="b")
+        a.inc("reads", 1)
+        b.inc("reads", 5)
+        assert a.reads == 1 and b.reads == 5
+        assert registry.total("test.view.reads") == 6
+
+    def test_inc_many_single_lock(self):
+        view = _View()
+        view.inc_many(reads=2, writes=3)
+        assert view.as_dict() == {"reads": 2, "writes": 3}
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            _View().nonexistent_field
+
+    def test_non_field_attributes_stay_plain(self):
+        view = _View()
+        view.note = "hello"
+        assert view.note == "hello"
+        assert "note" not in view.as_dict()
+
+    def test_reset(self):
+        view = _View()
+        view.inc_many(reads=4, writes=1)
+        view.reset()
+        assert view.as_dict() == {"reads": 0, "writes": 0}
+
+    def test_pickle_roundtrip(self):
+        view = _View()
+        view.inc("reads", 3)
+        clone = pickle.loads(pickle.dumps(view))
+        assert clone.reads == 3
+        clone.inc("reads")
+        assert clone.reads == 4
+
+    def test_concurrent_inc_is_exact(self):
+        view = _View()
+        n, per_thread = 8, 5_000
+
+        def hammer():
+            for _ in range(per_thread):
+                view.inc("reads")
+                view.inc_many(writes=1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert view.reads == n * per_thread
+        assert view.writes == n * per_thread

@@ -1,0 +1,141 @@
+"""Unit tests for span-tree tracing and watched-metric deltas."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import (
+    DEFAULT_WATCHED_METRICS,
+    Span,
+    Tracer,
+    maybe_span,
+)
+
+
+class TestSpan:
+    def test_add_accumulates(self):
+        span = Span("s")
+        span.add("hits")
+        span.add("hits", 4)
+        span.add_many(misses=2, hits=1)
+        assert span.counters == {"hits": 6, "misses": 2}
+
+    def test_child_is_aggregate(self):
+        parent = Span("p")
+        child = parent.child("c", kind="aggregate")
+        assert parent.children == [child]
+        assert child.attributes == {"kind": "aggregate"}
+        assert child.duration_s is None
+
+    def test_find_and_walk(self):
+        root = Span("root")
+        a = root.child("a")
+        b = a.child("b")
+        assert root.find("b") is b
+        assert root.find("nope") is None
+        assert [s.name for s in root.walk()] == ["root", "a", "b"]
+        assert root.num_spans == 3
+
+
+class TestTracer:
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("query") as query:
+            with tracer.span("plan") as plan:
+                assert tracer.current is plan
+            with tracer.span("search"):
+                pass
+        assert tracer.roots == [query]
+        assert [c.name for c in query.children] == ["plan", "search"]
+        assert tracer.current is None
+        assert tracer.root is query
+
+    def test_durations_recorded(self):
+        tracer = Tracer()
+        with tracer.span("s") as span:
+            pass
+        assert span.duration_s is not None and span.duration_s >= 0.0
+
+    def test_watched_metric_deltas_fold_into_counters(self):
+        registry = MetricsRegistry()
+        reads = registry.counter("storage.device.reads")
+        tracer = Tracer(registry)
+        with tracer.span("outer") as outer:
+            reads.inc(2)
+            with tracer.span("inner") as inner:
+                reads.inc(3)
+        assert inner.counters["storage.device.reads"] == 3
+        # the outer span sees its own traffic plus the inner span's
+        assert outer.counters["storage.device.reads"] == 5
+
+    def test_deltas_sum_across_label_sets(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry, watch=("serve.cache.hits",))
+        with tracer.span("s") as span:
+            registry.counter("serve.cache.hits", cache="a").inc(1)
+            registry.counter("serve.cache.hits", cache="b").inc(2)
+        assert span.counters["serve.cache.hits"] == 3
+
+    def test_zero_deltas_not_recorded(self):
+        tracer = Tracer(MetricsRegistry())
+        with tracer.span("s") as span:
+            pass
+        for metric in DEFAULT_WATCHED_METRICS:
+            assert metric not in span.counters
+
+    def test_no_registry_means_no_deltas(self):
+        tracer = Tracer()
+        with tracer.span("s") as span:
+            pass
+        assert span.counters == {}
+
+    def test_error_captured_and_reraised(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom") as span:
+                raise ValueError("nope")
+        assert span.error == "ValueError"
+        assert span.duration_s is not None
+        assert tracer.current is None  # stack unwound cleanly
+
+    def test_successive_roots(self):
+        tracer = Tracer()
+        with tracer.span("q1"):
+            pass
+        with tracer.span("q2"):
+            pass
+        assert [r.name for r in tracer.roots] == ["q1", "q2"]
+
+    def test_measure_attributes_deltas_to_aggregate_span(self):
+        registry = MetricsRegistry()
+        reads = registry.counter("storage.device.reads")
+        tracer = Tracer(registry)
+        with tracer.span("search") as search:
+            retrieve = search.child("retrieve")
+            for _ in range(3):
+                with tracer.measure(retrieve):
+                    reads.inc()
+        assert retrieve.counters["storage.device.reads"] == 3
+        assert search.counters["storage.device.reads"] == 3
+
+    def test_measure_none_is_noop(self):
+        tracer = Tracer(MetricsRegistry())
+        with tracer.measure(None) as span:
+            assert span is None
+
+
+class TestMaybeSpan:
+    def test_none_tracer_yields_none(self):
+        with maybe_span(None, "s", k=1) as span:
+            assert span is None
+
+    def test_none_tracer_does_not_swallow_exceptions(self):
+        with pytest.raises(RuntimeError):
+            with maybe_span(None, "s"):
+                raise RuntimeError("must escape")
+
+    def test_real_tracer_delegates(self):
+        tracer = Tracer()
+        with maybe_span(tracer, "s", k=5) as span:
+            assert span.name == "s"
+            assert span.attributes == {"k": 5}
+        assert tracer.roots == [span]

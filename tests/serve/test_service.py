@@ -244,6 +244,45 @@ class TestLifecycleAndAccounting:
         )
         assert stats.latency_percentile(0.5) <= stats.latency_percentile(0.95)
 
+    def test_service_publishes_to_storage_registry(self):
+        db, table, cube = make_env()
+        queries = make_queries(61, count=6)
+        with QueryService(cube, table, workers=2) as service:
+            # the service joined the storage tree's registry: one spine
+            assert service.registry is db.pool.registry
+            results = service.run_batch(queries)
+            registry = service.registry
+        assert registry.value("serve.service.queries") == len(queries)
+        assert registry.value("serve.service.aborted") == 0
+        assert registry.value("serve.service.blocks_accessed") == sum(
+            r.blocks_accessed for r in results
+        )
+        assert registry.histogram("serve.service.latency_s").count == len(queries)
+        # the default caches joined the same spine
+        assert registry.value(
+            "serve.cache.hits", cache="pseudo_block"
+        ) == service.pseudo_cache.stats.hits
+
+    def test_trace_spans_retained_as_bounded_ring(self):
+        db, table, cube = make_env()
+        queries = make_queries(67, count=6)
+        with QueryService(
+            cube, table, workers=2, trace_spans=True, span_capacity=4
+        ) as service:
+            service.run_batch(queries)
+            spans = list(service.spans)
+        assert len(spans) == 4  # capacity trims the oldest trees
+        for span in spans:
+            assert span.name == "query"
+            assert span.find("block_frontier") is not None
+            assert span.find("delta_merge") is not None
+
+    def test_tracing_off_by_default(self):
+        db, table, cube = make_env()
+        with QueryService(cube, table, workers=1) as service:
+            service.run_batch(make_queries(71, count=2))
+            assert service.spans == []
+
     def test_explain_reports_cache_layers(self):
         db, table, cube = make_env()
         query = make_queries(59, count=1)[0]

@@ -13,6 +13,14 @@ import threading
 import pytest
 
 from repro.storage import BlockDevice, BufferPool
+from repro.storage.faults import (
+    BIT_FLIP,
+    READ_ERROR,
+    FaultInjector,
+    FaultRule,
+    FaultyBlockDevice,
+    RetryPolicy,
+)
 
 pytestmark = pytest.mark.serve
 
@@ -118,6 +126,56 @@ class TestConcurrentReads:
         # all pins released: a full clear() must not refuse any frame
         pool.clear()
         assert pool.resident == 0
+
+    def test_retry_accounting_exact_under_8_thread_hammer(self):
+        """Every stats increment on the fault path is atomic.
+
+        The wrapper device mutates the shared stats *outside* the inner
+        device's lock (retry bookkeeping, corrupt-read reclassification),
+        so with unlocked ``+=`` this test loses increments.  With every
+        update routed through the registry mutex, the books must be exact
+        across 8 threads: successful reads == pool misses, failed attempts
+        == pool retries == faults actually injected, and hits + misses ==
+        the number of ``get()`` calls issued.
+        """
+        inner = BlockDevice(page_size=64)
+        injector = FaultInjector(
+            seed=5,
+            rules=[
+                FaultRule(READ_ERROR, probability=0.15),
+                # bit flips take the reclassification path: a delivered
+                # read is un-counted and re-booked as a retried read
+                FaultRule(BIT_FLIP, probability=0.1),
+            ],
+        )
+        device = FaultyBlockDevice(inner, injector)
+        ids = device.allocate_many(24)
+        for i, page_id in enumerate(ids):
+            device.write(page_id, bytes([i]) * 16)
+        device.reset_stats()
+        injector.stats.injected.clear()
+        # p^12 per get makes retry exhaustion unreachable in 3200 gets
+        pool = BufferPool(device, capacity=4, retry_policy=RetryPolicy(max_attempts=12))
+
+        n_threads, gets_per_thread = 8, 400
+
+        def reader(seed):
+            def run():
+                rng = random.Random(seed)
+                for _ in range(gets_per_thread):
+                    idx = rng.randrange(len(ids))
+                    assert pool.get(ids[idx])[:16] == bytes([idx]) * 16
+            return run
+
+        run_threads([reader(s) for s in range(n_threads)])
+
+        injected = injector.stats.injected
+        assert injected.get(READ_ERROR, 0) > 0 and injected.get(BIT_FLIP, 0) > 0
+        assert pool.stats.hits + pool.stats.misses == n_threads * gets_per_thread
+        assert device.stats.reads == pool.stats.misses
+        failed_attempts = injected.get(READ_ERROR, 0) + injected.get(BIT_FLIP, 0)
+        assert device.stats.retried_reads == failed_attempts
+        assert pool.stats.read_retries == failed_attempts
 
     def test_mixed_get_pin_flush_consistency(self):
         device, pool, ids = make_pool(capacity=6, pages=12)
