@@ -8,7 +8,11 @@
 #   2. bench check      — re-runs the smoke-sized checked-in baselines in
 #                         results/ and fails on any metric outside its
 #                         declared tolerance (see repro/bench/check.py)
-#   3. obs coverage     — >= 85% line coverage on src/repro/obs via the
+#   3. build smoke      — parallel-vs-serial cube construction at smoke
+#                         size; fails unless the parallel device image is
+#                         byte-identical and answers match (the speedup
+#                         assertion stays off at smoke size)
+#   4. obs coverage     — >= 85% line coverage on src/repro/obs via the
 #                         stdlib tracer (scripts/obs_coverage.py)
 #
 # Run from the repository root:  sh scripts/tier1.sh
@@ -17,13 +21,18 @@ set -e
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
 
-echo "== tier1 1/3: fast test suite =="
+echo "== tier1 1/4: fast test suite =="
 python -m pytest -m "not slow and not serve and not faults" -q
 
-echo "== tier1 2/3: bench regression gate (smoke) =="
+echo "== tier1 2/4: bench regression gate (smoke) =="
 python -m repro.bench check --baseline results/ --smoke
 
-echo "== tier1 3/3: obs coverage floor =="
+echo "== tier1 3/4: parallel build smoke (byte-identity gate) =="
+BUILD_SMOKE_OUT="$(mktemp /tmp/BENCH_build_smoke.XXXXXX.json)"
+python -m repro.bench build --smoke --out "$BUILD_SMOKE_OUT"
+rm -f "$BUILD_SMOKE_OUT"
+
+echo "== tier1 4/4: obs coverage floor =="
 python scripts/obs_coverage.py
 
 echo "tier1: all gates passed"

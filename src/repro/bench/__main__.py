@@ -21,6 +21,11 @@ def main(argv: list[str] | None = None) -> int:
         from .serve import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "build":
+        # parallel cube-construction benchmark (see repro.bench.build)
+        from .build import main as build_main
+
+        return build_main(argv[1:])
     if argv and argv[0] == "profile":
         # span-tree profiling report (see repro.bench.profile)
         from .profile import main as profile_main
@@ -41,8 +46,8 @@ def main(argv: list[str] | None = None) -> int:
         default=["all"],
         help=(
             "experiment ids (fig04..fig15, ablation_*), 'fault-matrix', "
-            "'serve'/'profile'/'check' (own flags; see --help after each), "
-            "or 'all'"
+            "'serve'/'build'/'profile'/'check' (own flags; see --help after "
+            "each), or 'all'"
         ),
     )
     parser.add_argument(

@@ -1,0 +1,276 @@
+"""Parallel cube-construction benchmark: ``python -m repro.bench build``.
+
+Builds the same ranking cube serially and with a process-pool grouping
+phase (2 and 4 workers by default), each time on a fresh device over the
+same generated dataset, and reports three things per scenario:
+
+* **wall-clock** of :meth:`RankingCube.build`,
+* **device I/O profile** of the whole load+build (reads/writes and the
+  sequential fraction of each — the bulk heap loader should keep the
+  build's write stream sequential),
+* a **device fingerprint** (SHA-256 over every page image) proving the
+  canonical-layout guarantee: the parallel build's bytes equal the
+  serial build's, bit for bit.
+
+A query battery then runs against each built cube and the benchmark
+asserts identical answers.  Results land in ``BENCH_build.json``;
+``python -m repro.bench check`` treats ``parallel_identical`` (and, for
+the full-size config, ``parallel_faster``) as exact-match regression
+gates while wall-clock metrics are recorded but never compared.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass
+
+from ..core.cube import RankingCube
+from ..core.executor import RankingCubeExecutor
+from ..relational.database import Database
+from ..workloads.queries import QueryGenerator, QuerySpec
+from ..workloads.synthetic import SyntheticSpec, generate
+
+
+@dataclass(frozen=True)
+class BuildBenchConfig:
+    """Knobs of one build-benchmark run (fixed seed => fixed dataset).
+
+    ``workers`` is a comma-separated string (not a tuple) so the config
+    survives a JSON round-trip unchanged — the regression gate compares
+    configs exactly, and JSON has no tuples.  ``enforce_speedup`` gates
+    the ``parallel_faster`` assertion: the smoke config disables it
+    because process-pool startup dominates at toy sizes.  Even when
+    enabled, the assertion only binds on machines with at least two
+    usable cores — on a single-core box process parallelism cannot beat
+    serial wall-clock, so the run records the measured speedup but does
+    not fail on it (the byte-identity gate still binds everywhere).
+    """
+
+    num_tuples: int = 60_000
+    workers: str = "2,4"
+    num_selection_dims: int = 3
+    num_ranking_dims: int = 2
+    cardinality: int = 8
+    block_size: int = 30
+    buffer_capacity: int = 8192
+    num_queries: int = 30
+    k: int = 10
+    seed: int = 23
+    enforce_speedup: bool = True
+
+    @classmethod
+    def smoke(cls) -> "BuildBenchConfig":
+        """Fast fixed-seed configuration for CI (a few seconds)."""
+        return cls(num_tuples=2_500, workers="2", enforce_speedup=False)
+
+    def worker_counts(self) -> list[int]:
+        return [int(part) for part in self.workers.split(",") if part]
+
+
+@dataclass
+class BuildScenarioReport:
+    """One build configuration's numbers."""
+
+    workers: int
+    build_wall_s: float
+    tuples_per_s: float
+    device_reads: int
+    device_writes: int
+    sequential_read_fraction: float
+    sequential_write_fraction: float
+    fingerprint: str
+    cuboids: int
+
+
+def _usable_cores() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _dataset(config: BuildBenchConfig):
+    return generate(
+        SyntheticSpec(
+            num_selection_dims=config.num_selection_dims,
+            num_ranking_dims=config.num_ranking_dims,
+            num_tuples=config.num_tuples,
+            cardinality=config.cardinality,
+            seed=config.seed,
+        )
+    )
+
+
+def run_build_scenario(
+    config: BuildBenchConfig, dataset, workers: int
+) -> tuple[BuildScenarioReport, "RankingCube", Database, object]:
+    """Load + build on a fresh device; meter the whole construction."""
+    db = Database(buffer_capacity=config.buffer_capacity)
+    db.device.reset_stats()
+    table = dataset.load_into(db)
+    started = time.perf_counter()
+    cube = RankingCube.build(table, block_size=config.block_size, workers=workers)
+    wall = time.perf_counter() - started
+    db.pool.flush()
+    stats = db.device.stats.snapshot()
+    reads = max(1, stats.reads)
+    writes = max(1, stats.writes)
+    report = BuildScenarioReport(
+        workers=workers,
+        build_wall_s=wall,
+        tuples_per_s=config.num_tuples / wall if wall > 0 else 0.0,
+        device_reads=stats.reads,
+        device_writes=stats.writes,
+        sequential_read_fraction=stats.sequential_reads / reads,
+        sequential_write_fraction=stats.sequential_writes / writes,
+        fingerprint=db.device.fingerprint(),
+        cuboids=len(cube.cuboids),
+    )
+    return report, cube, db, table
+
+
+def _answers_signature(executor, queries) -> list[list[tuple[int, float]]]:
+    return [
+        [(row.tid, round(row.score, 9)) for row in executor.execute(q).rows]
+        for q in queries
+    ]
+
+
+def run_build_bench(config: BuildBenchConfig) -> dict:
+    """Build serially and at each worker count; return the JSON payload."""
+    dataset = _dataset(config)
+    queries = QueryGenerator(
+        dataset.schema,
+        QuerySpec(k=config.k, num_selections=2, seed=config.seed),
+    ).batch(config.num_queries)
+
+    scenarios: dict[str, BuildScenarioReport] = {}
+    signatures: dict[str, list] = {}
+
+    serial_report, serial_cube, serial_db, serial_table = run_build_scenario(
+        config, dataset, workers=1
+    )
+    scenarios["build_serial"] = serial_report
+    signatures["build_serial"] = _answers_signature(
+        RankingCubeExecutor(serial_cube, serial_table), queries
+    )
+    grid_blocks = serial_cube.grid.num_blocks
+
+    for workers in config.worker_counts():
+        report, cube, db, table = run_build_scenario(config, dataset, workers)
+        name = f"build_w{workers}"
+        scenarios[name] = report
+        signatures[name] = _answers_signature(
+            RankingCubeExecutor(cube, table), queries
+        )
+
+    reference_fp = serial_report.fingerprint
+    parallel_identical = all(
+        report.fingerprint == reference_fp for report in scenarios.values()
+    )
+    reference_sig = signatures["build_serial"]
+    equivalent = all(sig == reference_sig for sig in signatures.values())
+
+    parallel_names = [n for n in scenarios if n != "build_serial"]
+    fastest_parallel = (
+        min(scenarios[n].build_wall_s for n in parallel_names)
+        if parallel_names
+        else serial_report.build_wall_s
+    )
+    speedup = (
+        serial_report.build_wall_s / fastest_parallel
+        if fastest_parallel > 0
+        else float("inf")
+    )
+    seq_reads_ok = all(
+        scenarios[n].sequential_read_fraction
+        >= serial_report.sequential_read_fraction - 1e-9
+        for n in parallel_names
+    )
+    cores = _usable_cores()
+    enforced = config.enforce_speedup and cores >= 2
+    parallel_faster = (speedup > 1.0 and seq_reads_ok) if enforced else True
+
+    return {
+        "benchmark": "build",
+        "config": asdict(config),
+        "grid_blocks": grid_blocks,
+        "scenarios": {name: asdict(report) for name, report in scenarios.items()},
+        "cpu_cores": cores,
+        "speedup_enforced": enforced,
+        "build_speedup_vs_serial": speedup,
+        "parallel_identical": parallel_identical,
+        "parallel_faster": parallel_faster,
+        "equivalent_answers": equivalent,
+    }
+
+
+def format_build_table(payload: dict) -> str:
+    """Fixed-width human-readable view of the JSON payload."""
+    headers = ("scenario", "wall_s", "ktup/s", "reads", "writes", "seqW%")
+    lines = [
+        "build: parallel cube construction vs serial",
+        "".join(h.rjust(14) for h in headers),
+        "-" * (14 * len(headers)),
+    ]
+    for name, s in payload["scenarios"].items():
+        lines.append(
+            name.rjust(14)
+            + f"{s['build_wall_s']:14.3f}"
+            + f"{s['tuples_per_s'] / 1000.0:14.1f}"
+            + f"{s['device_reads']:14d}"
+            + f"{s['device_writes']:14d}"
+            + f"{100.0 * s['sequential_write_fraction']:14.1f}"
+        )
+    enforced = "enforced" if payload.get("speedup_enforced") else (
+        f"not enforced, {payload.get('cpu_cores', '?')} core(s)"
+    )
+    lines.append(
+        f"speedup vs serial: {payload['build_speedup_vs_serial']:.2f}x "
+        f"({enforced}); "
+        f"byte-identical: {payload['parallel_identical']}; "
+        f"answers equivalent: {payload['equivalent_answers']}"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench build",
+        description="Measure parallel cube construction against the serial path.",
+    )
+    parser.add_argument("--smoke", action="store_true", help="fast fixed-seed CI mode")
+    parser.add_argument("--tuples", type=int, default=None)
+    parser.add_argument(
+        "--workers", default=None, help='comma-separated counts, e.g. "2,4"'
+    )
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--out", default="BENCH_build.json", help="JSON output path")
+    args = parser.parse_args(argv)
+
+    config = BuildBenchConfig.smoke() if args.smoke else BuildBenchConfig()
+    overrides = {}
+    if args.tuples is not None:
+        overrides["num_tuples"] = args.tuples
+    if args.workers is not None:
+        overrides["workers"] = args.workers
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        config = BuildBenchConfig(**{**asdict(config), **overrides})
+
+    payload = run_build_bench(config)
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(format_build_table(payload))
+    print(f"wrote {args.out}")
+    if not payload["equivalent_answers"] or not payload["parallel_identical"]:
+        return 1
+    if not payload["parallel_faster"]:
+        return 1
+    return 0

@@ -44,7 +44,7 @@ RATE_ABS_TOL = 0.25
 RATIO_REL_TOL = 0.5
 
 #: Metric name fragments that are wall-clock-derived and never compared.
-TIMING_METRICS = ("wall_s", "throughput_qps", "p50_ms", "p95_ms")
+TIMING_METRICS = ("wall_s", "throughput_qps", "p50_ms", "p95_ms", "tuples_per_s")
 
 #: Scenario names whose counters are deterministic (serial replay).
 SERIAL_SCENARIOS = ("serial_cold", "serial_warm")
@@ -63,8 +63,14 @@ def _run_serve(config: dict) -> dict:
     return run_serve_bench(ServeBenchConfig(**config))
 
 
+def _run_build(config: dict) -> dict:
+    from .build import BuildBenchConfig, run_build_bench
+
+    return run_build_bench(BuildBenchConfig(**config))
+
+
 #: benchmark name (payload["benchmark"]) -> fresh-run callable(config dict).
-RUNNERS = {"serve": _run_serve}
+RUNNERS = {"serve": _run_serve, "build": _run_build}
 
 
 @dataclass(frozen=True)
@@ -97,7 +103,10 @@ def _within(expected: float, actual: float, rel_tol: float) -> bool:
 def _compare_scenario(
     name: str, expected: dict, actual: dict, source: str
 ) -> list[Violation]:
-    serial = name in SERIAL_SCENARIOS
+    # Build scenarios replay a fixed seed through a deterministic
+    # construction (even the parallel ones — the layout is canonical), so
+    # they get serial tolerances.  Fingerprints are strings; compare exact.
+    serial = name in SERIAL_SCENARIOS or name.startswith("build_")
     violations = []
     for metric in sorted(set(expected) | set(actual)):
         if any(metric.endswith(t) or metric == t for t in TIMING_METRICS):
@@ -108,6 +117,11 @@ def _compare_scenario(
             violations.append(
                 Violation(source, path, exp, act, "metric present in only one payload")
             )
+            continue
+        if isinstance(exp, (str, bool)) or isinstance(act, (str, bool)):
+            # non-numeric metrics (device fingerprints, flags) compare exact
+            if exp != act:
+                violations.append(Violation(source, path, exp, act, "exact"))
             continue
         if not serial and metric in RATE_METRICS:
             if abs(float(exp) - float(act)) > RATE_ABS_TOL:
@@ -138,7 +152,7 @@ def compare_payloads(expected: dict, actual: dict, source: str) -> list[Violatio
                 "fresh run must return serial-equivalent answers",
             )
         )
-    for metric in ("grid_blocks",):
+    for metric in ("grid_blocks", "parallel_identical", "parallel_faster"):
         if metric in expected and expected[metric] != actual.get(metric):
             violations.append(
                 Violation(

@@ -27,6 +27,7 @@ import random
 from dataclasses import dataclass, field
 
 from ..core import RankingCube, RankingCubeExecutor
+from ..core.compaction import COMPACTION_FAULT_POINTS, CubeCompactor
 from ..ranking import LinearFunction
 from ..relational import (
     Database,
@@ -321,6 +322,168 @@ def _patch_was_noop(device: FaultyBlockDevice, page_id: int) -> bool:
         return True
     except StorageError:
         return False
+
+
+# ----------------------------------------------------------------------
+# compaction crash schedules
+# ----------------------------------------------------------------------
+class SimulatedKill(BaseException):
+    """Raised by the fault hook to model the compactor dying mid-run.
+
+    Deliberately *not* an ``Exception`` subclass: a kill is not an error
+    the compactor may swallow, and deriving from ``BaseException`` proves
+    no ``except Exception`` in the compaction path can absorb it.
+    """
+
+
+@dataclass
+class CompactionCrashOutcome:
+    """What one compaction-kill schedule observed.
+
+    ``consistent`` requires every post-crash query to equal the full
+    brute-force oracle (pre- and post-merge states both satisfy this —
+    the delta covers whatever the materialization lacks) *and* the cube
+    to be wholly in one generation (``state_violation == 0``).
+    """
+
+    seed: int
+    fault_point: str
+    killed: bool = False          #: the hook fired and the run died there
+    swapped: bool = False         #: cube answers from the post-merge state
+    reloaded: bool = False        #: verified via a save/load round-trip
+    delta_remaining: int = 0
+    queries_ok: int = 0
+    silent_wrong: int = 0
+    state_violation: int = 0      #: mixed-generation evidence (must be 0)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def consistent(self) -> bool:
+        return self.silent_wrong == 0 and self.state_violation == 0
+
+
+def run_compaction_schedule(
+    seed: int,
+    *,
+    fault_point: str,
+    num_rows: int = 72,
+    num_delta: int = 28,
+    num_queries: int = 4,
+    page_size: int = 1024,
+    buffer_capacity: int = 256,
+    snapshot_path=None,
+) -> CompactionCrashOutcome:
+    """Kill a compaction at ``fault_point`` and verify crash consistency.
+
+    Builds a cube, appends ``num_delta`` tuples through ``refresh_delta``,
+    checkpoints, then runs :meth:`CubeCompactor.compact_once` with a fault
+    hook that raises :class:`SimulatedKill` at the named point.  After the
+    kill the buffer pool crashes (unflushed frames drop), and every query
+    must still equal the brute-force oracle over *all* rows: before the
+    swap the old materialization plus the intact delta answers; after it
+    the new materialization plus the residual delta does.  Partial states
+    — some cuboids swapped, a half-merged delta — would miss or duplicate
+    tuples and fail the oracle comparison.
+
+    ``snapshot_path`` (a writable file path) additionally round-trips the
+    survivor through ``Workspace.save`` / ``Workspace.load`` and verifies
+    the *reloaded* cube, modeling a process restart from disk.
+    """
+    if fault_point not in COMPACTION_FAULT_POINTS:
+        raise ValueError(
+            f"unknown fault point {fault_point!r}; "
+            f"known: {COMPACTION_FAULT_POINTS}"
+        )
+    outcome = CompactionCrashOutcome(seed=seed, fault_point=fault_point)
+    rng = random.Random(seed)
+    schema = _schema()
+    rows = _rows(rng, num_rows)
+    delta_rows = _rows(rng, num_delta)
+    queries = _queries(rng, num_queries)
+    all_rows = rows + delta_rows
+    references = [brute_force_scores(schema, all_rows, q) for q in queries]
+
+    db = Database(
+        page_size=page_size,
+        buffer_capacity=buffer_capacity,
+        device=BlockDevice(page_size=page_size),
+    )
+    table = db.load_table("R", schema, rows)
+    cube = RankingCube.build(table, block_size=rng.choice([4, 8]))
+    table.insert_rows(delta_rows)
+    cube.refresh_delta(table)
+    db.pool.flush()  # checkpoint: pre-merge state is durable
+
+    executor = RankingCubeExecutor(cube, table)
+    for query, expected in zip(queries, references):
+        if not _scores_match(executor.execute(query).rows, expected):
+            raise HarnessError(
+                f"seed {seed}: pre-crash answers already wrong for {query}"
+            )
+
+    def hook(point: str) -> None:
+        if point == fault_point:
+            raise SimulatedKill(point)
+
+    compactor = CubeCompactor(cube, db.pool, fault_hook=hook)
+    try:
+        compactor.compact_once()
+    except SimulatedKill:
+        outcome.killed = True
+    if not outcome.killed:
+        raise HarnessError(
+            f"seed {seed}: fault point {fault_point!r} never fired "
+            f"(compaction was a no-op?)"
+        )
+
+    # the crash: every unflushed buffer frame is gone
+    db.pool.crash()
+
+    # whole-generation check: epochs move together or not at all
+    epochs = {c.epoch for c in cube.cuboids.values()}
+    if len(epochs) != 1:
+        outcome.state_violation += 1
+        outcome.notes.append(f"mixed cuboid generations: {sorted(epochs)}")
+    outcome.swapped = epochs == {1}
+    expect_swapped = fault_point in ("swapped", "notified")
+    if outcome.swapped != expect_swapped:
+        outcome.state_violation += 1
+        outcome.notes.append(
+            f"fault at {fault_point!r} left swapped={outcome.swapped}"
+        )
+
+    verify_cube, verify_table, verify_db = cube, table, db
+    if snapshot_path is not None:
+        from ..persist import Workspace
+
+        Workspace(db=db, cubes={"R": cube}).save(snapshot_path)
+        loaded = Workspace.load(snapshot_path)
+        verify_cube = loaded.cube("R")
+        verify_table = loaded.db.table("R")
+        verify_db = loaded.db
+        outcome.reloaded = True
+
+    outcome.delta_remaining = verify_cube.delta_size
+    verify_executor = RankingCubeExecutor(verify_cube, verify_table)
+    for query, expected in zip(queries, references):
+        verify_db.cold_cache()  # answers must come from the device image
+        result = verify_executor.execute(query)
+        if _scores_match(result.rows, expected):
+            outcome.queries_ok += 1
+        else:
+            outcome.silent_wrong += 1
+            outcome.notes.append(
+                f"post-crash answer diverged from oracle for {query}"
+            )
+
+    if not outcome.consistent:
+        raise HarnessError(
+            f"compaction kill at {fault_point!r} seed={seed} violated "
+            f"consistency: silent_wrong={outcome.silent_wrong}, "
+            f"state_violation={outcome.state_violation}, "
+            f"notes={outcome.notes}"
+        )
+    return outcome
 
 
 # ----------------------------------------------------------------------

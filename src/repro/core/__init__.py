@@ -9,8 +9,20 @@ from .advisor import FragmentDesign, Recommendation, recommend_fragments
 from .base_table import BaseBlockTable
 from .blocks import BlockGrid, GridError
 from .chains import ChainStore
+from .compaction import (
+    COMPACTION_FAULT_POINTS,
+    CompactionError,
+    CompactionReport,
+    CubeCompactor,
+)
 from .compressed import CompressedChainStore, decode_tid_list, encode_tid_list
-from .cube import DEFAULT_BLOCK_SIZE, CubeError, RankingCube, full_cube_sets
+from .cube import (
+    DEFAULT_BLOCK_SIZE,
+    CubeError,
+    CubeSnapshot,
+    RankingCube,
+    full_cube_sets,
+)
 from .cuboid import CuboidError, RankingCuboid
 from .estimate import (
     CostEstimate,
@@ -26,6 +38,7 @@ from .fragments import (
     fragment_cuboid_sets,
 )
 from .hybrid import HybridExecutor
+from .parallel import CuboidSpec, compute_build_groups, shard_ranges
 from .grouping import (
     cooccurrence_counts,
     cooccurrence_grouping,
@@ -45,11 +58,17 @@ from .pseudo import PseudoBlockMap, scale_factor
 __all__ = [
     "BaseBlockTable",
     "BlockGrid",
+    "COMPACTION_FAULT_POINTS",
     "ChainStore",
+    "CompactionError",
+    "CompactionReport",
     "CostEstimate",
     "CompressedChainStore",
+    "CubeCompactor",
     "CubeError",
+    "CubeSnapshot",
     "CuboidError",
+    "CuboidSpec",
     "DEFAULT_BLOCK_SIZE",
     "EquiDepthPartitioner",
     "EquiWidthPartitioner",
@@ -69,6 +88,7 @@ __all__ = [
     "RankingCuboid",
     "Recommendation",
     "bins_for",
+    "compute_build_groups",
     "decode_tid_list",
     "encode_tid_list",
     "estimate_baseline_cost",
@@ -84,4 +104,5 @@ __all__ = [
     "grid_from_boundaries",
     "recommend_fragments",
     "scale_factor",
+    "shard_ranges",
 ]

@@ -41,13 +41,40 @@ class BaseBlockTable:
         """
         if len(tids) != len(points):
             raise ValueError("tids and points must align")
-        table = cls(pool, grid)
         bids = grid.locate_many(points) if points else []
         groups: dict[int, list[tuple]] = {}
         for tid, point, bid in zip(tids, points, bids):
             groups.setdefault(bid, []).append((int(tid), *map(float, point)))
+        return cls.from_groups(pool, grid, groups), bids
+
+    @classmethod
+    def from_groups(
+        cls,
+        pool: BufferPool,
+        grid: BlockGrid,
+        groups: dict[int, list[tuple]],
+    ) -> "BaseBlockTable":
+        """Materialize from an already-grouped ``bid -> records`` map.
+
+        The parallel builder and the compactor both produce group maps
+        up front; this path packs them with the exact store layout
+        :meth:`build` uses (the chain store sorts groups by key, so the
+        on-page image depends only on the map contents).
+        """
+        table = cls(pool, grid)
         table._store.build(((bid,), records) for bid, records in groups.items())
-        return table, bids
+        return table
+
+    # ------------------------------------------------------------------
+    def blocks(self):
+        """Iterate ``(bid, records)`` in key order (maintenance scans).
+
+        Records carry the stored shape ``(tid, ranking values...)``;
+        unmetered for :attr:`access_count` — this is a rebuild scan, not
+        a query access.
+        """
+        for key, records in self._store.items():
+            yield int(key[0]), [tuple(record) for record in records]
 
     # ------------------------------------------------------------------
     def get_base_block(self, bid: int) -> list[tuple[int, tuple[float, ...]]]:

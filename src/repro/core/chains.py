@@ -114,6 +114,11 @@ class ChainStore:
     def __contains__(self, key: tuple) -> bool:
         return self.directory.get(tuple(key)) is not None
 
+    def items(self) -> Iterable[tuple[tuple, list[tuple]]]:
+        """Iterate ``(key, records)`` in key order (maintenance scans)."""
+        for key, _locator in self.directory.items():
+            yield key, self.get(key)
+
     # ------------------------------------------------------------------
     @property
     def num_records(self) -> int:

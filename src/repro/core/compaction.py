@@ -1,0 +1,351 @@
+"""Background delta compaction: merge the delta store into the cube.
+
+:meth:`RankingCube.refresh_delta` absorbs appended tuples into an
+in-memory side list that every query merges at answer time (the classic
+delta-store strategy; the paper leaves maintenance as future work).
+Unbounded, that list slows every query and survives only as long as the
+process.  :class:`CubeCompactor` drains it back into the materialization:
+
+1. **snapshot** the cube's queryable state (under the cube's state lock),
+2. **classify** delta entries — a tuple whose ranking point lies inside
+   the grid's full box is *absorbable*; an out-of-grid tuple stays
+   *residual* in the delta, because :meth:`BlockGrid.locate` clamps to
+   edge bins and a clamped tuple's real values can exceed its block's
+   bounding box, which would break the frontier stop's lower-bound
+   soundness,
+3. **merge** — read every base block / cuboid cell of the old stores and
+   append the absorbable entries (tid-ascending, matching scan order, so
+   the merged image equals a from-scratch build over old + delta),
+4. **rebuild** fresh :class:`BaseBlockTable` / :class:`RankingCuboid`
+   objects on new pages (build-once stores are never mutated in place);
+   cuboid epochs bump so serving-cache keys from the old generation can
+   never satisfy new-generation lookups,
+5. **flush** the buffer pool — the new pages must be durable *before*
+   anything references them (write-ahead ordering: a crash after the
+   flush but before the swap leaves the new pages unreferenced garbage,
+   never a referenced hole),
+6. **swap** the ``(base_table, cuboids, delta)`` triple atomically under
+   the cube's state lock, keeping only residual delta entries (plus any
+   appended concurrently),
+7. **notify** the cube's invalidation listeners (outside the lock), the
+   same protocol ``refresh_delta`` uses, so serving caches drop stale
+   cells while query traffic keeps flowing.
+
+Queries run against per-query snapshots (:meth:`RankingCube.snapshot`),
+so a query started before the swap finishes against the old triple and a
+query started after sees the new one — never a mix.
+
+Crash consistency is exercised by ``tests/faults/test_compaction_crash.py``
+through the :data:`COMPACTION_FAULT_POINTS` hook: killing the compactor
+at any point leaves the cube answering from either the pre- or post-merge
+state, never a partial one.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..obs.tracing import maybe_span
+from .base_table import BaseBlockTable
+from .cube import RankingCube
+from .cuboid import RankingCuboid
+
+#: Named instants where the crash harness may kill a compaction run, in
+#: execution order.  None of them fires while the cube's state lock is
+#: held (the harness's "kill" raises through compact_once, and a raise
+#: under the lock would not model a process death — a dead process holds
+#: no locks).
+COMPACTION_FAULT_POINTS = (
+    "drain",          # after snapshotting cube state
+    "classify",       # after splitting absorbable vs residual
+    "base-read",      # after reading the old base block groups
+    "base-built",     # after materializing the new base table
+    "cuboids-built",  # after materializing every new cuboid
+    "flushed",        # after the pre-swap durability flush
+    "swapped",        # after the atomic state swap
+    "notified",       # after invalidation listeners ran
+)
+
+
+class CompactionError(Exception):
+    """Raised on compactor misuse (start after close, bad config)."""
+
+
+@dataclass
+class CompactionReport:
+    """What one :meth:`CubeCompactor.compact_once` run did."""
+
+    absorbed: int = 0            #: delta tuples merged into the materialization
+    residual: int = 0            #: out-of-grid tuples left in the delta
+    cells_merged: int = 0        #: cuboid cells receiving new tuples
+    cuboids_rebuilt: int = 0
+    swapped: bool = False        #: False means a no-op (nothing absorbable)
+    wall_s: float = 0.0
+    epochs: dict = field(default_factory=dict)  #: cuboid name -> new epoch
+
+
+class CubeCompactor:
+    """Foreground and background delta compaction for one cube.
+
+    Parameters
+    ----------
+    cube:
+        The cube to maintain.
+    pool:
+        Buffer pool of the cube's device (supplies page allocation, the
+        durability flush, and — when present — the metrics registry).
+    min_delta:
+        Background mode only: the worker compacts once the delta holds at
+        least this many tuples (and on every explicit :meth:`wake`).
+    tracer:
+        Optional tracer; each run emits a ``compact`` span tree.
+    fault_hook:
+        Test seam: called with each :data:`COMPACTION_FAULT_POINTS` name
+        as the run passes it; raising simulates a kill at that instant.
+    """
+
+    def __init__(
+        self,
+        cube: RankingCube,
+        pool,
+        min_delta: int = 256,
+        tracer=None,
+        fault_hook=None,
+    ):
+        if min_delta < 1:
+            raise CompactionError(f"min_delta must be >= 1, got {min_delta}")
+        self.cube = cube
+        self.pool = pool
+        self.min_delta = min_delta
+        self.tracer = tracer
+        self.fault_hook = fault_hook
+        self.registry = getattr(pool, "registry", None)
+        #: serializes compaction runs (foreground drain vs background worker)
+        self._run_lock = threading.Lock()
+        self._cond = threading.Condition()
+        self._thread: threading.Thread | None = None
+        self._closed = False
+        self._wake_requested = False
+        #: residual watermark: a delta of only unabsorbable tuples must not
+        #: busy-loop the worker; it re-runs only when the delta grows past
+        #: what the last run left behind
+        self._last_residual = 0
+        self.runs = 0
+        self.last_report: CompactionReport | None = None
+        self.last_error: BaseException | None = None
+
+    # ------------------------------------------------------------------
+    # one compaction run (foreground)
+    # ------------------------------------------------------------------
+    def compact_once(self) -> CompactionReport:
+        """Drain the current delta into the materialization, atomically.
+
+        Safe to call while queries run: the swap is a pointer flip under
+        the cube's state lock, and queries execute against per-query
+        snapshots.  Returns a report; ``swapped=False`` means nothing was
+        absorbable (the delta was empty or entirely out-of-grid).
+        """
+        with self._run_lock:
+            return self._compact_locked()
+
+    def _compact_locked(self) -> CompactionReport:
+        started = time.perf_counter()
+        report = CompactionReport()
+        cube = self.cube
+        with maybe_span(self.tracer, "compact") as span:
+            state = cube.snapshot()
+            self._fault("drain")
+
+            with maybe_span(self.tracer, "compact.classify"):
+                lower, upper = state.grid.full_box()
+                drained = len(state.delta)
+                absorbable: list[tuple[int, dict, dict]] = []
+                residual: list[tuple[int, dict, dict]] = []
+                for entry in state.delta:
+                    _tid, _sel, rank_values = entry
+                    point = [rank_values[d] for d in state.grid.dims]
+                    inside = all(
+                        lo <= v <= hi for v, lo, hi in zip(point, lower, upper)
+                    )
+                    (absorbable if inside else residual).append(entry)
+            self._fault("classify")
+
+            if not absorbable:
+                self._last_residual = len(residual)
+                report.residual = len(residual)
+                report.wall_s = time.perf_counter() - started
+                self._record(report, noop=True)
+                return report
+
+            # --- merge: old groups + delta appends, in tid order ----------
+            with maybe_span(self.tracer, "compact.merge"):
+                base_groups: dict[int, list[tuple]] = {
+                    bid: records for bid, records in state.base_table.blocks()
+                }
+                self._fault("base-read")
+                ordered = sorted(absorbable, key=lambda entry: entry[0])
+                new_bids: dict[int, int] = {}
+                for tid, _sel, rank_values in ordered:
+                    point = tuple(
+                        float(rank_values[d]) for d in state.grid.dims
+                    )
+                    bid = state.grid.locate(point)
+                    new_bids[tid] = bid
+                    base_groups.setdefault(bid, []).append((int(tid), *point))
+
+            # --- rebuild the stores on fresh pages ------------------------
+            with maybe_span(self.tracer, "compact.rebuild"):
+                new_base = BaseBlockTable.from_groups(
+                    self.pool, state.grid, base_groups
+                )
+                self._fault("base-built")
+                touched_cells = 0
+                new_cuboids: dict[frozenset, RankingCuboid] = {}
+                for key, cuboid in state.cuboids.items():
+                    groups: dict[tuple, list[tuple[int, int]]] = {
+                        cell: pairs for cell, pairs in cuboid.cells()
+                    }
+                    for tid, sel_values, _rank in ordered:
+                        bid = new_bids[tid]
+                        pid = cuboid.pid_of_bid(bid)
+                        cell = tuple(
+                            int(sel_values[d]) for d in cuboid.dims
+                        ) + (pid,)
+                        groups.setdefault(cell, []).append((int(tid), int(bid)))
+                        touched_cells += 1
+                    new_cuboids[key] = RankingCuboid.from_groups(
+                        self.pool,
+                        cuboid.dims,
+                        cuboid.cardinalities,
+                        state.grid,
+                        groups,
+                        scale_override=cuboid.scale_factor,
+                        compress=cuboid.compressed,
+                        epoch=cuboid.epoch + 1,
+                    )
+                self._fault("cuboids-built")
+
+            # --- durability: new pages hit the device before the swap -----
+            with maybe_span(self.tracer, "compact.flush"):
+                self.pool.flush()
+            self._fault("flushed")
+
+            # --- atomic swap ----------------------------------------------
+            with cube._state_lock:
+                # Keep residual entries plus anything refresh_delta appended
+                # after our snapshot; the snapshot's prefix is what we merged.
+                survivors = residual + cube._delta[drained:]
+                cube.base_table = new_base
+                cube.cuboids = new_cuboids
+                cube._delta = survivors
+            self._last_residual = len(residual)
+            self._fault("swapped")
+
+            cube._notify_invalidation()
+            self._fault("notified")
+
+            report.absorbed = len(ordered)
+            report.residual = len(residual)
+            report.cells_merged = touched_cells
+            report.cuboids_rebuilt = len(new_cuboids)
+            report.swapped = True
+            report.epochs = {c.name: c.epoch for c in new_cuboids.values()}
+            report.wall_s = time.perf_counter() - started
+            if span is not None:
+                span.add_many(
+                    absorbed=report.absorbed,
+                    residual=report.residual,
+                    cuboids_rebuilt=report.cuboids_rebuilt,
+                )
+        self._record(report, noop=False)
+        return report
+
+    def _fault(self, point: str) -> None:
+        if self.fault_hook is not None:
+            self.fault_hook(point)
+
+    def _record(self, report: CompactionReport, noop: bool) -> None:
+        self.runs += 1
+        self.last_report = report
+        if self.registry is None:
+            return
+        self.registry.counter("compact.runs").inc()
+        if noop:
+            self.registry.counter("compact.noops").inc()
+            return
+        self.registry.counter("compact.swaps").inc()
+        self.registry.counter("compact.tuples_absorbed").inc(report.absorbed)
+        self.registry.counter("compact.tuples_residual").inc(report.residual)
+        self.registry.counter("compact.cells_merged").inc(report.cells_merged)
+        self.registry.counter("compact.cuboids_rebuilt").inc(
+            report.cuboids_rebuilt
+        )
+        self.registry.histogram("compact.wall_s").observe(report.wall_s)
+
+    # ------------------------------------------------------------------
+    # background worker
+    # ------------------------------------------------------------------
+    def start(self) -> "CubeCompactor":
+        """Start the background worker thread (idempotent)."""
+        with self._cond:
+            if self._closed:
+                raise CompactionError("compactor is closed")
+            if self._thread is not None:
+                return self
+            self._thread = threading.Thread(
+                target=self._worker, name="cube-compactor", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def wake(self) -> None:
+        """Ask the background worker to compact now, regardless of size."""
+        with self._cond:
+            self._wake_requested = True
+            self._cond.notify_all()
+
+    def drain(self) -> CompactionReport:
+        """Foreground convenience: compact now and return the report."""
+        return self.compact_once()
+
+    def close(self, wait: bool = True) -> None:
+        """Stop the background worker.  Idempotent; safe without start."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+            thread = self._thread
+        if wait and thread is not None:
+            thread.join()
+
+    def _pending(self) -> bool:
+        if self._wake_requested:
+            return True
+        return self.cube.delta_size > max(self._last_residual, self.min_delta - 1)
+
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                while not self._closed and not self._pending():
+                    self._cond.wait(timeout=0.05)
+                if self._closed:
+                    return
+                self._wake_requested = False
+            try:
+                self.compact_once()
+            except BaseException as exc:  # noqa: BLE001 - worker must survive
+                self.last_error = exc
+                if self.registry is not None:
+                    self.registry.counter("compact.errors").inc()
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "CubeCompactor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

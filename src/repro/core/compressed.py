@@ -77,6 +77,11 @@ class CompressedChainStore:
     def __contains__(self, key: tuple) -> bool:
         return tuple(key) in self._blobs
 
+    def items(self) -> Iterable[tuple[tuple, list[tuple[int, int]]]]:
+        """Iterate ``(key, records)`` in key order (maintenance scans)."""
+        for key, _locator in self._blobs.directory.items():
+            yield key, self.get(key)
+
     # ------------------------------------------------------------------
     @property
     def num_records(self) -> int:

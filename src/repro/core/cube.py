@@ -17,14 +17,19 @@ materialized and the fragmented case.
 from __future__ import annotations
 
 import itertools
+import threading
+import time
 from typing import Iterable, Sequence
 
+from ..obs.tracing import maybe_span
 from ..relational.table import Table
 from ..storage.buffer import BufferPool
 from .base_table import BaseBlockTable
 from .blocks import BlockGrid
 from .cuboid import RankingCuboid
+from .parallel import CuboidSpec, compute_build_groups
 from .partition import EquiDepthPartitioner, Partitioner
+from .pseudo import scale_factor
 
 DEFAULT_BLOCK_SIZE = 30  # the paper's default B (expected tuples per block)
 
@@ -65,6 +70,11 @@ class RankingCube:
         ) if cuboids else frozenset()
         #: serving-layer caches subscribed to maintenance events
         self._invalidation_listeners: list = []
+        #: guards every mutation of cube state visible to queries — the
+        #: (base_table, cuboids, delta) triple changes only under this
+        #: lock, and :meth:`snapshot` reads it under the same lock, so a
+        #: background compaction swap is atomic from any query's view
+        self._state_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # construction
@@ -81,6 +91,8 @@ class RankingCube:
         grid: BlockGrid | None = None,
         pseudo_scale_override: int | None = None,
         compress: bool = False,
+        workers: int = 1,
+        tracer=None,
     ) -> "RankingCube":
         """Materialize a ranking cube from a loaded table.
 
@@ -103,63 +115,118 @@ class RankingCube:
         grid:
             Pre-built grid (the paper's worked example supplies explicit
             boundaries); overrides ``partitioner``.
+        workers:
+            Process-pool width for the grouping phase.  ``1`` (default)
+            groups in-process; ``N > 1`` shards the scanned relation by
+            tid range across ``N`` worker processes and merges the partial
+            group maps (see :mod:`repro.core.parallel`).  The resulting
+            device image is byte-identical either way; only wall-clock
+            changes.  All page I/O stays in the calling process.
+        tracer:
+            Optional :class:`~repro.obs.tracing.Tracer`; when given, the
+            build emits a ``build`` span tree (scan/group/materialize).
         """
-        schema = table.schema
-        if ranking_dims is None:
-            ranking_dims = schema.ranking_names
-        if selection_dims is None:
-            selection_dims = schema.selection_names
-        ranking_dims = tuple(ranking_dims)
-        selection_dims = tuple(selection_dims)
-        if not ranking_dims:
-            raise CubeError("a ranking cube needs at least one ranking dimension")
+        started = time.perf_counter()
+        registry = getattr(table.pool, "registry", None)
+        with maybe_span(tracer, "build", workers=workers) as build_span:
+            schema = table.schema
+            if ranking_dims is None:
+                ranking_dims = schema.ranking_names
+            if selection_dims is None:
+                selection_dims = schema.selection_names
+            ranking_dims = tuple(ranking_dims)
+            selection_dims = tuple(selection_dims)
+            if not ranking_dims:
+                raise CubeError("a ranking cube needs at least one ranking dimension")
 
-        # One scan of the relation gathers everything the build needs.
-        rank_pos = [schema.position(d) for d in ranking_dims]
-        sel_pos = [schema.position(d) for d in selection_dims]
-        tids: list[int] = []
-        points: list[tuple[float, ...]] = []
-        sel_rows: list[tuple[int, ...]] = []
-        for record in table.scan():
-            tids.append(int(record[0]))
-            points.append(tuple(float(record[1 + p]) for p in rank_pos))
-            sel_rows.append(tuple(int(record[1 + p]) for p in sel_pos))
-        if not tids:
-            raise CubeError("cannot build a ranking cube over an empty relation")
+            # One scan of the relation gathers everything the build needs.
+            with maybe_span(tracer, "build.scan"):
+                rank_pos = [schema.position(d) for d in ranking_dims]
+                sel_pos = [schema.position(d) for d in selection_dims]
+                tids: list[int] = []
+                points: list[tuple[float, ...]] = []
+                sel_rows: list[tuple[int, ...]] = []
+                for record in table.scan():
+                    tids.append(int(record[0]))
+                    points.append(tuple(float(record[1 + p]) for p in rank_pos))
+                    sel_rows.append(tuple(int(record[1 + p]) for p in sel_pos))
+                if not tids:
+                    raise CubeError(
+                        "cannot build a ranking cube over an empty relation"
+                    )
 
-        if grid is None:
-            if partitioner is None:
-                partitioner = EquiDepthPartitioner()
-            columns = list(zip(*points))
-            grid = partitioner.build_grid(ranking_dims, columns, block_size)
-        base_table, bids = BaseBlockTable.build(table.pool, grid, tids, points)
+            if grid is None:
+                if partitioner is None:
+                    partitioner = EquiDepthPartitioner()
+                columns = list(zip(*points))
+                grid = partitioner.build_grid(ranking_dims, columns, block_size)
 
-        if cuboid_sets is None:
-            cuboid_sets = full_cube_sets(selection_dims)
-        sel_index = {dim: i for i, dim in enumerate(selection_dims)}
-        cuboids: dict[frozenset, RankingCuboid] = {}
-        for dims in cuboid_sets:
-            dims = tuple(dims)
-            key = frozenset(dims)
-            if key in cuboids:
-                continue
-            missing = [d for d in dims if d not in sel_index]
-            if missing:
-                raise CubeError(f"unknown selection dimensions {missing}")
-            positions = [sel_index[d] for d in dims]
-            cardinalities = schema.cardinalities(dims)
-            cuboids[key] = RankingCuboid.build(
-                table.pool,
-                dims,
-                cardinalities,
-                grid,
-                (
-                    (tuple(row[p] for p in positions), tid, bid)
-                    for row, tid, bid in zip(sel_rows, tids, bids)
-                ),
-                scale_override=pseudo_scale_override,
-                compress=compress,
-            )
+            # Resolve the cuboid family up front (names, key positions, and
+            # scale factors) so the grouping phase — serial or sharded — is
+            # policy-free arithmetic.
+            if cuboid_sets is None:
+                cuboid_sets = full_cube_sets(selection_dims)
+            sel_index = {dim: i for i, dim in enumerate(selection_dims)}
+            specs: list[CuboidSpec] = []
+            spec_meta: list[tuple[frozenset, tuple[str, ...], tuple[int, ...]]] = []
+            seen: set[frozenset] = set()
+            for dims in cuboid_sets:
+                dims = tuple(dims)
+                key = frozenset(dims)
+                if key in seen:
+                    continue
+                seen.add(key)
+                missing = [d for d in dims if d not in sel_index]
+                if missing:
+                    raise CubeError(f"unknown selection dimensions {missing}")
+                positions = tuple(sel_index[d] for d in dims)
+                cardinalities = tuple(schema.cardinalities(dims))
+                scale = (
+                    scale_factor(cardinalities, grid.num_dims)
+                    if pseudo_scale_override is None
+                    else pseudo_scale_override
+                )
+                specs.append(CuboidSpec(dims=dims, positions=positions, scale=scale))
+                spec_meta.append((key, dims, cardinalities))
+
+            with maybe_span(tracer, "build.group", workers=workers) as group_span:
+                grouped = compute_build_groups(
+                    grid, specs, tids, points, sel_rows, workers=workers
+                )
+                if group_span is not None:
+                    group_span.add("shards", grouped.shards)
+
+            # Materialization (page allocation + writes) is single-threaded
+            # in the parent, in the exact order the serial build uses —
+            # this is what makes the parallel image byte-identical.
+            with maybe_span(tracer, "build.materialize"):
+                base_table = BaseBlockTable.from_groups(
+                    table.pool, grid, grouped.base_groups
+                )
+                cuboids: dict[frozenset, RankingCuboid] = {}
+                for (key, dims, cardinalities), groups in zip(
+                    spec_meta, grouped.cuboid_groups
+                ):
+                    cuboids[key] = RankingCuboid.from_groups(
+                        table.pool,
+                        dims,
+                        cardinalities,
+                        grid,
+                        groups,
+                        scale_override=pseudo_scale_override,
+                        compress=compress,
+                    )
+
+            if build_span is not None:
+                build_span.add_many(
+                    tuples=len(tids), cuboids=len(cuboids), shards=grouped.shards
+                )
+        if registry is not None:
+            registry.counter("build.runs").inc()
+            registry.counter("build.tuples").inc(len(tids))
+            registry.counter("build.cuboids").inc(len(cuboids))
+            registry.counter("build.shards").inc(grouped.shards)
+            registry.histogram("build.wall_s").observe(time.perf_counter() - started)
         return cls(grid, base_table, cuboids, block_size)
 
     # ------------------------------------------------------------------
@@ -175,24 +242,7 @@ class RankingCube:
         selection dimensions returns the empty list — the executor then
         reads base blocks directly.
         """
-        wanted = frozenset(query_dims)
-        if not wanted:
-            return []
-        candidates = [key for key in self.cuboids if key <= wanted]
-        if not candidates:
-            raise CubeError(f"no materialized cuboid covers any of {sorted(wanted)}")
-        covered = frozenset().union(*candidates)
-        if covered != wanted:
-            raise CubeError(
-                f"dimensions {sorted(wanted - covered)} are not materialized "
-                "in any cuboid"
-            )
-        maximal = [
-            key for key in candidates
-            if not any(key < other for other in candidates)
-        ]
-        chosen = _minimum_cover(maximal, wanted)
-        return [self.cuboids[key] for key in chosen]
+        return _covering_cuboids(self.cuboids, query_dims)
 
     def cuboid(self, dims: Sequence[str]) -> RankingCuboid:
         """The cuboid materialized exactly on ``dims``."""
@@ -233,11 +283,42 @@ class RankingCube:
             listener(names)
 
     # Listeners are live serving-layer caches; a persisted snapshot must
-    # not capture them (they hold locks and process-local state).
+    # not capture them (they hold locks and process-local state).  The
+    # copy happens under the state lock so a pickle taken while a
+    # background compaction is swapping state captures either the old or
+    # the new (base_table, cuboids, delta) triple — never a mix.
     def __getstate__(self):
-        state = self.__dict__.copy()
+        with self._state_lock:
+            state = self.__dict__.copy()
         state["_invalidation_listeners"] = []
+        del state["_state_lock"]
         return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._invalidation_listeners = []
+        self._state_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # consistent read snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "CubeSnapshot":
+        """An immutable view of the queryable cube state.
+
+        Executors capture one snapshot per query and resolve every read
+        (covering cuboids, base blocks, delta matches) against it, so a
+        concurrent compaction swap can never hand a single query a mix of
+        old and new state.
+        """
+        with self._state_lock:
+            return CubeSnapshot(
+                grid=self.grid,
+                base_table=self.base_table,
+                cuboids=dict(self.cuboids),
+                delta=tuple(self._delta),
+                watermark=self.watermark,
+                block_size=self.block_size,
+            )
 
     # ------------------------------------------------------------------
     # incremental maintenance (delta store)
@@ -253,17 +334,22 @@ class RankingCube:
         sel_dims = sorted(self._delta_selection_dims)
         sel_pos = {d: schema.position(d) for d in sel_dims}
         rank_pos = {d: schema.position(d) for d in self.grid.dims}
-        absorbed = 0
-        for tid in range(self.watermark, table.num_rows):
+        # Heap reads happen outside the lock (they can do I/O); only the
+        # append + watermark bump is a critical section.
+        entries: list[tuple[int, dict, dict]] = []
+        start = self.watermark
+        target = table.num_rows
+        for tid in range(start, target):
             row = table.fetch_by_tid(tid)
             selections = {d: int(row[p]) for d, p in sel_pos.items()}
             rankings = {d: float(row[p]) for d, p in rank_pos.items()}
-            self._delta.append((tid, selections, rankings))
-            absorbed += 1
-        self.watermark = table.num_rows
-        if absorbed:
+            entries.append((tid, selections, rankings))
+        with self._state_lock:
+            self._delta.extend(entries)
+            self.watermark = max(self.watermark, target)
+        if entries:
             self._notify_invalidation()
-        return absorbed
+        return len(entries)
 
     def delta_matches(
         self, selections: dict
@@ -273,15 +359,14 @@ class RankingCube:
         Returns ``(tid, {ranking dim: value})`` pairs; the executor scores
         them alongside block-retrieved tuples.
         """
-        matches = []
-        for tid, sel_values, rank_values in self._delta:
-            if all(sel_values.get(d) == v for d, v in selections.items()):
-                matches.append((tid, rank_values))
-        return matches
+        with self._state_lock:
+            delta = tuple(self._delta)
+        return _delta_matches(delta, selections)
 
     @property
     def delta_size(self) -> int:
-        return len(self._delta)
+        with self._state_lock:
+            return len(self._delta)
 
     def needs_rebuild(self, max_delta_fraction: float = 0.1) -> bool:
         """Whether the delta store has outgrown the materialization."""
@@ -322,6 +407,73 @@ class RankingCube:
                 f"{cuboid.num_entries} entries, {cuboid.size_in_bytes} bytes"
             )
         return "\n".join(lines)
+
+
+class CubeSnapshot:
+    """A point-in-time, immutable view of a cube's queryable state.
+
+    Holds the exact ``(base_table, cuboids, delta)`` triple that was
+    current when :meth:`RankingCube.snapshot` ran.  Store objects are
+    build-once and never mutated in place (maintenance swaps whole
+    objects), so sharing them here is safe; the cuboids dict and delta
+    are shallow-copied so later swaps cannot alias into the snapshot.
+    """
+
+    __slots__ = ("grid", "base_table", "cuboids", "delta", "watermark", "block_size")
+
+    def __init__(self, grid, base_table, cuboids, delta, watermark, block_size):
+        self.grid = grid
+        self.base_table = base_table
+        self.cuboids = cuboids
+        self.delta = delta
+        self.watermark = watermark
+        self.block_size = block_size
+
+    def covering_cuboids(self, query_dims: Sequence[str]) -> list[RankingCuboid]:
+        """Section 4.2.1 covering over the snapshotted cuboid family."""
+        return _covering_cuboids(self.cuboids, query_dims)
+
+    def delta_matches(self, selections: dict) -> list[tuple[int, dict]]:
+        """Snapshotted delta tuples satisfying the selection conditions."""
+        return _delta_matches(self.delta, selections)
+
+    @property
+    def delta_size(self) -> int:
+        return len(self.delta)
+
+
+def _covering_cuboids(
+    cuboids: dict[frozenset, RankingCuboid], query_dims: Sequence[str]
+) -> list[RankingCuboid]:
+    """Shared covering-cuboid selection over any cuboid family mapping."""
+    wanted = frozenset(query_dims)
+    if not wanted:
+        return []
+    candidates = [key for key in cuboids if key <= wanted]
+    if not candidates:
+        raise CubeError(f"no materialized cuboid covers any of {sorted(wanted)}")
+    covered = frozenset().union(*candidates)
+    if covered != wanted:
+        raise CubeError(
+            f"dimensions {sorted(wanted - covered)} are not materialized "
+            "in any cuboid"
+        )
+    maximal = [
+        key for key in candidates
+        if not any(key < other for other in candidates)
+    ]
+    chosen = _minimum_cover(maximal, wanted)
+    return [cuboids[key] for key in chosen]
+
+
+def _delta_matches(
+    delta: Sequence[tuple[int, dict, dict]], selections: dict
+) -> list[tuple[int, dict]]:
+    matches = []
+    for tid, sel_values, rank_values in delta:
+        if all(sel_values.get(d) == v for d, v in selections.items()):
+            matches.append((tid, rank_values))
+    return matches
 
 
 def full_cube_sets(selection_dims: Sequence[str]) -> list[tuple[str, ...]]:

@@ -49,6 +49,7 @@ class RankingCuboid:
         grid: BlockGrid,
         scale_override: int | None = None,
         compress: bool = False,
+        epoch: int = 0,
     ):
         if len(dims) != len(cardinalities):
             raise CuboidError("dims and cardinalities must align")
@@ -77,6 +78,12 @@ class RankingCuboid:
             self._store = ChainStore(pool, RecordCodec("qi"))  # (tid, bid)
         self.compressed = compress
         self.access_count = 0
+        #: maintenance generation: bumped each time compaction replaces
+        #: this cuboid with a rebuilt one.  Part of serving-cache keys, so
+        #: entries cached against an old generation can never satisfy a
+        #: lookup against the new one — even if an invalidation
+        #: notification is lost to a crash.
+        self.epoch = int(epoch)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -112,6 +119,42 @@ class RankingCuboid:
             groups.setdefault(key, []).append((int(tid), int(bid)))
         cuboid._store.build(groups.items())
         return cuboid
+
+    @classmethod
+    def from_groups(
+        cls,
+        pool: BufferPool,
+        dims: Sequence[str],
+        cardinalities: Sequence[int],
+        grid: BlockGrid,
+        groups: dict[tuple, list[tuple[int, int]]],
+        scale_override: int | None = None,
+        compress: bool = False,
+        epoch: int = 0,
+    ) -> "RankingCuboid":
+        """Materialize from an already-grouped ``cell key -> pairs`` map.
+
+        Keys carry the full cell shape ``(sel values..., pid)`` and values
+        the ``(tid, bid)`` pairs in tid order; the parallel builder and
+        the compactor both produce exactly this.  The store layout is
+        identical to :meth:`build`'s for equal map contents.
+        """
+        cuboid = cls(
+            pool, dims, cardinalities, grid,
+            scale_override=scale_override, compress=compress, epoch=epoch,
+        )
+        cuboid._store.build(groups.items())
+        return cuboid
+
+    # ------------------------------------------------------------------
+    def cells(self):
+        """Iterate ``(cell key, pairs)`` in key order (maintenance scans).
+
+        Cell keys are ``(sel values..., pid)`` tuples; pairs are
+        ``(tid, bid)``.  Unmetered for :attr:`access_count`.
+        """
+        for key, records in self._store.items():
+            yield tuple(key), [(int(tid), int(bid)) for tid, bid in records]
 
     # ------------------------------------------------------------------
     def get_pseudo_block(

@@ -252,7 +252,12 @@ class RankingCubeExecutor:
         tracer: Tracer | None,
         query_span,
     ) -> QueryResult:
-        grid = self.cube.grid
+        # One consistent snapshot per query: every read below (covering
+        # cuboids, base blocks, delta) resolves against this view, so a
+        # concurrent compaction swap cannot hand us a mix of old and new
+        # state mid-execution.
+        state = self.cube.snapshot()
+        grid = state.grid
         fn = query.ranking
 
         # --- pre-process (plan): covering cuboids + start block ----------
@@ -263,7 +268,7 @@ class RankingCubeExecutor:
             if self.relation is not None:
                 query.validate_against(self.relation.schema)
             with maybe_span(tracer, "cuboid_selection") as cuboid_span:
-                covering = self.cube.covering_cuboids(query.selection_names)
+                covering = state.covering_cuboids(query.selection_names)
                 if cuboid_span is not None:
                     cuboid_span.attributes["covering"] = tuple(
                         c.name for c in covering
@@ -276,7 +281,7 @@ class RankingCubeExecutor:
             memo = (
                 self.bound_memo.group(fn, grid) if self.bound_memo is not None else None
             )
-            start_bid = self._start_block(query)
+            start_bid = self._start_block(query, grid)
             if plan_span is not None:
                 plan_span.add("grid_blocks", grid.num_blocks)
                 plan_span.attributes["start_bid"] = start_bid
@@ -288,7 +293,7 @@ class RankingCubeExecutor:
         topk: list[tuple[float, int]] = []
         # frontier of candidate blocks as a min-heap of (f(bid), bid)
         frontier: list[tuple[float, int]] = [
-            (self._block_bound(start_bid, fn, positions, memo, trace), start_bid)
+            (self._block_bound(grid, start_bid, fn, positions, memo, trace), start_bid)
         ]
         inserted = {start_bid}
         # per-cuboid buffer: pid -> {bid: [tid, ...]}
@@ -322,8 +327,8 @@ class RankingCubeExecutor:
                     if qualifying is None or qualifying:
                         with _measured(tracer, evaluate_span):
                             self._evaluate(
-                                bid, qualifying, fn, positions, query.k, topk,
-                                result, trace,
+                                state.base_table, bid, qualifying, fn, positions,
+                                query.k, topk, result, trace,
                             )
                     elif trace is not None:
                         trace.empty_cells_skipped += 1
@@ -336,7 +341,7 @@ class RankingCubeExecutor:
                             frontier,
                             (
                                 self._block_bound(
-                                    neighbor, fn, positions, memo, trace
+                                    grid, neighbor, fn, positions, memo, trace
                                 ),
                                 neighbor,
                             ),
@@ -380,7 +385,7 @@ class RankingCubeExecutor:
             # RankingCube.refresh_delta).
             with maybe_span(tracer, "delta_merge") as delta_span:
                 delta_examined = 0
-                for tid, rank_values in self.cube.delta_matches(
+                for tid, rank_values in state.delta_matches(
                     dict(query.selections)
                 ):
                     point = [rank_values[d] for d in fn.dims]
@@ -420,14 +425,15 @@ class RankingCubeExecutor:
         and packages them with cost-model context (block/cell geometry)
         plus the caching layers the retrieve step will consult.
         """
-        grid = self.cube.grid
+        state = self.cube.snapshot()
+        grid = state.grid
         fn = query.ranking
         missing = [d for d in fn.dims if d not in grid.dims]
         if missing:
             raise CubeError(f"ranking dimensions {missing} not in the cube")
-        covering = self.cube.covering_cuboids(query.selection_names)
+        covering = state.covering_cuboids(query.selection_names)
         positions = grid.project(fn.dims)
-        start_bid = self._start_block(query)
+        start_bid = self._start_block(query, grid)
         layers = []
         if self.buffer_pseudo_blocks:
             layers.append("per-query pseudo-block buffer")
@@ -439,19 +445,18 @@ class RankingCubeExecutor:
             covering_cuboids=tuple(c.name for c in covering),
             intersection_required=len(covering) > 1,
             start_bid=start_bid,
-            start_bound=self._block_bound(start_bid, fn, positions, None, None),
+            start_bound=self._block_bound(grid, start_bid, fn, positions, None, None),
             grid_blocks=grid.num_blocks,
             scale_factors=tuple(c.scale_factor for c in covering),
-            delta_tuples=self.cube.delta_size,
+            delta_tuples=state.delta_size,
             cache_layers=tuple(layers),
         )
 
     # ------------------------------------------------------------------
     # the four steps
     # ------------------------------------------------------------------
-    def _start_block(self, query: TopKQuery) -> int:
+    def _start_block(self, query: TopKQuery, grid) -> int:
         """Block containing the global minimizer of the ranking function."""
-        grid = self.cube.grid
         fn = query.ranking
         positions = grid.project(fn.dims)
         lower, upper = grid.full_box()
@@ -465,6 +470,7 @@ class RankingCubeExecutor:
 
     def _block_bound(
         self,
+        grid,
         bid: int,
         fn,
         positions: tuple[int, ...],
@@ -482,7 +488,7 @@ class RankingCubeExecutor:
                 if trace is not None:
                     trace.bound_memo_hits += 1
                 return cached
-        lower, upper = self.cube.grid.sub_box(bid, positions)
+        lower, upper = grid.sub_box(bid, positions)
         bound = fn.min_over_box(lower, upper)
         if memo is not None:
             self.bound_memo.store(memo, bid, bound)
@@ -513,7 +519,13 @@ class RankingCubeExecutor:
             pid = cuboid.pid_of_bid(bid)
             by_bid = buffer.get(pid)
             if by_bid is None:
-                cache_key = (cuboid.name, values, pid)
+                # The epoch makes entries cached against a compacted-away
+                # cuboid generation unreachable even if the invalidation
+                # notification itself is lost (e.g. a crash between the
+                # swap and the notify) — lookups with the new epoch simply
+                # miss.  Name stays first: invalidate_cuboids matches on
+                # key[0].
+                cache_key = (cuboid.name, cuboid.epoch, values, pid)
                 cached = (
                     self.pseudo_cache.get(cache_key)
                     if self.pseudo_cache is not None
@@ -546,6 +558,7 @@ class RankingCubeExecutor:
 
     def _evaluate(
         self,
+        base_table,
         bid: int,
         qualifying: set[int] | None,
         fn,
@@ -556,7 +569,7 @@ class RankingCubeExecutor:
         trace: ExecutorTrace | None,
     ) -> None:
         """Fetch the base block, score qualifying tuples, update top-k."""
-        records = self.cube.base_table.get_base_block(bid)
+        records = base_table.get_base_block(bid)
         result.blocks_accessed += 1
         if trace is not None:
             trace.base_block_reads += 1

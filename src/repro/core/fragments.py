@@ -99,11 +99,16 @@ class FragmentedRankingCube(RankingCube):
         partitioner: Partitioner | None = None,
         fragments: Sequence[Sequence[str]] | None = None,
         compress: bool = False,
+        workers: int = 1,
+        tracer=None,
     ) -> "FragmentedRankingCube":
         """Materialize ranking fragments over a loaded table.
 
         ``fragments`` overrides the even grouping when the caller wants a
         workload-aware grouping (Section 6 discusses such criteria).
+        ``workers`` parallelizes the grouping phase across the whole
+        fragment family at once (the per-fragment cuboids are just more
+        specs for the sharded builder — see :mod:`repro.core.parallel`).
         """
         schema = table.schema
         if selection_dims is None:
@@ -126,6 +131,8 @@ class FragmentedRankingCube(RankingCube):
             partitioner=partitioner,
             cuboid_sets=fragment_cuboid_sets(fragments),
             compress=compress,
+            workers=workers,
+            tracer=tracer,
         )
         return cls(
             base.grid, base.base_table, base.cuboids, base.block_size, fragments

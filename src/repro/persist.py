@@ -94,6 +94,22 @@ class Workspace:
         os.replace(tmp, target)
         return len(data)
 
+    def compact(self, name: str, **kwargs) -> "object":
+        """Run one foreground delta compaction on the named cube.
+
+        Merges the cube's delta store into its materialization (see
+        :class:`~repro.core.compaction.CubeCompactor`) and returns the
+        :class:`~repro.core.compaction.CompactionReport`.  Extra keyword
+        arguments pass through to the compactor.  The swap is atomic with
+        respect to :meth:`save`: the cube pickles its state under the same
+        lock the compactor swaps under, so a snapshot taken concurrently
+        captures the pre- or post-merge cube, never a mix.
+        """
+        from .core.compaction import CubeCompactor
+
+        cube = self.cube(name)
+        return CubeCompactor(cube, self.db.pool, **kwargs).compact_once()
+
     def verify_integrity(self) -> list[int]:
         """Read every device page, returning the ids that are damaged.
 

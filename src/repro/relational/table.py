@@ -66,8 +66,10 @@ class Table:
             for name, pos in sel_positions:
                 self._value_counts[name][int(row[pos])] += 1
             self._num_rows += 1
-        self.heap.extend(records)
-        self.heap.seal()
+        # The initial load takes the one-pass sequential path (bulk_load on
+        # an empty heap degrades to extend+seal otherwise) so build I/O is
+        # metered as a sequential write stream.
+        self.heap.bulk_load(records)
 
     # ------------------------------------------------------------------
     # access paths

@@ -136,6 +136,17 @@ class QueryService:
         retained in :attr:`spans` (a bounded ring).  Span structure and
         logical counters are exact; watched-metric I/O deltas include
         concurrent neighbours' traffic (see :mod:`repro.obs.tracing`).
+    compactor:
+        An externally-owned :class:`~repro.core.compaction.CubeCompactor`
+        to associate with this service (exposed as :attr:`compactor`;
+        lifecycle stays with the caller).
+    auto_compact_delta:
+        Convenience: when set, the service creates, starts and owns a
+        background compactor that drains the cube's delta store once it
+        holds at least this many tuples.  Query traffic keeps flowing
+        while it runs — swaps are atomic under the cube's state lock and
+        the invalidation-listener protocol drops stale cache entries.
+        :meth:`close` stops it.  Mutually exclusive with ``compactor``.
     """
 
     def __init__(
@@ -150,9 +161,15 @@ class QueryService:
         registry: MetricsRegistry | None = None,
         trace_spans: bool = False,
         span_capacity: int = DEFAULT_SPAN_CAPACITY,
+        compactor=None,
+        auto_compact_delta: int | None = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if compactor is not None and auto_compact_delta is not None:
+            raise ValueError(
+                "pass either a compactor or auto_compact_delta, not both"
+            )
         self.cube = cube
         self.workers = workers
         if registry is None:
@@ -202,6 +219,21 @@ class QueryService:
             cube.add_invalidation_listener(self._listener)
         else:
             self._listener = None
+        self.compactor = compactor
+        self._owns_compactor = False
+        if auto_compact_delta is not None:
+            from ..core.compaction import CubeCompactor
+
+            pool = getattr(getattr(cube, "base_table", None), "pool", None)
+            if pool is None:
+                raise ValueError(
+                    "auto_compact_delta needs a cube whose base table "
+                    "exposes its buffer pool"
+                )
+            self.compactor = CubeCompactor(
+                cube, pool, min_delta=auto_compact_delta
+            ).start()
+            self._owns_compactor = True
 
     # ------------------------------------------------------------------
     # serving APIs
@@ -310,11 +342,18 @@ class QueryService:
     # lifecycle
     # ------------------------------------------------------------------
     def close(self, wait: bool = True) -> None:
-        """Stop accepting queries, drain the pool, unhook invalidation."""
+        """Stop accepting queries, drain the pool, unhook invalidation.
+
+        A service-owned background compactor (``auto_compact_delta``) is
+        stopped too; an injected ``compactor`` is left running — its
+        lifecycle belongs to whoever created it.
+        """
         if self._closed:
             return
         self._closed = True
         self._pool.shutdown(wait=wait)
+        if self._owns_compactor and self.compactor is not None:
+            self.compactor.close(wait=wait)
         if self._listener is not None:
             self.cube.remove_invalidation_listener(self._listener)
 

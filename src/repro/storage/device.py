@@ -79,6 +79,12 @@ class IOStats:
         Total page writes.
     random_reads / sequential_reads:
         Partition of ``reads`` by access pattern.
+    random_writes / sequential_writes:
+        The same partition for ``writes`` — a write is sequential when it
+        targets the page immediately following the previously written
+        page.  Bulk loaders (heap :meth:`bulk_load`, chain-store builds
+        over contiguous extents) show up here as sequential streams;
+        scattered directory updates as random writes.
     retried_reads / retried_writes:
         Failed attempts (injected faults, checksum mismatches) that a caller
         is expected to retry.  ``reads`` and ``writes`` count one per
@@ -91,10 +97,25 @@ class IOStats:
     writes: int = 0
     random_reads: int = 0
     sequential_reads: int = 0
+    random_writes: int = 0
+    sequential_writes: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
     retried_reads: int = 0
     retried_writes: int = 0
+
+    _FIELDS = (
+        "reads",
+        "writes",
+        "random_reads",
+        "sequential_reads",
+        "random_writes",
+        "sequential_writes",
+        "bytes_read",
+        "bytes_written",
+        "retried_reads",
+        "retried_writes",
+    )
 
     def cost(self) -> float:
         """Weighted I/O cost (random reads dominate)."""
@@ -106,50 +127,21 @@ class IOStats:
 
     def snapshot(self) -> "IOStats":
         """Return an immutable-by-convention copy of the current counters."""
-        return IOStats(
-            reads=self.reads,
-            writes=self.writes,
-            random_reads=self.random_reads,
-            sequential_reads=self.sequential_reads,
-            bytes_read=self.bytes_read,
-            bytes_written=self.bytes_written,
-            retried_reads=self.retried_reads,
-            retried_writes=self.retried_writes,
-        )
+        return IOStats(**{f: getattr(self, f) for f in self._FIELDS})
 
     def delta(self, earlier: "IOStats") -> "IOStats":
         """Counters accumulated since ``earlier`` was snapshotted."""
         return IOStats(
-            reads=self.reads - earlier.reads,
-            writes=self.writes - earlier.writes,
-            random_reads=self.random_reads - earlier.random_reads,
-            sequential_reads=self.sequential_reads - earlier.sequential_reads,
-            bytes_read=self.bytes_read - earlier.bytes_read,
-            bytes_written=self.bytes_written - earlier.bytes_written,
-            retried_reads=self.retried_reads - earlier.retried_reads,
-            retried_writes=self.retried_writes - earlier.retried_writes,
+            **{f: getattr(self, f) - getattr(earlier, f) for f in self._FIELDS}
         )
 
     def reset(self) -> None:
-        self.reads = 0
-        self.writes = 0
-        self.random_reads = 0
-        self.sequential_reads = 0
-        self.bytes_read = 0
-        self.bytes_written = 0
-        self.retried_reads = 0
-        self.retried_writes = 0
+        for f in self._FIELDS:
+            setattr(self, f, 0)
 
     def __add__(self, other: "IOStats") -> "IOStats":
         return IOStats(
-            reads=self.reads + other.reads,
-            writes=self.writes + other.writes,
-            random_reads=self.random_reads + other.random_reads,
-            sequential_reads=self.sequential_reads + other.sequential_reads,
-            bytes_read=self.bytes_read + other.bytes_read,
-            bytes_written=self.bytes_written + other.bytes_written,
-            retried_reads=self.retried_reads + other.retried_reads,
-            retried_writes=self.retried_writes + other.retried_writes,
+            **{f: getattr(self, f) + getattr(other, f) for f in self._FIELDS}
         )
 
 
@@ -170,16 +162,7 @@ class DeviceIOStats(RegistryStatsView):
     """
 
     _PREFIX = "storage.device."
-    _FIELDS = (
-        "reads",
-        "writes",
-        "random_reads",
-        "sequential_reads",
-        "bytes_read",
-        "bytes_written",
-        "retried_reads",
-        "retried_writes",
-    )
+    _FIELDS = IOStats._FIELDS
 
     def cost(self) -> float:
         """Weighted I/O cost (random reads dominate)."""
@@ -239,6 +222,7 @@ class BlockDevice:
         self.stats = DeviceIOStats(self.registry)
         self._pages: list[_StoredPage | None] = []
         self._last_read_page_id: int | None = None
+        self._last_written_page_id: int | None = None
         # One device mutex serializes page access and stats updates so the
         # concurrent serving layer (repro.serve) meters I/O exactly; the
         # in-memory "transfer" is so cheap that striping buys nothing here.
@@ -319,7 +303,13 @@ class BlockDevice:
             return page.data
 
     def write(self, page_id: int, data: bytes) -> None:
-        """Write one page image (padded to the page size)."""
+        """Write one page image (padded to the page size).
+
+        Metered as sequential when it targets the page after the previous
+        write (mirroring the read-side classification), so bulk loads over
+        contiguous extents are visible as sequential streams in
+        ``stats.sequential_writes``.
+        """
         if len(data) > self.page_size:
             raise StorageError(
                 f"page image of {len(data)} bytes exceeds page size {self.page_size}"
@@ -330,7 +320,17 @@ class BlockDevice:
                 data = data + bytes(self.page_size - len(data))
             page.data = data
             page.checksum = zlib.crc32(data)
-            self.stats.inc_many(writes=1, bytes_written=self.page_size)
+            sequential = (
+                self._last_written_page_id is not None
+                and page_id == self._last_written_page_id + 1
+            )
+            self.stats.inc_many(
+                writes=1,
+                bytes_written=self.page_size,
+                sequential_writes=1 if sequential else 0,
+                random_writes=0 if sequential else 1,
+            )
+            self._last_written_page_id = page_id
 
     def corrupt(self, page_id: int, offset: int = 0) -> None:
         """Flip a byte in the stored image without updating the checksum.
@@ -365,9 +365,26 @@ class BlockDevice:
             page.checksum = zlib.crc32(page.data)
 
     def reset_stats(self) -> None:
-        """Zero the counters and forget read-head position."""
+        """Zero the counters and forget read/write head positions."""
         self.stats.reset()
         self._last_read_page_id = None
+        self._last_written_page_id = None
+
+    def fingerprint(self) -> str:
+        """SHA-256 over every page image, in page-id order (unmetered).
+
+        A content hash of the whole device: two devices holding
+        byte-identical images produce equal fingerprints.  The
+        build-equivalence battery uses this to prove parallel builds
+        reproduce the serial layout bit-for-bit.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        with self._lock:
+            for page in self._pages:
+                digest.update(page.data if page is not None else b"")
+        return digest.hexdigest()
 
     def _page(self, page_id: int) -> _StoredPage:
         if not 0 <= page_id < len(self._pages):

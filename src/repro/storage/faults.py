@@ -358,6 +358,9 @@ class FaultyBlockDevice:
     def reset_stats(self) -> None:
         self.inner.reset_stats()
 
+    def fingerprint(self) -> str:
+        return self.inner.fingerprint()
+
     # ------------------------------------------------------------------
     # faulty I/O
     # ------------------------------------------------------------------

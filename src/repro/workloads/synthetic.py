@@ -84,42 +84,74 @@ class SyntheticDataset:
         return db.load_table(name, self.schema, self.rows)
 
 
-def generate(spec: SyntheticSpec) -> SyntheticDataset:
-    """Generate a dataset according to ``spec`` (deterministic per seed)."""
-    rng = np.random.default_rng(spec.seed)
+def generate(spec: SyntheticSpec, workers: int = 1) -> SyntheticDataset:
+    """Generate a dataset according to ``spec`` (deterministic per seed).
+
+    ``workers > 1`` generates the tuple range in shards, one independent
+    RNG stream per shard.  Child streams derive from
+    ``np.random.SeedSequence(spec.seed).spawn(...)`` — spawn keys, not
+    ``seed ^ worker_id`` arithmetic, because XOR-derived seeds collide
+    across datasets (worker 1 of seed 0 equals worker 0 of seed 1) and
+    correlated streams would silently deflate the dataset's entropy.
+    The output is deterministic per ``(seed, workers)`` pair; shard
+    results are concatenated in shard order.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers == 1:
+        rows = _generate_rows(spec, np.random.default_rng(spec.seed), spec.num_tuples)
+        return SyntheticDataset(spec=spec, schema=spec.schema(), rows=rows)
+
+    from ..core.parallel import shard_ranges
+
+    ranges = shard_ranges(spec.num_tuples, workers)
+    children = np.random.SeedSequence(spec.seed).spawn(len(ranges))
+    rows = []
+    for child, (start, stop) in zip(children, ranges):
+        rows.extend(_generate_rows(spec, np.random.default_rng(child), stop - start))
+    return SyntheticDataset(spec=spec, schema=spec.schema(), rows=rows)
+
+
+def _generate_rows(
+    spec: SyntheticSpec, rng: np.random.Generator, count: int
+) -> list[tuple]:
+    """``count`` rows from one RNG stream (column draws in fixed order)."""
     columns: list[np.ndarray] = []
     for _ in range(spec.num_selection_dims):
-        columns.append(_selection_column(spec, rng))
-    ranking = _ranking_columns(spec, rng)
+        columns.append(_selection_column(spec, rng, count))
+    ranking = _ranking_columns(spec, rng, count)
     columns.extend(ranking)
-    rows = [
+    return [
         tuple(
             int(col[i]) if j < spec.num_selection_dims else float(col[i])
             for j, col in enumerate(columns)
         )
-        for i in range(spec.num_tuples)
+        for i in range(count)
     ]
-    return SyntheticDataset(spec=spec, schema=spec.schema(), rows=rows)
 
 
-def _selection_column(spec: SyntheticSpec, rng: np.random.Generator) -> np.ndarray:
+def _selection_column(
+    spec: SyntheticSpec, rng: np.random.Generator, count: int
+) -> np.ndarray:
     if spec.selection_distribution == "uniform":
-        return rng.integers(0, spec.cardinality, size=spec.num_tuples)
+        return rng.integers(0, spec.cardinality, size=count)
     # zipf: rank-skewed popularity over the fixed domain
     ranks = np.arange(1, spec.cardinality + 1, dtype=float)
     weights = ranks ** (-spec.zipf_skew)
     weights /= weights.sum()
-    return rng.choice(spec.cardinality, size=spec.num_tuples, p=weights)
+    return rng.choice(spec.cardinality, size=count, p=weights)
 
 
-def _ranking_columns(spec: SyntheticSpec, rng: np.random.Generator) -> list[np.ndarray]:
-    shape = (spec.num_tuples, spec.num_ranking_dims)
+def _ranking_columns(
+    spec: SyntheticSpec, rng: np.random.Generator, count: int
+) -> list[np.ndarray]:
+    shape = (count, spec.num_ranking_dims)
     if spec.ranking_distribution == "uniform":
         data = rng.random(shape)
     elif spec.ranking_distribution == "gaussian":
         data = np.clip(rng.normal(0.5, 0.15, size=shape), 0.0, 1.0)
     else:  # correlated
-        base = rng.random(spec.num_tuples)
+        base = rng.random(count)
         noise = rng.normal(0.0, 0.1, size=shape)
         data = np.clip(base[:, None] + noise, 0.0, 1.0)
     return [data[:, j] for j in range(spec.num_ranking_dims)]

@@ -1,0 +1,159 @@
+"""Units for the partitioned builder: sharding, partials, merge."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    CuboidSpec,
+    RankingCube,
+    compute_build_groups,
+    shard_ranges,
+)
+from repro.core.parallel import build_shard_partial, merge_partials
+from repro.core.partition import EquiDepthPartitioner
+from repro.relational import Database, Schema, ranking_attr, selection_attr
+
+SCHEMA = Schema.of(
+    [selection_attr("a1", 3), selection_attr("a2", 4)]
+    + [ranking_attr("n1"), ranking_attr("n2")]
+)
+
+
+class TestShardRanges:
+    def test_exact_cover_in_order(self):
+        ranges = shard_ranges(10, 3)
+        assert ranges == [(0, 4), (4, 7), (7, 10)]
+
+    def test_even_split(self):
+        assert shard_ranges(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_more_shards_than_items(self):
+        ranges = shard_ranges(2, 5)
+        assert ranges == [(0, 1), (1, 2)]
+
+    def test_empty(self):
+        assert shard_ranges(0, 4) == []
+
+    def test_single_shard(self):
+        assert shard_ranges(7, 1) == [(0, 7)]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            shard_ranges(-1, 2)
+        with pytest.raises(ValueError):
+            shard_ranges(5, 0)
+
+    def test_ranges_always_cover_and_never_overlap(self):
+        for count in (1, 7, 100, 1001):
+            for shards in (1, 2, 3, 8, 200):
+                ranges = shard_ranges(count, shards)
+                assert ranges[0][0] == 0
+                assert ranges[-1][1] == count
+                for (_, stop), (start, _) in zip(ranges, ranges[1:]):
+                    assert stop == start
+
+
+def _scan_arrays(rows):
+    tids = list(range(len(rows)))
+    points = [(float(r[2]), float(r[3])) for r in rows]
+    sel_rows = [(int(r[0]), int(r[1])) for r in rows]
+    return tids, points, sel_rows
+
+
+def _grid(points, block_size=6):
+    return EquiDepthPartitioner().build_grid(
+        ("n1", "n2"), list(zip(*points)), block_size
+    )
+
+
+def _rows(rng, count=60):
+    return [
+        (rng.randrange(3), rng.randrange(4), rng.random(), rng.random())
+        for _ in range(count)
+    ]
+
+
+def _specs(grid):
+    from repro.core.cube import scale_factor
+
+    return [
+        CuboidSpec(
+            dims=("a1",),
+            positions=(0,),
+            scale=scale_factor((3,), grid.num_dims),
+        ),
+        CuboidSpec(
+            dims=("a1", "a2"),
+            positions=(0, 1),
+            scale=scale_factor((3, 4), grid.num_dims),
+        ),
+    ]
+
+
+class TestMergePartials:
+    def test_sharded_partials_merge_to_the_serial_maps(self):
+        rng = random.Random(7)
+        rows = _rows(rng)
+        tids, points, sel_rows = _scan_arrays(rows)
+        grid = _grid(points)
+        specs = _specs(grid)
+
+        whole = build_shard_partial(grid, specs, tids, points, sel_rows)
+        serial_base, serial_cuboids = merge_partials([whole], len(specs))
+
+        for shards in (2, 3, 5):
+            partials = [
+                build_shard_partial(
+                    grid, specs, tids[a:b], points[a:b], sel_rows[a:b]
+                )
+                for a, b in shard_ranges(len(tids), shards)
+            ]
+            base, cuboids = merge_partials(partials, len(specs))
+            assert base == serial_base
+            assert cuboids == serial_cuboids
+
+    def test_per_key_record_order_is_scan_order(self):
+        rng = random.Random(3)
+        rows = _rows(rng, count=40)
+        tids, points, sel_rows = _scan_arrays(rows)
+        grid = _grid(points)
+        specs = _specs(grid)
+        partials = [
+            build_shard_partial(grid, specs, tids[a:b], points[a:b], sel_rows[a:b])
+            for a, b in shard_ranges(len(tids), 4)
+        ]
+        base, cuboids = merge_partials(partials, len(specs))
+        for records in base.values():
+            assert [r[0] for r in records] == sorted(r[0] for r in records)
+        for groups in cuboids:
+            for pairs in groups.values():
+                assert [p[0] for p in pairs] == sorted(p[0] for p in pairs)
+
+
+class TestComputeBuildGroups:
+    def test_workers_one_equals_workers_many(self):
+        rng = random.Random(11)
+        rows = _rows(rng, count=80)
+        tids, points, sel_rows = _scan_arrays(rows)
+        grid = _grid(points)
+        specs = _specs(grid)
+        serial = compute_build_groups(grid, specs, tids, points, sel_rows)
+        assert serial.shards == 1
+        parallel = compute_build_groups(
+            grid, specs, tids, points, sel_rows, workers=3
+        )
+        assert parallel.shards == 3
+        assert parallel.base_groups == serial.base_groups
+        assert parallel.cuboid_groups == serial.cuboid_groups
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            compute_build_groups(None, [], [], [], [], workers=0)
+
+    def test_build_rejects_invalid_workers(self):
+        db = Database(buffer_capacity=64)
+        rng = random.Random(1)
+        table = db.load_table("R", SCHEMA, _rows(rng, count=20))
+        with pytest.raises(ValueError):
+            RankingCube.build(table, block_size=4, workers=0)

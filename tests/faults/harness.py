@@ -20,21 +20,30 @@ from __future__ import annotations
 
 from repro.bench.faultmatrix import (
     DEFAULT_MATRIX_SEEDS,
+    CompactionCrashOutcome,
     FaultMatrixResult,
     HarnessError,
     ScheduleOutcome,
+    SimulatedKill,
     brute_force_scores,
+    run_compaction_schedule,
     run_fault_matrix,
     run_schedule,
 )
+from repro.core.compaction import COMPACTION_FAULT_POINTS
 
 __all__ = [
+    "COMPACTION_FAULT_POINTS",
+    "CompactionCrashOutcome",
     "DEFAULT_MATRIX_SEEDS",
     "FaultMatrixResult",
     "HarnessError",
     "ScheduleOutcome",
+    "SimulatedKill",
+    "assert_compaction_crash_consistent",
     "assert_schedule_consistent",
     "brute_force_scores",
+    "run_compaction_schedule",
     "run_fault_matrix",
     "run_schedule",
 ]
@@ -61,4 +70,35 @@ def assert_schedule_consistent(seed: int, **schedule_kwargs) -> ScheduleOutcome:
         total = outcome.queries_ok + outcome.queries_aborted
         post = outcome.post_crash_ok + outcome.post_crash_aborted
         assert total == post, f"seed {seed}: query phases disagree on count"
+    return outcome
+
+
+def assert_compaction_crash_consistent(
+    seed: int, fault_point: str, **schedule_kwargs
+) -> CompactionCrashOutcome:
+    """Kill a compaction at ``fault_point``; assert the cube stays whole.
+
+    ``run_compaction_schedule`` raises :class:`HarnessError` on violation;
+    this wrapper re-asserts each invariant so a failure names the broken
+    guarantee directly in the test output.
+    """
+    outcome = run_compaction_schedule(
+        seed, fault_point=fault_point, **schedule_kwargs
+    )
+    assert outcome.killed, (
+        f"seed {seed}: fault point {fault_point!r} never fired"
+    )
+    assert outcome.silent_wrong == 0, (
+        f"seed {seed} @ {fault_point}: {outcome.silent_wrong} post-crash "
+        f"quer(ies) diverged from the oracle: {outcome.notes}"
+    )
+    assert outcome.state_violation == 0, (
+        f"seed {seed} @ {fault_point}: cube left in a mixed generation: "
+        f"{outcome.notes}"
+    )
+    expect_swapped = fault_point in ("swapped", "notified")
+    assert outcome.swapped == expect_swapped, (
+        f"seed {seed} @ {fault_point}: swapped={outcome.swapped}, "
+        f"expected {expect_swapped}"
+    )
     return outcome

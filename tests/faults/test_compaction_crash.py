@@ -1,0 +1,68 @@
+"""Crash consistency of delta compaction, killed at every fault point.
+
+The acceptance bar for the compaction pipeline: kill the compactor at
+each of its :data:`COMPACTION_FAULT_POINTS` across 100 seeds, crash the
+buffer pool, and every query must still answer exactly the brute-force
+oracle over *all* rows — the cube is always wholly pre-merge (old
+materialization + intact delta) or wholly post-merge (new
+materialization + residual delta), never a partial mix.  A subset of
+schedules additionally round-trips the survivor through ``Workspace``
+save/load, modeling a process restart from the on-disk image.
+"""
+
+import pytest
+
+from .harness import (
+    COMPACTION_FAULT_POINTS,
+    assert_compaction_crash_consistent,
+    run_compaction_schedule,
+)
+
+pytestmark = pytest.mark.faults
+
+SEEDS = range(100)
+
+
+class TestCompactionKillMatrix:
+    @pytest.mark.parametrize("fault_point", COMPACTION_FAULT_POINTS)
+    def test_100_seeds_survive_kill(self, fault_point):
+        """100 seeded kills at one fault point, zero divergent answers."""
+        outcomes = [
+            assert_compaction_crash_consistent(seed, fault_point)
+            for seed in SEEDS
+        ]
+        assert all(o.consistent for o in outcomes)
+        assert all(o.killed for o in outcomes)
+        # the matrix must exercise both survivor states overall: kills
+        # before the swap leave the delta intact, kills after drain it
+        swapped = fault_point in ("swapped", "notified")
+        assert all(o.swapped == swapped for o in outcomes)
+        if swapped:
+            # post-merge survivors keep only out-of-grid residuals
+            assert all(o.delta_remaining < 28 for o in outcomes)
+        else:
+            assert all(o.delta_remaining == 28 for o in outcomes)
+
+    @pytest.mark.parametrize("fault_point", COMPACTION_FAULT_POINTS)
+    def test_reload_from_snapshot_after_kill(self, fault_point, tmp_path):
+        """A save/load round-trip of the survivor answers identically."""
+        for seed in (1, 17, 63):
+            outcome = assert_compaction_crash_consistent(
+                seed, fault_point, snapshot_path=tmp_path / f"ws-{seed}.bin"
+            )
+            assert outcome.reloaded
+
+    def test_schedules_are_deterministic(self):
+        """Same seed + fault point => identical observable outcome."""
+        a = run_compaction_schedule(42, fault_point="flushed")
+        b = run_compaction_schedule(42, fault_point="flushed")
+        assert (a.killed, a.swapped, a.queries_ok, a.delta_remaining) == (
+            b.killed,
+            b.swapped,
+            b.queries_ok,
+            b.delta_remaining,
+        )
+
+    def test_unknown_fault_point_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault point"):
+            run_compaction_schedule(0, fault_point="reticulate")

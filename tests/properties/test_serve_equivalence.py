@@ -144,6 +144,119 @@ def test_no_stale_answers_after_delta_appends(make_db, seed):
     assert got == expected
 
 
+def test_serve_during_compaction_matches_serial(seed):
+    """Batches racing a background compaction still answer exactly.
+
+    The compaction's fault hook sleeps at every pipeline stage to stretch
+    the merge across many query executions, so batches genuinely overlap
+    the classify/rebuild/swap window.  Every answer — during and after —
+    must equal the serial oracle over the final state: pre-swap snapshots
+    answer through the delta, post-swap snapshots through the new
+    materialization, and both are exact.
+    """
+    import threading
+    import time
+
+    from repro.core import CubeCompactor
+
+    rng = random.Random(seed)
+    rows = make_rows(rng)
+    appended = make_rows(rng, count=20)
+    stream = make_stream(rng, count=10)
+
+    ref_db, ref_table, ref_cube = build_stack(pristine_database, seed, rows + appended)
+    serial = RankingCubeExecutor(ref_cube, ref_table)
+    expected = signatures([serial.execute(q) for q in stream])
+
+    db, table, cube = build_stack(pristine_database, seed, rows)
+    table.insert_rows(appended)
+    cube.refresh_delta(table)
+
+    compactor = CubeCompactor(
+        cube, db.pool, fault_hook=lambda point: time.sleep(0.01)
+    )
+    with QueryService(cube, table, workers=WORKERS) as service:
+        racer = threading.Thread(target=compactor.compact_once)
+        racer.start()
+        mid_flight = [signatures(service.run_batch(stream)) for _ in range(4)]
+        racer.join()
+        settled = signatures(service.run_batch(stream))
+
+    assert compactor.last_report is not None and compactor.last_report.swapped
+    for got in mid_flight:
+        assert got == expected
+    assert settled == expected
+
+
+def test_background_compactor_inside_service(seed):
+    """A service-owned background compactor drains without wrong answers."""
+    rng = random.Random(seed)
+    rows = make_rows(rng)
+    appended = make_rows(rng, count=25)
+    stream = make_stream(rng, count=10)
+
+    db, table, cube = build_stack(pristine_database, seed, rows)
+    with QueryService(cube, table, workers=WORKERS, auto_compact_delta=10) as service:
+        service.run_batch(stream)
+        table.insert_rows(appended)
+        cube.refresh_delta(table)
+        deadline = __import__("time").monotonic() + 5.0
+        while cube.delta_size >= 10 and __import__("time").monotonic() < deadline:
+            __import__("time").sleep(0.01)
+        got = signatures(service.run_batch(stream))
+
+    ref_db, ref_table, ref_cube = build_stack(pristine_database, seed, rows + appended)
+    serial = RankingCubeExecutor(ref_cube, ref_table)
+    assert got == signatures([serial.execute(q) for q in stream])
+    assert cube.delta_size < len(appended)  # the worker actually drained
+
+
+def test_compaction_invalidation_counts_hit_the_metrics(seed):
+    """The swap drops exactly the resident cache entries, counted in
+    ``serve.cache.invalidations`` on the shared registry spine."""
+    from repro.core import CubeCompactor
+
+    rng = random.Random(seed)
+    rows = make_rows(rng)
+    stream = make_stream(rng, count=12)
+
+    db, table, cube = build_stack(pristine_database, seed, rows)
+    with QueryService(cube, table, workers=WORKERS) as service:
+        service.run_batch(stream)  # populate the pseudo-block cache
+        stats = service.pseudo_cache.stats
+        before = stats.snapshot()
+        resident = (
+            before["insertions"] - before["evictions"] - before["invalidations"]
+        )
+        assert resident > 0, "warm-up left nothing cached; test is vacuous"
+
+        table.insert_rows(make_rows(rng, count=8))
+        cube.refresh_delta(table)  # first notify: drops all resident entries
+        after_refresh = stats.snapshot()
+        assert (
+            after_refresh["invalidations"] - before["invalidations"] == resident
+        )
+
+        service.run_batch(stream)  # re-warm on the delta'd state
+        rewarmed = stats.snapshot()
+        resident2 = (
+            rewarmed["insertions"]
+            - rewarmed["evictions"]
+            - rewarmed["invalidations"]
+        )
+        report = CubeCompactor(cube, db.pool).compact_once()
+        assert report.swapped
+        final = stats.snapshot()
+        # the compaction swap invalidates every resident entry, and the
+        # registry spine agrees with the per-cache view
+        assert final["invalidations"] - rewarmed["invalidations"] == resident2
+        registry = db.pool.registry
+        assert (
+            registry.value("serve.cache.invalidations", cache="pseudo_block")
+            == final["invalidations"]
+        )
+
+
 def test_interleaved_appends_between_batches(seed):
     """Repeated append/serve rounds stay exact (pristine device)."""
     rng = random.Random(seed)
