@@ -26,6 +26,11 @@ def main(argv: list[str] | None = None) -> int:
         from .build import main as build_main
 
         return build_main(argv[1:])
+    if argv and argv[0] == "shard":
+        # sharded scatter-gather serving benchmark (see repro.bench.shard)
+        from .shard import main as shard_main
+
+        return shard_main(argv[1:])
     if argv and argv[0] == "profile":
         # span-tree profiling report (see repro.bench.profile)
         from .profile import main as profile_main
@@ -46,8 +51,8 @@ def main(argv: list[str] | None = None) -> int:
         default=["all"],
         help=(
             "experiment ids (fig04..fig15, ablation_*), 'fault-matrix', "
-            "'serve'/'build'/'profile'/'check' (own flags; see --help after "
-            "each), or 'all'"
+            "'serve'/'build'/'shard'/'profile'/'check' (own flags; see "
+            "--help after each), or 'all'"
         ),
     )
     parser.add_argument(

@@ -69,8 +69,14 @@ def _run_build(config: dict) -> dict:
     return run_build_bench(BuildBenchConfig(**config))
 
 
+def _run_shard(config: dict) -> dict:
+    from .shard import ShardBenchConfig, run_shard_bench
+
+    return run_shard_bench(ShardBenchConfig(**config))
+
+
 #: benchmark name (payload["benchmark"]) -> fresh-run callable(config dict).
-RUNNERS = {"serve": _run_serve, "build": _run_build}
+RUNNERS = {"serve": _run_serve, "build": _run_build, "shard": _run_shard}
 
 
 @dataclass(frozen=True)
@@ -106,7 +112,14 @@ def _compare_scenario(
     # Build scenarios replay a fixed seed through a deterministic
     # construction (even the parallel ones — the layout is canonical), so
     # they get serial tolerances.  Fingerprints are strings; compare exact.
-    serial = name in SERIAL_SCENARIOS or name.startswith("build_")
+    # Shard scenarios replay serially with cold caches, so their counters
+    # are deterministic too.
+    serial = (
+        name in SERIAL_SCENARIOS
+        or name.startswith("build_")
+        or name == "unsharded"
+        or name.startswith("shards_")
+    )
     violations = []
     for metric in sorted(set(expected) | set(actual)):
         if any(metric.endswith(t) or metric == t for t in TIMING_METRICS):
@@ -152,7 +165,14 @@ def compare_payloads(expected: dict, actual: dict, source: str) -> list[Violatio
                 "fresh run must return serial-equivalent answers",
             )
         )
-    for metric in ("grid_blocks", "parallel_identical", "parallel_faster"):
+    for metric in (
+        "grid_blocks",
+        "parallel_identical",
+        "parallel_faster",
+        "shard_identical",
+        "hot_shard_below_baseline",
+        "early_stop_engaged",
+    ):
         if metric in expected and expected[metric] != actual.get(metric):
             violations.append(
                 Violation(

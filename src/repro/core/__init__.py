@@ -30,7 +30,13 @@ from .estimate import (
     estimate_cube_cost,
     estimate_qualifying,
 )
-from .executor import ExecutorTrace, QueryAbortedError, QueryPlan, RankingCubeExecutor
+from .executor import (
+    ExecutorTrace,
+    ProgressiveSearch,
+    QueryAbortedError,
+    QueryPlan,
+    RankingCubeExecutor,
+)
 from .fragments import (
     FragmentedRankingCube,
     estimated_fragment_space,
@@ -79,6 +85,7 @@ __all__ = [
     "HybridExecutor",
     "MultiCubeRouter",
     "Partitioner",
+    "ProgressiveSearch",
     "PseudoBlockMap",
     "QueryAbortedError",
     "QueryPlan",

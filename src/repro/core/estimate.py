@@ -59,12 +59,7 @@ def estimate_cube_cost(
     """Expected cost of the progressive ranking-cube search."""
     qualifying = estimate_qualifying(table, query)
     total_blocks = cube.grid.num_blocks
-    if qualifying <= 0:
-        expected_blocks = float(total_blocks)
-    else:
-        per_block = qualifying / total_blocks
-        expected_blocks = min(float(total_blocks), query.k / max(per_block, 1e-9))
-        expected_blocks = max(expected_blocks, 1.0)
+    expected_blocks = expected_blocks_to_k(query.k, qualifying, total_blocks)
     # base blocks are only read where the cell is non-empty: when fewer
     # tuples qualify than blocks get visited, most probes skip the base
     # read entirely (the empty-cell optimization of Section 3.2.1)
@@ -110,7 +105,15 @@ def estimate_baseline_cost(table: Table, query: TopKQuery) -> CostEstimate:
 def expected_blocks_to_k(
     k: int, qualifying: float, total_blocks: int
 ) -> float:
-    """Blocks to visit before k qualifying tuples surface (helper/tests)."""
+    """Blocks to visit before k qualifying tuples surface.
+
+    The single formula behind the cube cost model: :func:`estimate_cube_cost`
+    and the hybrid advisor's tests both call it, so the planner and its
+    oracle can never round or clamp the same quantity differently.  Blocks
+    come in whole units (``ceil``), at least one is always visited
+    (``k >= 1`` forces the ceil to 1+), and the frontier can never visit
+    more blocks than the grid holds.
+    """
     if total_blocks <= 0:
         raise ValueError("total_blocks must be positive")
     if qualifying <= 0:

@@ -569,17 +569,40 @@ class RankingCubeExecutor:
         trace: ExecutorTrace | None,
     ) -> None:
         """Fetch the base block, score qualifying tuples, update top-k."""
+        for score, tid in self._score_block(
+            base_table, bid, qualifying, fn, positions, result, trace
+        ):
+            _push_topk(topk, k, score, tid)
+
+    def _score_block(
+        self,
+        base_table,
+        bid: int,
+        qualifying: set[int] | None,
+        fn,
+        positions: tuple[int, ...],
+        result: QueryResult,
+        trace: ExecutorTrace | None,
+    ) -> list[tuple[float, int]]:
+        """Fetch one base block and return its qualifying ``(score, tid)``s.
+
+        The evaluate step minus the top-k update: the serial path pushes
+        the pairs into its own heap, while :class:`ProgressiveSearch`
+        streams them out to a global merger that owns the heap.
+        """
         records = base_table.get_base_block(bid)
         result.blocks_accessed += 1
         if trace is not None:
             trace.base_block_reads += 1
+        scored: list[tuple[float, int]] = []
         for tid, values in records:
             if qualifying is not None and tid not in qualifying:
                 continue
             point = [values[p] for p in positions]
             score = fn.score(point)
             result.tuples_examined += 1
-            _push_topk(topk, k, score, tid)
+            scored.append((score, tid))
+        return scored
 
     def _project(self, row: ResultRow, query: TopKQuery) -> ResultRow:
         """Fetch projected attribute values from the original relation."""
@@ -591,6 +614,150 @@ class RankingCubeExecutor:
             record[schema.position(name)] for name in (query.projection or ())
         )
         return ResultRow(tid=row.tid, score=row.score, values=values)
+
+
+class ProgressiveSearch:
+    """Stepwise form of the progressive search, for scatter-gather merging.
+
+    Wraps one executor + query as a *stream of scored candidates*: each
+    :meth:`step` pops the frontier's best block, runs retrieve + evaluate
+    on it, expands its neighbors (Lemma 1), and returns the ``(score,
+    tid)`` pairs found there.  Between steps, :attr:`best_unseen` is a
+    certified lower bound on the score of every tuple this search has not
+    yet returned — except the delta store, whose rows carry no block
+    bound and must be merged unconditionally via :meth:`delta_rows`.
+
+    A global merger (see :class:`repro.serve.sharded.ShardedQueryService`)
+    can therefore stop stepping a shard as soon as its k-th best seen
+    score is strictly better than the shard's ``best_unseen``: any tuple
+    still unreturned scores at least ``best_unseen`` and can never
+    displace a kept entry under the tid-ascending tie-breaking contract.
+    Stepping *more* than necessary only changes amortization, never the
+    answer — scoring is deterministic and :func:`_push_topk` is
+    insertion-order independent.
+
+    The search holds one consistent cube snapshot for its whole lifetime
+    and keeps all state on itself, so many instances may run concurrently
+    over one (thread-safe) executor.  Storage faults propagate from
+    :meth:`step` as typed :class:`~repro.storage.device.StorageError`\\ s;
+    the search object stays consistent and the merger decides whether to
+    abort the whole query.
+    """
+
+    def __init__(
+        self,
+        executor: RankingCubeExecutor,
+        query: TopKQuery,
+        trace: ExecutorTrace | None = None,
+    ):
+        self.executor = executor
+        self.query = query
+        self.trace = trace
+        state = executor.cube.snapshot()
+        grid = state.grid
+        fn = query.ranking
+        missing = [d for d in fn.dims if d not in grid.dims]
+        if missing:
+            raise CubeError(f"ranking dimensions {missing} not in the cube")
+        if executor.relation is not None:
+            query.validate_against(executor.relation.schema)
+        self._state = state
+        self._grid = grid
+        self._fn = fn
+        self._covering = state.covering_cuboids(query.selection_names)
+        self._cell_values = [
+            tuple(query.selections[d] for d in cuboid.dims)
+            for cuboid in self._covering
+        ]
+        self._positions = grid.project(fn.dims)
+        self._memo = (
+            executor.bound_memo.group(fn, grid)
+            if executor.bound_memo is not None
+            else None
+        )
+        start_bid = executor._start_block(query, grid)
+        self._frontier: list[tuple[float, int]] = [
+            (
+                executor._block_bound(
+                    grid, start_bid, fn, self._positions, self._memo, trace
+                ),
+                start_bid,
+            )
+        ]
+        self._inserted = {start_bid}
+        self._buffers: list[dict[int, dict[int, list[int]]]] = [
+            {} for _ in self._covering
+        ]
+        self.result = QueryResult()
+
+    # ------------------------------------------------------------------
+    @property
+    def exhausted(self) -> bool:
+        """True once every block of this search's grid has been examined."""
+        return not self._frontier
+
+    @property
+    def best_unseen(self) -> float:
+        """Lower bound on every not-yet-returned block tuple (inf when done)."""
+        return self._frontier[0][0] if self._frontier else float("inf")
+
+    def step(self) -> list[tuple[float, int]]:
+        """Examine the frontier's best block; return its scored tuples.
+
+        Returns an empty list when the block held no qualifying tuples
+        *or* the search is exhausted — check :attr:`exhausted` to tell
+        the two apart.
+        """
+        if not self._frontier:
+            return []
+        executor = self.executor
+        _bound, bid = heapq.heappop(self._frontier)
+        self.result.candidates_examined += 1
+        if self.trace is not None:
+            self.trace.candidate_bids.append(bid)
+        qualifying = executor._retrieve(
+            bid, self._covering, self._cell_values, self._buffers,
+            self.result, self.trace,
+        )
+        scored: list[tuple[float, int]] = []
+        if qualifying is None or qualifying:
+            scored = executor._score_block(
+                self._state.base_table, bid, qualifying, self._fn,
+                self._positions, self.result, self.trace,
+            )
+        elif self.trace is not None:
+            self.trace.empty_cells_skipped += 1
+        for neighbor in self._grid.neighbors(bid):
+            if neighbor in self._inserted:
+                continue
+            self._inserted.add(neighbor)
+            heapq.heappush(
+                self._frontier,
+                (
+                    executor._block_bound(
+                        self._grid, neighbor, self._fn, self._positions,
+                        self._memo, self.trace,
+                    ),
+                    neighbor,
+                ),
+            )
+        if self.trace is not None:
+            self.trace.frontier_peak = max(
+                self.trace.frontier_peak, len(self._frontier)
+            )
+        return scored
+
+    def delta_rows(self) -> list[tuple[float, int]]:
+        """Scored matches from the snapshot's delta store (no block bound)."""
+        rows: list[tuple[float, int]] = []
+        for tid, rank_values in self._state.delta_matches(
+            dict(self.query.selections)
+        ):
+            point = [rank_values[d] for d in self._fn.dims]
+            score = self._fn.score(point)
+            self.result.tuples_examined += 1
+            rows.append((score, tid))
+        return rows
 
 
 def _push_topk(topk: list[tuple[float, int]], k: int, score: float, tid: int) -> None:

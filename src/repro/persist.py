@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import io
+import json
 import os
 import pickle
 from dataclasses import dataclass, field
@@ -32,6 +33,49 @@ FORMAT_VERSION = 1
 
 class PersistError(Exception):
     """Raised on malformed, corrupted, or incompatible snapshot files."""
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Flush a directory's metadata (the rename itself) to stable storage.
+
+    Platforms without directory fds (Windows) skip this; the rename is
+    still atomic there, only its durability ordering is weaker.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(target: str | Path, data: bytes) -> int:
+    """Crash-atomic, durable file write: temp + fsync + rename + dir fsync.
+
+    The claim :meth:`Workspace.save` makes — a crash leaves the previous
+    file or the new one, never a torn one — needs all four steps: writing
+    the sibling temp file, fsyncing it *before* the rename (otherwise the
+    rename can reach disk ahead of the data and a crash exposes a
+    garbage-filled target), the atomic :func:`os.replace`, and an fsync of
+    the parent directory so the rename itself is durable.  A failure at
+    any point removes the temp file, so a retry never collides with (or
+    silently succeeds against) a half-written leftover.
+    """
+    target = Path(target)
+    tmp = target.with_name(target.name + ".tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    _fsync_directory(target.parent)
+    return len(data)
 
 
 @dataclass
@@ -66,11 +110,13 @@ class Workspace:
     def save(self, path: str | Path) -> int:
         """Write the workspace snapshot; returns bytes written.
 
-        The write is atomic (temp file + rename): a crash mid-save leaves
-        either the previous snapshot or none, never a torn one.  A storage
-        fault while flushing dirty pages aborts the save with a typed
-        :class:`PersistError` — the dirty frames keep their state, so the
-        save can be retried once the fault clears.
+        The write is atomic *and durable* (temp file + fsync + rename +
+        parent-directory fsync — see :func:`atomic_write_bytes`): a crash
+        mid-save leaves either the previous snapshot or the new one, never
+        a torn one, and a failed attempt leaves no ``.tmp`` residue behind.
+        A storage fault while flushing dirty pages aborts the save with a
+        typed :class:`PersistError` — the dirty frames keep their state, so
+        the save can be retried once the fault clears.
         """
         # flush buffered pages so the device holds the complete state
         try:
@@ -87,12 +133,7 @@ class Workspace:
             + len(payload).to_bytes(8, "little")
             + digest
         )
-        data = header + payload
-        target = Path(path)
-        tmp = target.with_name(target.name + ".tmp")
-        tmp.write_bytes(data)
-        os.replace(tmp, target)
-        return len(data)
+        return atomic_write_bytes(path, header + payload)
 
     def compact(self, name: str, **kwargs) -> "object":
         """Run one foreground delta compaction on the named cube.
@@ -172,3 +213,143 @@ def save_workspace(
 def load_workspace(path: str | Path) -> Workspace:
     """Convenience wrapper around :meth:`Workspace.load`."""
     return Workspace.load(path)
+
+
+# ----------------------------------------------------------------------
+# sharded workspaces
+# ----------------------------------------------------------------------
+
+SHARD_MANIFEST = "manifest.json"
+SHARD_MANIFEST_VERSION = 1
+
+
+@dataclass
+class ShardedWorkspace:
+    """A sharded deployment (:class:`~repro.shard.builder.ShardedCube`)
+    persisted as one :class:`Workspace` snapshot per shard plus a JSON
+    manifest.
+
+    Layout under the target directory::
+
+        shard_0000.rcube   # Workspace: shard 0's database + cube
+        shard_0001.rcube
+        ...
+        manifest.json      # shard map, tid maps, per-file SHA-256
+
+    Crash consistency is two-level: every file lands via
+    :func:`atomic_write_bytes` (temp + fsync + rename + dir fsync), and
+    the manifest — written *last* — pins the exact shard-file contents
+    by SHA-256.  A crash between shard saves leaves a mix of old and new
+    shard files, but the old manifest then fails its checksum pins and
+    :meth:`load` reports the torn state as a typed :class:`PersistError`
+    instead of silently serving a cross-version deployment.
+    """
+
+    cube: "object"  # ShardedCube (typed loosely: persist must not import shard)
+
+    def save(self, directory: str | Path) -> dict:
+        """Write every shard snapshot, then the manifest; returns it."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        cube = self.cube
+        shard_entries = []
+        for shard in cube.shards:
+            filename = f"shard_{shard.shard_id:04d}.rcube"
+            cubes = {cube.name: shard.cube} if shard.cube is not None else {}
+            Workspace(db=shard.db, cubes=cubes).save(directory / filename)
+            digest = hashlib.sha256((directory / filename).read_bytes())
+            shard_entries.append(
+                {
+                    "shard_id": shard.shard_id,
+                    "file": filename,
+                    "sha256": digest.hexdigest(),
+                    "rows": len(shard.tid_map),
+                    "tid_map": list(shard.tid_map),
+                    "build_kwargs": {
+                        k: v
+                        for k, v in shard.build_kwargs.items()
+                        if isinstance(v, (int, float, str, bool))
+                    },
+                }
+            )
+        manifest = {
+            "format_version": SHARD_MANIFEST_VERSION,
+            "name": cube.name,
+            "shard_map": cube.shard_map.to_manifest(),
+            "num_rows": cube.num_rows,
+            "shards": shard_entries,
+        }
+        atomic_write_bytes(
+            directory / SHARD_MANIFEST,
+            json.dumps(manifest, indent=2).encode() + b"\n",
+        )
+        return manifest
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "ShardedWorkspace":
+        """Reload a sharded deployment saved by :meth:`save`."""
+        from .shard.builder import CubeShard, ShardedCube
+        from .shard.map import ShardMap
+
+        directory = Path(directory)
+        try:
+            manifest = json.loads((directory / SHARD_MANIFEST).read_text())
+        except OSError as exc:
+            raise PersistError(f"cannot read shard manifest: {exc}") from exc
+        except ValueError as exc:
+            raise PersistError(f"malformed shard manifest: {exc}") from exc
+        version = manifest.get("format_version")
+        if version != SHARD_MANIFEST_VERSION:
+            raise PersistError(
+                f"shard manifest v{version} is not supported "
+                f"(this build reads v{SHARD_MANIFEST_VERSION})"
+            )
+        name = manifest["name"]
+        shard_map = ShardMap.from_manifest(manifest["shard_map"])
+        shards = []
+        for entry in manifest["shards"]:
+            path = directory / entry["file"]
+            try:
+                data = path.read_bytes()
+            except OSError as exc:
+                raise PersistError(
+                    f"missing shard snapshot {entry['file']!r}: {exc}"
+                ) from exc
+            if hashlib.sha256(data).hexdigest() != entry["sha256"]:
+                raise PersistError(
+                    f"shard snapshot {entry['file']!r} does not match the "
+                    "manifest (torn multi-file save or corruption)"
+                )
+            workspace = Workspace.load(path)
+            table = workspace.db.table(name)
+            shards.append(
+                CubeShard(
+                    shard_id=int(entry["shard_id"]),
+                    db=workspace.db,
+                    table=table,
+                    cube=workspace.cubes.get(name),
+                    tid_map=[int(t) for t in entry["tid_map"]],
+                    build_kwargs=dict(entry.get("build_kwargs", {})),
+                )
+            )
+        shards.sort(key=lambda s: s.shard_id)
+        schema = shards[0].table.schema if shards else None
+        if schema is None:
+            raise PersistError("shard manifest lists no shards")
+        cube = ShardedCube(schema, name, shard_map, shards)
+        if cube.num_rows != int(manifest["num_rows"]):
+            raise PersistError(
+                f"manifest promises {manifest['num_rows']} rows, "
+                f"tid maps hold {cube.num_rows}"
+            )
+        return cls(cube=cube)
+
+
+def save_sharded_workspace(cube, directory: str | Path) -> dict:
+    """Convenience wrapper: persist a :class:`ShardedCube` deployment."""
+    return ShardedWorkspace(cube=cube).save(directory)
+
+
+def load_sharded_workspace(directory: str | Path):
+    """Convenience wrapper: returns the reloaded :class:`ShardedCube`."""
+    return ShardedWorkspace.load(directory).cube

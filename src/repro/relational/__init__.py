@@ -1,7 +1,7 @@
 """Relational substrate: schemas, tables, catalog, and query objects."""
 
 from .database import Database
-from .query import QueryError, QueryResult, ResultRow, TopKQuery
+from .query import QueryError, QueryResult, ResultRow, ShardIO, TopKQuery
 from .schema import (
     Attribute,
     AttributeKind,
@@ -21,6 +21,7 @@ __all__ = [
     "ResultRow",
     "Schema",
     "SchemaError",
+    "ShardIO",
     "Table",
     "TableError",
     "TopKQuery",

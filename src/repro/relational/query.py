@@ -119,6 +119,22 @@ class ResultRow:
         return (self.score, self.tid) < (other.score, other.tid)
 
 
+@dataclass(frozen=True)
+class ShardIO:
+    """One shard's share of a scatter-gathered query's execution cost.
+
+    Attached to :attr:`QueryResult.shard_io` by the sharded serving path;
+    ``device_reads`` is the shard device's physical page-read delta over
+    the query, so hot-shard attribution survives caching layers that make
+    ``blocks_accessed`` an undercount of real I/O pressure.
+    """
+
+    blocks_accessed: int = 0
+    candidates_examined: int = 0
+    tuples_examined: int = 0
+    device_reads: int = 0
+
+
 @dataclass
 class QueryResult:
     """Ordered top-k answer plus execution counters.
@@ -144,6 +160,10 @@ class QueryResult:
     tuples_examined: int = 0
     blocks_accessed: int = 0
     candidates_examined: int = 0
+    #: Per-shard attribution (shard id -> ShardIO); None outside sharded
+    #: serving.  Excluded from equality-by-rows comparisons by convention:
+    #: equivalence suites compare ``rows``, not the whole dataclass.
+    shard_io: dict[int, ShardIO] | None = None
 
     @property
     def tids(self) -> list[int]:

@@ -7,11 +7,16 @@ query stream and makes the read path safe for concurrent workers:
 * :class:`PseudoBlockCache` — shared LRU of decoded pseudo blocks,
 * :class:`BoundMemo` — shared memo of block lower bounds ``f(bid)``,
 * :class:`QueryService` — worker-pool front end with ``submit`` /
-  ``run_batch`` APIs and per-query latency/IO accounting.
+  ``run_batch`` APIs and per-query latency/IO accounting,
+* :class:`ShardedQueryService` — the same front end over a horizontally
+  sharded deployment (:mod:`repro.shard`), scatter-gathering per-shard
+  progressive searches under a global early-termination bound.
 
 ``python -m repro.bench serve`` replays a skewed multi-tenant stream
 through these layers and reports throughput, latency percentiles, and
-per-layer cache attribution (``BENCH_serve.json``).
+per-layer cache attribution (``BENCH_serve.json``);
+``python -m repro.bench shard`` compares 1/2/4/8-way sharded serving
+against the unsharded baseline (``BENCH_shard.json``).
 """
 
 from .cache import BoundMemo, CacheStats, PseudoBlockCache
@@ -20,6 +25,11 @@ from .service import (
     QueryService,
     ServiceClosedError,
     ServiceStats,
+)
+from .sharded import (
+    ShardedQueryRecord,
+    ShardedQueryService,
+    ShardedServiceStats,
 )
 
 __all__ = [
@@ -30,4 +40,7 @@ __all__ = [
     "QueryService",
     "ServiceClosedError",
     "ServiceStats",
+    "ShardedQueryRecord",
+    "ShardedQueryService",
+    "ShardedServiceStats",
 ]

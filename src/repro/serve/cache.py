@@ -46,7 +46,14 @@ class CacheStats(RegistryStatsView):
     """
 
     _PREFIX = "serve.cache."
-    _FIELDS = ("hits", "misses", "insertions", "evictions", "invalidations")
+    _FIELDS = (
+        "hits",
+        "misses",
+        "insertions",
+        "evictions",
+        "invalidations",
+        "oversized_rejections",
+    )
 
     @property
     def hit_rate(self) -> float:
@@ -109,22 +116,37 @@ class PseudoBlockCache:
             return entry
 
     def put(self, key: PseudoKey, by_bid: dict[int, list[int]]) -> None:
-        """Insert a fully decoded pseudo block (idempotent per key)."""
+        """Insert a fully decoded pseudo block (idempotent per key).
+
+        An entry larger than ``capacity_tids`` on its own is rejected up
+        front (counted in ``oversized_rejections``): admitting it would
+        first evict every other resident entry and then leave the cache
+        over its memory bound for as long as the entry stays hot.  Callers
+        keep their reference to the decoded map, so a rejection costs
+        nothing beyond the lost reuse.
+        """
+        entry_tids = sum(len(tids) for tids in by_bid.values())
         with self._lock:
             existing = self._entries.get(key)
             if existing is not None:
                 self._entries.move_to_end(key)
                 return
+            if self.capacity_tids is not None and entry_tids > self.capacity_tids:
+                self.stats.inc("oversized_rejections")
+                return
             self._entries[key] = by_bid
-            self._resident_tids += sum(len(tids) for tids in by_bid.values())
+            self._resident_tids += entry_tids
             self.stats.inc("insertions")
             self._evict_locked()
+            assert (
+                self.capacity_tids is None
+                or self._resident_tids <= self.capacity_tids
+            ), "pseudo-block cache exceeded its tid memory bound after insert"
 
     def _evict_locked(self) -> None:
         while len(self._entries) > self.capacity_entries or (
             self.capacity_tids is not None
             and self._resident_tids > self.capacity_tids
-            and len(self._entries) > 1
         ):
             _key, victim = self._entries.popitem(last=False)
             self._resident_tids -= sum(len(tids) for tids in victim.values())

@@ -1,0 +1,470 @@
+"""Scatter-gather top-k serving over a sharded ranking cube.
+
+:class:`ShardedQueryService` fans each :class:`TopKQuery` out to one
+:class:`~repro.core.executor.ProgressiveSearch` per consulted shard and
+merges their candidate streams in a global frontier:
+
+* **Scatter** — the :class:`~repro.shard.map.ShardMap` picks the shards
+  (a single one when an equality selection pins the shard key, all of
+  them otherwise); each gets its own search over its own cube snapshot.
+* **Gather** — a merge loop steps every *eligible* shard concurrently
+  (thread pool), pushing returned ``(score, global tid)`` pairs into one
+  global top-k heap.  A shard stays eligible while the global answer is
+  short of ``k`` **or** its certified ``best_unseen`` bound is ``<=``
+  the k-th best seen score — the same non-strict continue condition the
+  serial executor uses, so tid-ascending tie-breaking survives the
+  merge.  The loop stops when no shard is eligible: every unexamined
+  block on every shard then bounds strictly above the k-th score and
+  can never displace a kept row.
+* **Delta** — per-shard delta rows carry no block bound and merge
+  unconditionally before the loop (seeding the heap tightens the stop).
+
+Answers are *byte-identical* to an unsharded executor over the same
+rows (property-tested at 1/2/4 shards, pristine and faulty devices):
+scores are computed from the same stored values by the same function,
+global tids are preserved by the build, and stepping shards in any
+interleaving changes amortization only.
+
+Failure semantics: shards are independent — a storage fault on one
+(past its retry budget) aborts the *query* with
+:class:`~repro.core.executor.QueryAbortedError` carrying the merged
+partial rows, but other shards' devices, caches, and in-flight queries
+are untouched.  Each shard keeps its **own** pseudo-block cache and
+bound memo (cuboid names and pids collide across shards, so sharing one
+cache would alias entries); each cache registers on its shard's storage
+registry and as an invalidation listener on its shard's cube.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from ..core.executor import (
+    ExecutorTrace,
+    ProgressiveSearch,
+    QueryAbortedError,
+    RankingCubeExecutor,
+    _push_topk,
+    _rows_from_heap,
+)
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import Span, Tracer, maybe_span
+from ..relational.query import QueryResult, ResultRow, ShardIO, TopKQuery
+from ..shard.builder import CubeShard, ShardedCube
+from ..storage.device import StorageError
+from .cache import BoundMemo, PseudoBlockCache
+from .service import DEFAULT_SPAN_CAPACITY, ServiceClosedError
+
+
+@dataclass(frozen=True)
+class ShardedQueryRecord:
+    """Per-query accounting for one scatter-gathered execution."""
+
+    latency_s: float
+    shards_consulted: int
+    merge_rounds: int
+    shard_steps: int
+    blocks_accessed: int
+    candidates_examined: int
+    tuples_examined: int
+    aborted: bool = False
+
+
+@dataclass
+class ShardedServiceStats:
+    """Aggregate view over every query the service has finished."""
+
+    records: list[ShardedQueryRecord] = field(default_factory=list)
+
+    @property
+    def queries(self) -> int:
+        return len(self.records)
+
+    @property
+    def aborted(self) -> int:
+        return sum(1 for r in self.records if r.aborted)
+
+    def mean(self, attribute: str) -> float:
+        if not self.records:
+            return 0.0
+        return sum(getattr(r, attribute) for r in self.records) / len(self.records)
+
+    def total(self, attribute: str) -> int:
+        return sum(getattr(r, attribute) for r in self.records)
+
+
+class _ShardContext:
+    """Per-shard serving state: executor + caches + invalidation hook."""
+
+    def __init__(self, shard: CubeShard, share_caches: bool, buffer_pseudo: bool):
+        assert shard.cube is not None
+        self.shard = shard
+        registry = getattr(shard.table.pool, "registry", None)
+        if share_caches:
+            self.pseudo_cache = PseudoBlockCache(registry=registry)
+            self.bound_memo = BoundMemo(registry=registry)
+            self._listener = self.pseudo_cache.invalidate_cuboids
+            shard.cube.add_invalidation_listener(self._listener)
+        else:
+            self.pseudo_cache = None
+            self.bound_memo = None
+            self._listener = None
+        self.executor = RankingCubeExecutor(
+            shard.cube,
+            shard.table,
+            buffer_pseudo_blocks=buffer_pseudo,
+            pseudo_cache=self.pseudo_cache,
+            bound_memo=self.bound_memo,
+        )
+
+    def unhook(self) -> None:
+        if self._listener is not None and self.shard.cube is not None:
+            self.shard.cube.remove_invalidation_listener(self._listener)
+            self._listener = None
+
+
+class ShardedQueryService:
+    """Thread-pooled scatter-gather serving over a :class:`ShardedCube`.
+
+    Parameters
+    ----------
+    cube:
+        The sharded deployment to serve.
+    workers:
+        Concurrent queries in flight (front-end pool width).
+    step_workers:
+        Width of the *separate* shard-step pool the merge loop fans out
+        on (default ``max(workers, num_shards)``).  Two pools because a
+        query thread blocks on its shards' step futures — steps never
+        submit further work, so the layering cannot deadlock.
+    share_caches / buffer_pseudo_blocks:
+        As on :class:`~repro.serve.service.QueryService`, but the shared
+        caches are **per shard** (see module docstring).
+    registry:
+        Service-level metrics spine: global query/abort/latency series
+        plus per-shard *labeled* series (``shard.service.steps`` etc.,
+        one series per ``shard=<id>`` label).  Private when omitted —
+        shard storage trees keep their own registries either way.
+    trace_spans:
+        Retain per-query span trees (``query`` → ``shard_merge``) in
+        :attr:`spans`, a bounded ring like the unsharded service's.
+    """
+
+    def __init__(
+        self,
+        cube: ShardedCube,
+        workers: int = 4,
+        step_workers: int | None = None,
+        share_caches: bool = True,
+        buffer_pseudo_blocks: bool = True,
+        registry: MetricsRegistry | None = None,
+        trace_spans: bool = False,
+        span_capacity: int = DEFAULT_SPAN_CAPACITY,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.cube = cube
+        self.workers = workers
+        self.share_caches = share_caches
+        self.buffer_pseudo_blocks = buffer_pseudo_blocks
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.trace_spans = trace_spans
+        self.span_capacity = span_capacity
+        self.spans: list[Span] = []
+        self.stats = ShardedServiceStats()
+        self._stats_lock = threading.Lock()
+        self._contexts: dict[int, _ShardContext] = {}
+        self._contexts_lock = threading.Lock()
+        for shard in cube.shards:
+            if shard.cube is not None:
+                self._contexts[shard.shard_id] = _ShardContext(
+                    shard, share_caches, buffer_pseudo_blocks
+                )
+        self._queries_counter = self.registry.counter("shard.service.queries")
+        self._aborted_counter = self.registry.counter("shard.service.aborted")
+        self._latency_hist = self.registry.histogram("shard.service.latency_s")
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-shard-serve"
+        )
+        if step_workers is None:
+            step_workers = max(workers, cube.num_shards)
+        self._step_pool = ThreadPoolExecutor(
+            max_workers=step_workers, thread_name_prefix="repro-shard-step"
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # serving APIs
+    # ------------------------------------------------------------------
+    def submit(self, query: TopKQuery) -> "Future[QueryResult]":
+        """Enqueue one query; the future resolves to its merged answer."""
+        if self._closed:
+            raise ServiceClosedError("ShardedQueryService is closed")
+        return self._pool.submit(self._run_one, query)
+
+    def run_batch(self, queries) -> list[QueryResult]:
+        """Run a batch concurrently, returning answers in request order."""
+        futures = [self.submit(q) for q in queries]
+        return [f.result() for f in futures]
+
+    # ------------------------------------------------------------------
+    def _context(self, shard: CubeShard) -> _ShardContext | None:
+        """The shard's serving context, created on demand (late builds)."""
+        ctx = self._contexts.get(shard.shard_id)
+        if ctx is not None:
+            return ctx
+        if shard.cube is None:
+            return None
+        with self._contexts_lock:
+            ctx = self._contexts.get(shard.shard_id)
+            if ctx is None:
+                ctx = _ShardContext(
+                    shard, self.share_caches, self.buffer_pseudo_blocks
+                )
+                self._contexts[shard.shard_id] = ctx
+            return ctx
+
+    def _run_one(self, query: TopKQuery) -> QueryResult:
+        query.validate_against(self.cube.schema)
+        tracer = Tracer(self.registry) if self.trace_spans else None
+        started = time.perf_counter()
+        with maybe_span(
+            tracer,
+            "query",
+            k=query.k,
+            selections=dict(sorted(query.selections.items())),
+            ranking=",".join(query.ranking.dims),
+        ) as query_span:
+            try:
+                result, rounds, steps = self._scatter_gather(query, tracer)
+            except QueryAbortedError as exc:
+                self._retain_spans(tracer)
+                self._record(
+                    time.perf_counter() - started,
+                    shards=len(
+                        self.cube.shard_map.shards_for_query(query.selections)
+                    ),
+                    rounds=0,
+                    steps=0,
+                    blocks=exc.blocks_accessed,
+                    candidates=0,
+                    tuples=0,
+                    aborted=True,
+                )
+                raise
+            if query_span is not None:
+                query_span.add_many(
+                    blocks_accessed=result.blocks_accessed,
+                    candidates_examined=result.candidates_examined,
+                    tuples_examined=result.tuples_examined,
+                    rows_returned=len(result.rows),
+                )
+        self._retain_spans(tracer)
+        self._record(
+            time.perf_counter() - started,
+            shards=len(result.shard_io or ()),
+            rounds=rounds,
+            steps=steps,
+            blocks=result.blocks_accessed,
+            candidates=result.candidates_examined,
+            tuples=result.tuples_examined,
+            aborted=False,
+        )
+        return result
+
+    def _scatter_gather(
+        self, query: TopKQuery, tracer: Tracer | None
+    ) -> tuple[QueryResult, int, int]:
+        """The merge loop; returns (result, merge rounds, shard steps)."""
+        targets: list[tuple[CubeShard, _ShardContext]] = []
+        for shard_id in self.cube.shard_map.shards_for_query(query.selections):
+            shard = self.cube.shards[shard_id]
+            ctx = self._context(shard)
+            if ctx is not None:  # empty shards hold no rows at all
+                targets.append((shard, ctx))
+
+        topk: list[tuple[float, int]] = []
+        searches: dict[int, tuple[CubeShard, ProgressiveSearch]] = {}
+        io_before = {
+            shard.shard_id: shard.db.io_snapshot() for shard, _ctx in targets
+        }
+        rounds = 0
+        steps = 0
+        try:
+            with maybe_span(
+                tracer, "shard_merge", shards=[s.shard_id for s, _ in targets]
+            ) as merge_span:
+                for shard, ctx in targets:
+                    search = ProgressiveSearch(ctx.executor, query, ExecutorTrace())
+                    searches[shard.shard_id] = (shard, search)
+                    # delta rows carry no block bound: merge them up front
+                    for score, local_tid in search.delta_rows():
+                        _push_topk(
+                            topk, query.k, score, shard.to_global(local_tid)
+                        )
+                while True:
+                    kth = -topk[0][0] if len(topk) >= query.k else None
+                    eligible = [
+                        (shard, search)
+                        for shard, search in searches.values()
+                        if not search.exhausted
+                        and (kth is None or search.best_unseen <= kth)
+                    ]
+                    if not eligible:
+                        break
+                    rounds += 1
+                    if len(eligible) == 1:
+                        batches = [
+                            (eligible[0][0], eligible[0][1].step())
+                        ]
+                    else:
+                        futures = [
+                            (shard, self._step_pool.submit(search.step))
+                            for shard, search in eligible
+                        ]
+                        batches = [
+                            (shard, future.result()) for shard, future in futures
+                        ]
+                    for shard, scored in batches:
+                        steps += 1
+                        self.registry.counter(
+                            "shard.service.steps", shard=str(shard.shard_id)
+                        ).inc()
+                        for score, local_tid in scored:
+                            _push_topk(
+                                topk, query.k, score, shard.to_global(local_tid)
+                            )
+                if merge_span is not None:
+                    merge_span.add_many(merge_rounds=rounds, shard_steps=steps)
+        except StorageError as exc:
+            partial = self._finalize(query, topk, searches, io_before)
+            raise QueryAbortedError(
+                f"sharded query aborted after {partial.blocks_accessed} "
+                f"block fetch(es): {exc}",
+                partial_rows=partial.rows,
+                blocks_accessed=partial.blocks_accessed,
+                cause=exc.cause if isinstance(exc, QueryAbortedError) else exc,
+            ) from exc
+        result = self._finalize(query, topk, searches, io_before)
+        return result, rounds, steps
+
+    def _finalize(
+        self,
+        query: TopKQuery,
+        topk: list[tuple[float, int]],
+        searches: dict[int, tuple[CubeShard, ProgressiveSearch]],
+        io_before: dict,
+    ) -> QueryResult:
+        """Assemble the merged QueryResult with per-shard attribution."""
+        result = QueryResult(shard_io={})
+        assert result.shard_io is not None
+        for shard_id, (shard, search) in sorted(searches.items()):
+            sub = search.result
+            result.blocks_accessed += sub.blocks_accessed
+            result.candidates_examined += sub.candidates_examined
+            result.tuples_examined += sub.tuples_examined
+            device_reads = shard.db.io_since(io_before[shard_id]).reads
+            result.shard_io[shard_id] = ShardIO(
+                blocks_accessed=sub.blocks_accessed,
+                candidates_examined=sub.candidates_examined,
+                tuples_examined=sub.tuples_examined,
+                device_reads=device_reads,
+            )
+            self.registry.counter(
+                "shard.service.blocks_accessed", shard=str(shard_id)
+            ).inc(sub.blocks_accessed)
+            self.registry.counter(
+                "shard.service.device_reads", shard=str(shard_id)
+            ).inc(device_reads)
+        rows = _rows_from_heap(topk)
+        if query.projection:
+            rows = [self._project(row, query) for row in rows]
+        result.rows = rows
+        return result
+
+    def _project(self, row: ResultRow, query: TopKQuery) -> ResultRow:
+        record = self.cube.fetch_by_tid(row.tid)
+        schema = self.cube.schema
+        values = tuple(
+            record[schema.position(name)] for name in (query.projection or ())
+        )
+        return ResultRow(tid=row.tid, score=row.score, values=values)
+
+    # ------------------------------------------------------------------
+    def _record(
+        self,
+        latency_s: float,
+        *,
+        shards: int,
+        rounds: int,
+        steps: int,
+        blocks: int,
+        candidates: int,
+        tuples: int,
+        aborted: bool,
+    ) -> None:
+        record = ShardedQueryRecord(
+            latency_s=latency_s,
+            shards_consulted=shards,
+            merge_rounds=rounds,
+            shard_steps=steps,
+            blocks_accessed=blocks,
+            candidates_examined=candidates,
+            tuples_examined=tuples,
+            aborted=aborted,
+        )
+        with self._stats_lock:
+            self.stats.records.append(record)
+        self._queries_counter.inc()
+        if aborted:
+            self._aborted_counter.inc()
+        self._latency_hist.observe(latency_s)
+
+    def _retain_spans(self, tracer: Tracer | None) -> None:
+        if tracer is None or not tracer.roots:
+            return
+        with self._stats_lock:
+            self.spans.extend(tracer.roots)
+            if len(self.spans) > self.span_capacity:
+                del self.spans[: len(self.spans) - self.span_capacity]
+
+    # ------------------------------------------------------------------
+    # cache administration
+    # ------------------------------------------------------------------
+    def invalidate_caches(self) -> None:
+        """Drop every shard's shared caches."""
+        for ctx in self._contexts.values():
+            if ctx.pseudo_cache is not None:
+                ctx.pseudo_cache.clear()
+            if ctx.bound_memo is not None:
+                ctx.bound_memo.clear()
+
+    def shard_cache_stats(self) -> dict[int, dict[str, int]]:
+        """Per-shard pseudo-block cache counters (empty when disabled)."""
+        out: dict[int, dict[str, int]] = {}
+        for shard_id, ctx in sorted(self._contexts.items()):
+            if ctx.pseudo_cache is not None:
+                out[shard_id] = ctx.pseudo_cache.stats.snapshot()
+        return out
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting queries, drain both pools, unhook listeners."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.shutdown(wait=wait)
+        self._step_pool.shutdown(wait=wait)
+        for ctx in self._contexts.values():
+            ctx.unhook()
+
+    def __enter__(self) -> "ShardedQueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,45 @@
+"""Horizontal sharding of a relation and its ranking cube.
+
+The ROADMAP's first scaling lever: split a relation into N independent
+shards — each with its own :class:`~repro.storage.device.BlockDevice`,
+buffer pool, and :class:`~repro.core.cube.RankingCube` — and answer
+top-k queries by scatter-gather over per-shard progressive searches
+(:class:`~repro.core.executor.ProgressiveSearch`), merged under a global
+early-termination bound.  The paper's block lower bounds are what make
+the merge sound: every shard certifies the best score any of its
+unexamined blocks could produce, so the merger stops pulling from a
+shard the moment the global k-th seen score beats that bound.
+
+Layout:
+
+* :mod:`repro.shard.map` — :class:`ShardMap`: row routing (contiguous
+  tid ranges, or hash-by-selection-key so equality selections on the
+  shard key prune to a single shard);
+* :mod:`repro.shard.builder` — :class:`CubeShard` / :class:`ShardedCube`
+  / :func:`build_sharded`: per-shard build reusing the PR 4 partitioned
+  builder, local↔global tid mapping, and append routing;
+* :class:`repro.serve.sharded.ShardedQueryService` — the scatter-gather
+  serving loop (re-exported here for discoverability).
+"""
+
+from .builder import CubeShard, ShardedCube, build_sharded
+from .map import ShardError, ShardMap
+
+__all__ = [
+    "CubeShard",
+    "ShardError",
+    "ShardMap",
+    "ShardedCube",
+    "ShardedQueryService",
+    "build_sharded",
+]
+
+
+def __getattr__(name):
+    # Lazy: repro.serve.sharded imports from this package, so a direct
+    # top-level import here would be circular.
+    if name == "ShardedQueryService":
+        from ..serve.sharded import ShardedQueryService
+
+        return ShardedQueryService
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

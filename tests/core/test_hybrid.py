@@ -100,6 +100,48 @@ class TestEstimates:
             expected_blocks_to_k(1, 1.0, 0)
 
 
+    def test_cube_cost_routes_through_expected_blocks_to_k(self, monkeypatch):
+        """Regression: the planner's cost and the advisor's oracle must use
+        the SAME block-count formula — ``estimate_cube_cost`` has to call
+        :func:`expected_blocks_to_k` with exactly (k, qualifying, grid
+        blocks), not re-derive (and round differently) its own copy."""
+        import repro.core.estimate as estimate_mod
+
+        _db, table, _rows, _schema, cube = make_env()
+        query = TopKQuery(10, {"a1": 3}, fn())
+        calls = []
+        real = estimate_mod.expected_blocks_to_k
+
+        def spy(k, qualifying, total_blocks):
+            calls.append((k, qualifying, total_blocks))
+            return real(k, qualifying, total_blocks)
+
+        monkeypatch.setattr(estimate_mod, "expected_blocks_to_k", spy)
+        estimate = estimate_mod.estimate_cube_cost(cube, table, query)
+        assert calls == [
+            (
+                query.k,
+                estimate_mod.estimate_qualifying(table, query),
+                cube.grid.num_blocks,
+            )
+        ]
+        # arithmetic consistency: base reads never exceed the shared
+        # formula's block count, and pages include them
+        expected_blocks = real(query.k, calls[0][1], cube.grid.num_blocks)
+        assert estimate.pages >= min(expected_blocks, calls[0][1])
+
+    def test_cube_cost_saturates_at_grid_size(self):
+        """k beyond what the data holds never predicts more block visits
+        than the grid has — the shared helper's clamp must flow through."""
+        _db, table, _rows, _schema, cube = make_env(num_rows=500)
+        estimate = estimate_cube_cost(
+            cube, table, TopKQuery(10_000, {"a1": 3}, fn())
+        )
+        qualifying = estimate_qualifying(table, TopKQuery(10_000, {"a1": 3}, fn()))
+        cap = cube.grid.num_blocks + qualifying  # base reads + bookkeeping
+        assert estimate.pages <= cap + 3.0 * 8  # descent term upper bound
+
+
 class TestHybridExecutor:
     def test_unselective_query_routes_to_cube(self):
         _db, table, _rows, _schema, cube = make_env()

@@ -1,0 +1,219 @@
+"""Property tests: sharded scatter-gather serving never changes answers.
+
+For any seeded query stream, a :class:`ShardedQueryService` over an
+N-shard :class:`ShardedCube` (each shard its own device + buffer pool +
+cube, merged through the progressive-search frontier) must return
+exactly the rows of a serial, cache-free executor on a single
+unsharded cube — at 1, 2, and 4 shards, under pristine devices AND with
+a transient-fault plan on one shard behind a deep retry budget.  Delta
+appends and selection-key routing must preserve the same guarantee.
+
+This is the tentpole's acceptance property: sharding changes I/O
+*placement and amortization only*, never answers.
+"""
+
+import random
+
+import pytest
+
+from repro.core import RankingCube, RankingCubeExecutor
+from repro.ranking import LinearFunction, LpDistance
+from repro.relational import Database, Schema, TopKQuery, ranking_attr, selection_attr
+from repro.serve import ShardedQueryService
+from repro.shard import build_sharded
+from repro.storage import (
+    BlockDevice,
+    FaultyBlockDevice,
+    RetryPolicy,
+    transient_fault_plan,
+)
+
+pytestmark = [pytest.mark.serve, pytest.mark.faults]
+
+CARDS = (3, 4)
+SCHEMA = Schema.of(
+    [selection_attr("a1", CARDS[0]), selection_attr("a2", CARDS[1])]
+    + [ranking_attr("n1"), ranking_attr("n2")]
+)
+SEEDS = (2, 5, 11, 17, 29, 41)
+SHARD_COUNTS = (1, 2, 4)
+WORKERS = 4
+
+
+def make_rows(rng, count=120):
+    return [
+        (rng.randrange(CARDS[0]), rng.randrange(CARDS[1]), rng.random(), rng.random())
+        for _ in range(count)
+    ]
+
+
+def make_stream(rng, count=20):
+    """Skewed stream: a small pool of templates, replayed with repeats."""
+    pool = []
+    for _ in range(max(4, count // 3)):
+        selections = {}
+        if rng.random() < 0.8:
+            selections["a1"] = rng.randrange(CARDS[0])
+        if rng.random() < 0.4:
+            selections["a2"] = rng.randrange(CARDS[1])
+        if rng.random() < 0.5:
+            fn = LinearFunction(
+                ["n1", "n2"], [0.1 + rng.random(), 0.1 + rng.random()]
+            )
+        else:
+            fn = LpDistance(["n1", "n2"], [rng.random(), rng.random()])
+        pool.append(TopKQuery(rng.randint(1, 8), selections, fn))
+    return [pool[rng.randrange(len(pool))] for _ in range(count)]
+
+
+def pristine_factory(seed):
+    def factory(shard_id):
+        return Database(buffer_capacity=64)
+
+    return factory
+
+
+def one_faulty_factory(seed):
+    """Shard 0 sits on a transient-fault device with a deep retry budget."""
+
+    def factory(shard_id):
+        if shard_id == 0:
+            injector = transient_fault_plan(seed)
+            return Database(
+                buffer_capacity=64,
+                device=FaultyBlockDevice(BlockDevice(), injector),
+                retry_policy=RetryPolicy(max_attempts=6),
+            )
+        return Database(buffer_capacity=64)
+
+    return factory
+
+
+def signatures(results):
+    return [[(row.tid, round(row.score, 9)) for row in r.rows] for r in results]
+
+
+DEVICE_CONFIGS = {"pristine": pristine_factory, "one_faulty": one_faulty_factory}
+
+
+@pytest.fixture(params=SEEDS)
+def seed(request):
+    return request.param
+
+
+@pytest.fixture(params=sorted(DEVICE_CONFIGS))
+def make_factory(request):
+    return DEVICE_CONFIGS[request.param]
+
+
+def serial_expected(seed, rows, stream):
+    db = Database(buffer_capacity=64)
+    table = db.load_table("R", SCHEMA, rows)
+    cube = RankingCube.build(table, block_size=8)
+    serial = RankingCubeExecutor(cube, table)
+    return signatures([serial.execute(q) for q in stream])
+
+
+@pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+def test_sharded_stream_equals_serial(make_factory, seed, num_shards):
+    rng = random.Random(seed)
+    rows = make_rows(rng)
+    stream = make_stream(rng)
+    expected = serial_expected(seed, rows, stream)
+
+    cube = build_sharded(
+        SCHEMA,
+        rows,
+        num_shards,
+        block_size=8,
+        database_factory=make_factory(seed),
+    )
+    with ShardedQueryService(cube, workers=WORKERS) as service:
+        got = signatures(service.run_batch(stream))
+        # replay warm: answers must survive a fully cached second pass
+        warm = signatures(service.run_batch(stream))
+
+    assert got == expected
+    assert warm == expected
+
+
+@pytest.mark.parametrize("num_shards", (2, 4))
+def test_no_stale_answers_after_delta_appends(make_factory, seed, num_shards):
+    """serve → append → serve must equal serial-on-final-state."""
+    rng = random.Random(seed)
+    rows = make_rows(rng)
+    stream = make_stream(rng, count=12)
+    appended = make_rows(rng, count=15)
+
+    cube = build_sharded(
+        SCHEMA,
+        rows,
+        num_shards,
+        block_size=8,
+        database_factory=make_factory(seed),
+    )
+    with ShardedQueryService(cube, workers=WORKERS) as service:
+        service.run_batch(stream)  # warm the per-shard caches on the old state
+        assert cube.append_rows(appended) == len(appended)
+        got = signatures(service.run_batch(stream))
+
+    assert got == serial_expected(seed, rows + appended, stream)
+
+
+@pytest.mark.parametrize("num_shards", (2, 3))
+def test_selection_key_routing_stays_exact(seed, num_shards):
+    """Key-hash sharding (queries on the key touch ONE shard) is exact."""
+    rng = random.Random(seed)
+    rows = make_rows(rng)
+    stream = make_stream(rng, count=16)
+    expected = serial_expected(seed, rows, stream)
+
+    cube = build_sharded(
+        SCHEMA,
+        rows,
+        num_shards,
+        mode="selection_key",
+        key_dim="a1",
+        block_size=8,
+        database_factory=pristine_factory(seed),
+    )
+    with ShardedQueryService(cube, workers=WORKERS) as service:
+        got = signatures(service.run_batch(stream))
+        # queries selecting on the shard key really are pruned
+        pruned = service.submit(
+            TopKQuery(3, {"a1": 1}, LinearFunction(["n1", "n2"], [1.0, 1.0]))
+        ).result()
+    assert got == expected
+    assert pruned.shard_io is not None and len(pruned.shard_io) == 1
+
+
+def test_projection_rows_match_serial(make_factory, seed):
+    """Projected attribute values fetch from the owning shard exactly."""
+    rng = random.Random(seed)
+    rows = make_rows(rng)
+    queries = [
+        TopKQuery(
+            5,
+            {"a1": rng.randrange(CARDS[0])},
+            LinearFunction(["n1", "n2"], [1.0, 0.7]),
+            projection=("a2", "n1"),
+        )
+        for _ in range(6)
+    ]
+
+    db = Database(buffer_capacity=64)
+    table = db.load_table("R", SCHEMA, rows)
+    ref = RankingCubeExecutor(RankingCube.build(table, block_size=8), table)
+    expected = [
+        [(row.tid, row.values) for row in ref.execute(q).rows] for q in queries
+    ]
+
+    cube = build_sharded(
+        SCHEMA, rows, 3, block_size=8, database_factory=make_factory(seed)
+    )
+    with ShardedQueryService(cube, workers=WORKERS) as service:
+        got = [
+            [(row.tid, row.values) for row in r.rows]
+            for r in service.run_batch(queries)
+        ]
+    assert got == expected

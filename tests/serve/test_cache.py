@@ -53,11 +53,27 @@ class TestPseudoBlockCache:
         assert cache.resident_entries < 5
         assert cache.stats.evictions > 0
 
-    def test_tid_capacity_keeps_at_least_one_entry(self):
-        # a single oversized entry stays resident (never evict-to-empty)
+    def test_oversized_entry_rejected_not_admitted(self):
+        # regression: an entry bigger than capacity_tids used to evict the
+        # whole cache and then sit above the memory bound forever; it is
+        # now rejected up front and the resident set is untouched
         cache = PseudoBlockCache(capacity_entries=8, capacity_tids=4)
-        cache.put(key("c"), block(50))
-        assert cache.resident_entries == 1
+        cache.put(key("c", pid=0), block(2))
+        cache.put(key("c", pid=1), block(50))
+        assert key("c", pid=0) in cache
+        assert key("c", pid=1) not in cache
+        assert cache.resident_tids == 2
+        assert cache.stats.oversized_rejections == 1
+        assert cache.stats.evictions == 0
+        # a rejected key stays insertable once it fits
+        cache.put(key("c", pid=1), block(2))
+        assert key("c", pid=1) in cache
+
+    def test_resident_tids_never_exceeds_bound(self):
+        cache = PseudoBlockCache(capacity_entries=100, capacity_tids=10)
+        for pid in range(20):
+            cache.put(key("c", pid=pid), block(3, 4))
+            assert cache.resident_tids <= 10
 
     def test_invalidate_cuboids_is_selective(self):
         cache = PseudoBlockCache()
@@ -178,3 +194,41 @@ class TestBoundMemo:
         opaque = ConvexFunction(["n1"], lambda x: x * x)
         assert opaque.cache_key() is None
         assert descending(opaque).cache_key() is None
+
+
+class TestTidBoundProperty:
+    """Seeded-random property: ``resident_tids <= capacity_tids`` must hold
+    after EVERY operation, whatever the interleaving of puts, repeats,
+    invalidations, and clears."""
+
+    def test_random_ops_never_exceed_tid_capacity(self):
+        hypothesis = pytest.importorskip("hypothesis")
+        st = pytest.importorskip("hypothesis.strategies")
+
+        op = st.tuples(
+            st.sampled_from(["put", "invalidate", "clear"]),
+            st.integers(min_value=0, max_value=5),  # cuboid index
+            st.integers(min_value=0, max_value=7),  # pid
+            st.integers(min_value=0, max_value=20),  # tid count for put
+        )
+
+        @hypothesis.given(ops=st.lists(op, max_size=60))
+        @hypothesis.settings(max_examples=60, deadline=None)
+        def run(ops):
+            cache = PseudoBlockCache(capacity_entries=6, capacity_tids=12)
+            for kind, cuboid, pid, count in ops:
+                if kind == "put":
+                    cache.put(key(f"c{cuboid}", pid=pid), block(count))
+                elif kind == "invalidate":
+                    cache.invalidate_cuboids([f"c{cuboid}"])
+                else:
+                    cache.clear()
+                assert cache.resident_tids <= 12
+                assert cache.resident_entries <= 6
+            snap = cache.stats.snapshot()
+            resident = (
+                snap["insertions"] - snap["evictions"] - snap["invalidations"]
+            )
+            assert resident == cache.resident_entries
+
+        run()

@@ -1,0 +1,82 @@
+"""Unit tests for shard routing (repro.shard.map)."""
+
+import pytest
+
+from repro.relational import Schema, ranking_attr, selection_attr
+from repro.shard import ShardError, ShardMap
+
+SCHEMA = Schema.of(
+    [selection_attr("a1", 5), selection_attr("a2", 3), ranking_attr("n1")]
+)
+
+
+class TestTidRangeMap:
+    def test_build_rows_partition_contiguously(self):
+        m = ShardMap.tid_range(10, 3)
+        owners = [m.shard_of_build_row(t, (0, 0, 0.5), SCHEMA) for t in range(10)]
+        assert owners == [0, 0, 0, 0, 1, 1, 1, 2, 2, 2]
+
+    def test_more_shards_than_rows_keeps_every_shard_addressable(self):
+        m = ShardMap.tid_range(2, 4)
+        assert m.num_shards == 4
+        assert len(m.ranges) == 4
+        assert m.shard_of_build_row(1, (0, 0, 0.5), SCHEMA) == 1
+
+    def test_queries_always_fan_out(self):
+        m = ShardMap.tid_range(10, 3)
+        assert m.shards_for_query({}) == (0, 1, 2)
+        assert m.shards_for_query({"a1": 2}) == (0, 1, 2)
+
+    def test_appends_spread_round_robin(self):
+        m = ShardMap.tid_range(10, 3)
+        owners = {m.shard_of_append_row(t, (0, 0, 0.5), SCHEMA) for t in range(10, 16)}
+        assert owners == {0, 1, 2}
+
+    def test_out_of_range_tid_is_an_error(self):
+        m = ShardMap.tid_range(10, 2)
+        with pytest.raises(ShardError):
+            m.shard_of_build_row(10, (0, 0, 0.5), SCHEMA)
+
+
+class TestSelectionKeyMap:
+    def test_rows_hash_by_key_value(self):
+        m = ShardMap.selection_key(SCHEMA, "a1", 3)
+        assert m.shard_of_build_row(0, (4, 0, 0.5), SCHEMA) == 1
+        # appends follow the same hash
+        assert m.shard_of_append_row(99, (4, 0, 0.5), SCHEMA) == 1
+
+    def test_key_selection_prunes_to_one_shard(self):
+        m = ShardMap.selection_key(SCHEMA, "a1", 3)
+        assert m.shards_for_query({"a1": 4}) == (1,)
+        assert m.shards_for_query({"a1": 4, "a2": 0}) == (1,)
+
+    def test_non_key_selection_fans_out(self):
+        m = ShardMap.selection_key(SCHEMA, "a1", 3)
+        assert m.shards_for_query({"a2": 1}) == (0, 1, 2)
+        assert m.shards_for_query({}) == (0, 1, 2)
+
+    def test_rejects_non_selection_key(self):
+        with pytest.raises(ShardError):
+            ShardMap.selection_key(SCHEMA, "n1", 2)
+
+
+class TestValidationAndManifest:
+    def test_rejects_degenerate_configs(self):
+        with pytest.raises(ShardError):
+            ShardMap(num_shards=0, mode="tid_range", ranges=())
+        with pytest.raises(ShardError):
+            ShardMap(num_shards=1, mode="nope")
+        with pytest.raises(ShardError):
+            ShardMap(num_shards=1, mode="selection_key")
+        with pytest.raises(ShardError):
+            ShardMap(num_shards=2, mode="tid_range", ranges=((0, 5),))
+
+    @pytest.mark.parametrize(
+        "m",
+        [
+            ShardMap.tid_range(17, 4),
+            ShardMap.selection_key(SCHEMA, "a2", 5),
+        ],
+    )
+    def test_manifest_round_trip(self, m):
+        assert ShardMap.from_manifest(m.to_manifest()) == m

@@ -1,0 +1,202 @@
+"""Unit tests for the sharded builder and scatter-gather service."""
+
+import random
+
+import pytest
+
+from repro.core import QueryAbortedError
+from repro.obs.metrics import MetricsRegistry
+from repro.ranking import LinearFunction
+from repro.relational import (
+    Database,
+    Schema,
+    TopKQuery,
+    ranking_attr,
+    selection_attr,
+)
+from repro.serve import ServiceClosedError, ShardedQueryService
+from repro.shard import ShardError, build_sharded
+from repro.storage import (
+    READ_ERROR,
+    BlockDevice,
+    FaultInjector,
+    FaultRule,
+    FaultyBlockDevice,
+    RetryPolicy,
+)
+
+pytestmark = pytest.mark.serve
+
+SCHEMA = Schema.of(
+    [
+        selection_attr("a1", 3),
+        selection_attr("a2", 4),
+        ranking_attr("n1"),
+        ranking_attr("n2"),
+    ]
+)
+
+
+def make_rows(count=120, seed=5):
+    rng = random.Random(seed)
+    return [
+        (rng.randrange(3), rng.randrange(4), rng.random(), rng.random())
+        for _ in range(count)
+    ]
+
+
+def query(k=5, **selections):
+    return TopKQuery(k, selections, LinearFunction(["n1", "n2"], [1.0, 0.5]))
+
+
+class TestShardedCube:
+    def test_global_tids_cover_the_load(self):
+        rows = make_rows()
+        cube = build_sharded(SCHEMA, rows, 3, block_size=8)
+        assert cube.num_rows == len(rows)
+        seen = sorted(g for s in cube.shards for g in s.tid_map)
+        assert seen == list(range(len(rows)))
+
+    def test_fetch_by_tid_routes_to_the_owner(self):
+        rows = make_rows()
+        cube = build_sharded(SCHEMA, rows, 4, block_size=8)
+        for gtid in (0, 41, len(rows) - 1):
+            assert cube.fetch_by_tid(gtid) == rows[gtid]
+        with pytest.raises(ShardError):
+            cube.locate_tid(len(rows))
+
+    def test_appends_get_fresh_sequential_tids(self):
+        rows = make_rows(60)
+        cube = build_sharded(SCHEMA, rows, 2, block_size=8)
+        added = cube.append_rows([(0, 1, 0.2, 0.3), (2, 0, 0.9, 0.1)])
+        assert added == 2
+        assert cube.num_rows == 62
+        assert cube.fetch_by_tid(60) == (0, 1, 0.2, 0.3)
+        assert cube.fetch_by_tid(61) == (2, 0, 0.9, 0.1)
+
+    def test_empty_shard_builds_its_cube_on_first_append(self):
+        # card-3 key over 5 shards leaves shards 3 and 4 empty
+        rows = [(v % 3, 0, 0.5, 0.5) for v in range(30)]
+        cube = build_sharded(
+            SCHEMA, rows, 5, mode="selection_key", key_dim="a1", block_size=8
+        )
+        assert cube.shards[3].cube is None
+        # a1=0 rows with tid % ... route by key: value 0 -> shard 0; grow
+        # shard 3 via a row whose key hashes there
+        cube.append_rows([(0, 0, 0.1, 0.1)])  # key 0 -> shard 0, delta path
+        assert cube.shards[0].cube is not None
+
+
+class TestShardedQueryService:
+    def test_answers_and_shard_attribution(self):
+        rows = make_rows()
+        cube = build_sharded(SCHEMA, rows, 3, block_size=8)
+        with ShardedQueryService(cube, workers=2) as service:
+            result = service.submit(query(k=4, a1=1)).result()
+        assert len(result.rows) == 4
+        assert result.shard_io is not None
+        assert sorted(result.shard_io) == [0, 1, 2]
+        assert result.blocks_accessed == sum(
+            io.blocks_accessed for io in result.shard_io.values()
+        )
+        assert result.tuples_examined == sum(
+            io.tuples_examined for io in result.shard_io.values()
+        )
+
+    def test_selection_key_pruning_consults_one_shard(self):
+        rows = make_rows()
+        cube = build_sharded(
+            SCHEMA, rows, 3, mode="selection_key", key_dim="a1", block_size=8
+        )
+        with ShardedQueryService(cube, workers=2) as service:
+            pruned = service.submit(query(k=3, a1=2)).result()
+            fanned = service.submit(query(k=3, a2=1)).result()
+        assert sorted(pruned.shard_io) == [2]
+        assert sorted(fanned.shard_io) == [0, 1, 2]
+
+    def test_projection_fetches_from_owning_shards(self):
+        rows = make_rows()
+        cube = build_sharded(SCHEMA, rows, 2, block_size=8)
+        q = TopKQuery(
+            3, {"a1": 0}, LinearFunction(["n1", "n2"], [1.0, 1.0]),
+            projection=("a2",),
+        )
+        with ShardedQueryService(cube, workers=2) as service:
+            result = service.submit(q).result()
+        for row in result.rows:
+            assert row.values == (rows[row.tid][1],)
+
+    def test_per_shard_metrics_series(self):
+        rows = make_rows()
+        cube = build_sharded(SCHEMA, rows, 2, block_size=8)
+        registry = MetricsRegistry()
+        with ShardedQueryService(cube, workers=2, registry=registry) as service:
+            service.run_batch([query(k=3), query(k=5, a1=1)])
+        snap = registry.snapshot()
+        assert snap["shard.service.queries"] == 2
+        per_shard = [
+            name for name in snap if name.startswith("shard.service.steps{")
+        ]
+        assert len(per_shard) == 2  # one labeled series per shard
+
+    def test_shard_merge_span_under_query_span(self):
+        rows = make_rows()
+        cube = build_sharded(SCHEMA, rows, 2, block_size=8)
+        with ShardedQueryService(cube, workers=1, trace_spans=True) as service:
+            service.submit(query(k=3, a1=0)).result()
+        assert service.spans
+        root = service.spans[-1]
+        assert root.name == "query"
+        merge = [c for c in root.children if c.name == "shard_merge"]
+        assert len(merge) == 1
+        assert merge[0].counters["shard_steps"] >= 1
+
+    def test_abort_on_dead_shard_carries_partials(self):
+        rows = make_rows(200)
+
+        def factory(shard_id):
+            if shard_id == 1:
+                injector = FaultInjector(
+                    seed=0,
+                    rules=[FaultRule(READ_ERROR, probability=1.0)],
+                )
+                return Database(
+                    device=FaultyBlockDevice(BlockDevice(), injector),
+                    retry_policy=RetryPolicy(max_attempts=2),
+                )
+            return Database()
+
+        cube = build_sharded(SCHEMA, rows, 2, block_size=8, database_factory=factory)
+        cube.cold_cache()  # force reads through the (faulty) device
+        with ShardedQueryService(cube, workers=1) as service:
+            future = service.submit(query(k=5))
+            with pytest.raises(QueryAbortedError) as excinfo:
+                future.result()
+        err = excinfo.value
+        # partial rows come from the surviving shard's merged candidates
+        assert isinstance(err.partial_rows, list)
+        assert service.stats.aborted == 1
+        # the healthy shard is still serviceable afterwards
+        with ShardedQueryService(cube, workers=1) as service:
+            pruned_map = cube.shard_map.shards_for_query({})
+            assert pruned_map == (0, 1)
+
+    def test_closed_service_rejects_queries(self):
+        cube = build_sharded(SCHEMA, make_rows(40), 2, block_size=8)
+        service = ShardedQueryService(cube, workers=1)
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.submit(query(k=1))
+
+    def test_caches_are_per_shard_and_invalidation_wired(self):
+        rows = make_rows()
+        cube = build_sharded(SCHEMA, rows, 2, block_size=8)
+        with ShardedQueryService(cube, workers=1) as service:
+            service.run_batch([query(k=3, a1=0)] * 3)
+            stats = service.shard_cache_stats()
+            assert sorted(stats) == [0, 1]
+            assert any(s["hits"] > 0 for s in stats.values())
+            # delta append must invalidate the touched shards' caches
+            cube.append_rows([(0, 0, 0.01, 0.01)])
+            result = service.submit(query(k=1, a1=0)).result()
+            assert result.rows[0].tid == len(rows)  # the new best tuple

@@ -125,3 +125,144 @@ class TestValidation:
         _dataset, ws = workspace
         with pytest.raises(PersistError):
             ws.cube("ghost")
+
+
+class TestCrashAtomicity:
+    """A save interrupted at any point leaves the old snapshot or the new
+    one — never a torn file, never ``.tmp`` residue."""
+
+    def test_failed_rename_keeps_previous_snapshot(
+        self, workspace, tmp_path, monkeypatch
+    ):
+        import os
+
+        dataset, ws = workspace
+        path = tmp_path / "s.rcube"
+        ws.save(path)
+        before = path.read_bytes()
+
+        ws.db.table("R").insert_rows([(0, 0, 0, 0.0, 0.0)])
+        ws.cube("R").refresh_delta(ws.db.table("R"))
+
+        def dying_replace(src, dst):  # crash between temp write and rename
+            raise OSError("simulated kill -9 before rename")
+
+        monkeypatch.setattr(os, "replace", dying_replace)
+        with pytest.raises(OSError, match="simulated"):
+            ws.save(path)
+        monkeypatch.undo()
+
+        # previous snapshot byte-identical, no temp residue to collide with
+        assert path.read_bytes() == before
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert load_workspace(path).cube("R").delta_size == 0
+
+        # and the retry (fault cleared) lands the new state
+        ws.save(path)
+        assert load_workspace(path).cube("R").delta_size == 1
+
+    def test_temp_file_is_fsynced_before_rename(
+        self, workspace, tmp_path, monkeypatch
+    ):
+        import os
+
+        _dataset, ws = workspace
+        path = tmp_path / "s.rcube"
+        events = []
+        real_fsync, real_replace = os.fsync, os.replace
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (events.append("fsync"), real_fsync(fd))[1]
+        )
+        monkeypatch.setattr(
+            os,
+            "replace",
+            lambda s, d: (events.append("replace"), real_replace(s, d))[1],
+        )
+        ws.save(path)
+        # data fsync strictly precedes the rename; the parent-directory
+        # fsync (rename durability) strictly follows it
+        assert "replace" in events
+        idx = events.index("replace")
+        assert "fsync" in events[:idx], "temp file not fsynced before rename"
+        assert "fsync" in events[idx + 1 :], "parent dir not fsynced after rename"
+
+
+class TestShardedWorkspace:
+    SCHEMA = None  # built lazily to keep module import light
+
+    @staticmethod
+    def _schema():
+        from repro.relational import Schema, ranking_attr, selection_attr
+
+        return Schema.of(
+            [
+                selection_attr("a1", 3),
+                selection_attr("a2", 4),
+                ranking_attr("n1"),
+                ranking_attr("n2"),
+            ]
+        )
+
+    @staticmethod
+    def _rows(count=90, seed=7):
+        import random
+
+        rng = random.Random(seed)
+        return [
+            (rng.randrange(3), rng.randrange(4), rng.random(), rng.random())
+            for _ in range(count)
+        ]
+
+    def test_round_trip_answers_identically(self, tmp_path):
+        from repro.persist import load_sharded_workspace, save_sharded_workspace
+        from repro.serve import ShardedQueryService
+        from repro.shard import build_sharded
+
+        rows = self._rows()
+        cube = build_sharded(self._schema(), rows, 3, block_size=8)
+        queries = [
+            TopKQuery(4, {"a1": v}, LinearFunction(["n1", "n2"], [1.0, 0.5]))
+            for v in range(3)
+        ]
+        with ShardedQueryService(cube, workers=1) as service:
+            expected = [
+                [(r.tid, round(r.score, 9)) for r in res.rows]
+                for res in service.run_batch(queries)
+            ]
+
+        manifest = save_sharded_workspace(cube, tmp_path / "ws")
+        assert len(manifest["shards"]) == 3
+
+        restored = load_sharded_workspace(tmp_path / "ws")
+        assert restored.num_rows == len(rows)
+        with ShardedQueryService(restored, workers=1) as service:
+            got = [
+                [(r.tid, round(r.score, 9)) for r in res.rows]
+                for res in service.run_batch(queries)
+            ]
+        assert got == expected
+
+    def test_torn_multi_file_save_detected(self, tmp_path):
+        from repro.persist import load_sharded_workspace, save_sharded_workspace
+        from repro.shard import build_sharded
+
+        rows = self._rows()
+        cube = build_sharded(self._schema(), rows, 2, block_size=8)
+        directory = tmp_path / "ws"
+        save_sharded_workspace(cube, directory)
+        stale_shard = (directory / "shard_0000.rcube").read_bytes()
+
+        cube.append_rows(self._rows(count=10, seed=99))
+        save_sharded_workspace(cube, directory)
+
+        # simulate a torn save: one shard file reverted to the old epoch
+        (directory / "shard_0000.rcube").write_bytes(stale_shard)
+        with pytest.raises(PersistError, match="torn|corrupt"):
+            load_sharded_workspace(directory)
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        from repro.persist import load_sharded_workspace
+
+        (tmp_path / "ws").mkdir()
+        with pytest.raises(PersistError):
+            load_sharded_workspace(tmp_path / "ws")
