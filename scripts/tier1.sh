@@ -17,7 +17,11 @@
 #                         unsharded cube, the hottest shard's per-query
 #                         device reads beat the unsharded baseline, and
 #                         the early-stop merge prunes vs a naive pass
-#   5. obs coverage     — >= 85% line coverage on src/repro/obs via the
+#   5. vector smoke     — columnar batched execution at smoke size; fails
+#                         unless the vector engine's answers are
+#                         byte-identical to the row executor's (the 5x
+#                         speedup assertion stays off at smoke size)
+#   6. obs coverage     — >= 85% line coverage on src/repro/obs via the
 #                         stdlib tracer (scripts/obs_coverage.py)
 #
 # Run from the repository root:  sh scripts/tier1.sh
@@ -26,23 +30,28 @@ set -e
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
 
-echo "== tier1 1/5: fast test suite =="
+echo "== tier1 1/6: fast test suite =="
 python -m pytest -m "not slow and not serve and not faults" -q
 
-echo "== tier1 2/5: bench regression gate (smoke) =="
+echo "== tier1 2/6: bench regression gate (smoke) =="
 python -m repro.bench check --baseline results/ --smoke
 
-echo "== tier1 3/5: parallel build smoke (byte-identity gate) =="
+echo "== tier1 3/6: parallel build smoke (byte-identity gate) =="
 BUILD_SMOKE_OUT="$(mktemp /tmp/BENCH_build_smoke.XXXXXX.json)"
 python -m repro.bench build --smoke --out "$BUILD_SMOKE_OUT"
 rm -f "$BUILD_SMOKE_OUT"
 
-echo "== tier1 4/5: sharded serving smoke (identity + hot-shard gates) =="
+echo "== tier1 4/6: sharded serving smoke (identity + hot-shard gates) =="
 SHARD_SMOKE_OUT="$(mktemp /tmp/BENCH_shard_smoke.XXXXXX.json)"
 python -m repro.bench shard --smoke --out "$SHARD_SMOKE_OUT"
 rm -f "$SHARD_SMOKE_OUT"
 
-echo "== tier1 5/5: obs coverage floor =="
+echo "== tier1 5/6: vector engine smoke (byte-identity gate) =="
+VECTOR_SMOKE_OUT="$(mktemp /tmp/BENCH_vector_smoke.XXXXXX.json)"
+python -m repro.bench vector --smoke --out "$VECTOR_SMOKE_OUT"
+rm -f "$VECTOR_SMOKE_OUT"
+
+echo "== tier1 6/6: obs coverage floor =="
 python scripts/obs_coverage.py
 
 echo "tier1: all gates passed"

@@ -31,6 +31,11 @@ def main(argv: list[str] | None = None) -> int:
         from .shard import main as shard_main
 
         return shard_main(argv[1:])
+    if argv and argv[0] == "vector":
+        # columnar batched-execution benchmark (see repro.bench.vector)
+        from .vector import main as vector_main
+
+        return vector_main(argv[1:])
     if argv and argv[0] == "profile":
         # span-tree profiling report (see repro.bench.profile)
         from .profile import main as profile_main
@@ -51,8 +56,8 @@ def main(argv: list[str] | None = None) -> int:
         default=["all"],
         help=(
             "experiment ids (fig04..fig15, ablation_*), 'fault-matrix', "
-            "'serve'/'build'/'shard'/'profile'/'check' (own flags; see "
-            "--help after each), or 'all'"
+            "'serve'/'build'/'shard'/'vector'/'profile'/'check' (own flags; "
+            "see --help after each), or 'all'"
         ),
     )
     parser.add_argument(

@@ -44,7 +44,15 @@ RATE_ABS_TOL = 0.25
 RATIO_REL_TOL = 0.5
 
 #: Metric name fragments that are wall-clock-derived and never compared.
-TIMING_METRICS = ("wall_s", "throughput_qps", "p50_ms", "p95_ms", "tuples_per_s")
+TIMING_METRICS = (
+    "wall_s",
+    "throughput_qps",
+    "p50_ms",
+    "p95_ms",
+    "tuples_per_s",
+    "blocks_per_s",
+    "evaluate_speedup",
+)
 
 #: Scenario names whose counters are deterministic (serial replay).
 SERIAL_SCENARIOS = ("serial_cold", "serial_warm")
@@ -75,8 +83,19 @@ def _run_shard(config: dict) -> dict:
     return run_shard_bench(ShardBenchConfig(**config))
 
 
+def _run_vector(config: dict) -> dict:
+    from .vector import VectorBenchConfig, run_vector_bench
+
+    return run_vector_bench(VectorBenchConfig(**config))
+
+
 #: benchmark name (payload["benchmark"]) -> fresh-run callable(config dict).
-RUNNERS = {"serve": _run_serve, "build": _run_build, "shard": _run_shard}
+RUNNERS = {
+    "serve": _run_serve,
+    "build": _run_build,
+    "shard": _run_shard,
+    "vector": _run_vector,
+}
 
 
 @dataclass(frozen=True)
@@ -114,11 +133,16 @@ def _compare_scenario(
     # they get serial tolerances.  Fingerprints are strings; compare exact.
     # Shard scenarios replay serially with cold caches, so their counters
     # are deterministic too.
+    # Vector scenarios (row_*/vector_*) replay serially with cold caches
+    # under the byte-identical-answers contract, so their counters are
+    # deterministic too.
     serial = (
         name in SERIAL_SCENARIOS
         or name.startswith("build_")
         or name == "unsharded"
         or name.startswith("shards_")
+        or name.startswith("row_")
+        or name.startswith("vector_")
     )
     violations = []
     for metric in sorted(set(expected) | set(actual)):

@@ -8,12 +8,16 @@ sub-database that the cuboids aggregate (Table 2 of the paper).
 
 from __future__ import annotations
 
+import itertools
 from typing import Sequence
 
 from ..storage.buffer import BufferPool
 from ..storage.pages import RecordCodec
 from .blocks import BlockGrid
 from .chains import ChainStore
+
+#: Process-wide monotonic identity for base tables (see ``uid`` below).
+_UIDS = itertools.count()
 
 
 class BaseBlockTable:
@@ -25,6 +29,12 @@ class BaseBlockTable:
         codec = RecordCodec("q" + "d" * grid.num_dims)
         self._store = ChainStore(pool, codec)
         self.access_count = 0
+        #: Never-reused identity token.  The serving layer's columnar
+        #: block cache keys entries by ``(uid, bid)``, so blocks decoded
+        #: from a compacted-away table generation can never satisfy a
+        #: lookup against its replacement (``id()`` could be recycled by
+        #: the allocator; this cannot).
+        self.uid = next(_UIDS)
 
     @classmethod
     def build(

@@ -26,6 +26,12 @@ class CuboidError(Exception):
     """Raised for cuboid construction/access misuse."""
 
 
+#: Pseudo blocks at or above this many pairs decode through the batched
+#: group-by in :meth:`RankingCuboid.decode_pseudo_block`; below it the
+#: plain dict loop wins (NumPy's per-call overhead dominates tiny cells).
+_VECTOR_DECODE_THRESHOLD = 64
+
+
 class RankingCuboid:
     """One materialized cuboid of a ranking cube.
 
@@ -185,8 +191,27 @@ class RankingCuboid:
         The grouping happens here so every caching layer shares one
         decoder (and pays it exactly once per cold fetch).
         """
+        pairs = self.get_pseudo_block(sel_values, pid)
         by_bid: dict[int, list[int]] = {}
-        for tid, entry_bid in self.get_pseudo_block(sel_values, pid):
+        if len(pairs) >= _VECTOR_DECODE_THRESHOLD:
+            from ..vector.layout import numpy_or_none
+
+            np = numpy_or_none()
+            if np is not None:
+                # batched group-by-bid: one stable sort + one split
+                # instead of a per-pair dict probe.  Stability keeps each
+                # bid's tid list in pair order, identical to the loop.
+                arr = np.asarray(pairs, dtype=np.int64)
+                order = np.argsort(arr[:, 1], kind="stable")
+                bids = arr[order, 1]
+                tids = arr[order, 0]
+                cuts = np.nonzero(bids[1:] != bids[:-1])[0] + 1
+                starts = [0, *cuts.tolist(), len(bids)]
+                for i in range(len(starts) - 1):
+                    lo, hi = starts[i], starts[i + 1]
+                    by_bid[int(bids[lo])] = tids[lo:hi].tolist()
+                return by_bid
+        for tid, entry_bid in pairs:
             by_bid.setdefault(entry_bid, []).append(tid)
         return by_bid
 

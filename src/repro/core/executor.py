@@ -38,6 +38,14 @@ from ..obs.tracing import Tracer, maybe_span
 from ..relational.query import QueryResult, ResultRow, TopKQuery
 from ..relational.table import Table
 from ..storage.device import StorageError
+from ..vector.kernels import (
+    apply_selection,
+    block_bounds,
+    eval_scores,
+    gather_tids,
+    topk_select,
+)
+from ..vector.layout import ColumnarBlock
 from .cube import CubeError, RankingCube
 from .cuboid import RankingCuboid
 
@@ -109,6 +117,11 @@ class ExecutorTrace:
     base_block_reads: int = 0
     empty_cells_skipped: int = 0
     frontier_peak: int = 0
+    #: vector-path counters (zero on the row path): blocks scored through
+    #: the batched kernels, and evaluate-step base blocks answered by the
+    #: shared columnar cache instead of a fetch + decode
+    vector_blocks: int = 0
+    columnar_cache_hits: int = 0
 
     def cache_attribution(self) -> dict[str, int]:
         """Retrieve-step requests by answering layer (for ablation tables)."""
@@ -130,6 +143,8 @@ class _TraceBase:
     bound_memo_hits: int = 0
     base_block_reads: int = 0
     empty_cells_skipped: int = 0
+    vector_blocks: int = 0
+    columnar_cache_hits: int = 0
 
     @staticmethod
     def capture(trace: ExecutorTrace | None) -> "_TraceBase | None":
@@ -142,6 +157,8 @@ class _TraceBase:
             bound_memo_hits=trace.bound_memo_hits,
             base_block_reads=trace.base_block_reads,
             empty_cells_skipped=trace.empty_cells_skipped,
+            vector_blocks=trace.vector_blocks,
+            columnar_cache_hits=trace.columnar_cache_hits,
         )
 
 
@@ -197,6 +214,20 @@ class RankingCubeExecutor:
     bound_memo:
         Optional shared :class:`~repro.serve.cache.BoundMemo` for frontier
         lower bounds.
+    use_vector:
+        Route the evaluate step and frontier-bound computation through
+        the batched columnar kernels of :mod:`repro.vector` instead of
+        the per-tuple row loops.  **Answers are byte-identical either
+        way** (the kernels' bitwise contract, property-tested in
+        ``tests/properties/test_vector_equivalence.py``); only the work
+        shape changes.  NumPy accelerates the kernels when available; a
+        pure-stdlib fallback keeps the switch valid without it.
+    columnar_cache:
+        Optional shared :class:`~repro.serve.cache.ColumnarBlockCache`:
+        decoded columnar base blocks reused across queries (vector path
+        only).  Logical counters (``blocks_accessed`` etc.) are
+        unaffected by hits — the cache saves page I/O and decode work,
+        attributed in ``trace.columnar_cache_hits``.
 
     The executor keeps no per-query state on ``self``, so one instance may
     be shared by concurrent threads **provided** its buffer pool is the
@@ -211,12 +242,20 @@ class RankingCubeExecutor:
         buffer_pseudo_blocks: bool = True,
         pseudo_cache=None,
         bound_memo=None,
+        use_vector: bool = False,
+        columnar_cache=None,
     ):
         self.cube = cube
         self.relation = relation
         self.buffer_pseudo_blocks = buffer_pseudo_blocks
         self.pseudo_cache = pseudo_cache
         self.bound_memo = bound_memo
+        self.use_vector = bool(use_vector)
+        self.columnar_cache = columnar_cache
+        # registry-counter memo for the executor.vector.* series, keyed
+        # by registry identity (the cached Counter pins its registry, so
+        # the id cannot be recycled while the entry lives)
+        self._vector_counter_memo: dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
     def execute(
@@ -236,13 +275,16 @@ class RankingCubeExecutor:
         """
         if tracer is not None and trace is None:
             trace = ExecutorTrace()
-        with maybe_span(
-            tracer,
-            "query",
+        attrs = dict(
             k=query.k,
             selections=dict(sorted(query.selections.items())),
             ranking=",".join(query.ranking.dims),
-        ) as query_span:
+        )
+        if self.use_vector:
+            # only stamped in vector mode, so row-path golden traces keep
+            # their exact historical attribute set
+            attrs["executor"] = "vector"
+        with maybe_span(tracer, "query", **attrs) as query_span:
             return self._execute_traced(query, trace, tracer, query_span)
 
     def _execute_traced(
@@ -305,8 +347,13 @@ class RankingCubeExecutor:
                 retrieve_span = (
                     search_span.child("retrieve") if search_span is not None else None
                 )
+                # the vector path renames the aggregate so traces make the
+                # executing engine explicit (and goldens can diff on it)
+                evaluate_name = "evaluate_batch" if self.use_vector else "evaluate"
                 evaluate_span = (
-                    search_span.child("evaluate") if search_span is not None else None
+                    search_span.child(evaluate_name)
+                    if search_span is not None
+                    else None
                 )
                 while frontier:
                     s_unseen = frontier[0][0]
@@ -333,19 +380,9 @@ class RankingCubeExecutor:
                     elif trace is not None:
                         trace.empty_cells_skipped += 1
 
-                    for neighbor in grid.neighbors(bid):
-                        if neighbor in inserted:
-                            continue
-                        inserted.add(neighbor)
-                        heapq.heappush(
-                            frontier,
-                            (
-                                self._block_bound(
-                                    grid, neighbor, fn, positions, memo, trace
-                                ),
-                                neighbor,
-                            ),
-                        )
+                    self._expand_neighbors(
+                        grid, bid, fn, positions, memo, trace, frontier, inserted
+                    )
                     if trace is not None:
                         trace.frontier_peak = max(trace.frontier_peak, len(frontier))
                 if search_span is not None:
@@ -373,12 +410,22 @@ class RankingCubeExecutor:
                             trace.shared_cache_hits - trace_base.shared_cache_hits
                         ),
                     )
-                    evaluate_span.add_many(
+                    evaluate_counts = dict(
                         base_block_reads=(
                             trace.base_block_reads - trace_base.base_block_reads
                         ),
                         tuples_examined=result.tuples_examined,
                     )
+                    if self.use_vector:
+                        # vector-only keys: row-path goldens never grow them
+                        evaluate_counts["vector_blocks"] = (
+                            trace.vector_blocks - trace_base.vector_blocks
+                        )
+                        evaluate_counts["columnar_cache_hits"] = (
+                            trace.columnar_cache_hits
+                            - trace_base.columnar_cache_hits
+                        )
+                    evaluate_span.add_many(**evaluate_counts)
 
             # Merge the cube's delta store: tuples appended after the build
             # are held in memory and scored against every query (see
@@ -570,7 +617,7 @@ class RankingCubeExecutor:
     ) -> None:
         """Fetch the base block, score qualifying tuples, update top-k."""
         for score, tid in self._score_block(
-            base_table, bid, qualifying, fn, positions, result, trace
+            base_table, bid, qualifying, fn, positions, result, trace, k=k
         ):
             _push_topk(topk, k, score, tid)
 
@@ -583,13 +630,24 @@ class RankingCubeExecutor:
         positions: tuple[int, ...],
         result: QueryResult,
         trace: ExecutorTrace | None,
+        k: int | None = None,
     ) -> list[tuple[float, int]]:
         """Fetch one base block and return its qualifying ``(score, tid)``s.
 
         The evaluate step minus the top-k update: the serial path pushes
         the pairs into its own heap, while :class:`ProgressiveSearch`
         streams them out to a global merger that owns the heap.
+
+        ``k`` lets the vector path truncate to the block-local best ``k``
+        (sorted, ties tid-ascending) — answer-preserving, since at most
+        the best ``k`` of any one block can reach a global top-k.  The
+        row path ignores it and returns every pair, unordered, exactly as
+        before.
         """
+        if self.use_vector:
+            return self._score_block_vector(
+                base_table, bid, qualifying, fn, positions, result, trace, k
+            )
         records = base_table.get_base_block(bid)
         result.blocks_accessed += 1
         if trace is not None:
@@ -603,6 +661,138 @@ class RankingCubeExecutor:
             result.tuples_examined += 1
             scored.append((score, tid))
         return scored
+
+    def _score_block_vector(
+        self,
+        base_table,
+        bid: int,
+        qualifying: set[int] | None,
+        fn,
+        positions: tuple[int, ...],
+        result: QueryResult,
+        trace: ExecutorTrace | None,
+        k: int | None,
+    ) -> list[tuple[float, int]]:
+        """Columnar form of :meth:`_score_block` (same logical counters).
+
+        The block is decoded once into struct-of-arrays form (possibly
+        served by the shared columnar cache), the selection applied as a
+        batched membership test, and every qualifying tuple scored in one
+        ``eval_batch`` call.  ``blocks_accessed``/``base_block_reads``
+        move in lockstep with the row path *even on a columnar cache
+        hit* — the hit saves physical work, not a logical block visit —
+        which is what keeps full :class:`QueryResult` equality exact.
+        """
+        block = self._columnar_block(base_table, bid, trace)
+        result.blocks_accessed += 1
+        if trace is not None:
+            trace.base_block_reads += 1
+        if len(block) == 0:
+            return []
+        indices = apply_selection(block, qualifying)
+        tids = gather_tids(block, indices)
+        n = len(tids)
+        if n == 0:
+            return []
+        scores = eval_scores(fn, block, positions, indices)
+        result.tuples_examined += n
+        if trace is not None:
+            trace.vector_blocks += 1
+        self._bump_vector_counters(base_table, n)
+        return topk_select(scores, tids, k)
+
+    def _columnar_block(
+        self, base_table, bid: int, trace: ExecutorTrace | None
+    ) -> ColumnarBlock:
+        """Decode ``bid`` to columnar form, via the shared cache if any.
+
+        Cache keys pair the table's never-reused ``uid`` with the bid, so
+        blocks decoded from a compacted-away table generation can never
+        satisfy a lookup against its replacement.
+        """
+        cache = self.columnar_cache
+        key = (base_table.uid, bid)
+        if cache is not None:
+            cached = cache.get(key)
+            if cached is not None:
+                if trace is not None:
+                    trace.columnar_cache_hits += 1
+                return cached
+        block = ColumnarBlock.from_records(
+            base_table.get_base_block(bid), base_table.grid.num_dims
+        )
+        if cache is not None:
+            cache.put(key, block)
+        return block
+
+    def _bump_vector_counters(self, base_table, tuples: int) -> None:
+        """Advance the ``executor.vector.*`` registry series, if metered."""
+        registry = getattr(base_table.pool, "registry", None)
+        if registry is None:
+            return
+        counters = self._vector_counter_memo.get(id(registry))
+        if counters is None:
+            counters = (
+                registry.counter("executor.vector.blocks"),
+                registry.counter("executor.vector.tuples"),
+            )
+            self._vector_counter_memo[id(registry)] = counters
+        counters[0].inc()
+        counters[1].inc(tuples)
+
+    def _expand_neighbors(
+        self,
+        grid,
+        bid: int,
+        fn,
+        positions: tuple[int, ...],
+        memo: dict[int, float] | None,
+        trace: ExecutorTrace | None,
+        frontier: list[tuple[float, int]],
+        inserted: set[int],
+    ) -> None:
+        """Push ``bid``'s unseen neighbors onto the frontier (Lemma 1).
+
+        The vector path memo-checks every fresh neighbor first, then
+        computes the remaining bounds in one :func:`block_bounds` batch.
+        Push order differs from the row path's one-at-a-time loop, but
+        heap *pop* order is deterministic for a given entry set (bounds
+        are pure functions of bid and ``(bound, bid)`` entries are
+        unique), so the search examines identical block sequences.
+        """
+        fresh = [nb for nb in grid.neighbors(bid) if nb not in inserted]
+        if not fresh:
+            return
+        inserted.update(fresh)
+        if not self.use_vector:
+            for neighbor in fresh:
+                heapq.heappush(
+                    frontier,
+                    (
+                        self._block_bound(grid, neighbor, fn, positions, memo, trace),
+                        neighbor,
+                    ),
+                )
+            return
+        pending: list[int] = []
+        for neighbor in fresh:
+            cached = (
+                self.bound_memo.lookup(memo, neighbor) if memo is not None else None
+            )
+            if cached is not None:
+                if trace is not None:
+                    trace.bound_memo_hits += 1
+                heapq.heappush(frontier, (cached, neighbor))
+            else:
+                pending.append(neighbor)
+        if not pending:
+            return
+        for neighbor, bound in zip(
+            pending, block_bounds(grid, pending, fn, positions)
+        ):
+            if memo is not None:
+                self.bound_memo.store(memo, neighbor, bound)
+            heapq.heappush(frontier, (bound, neighbor))
 
     def _project(self, row: ResultRow, query: TopKQuery) -> ResultRow:
         """Fetch projected attribute values from the original relation."""
@@ -723,24 +913,14 @@ class ProgressiveSearch:
         if qualifying is None or qualifying:
             scored = executor._score_block(
                 self._state.base_table, bid, qualifying, self._fn,
-                self._positions, self.result, self.trace,
+                self._positions, self.result, self.trace, k=self.query.k,
             )
         elif self.trace is not None:
             self.trace.empty_cells_skipped += 1
-        for neighbor in self._grid.neighbors(bid):
-            if neighbor in self._inserted:
-                continue
-            self._inserted.add(neighbor)
-            heapq.heappush(
-                self._frontier,
-                (
-                    executor._block_bound(
-                        self._grid, neighbor, self._fn, self._positions,
-                        self._memo, self.trace,
-                    ),
-                    neighbor,
-                ),
-            )
+        executor._expand_neighbors(
+            self._grid, bid, self._fn, self._positions, self._memo,
+            self.trace, self._frontier, self._inserted,
+        )
         if self.trace is not None:
             self.trace.frontier_peak = max(
                 self.trace.frontier_peak, len(self._frontier)

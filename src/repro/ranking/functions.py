@@ -21,6 +21,22 @@ from abc import ABC, abstractmethod
 from typing import Callable, Sequence
 
 
+def _numpy_for(columns) -> "object | None":
+    """The NumPy module iff the active backend supplies ndarray columns.
+
+    The batched forms vectorize only when the caller actually passed
+    ndarrays (the :mod:`repro.vector` kernels under the NumPy backend);
+    list/array columns take the scalar fallback, which is the reference
+    semantics by construction.
+    """
+    from ..vector.layout import numpy_or_none
+
+    np = numpy_or_none()
+    if np is not None and columns and isinstance(columns[0], np.ndarray):
+        return np
+    return None
+
+
 class RankingFunctionError(Exception):
     """Raised for malformed ranking-function constructions."""
 
@@ -71,6 +87,42 @@ class RankingFunction(ABC):
     def global_minimizer(self) -> tuple[float, ...]:
         """A minimizer over the unit hypercube (query start point)."""
         return self.argmin_over_box([0.0] * self.arity, [1.0] * self.arity)
+
+    # ------------------------------------------------------------------
+    # batched forms (the vectorized executor's kernel surface)
+    # ------------------------------------------------------------------
+    def eval_batch(self, columns: Sequence) -> Sequence[float]:
+        """Score many points given as per-dimension columns.
+
+        ``columns[d][i]`` is point ``i``'s value on dimension ``d`` (the
+        struct-of-arrays shape of :class:`repro.vector.ColumnarBlock`).
+
+        **Contract:** the result is bitwise-identical to
+        ``[self.score(p) for p in zip(*columns)]`` — same IEEE-754
+        operations in the same per-element order.  Families whose math
+        vectorizes exactly (linear accumulation, abs/multiply distance
+        terms) override with NumPy implementations; everything else —
+        including any exponent that would route through ``pow``, whose
+        vectorized form is *not* bit-compatible with CPython's — keeps
+        this scalar fallback.
+        """
+        return [self.score(point) for point in zip(*columns)]
+
+    def min_over_boxes(self, lowers: Sequence, uppers: Sequence) -> Sequence[float]:
+        """Batched :meth:`min_over_box` over per-dimension edge columns.
+
+        ``lowers[d][i]`` / ``uppers[d][i]`` bound box ``i`` on dimension
+        ``d``.  Same bitwise contract as :meth:`eval_batch`, with
+        :meth:`min_over_box` as the scalar reference.  Edge values are
+        coerced to Python floats first (bit-preserving) so subclasses
+        without a vectorized override run their scalar math on exactly
+        the inputs the row path would hand them, even when the caller
+        gathered the edges into NumPy arrays.
+        """
+        return [
+            self.min_over_box([float(v) for v in lo], [float(v) for v in hi])
+            for lo, hi in zip(zip(*lowers), zip(*uppers))
+        ]
 
     def cache_key(self) -> tuple | None:
         """Value-based signature for cross-query bound memoization.
@@ -124,6 +176,26 @@ class LinearFunction(RankingFunction):
             lo if w >= 0 else hi for w, lo, hi in zip(self.weights, lower, upper)
         )
 
+    def eval_batch(self, columns: Sequence) -> Sequence[float]:
+        np = _numpy_for(columns)
+        if np is None:
+            return super().eval_batch(columns)
+        # mirror the scalar accumulation order exactly: sum() folds left
+        # from 0, then the offset is added last
+        acc = np.zeros(len(columns[0]), dtype=np.float64)
+        for w, col in zip(self.weights, columns):
+            acc = acc + w * col
+        return self.offset + acc
+
+    def min_over_boxes(self, lowers: Sequence, uppers: Sequence) -> Sequence[float]:
+        np = _numpy_for(lowers)
+        if np is None:
+            return super().min_over_boxes(lowers, uppers)
+        acc = np.zeros(len(lowers[0]), dtype=np.float64)
+        for w, lo, hi in zip(self.weights, lowers, uppers):
+            acc = acc + w * (lo if w >= 0 else hi)
+        return self.offset + acc
+
     def cache_key(self) -> tuple:
         return ("linear", self.dims, self.weights, self.offset)
 
@@ -170,15 +242,50 @@ class LpDistance(RankingFunction):
         self.weights = tuple(float(w) for w in weights)
 
     def score(self, point: Sequence[float]) -> float:
+        # The p=1 / p=2 families use plain abs/multiply instead of
+        # ``** p``: bit-for-bit reproducible in vectorized form, where
+        # ``pow`` is not (NumPy's power drifts from CPython's by an ulp
+        # on ~0.1% of inputs).  General exponents keep ``**`` and are
+        # scored by the scalar fallback in both forms.
+        if self.p == 2.0:
+            return sum(
+                w * ((x - t) * (x - t))
+                for w, x, t in zip(self.weights, point, self.target)
+            )
+        if self.p == 1.0:
+            return sum(
+                w * abs(x - t)
+                for w, x, t in zip(self.weights, point, self.target)
+            )
         return sum(
             w * abs(x - t) ** self.p
             for w, x, t in zip(self.weights, point, self.target)
         )
 
+    def eval_batch(self, columns: Sequence) -> Sequence[float]:
+        np = _numpy_for(columns)
+        if np is None or self.p not in (1.0, 2.0):
+            return super().eval_batch(columns)
+        acc = np.zeros(len(columns[0]), dtype=np.float64)
+        for w, col, t in zip(self.weights, columns, self.target):
+            d = col - t
+            acc = acc + (w * (d * d) if self.p == 2.0 else w * np.abs(d))
+        return acc
+
     def min_over_box(self, lower: Sequence[float], upper: Sequence[float]) -> float:
         # Separable: the per-dimension minimizer clamps the target into the
         # box, so the minimum has a closed form.
         return self.score(self.argmin_over_box(lower, upper))
+
+    def min_over_boxes(self, lowers: Sequence, uppers: Sequence) -> Sequence[float]:
+        np = _numpy_for(lowers)
+        if np is None or self.p not in (1.0, 2.0):
+            return super().min_over_boxes(lowers, uppers)
+        clamped = [
+            np.minimum(np.maximum(t, lo), hi)
+            for t, lo, hi in zip(self.target, lowers, uppers)
+        ]
+        return self.eval_batch(clamped)
 
     def argmin_over_box(
         self, lower: Sequence[float], upper: Sequence[float]
@@ -282,6 +389,24 @@ class NegatedFunction(RankingFunction):
 
     def score(self, point: Sequence[float]) -> float:
         return -self.inner.score(point)
+
+    def eval_batch(self, columns: Sequence) -> Sequence[float]:
+        # unary negation is exact, so the inner batch's contract carries
+        scores = self.inner.eval_batch(columns)
+        np = _numpy_for(columns)
+        if np is not None and isinstance(scores, np.ndarray):
+            return -scores
+        return [-s for s in scores]
+
+    def min_over_boxes(self, lowers: Sequence, uppers: Sequence) -> Sequence[float]:
+        if isinstance(self.inner, LinearFunction):
+            flipped = LinearFunction(
+                self.inner.dims,
+                [-w for w in self.inner.weights],
+                offset=-self.inner.offset,
+            )
+            return flipped.min_over_boxes(lowers, uppers)
+        return super().min_over_boxes(lowers, uppers)
 
     def min_over_box(self, lower: Sequence[float], upper: Sequence[float]) -> float:
         if isinstance(self.inner, LinearFunction):

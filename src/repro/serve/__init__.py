@@ -5,6 +5,8 @@ pseudo-block buffer); this package extends the amortization *across* a
 query stream and makes the read path safe for concurrent workers:
 
 * :class:`PseudoBlockCache` — shared LRU of decoded pseudo blocks,
+* :class:`ColumnarBlockCache` — shared LRU of decoded columnar base
+  blocks (the vectorized executor's evaluate step),
 * :class:`BoundMemo` — shared memo of block lower bounds ``f(bid)``,
 * :class:`QueryService` — worker-pool front end with ``submit`` /
   ``run_batch`` APIs and per-query latency/IO accounting,
@@ -19,7 +21,7 @@ per-layer cache attribution (``BENCH_serve.json``);
 against the unsharded baseline (``BENCH_shard.json``).
 """
 
-from .cache import BoundMemo, CacheStats, PseudoBlockCache
+from .cache import BoundMemo, CacheStats, ColumnarBlockCache, PseudoBlockCache
 from .service import (
     QueryRecord,
     QueryService,
@@ -35,6 +37,7 @@ from .sharded import (
 __all__ = [
     "BoundMemo",
     "CacheStats",
+    "ColumnarBlockCache",
     "PseudoBlockCache",
     "QueryRecord",
     "QueryService",

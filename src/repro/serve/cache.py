@@ -1,6 +1,6 @@
 """Cross-query caches for the serving layer.
 
-Two cache families let a query *stream* amortize work the paper's
+These cache families let a query *stream* amortize work the paper's
 executor only amortizes *within* one query:
 
 * :class:`PseudoBlockCache` — a memory-bounded, thread-safe LRU over
@@ -11,6 +11,11 @@ executor only amortizes *within* one query:
   append/refresh paths (see :meth:`repro.core.cube.RankingCube
   .add_invalidation_listener`); invalidation is conservative — any
   maintenance event drops every entry of the affected cuboids.
+* :class:`ColumnarBlockCache` — the same idea for the vectorized
+  executor's *evaluate* step: decoded struct-of-arrays base blocks
+  (:class:`repro.vector.ColumnarBlock`), keyed by the base table's
+  never-reused ``uid`` plus bid so stale generations miss by
+  construction.
 * :class:`BoundMemo` — memoizes the convex lower bound ``f(bid)`` per
   ``(ranking-function signature, grid signature)``.  The bound depends
   only on the function and the grid geometry, never on the data, so a
@@ -195,6 +200,123 @@ class PseudoBlockCache:
 
     def __len__(self) -> int:
         return self.resident_entries
+
+
+class ColumnarBlockCache:
+    """Memory-bounded LRU of decoded columnar base blocks (vector path).
+
+    The vectorized executor decodes each base block it evaluates into
+    struct-of-arrays form (:class:`repro.vector.ColumnarBlock`); this
+    cache shares those decodes across a query stream the way
+    :class:`PseudoBlockCache` shares pseudo-block decodes.  Keys pair the
+    base table's never-reused ``uid`` with the bid, so entries decoded
+    from a compacted-away table generation can never satisfy a lookup
+    against its replacement — invalidation on top of that is purely an
+    eager memory release.
+
+    A hit does **not** change a query's logical counters
+    (``blocks_accessed`` etc. still advance): the executor's
+    byte-identical-answers contract counts block *visits*, and the cache
+    only removes the physical fetch + decode behind one.
+
+    Parameters
+    ----------
+    capacity_blocks:
+        Maximum number of resident columnar blocks.
+    capacity_tuples:
+        Optional additional bound on total cached tuples (the dominant
+        memory cost); eviction runs until both bounds hold.
+    registry:
+        Metrics registry for the ``serve.cache.*`` counters (labeled
+        ``cache="columnar_block"``).
+    """
+
+    def __init__(
+        self,
+        capacity_blocks: int = 4096,
+        capacity_tuples: int | None = None,
+        registry: MetricsRegistry | None = None,
+    ):
+        if capacity_blocks < 1:
+            raise ValueError("capacity_blocks must be >= 1")
+        if capacity_tuples is not None and capacity_tuples < 1:
+            raise ValueError("capacity_tuples must be >= 1 (or None)")
+        self.capacity_blocks = capacity_blocks
+        self.capacity_tuples = capacity_tuples
+        self.stats = CacheStats(registry, cache="columnar_block")
+        self._lock = threading.Lock()
+        # (table uid, bid) -> ColumnarBlock
+        self._entries: OrderedDict[tuple[int, int], object] = OrderedDict()
+        self._resident_tuples = 0
+
+    # ------------------------------------------------------------------
+    def get(self, key: tuple[int, int]):
+        """The columnar block for ``(table uid, bid)``, or ``None``.
+
+        Returned blocks are shared across queries and must be treated as
+        immutable.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.inc("misses")
+                return None
+            self.stats.inc("hits")
+            self._entries.move_to_end(key)
+            return entry
+
+    def put(self, key: tuple[int, int], block) -> None:
+        """Insert a fully decoded block (idempotent per key)."""
+        size = len(block)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                return
+            if self.capacity_tuples is not None and size > self.capacity_tuples:
+                self.stats.inc("oversized_rejections")
+                return
+            self._entries[key] = block
+            self._resident_tuples += size
+            self.stats.inc("insertions")
+            while len(self._entries) > self.capacity_blocks or (
+                self.capacity_tuples is not None
+                and self._resident_tuples > self.capacity_tuples
+            ):
+                _key, victim = self._entries.popitem(last=False)
+                self._resident_tuples -= len(victim)
+                self.stats.inc("evictions")
+
+    # ------------------------------------------------------------------
+    def clear(self) -> int:
+        """Drop everything (counts as invalidation); returns entries dropped.
+
+        The uid-keyed design makes this optional for correctness — the
+        serving layer calls it on maintenance events to release memory
+        held by unreachable generations promptly.
+        """
+        with self._lock:
+            dropped = len(self._entries)
+            self.stats.inc("invalidations", dropped)
+            self._entries.clear()
+            self._resident_tuples = 0
+            return dropped
+
+    @property
+    def resident_blocks(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def resident_tuples(self) -> int:
+        with self._lock:
+            return self._resident_tuples
+
+    def __contains__(self, key: tuple[int, int]) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        return self.resident_blocks
 
 
 class BoundMemo:

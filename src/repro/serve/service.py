@@ -35,7 +35,7 @@ from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import Span, Tracer
 from ..relational.query import QueryResult, TopKQuery
 from ..relational.table import Table
-from .cache import BoundMemo, PseudoBlockCache
+from .cache import BoundMemo, ColumnarBlockCache, PseudoBlockCache
 
 #: Retained span trees when ``trace_spans`` is enabled (a ring buffer —
 #: profiling wants recent queries, not unbounded memory).
@@ -147,6 +147,15 @@ class QueryService:
         while it runs — swaps are atomic under the cube's state lock and
         the invalidation-listener protocol drops stale cache entries.
         :meth:`close` stops it.  Mutually exclusive with ``compactor``.
+    use_vector:
+        Serve through the vectorized columnar executor (see
+        ``RankingCubeExecutor.use_vector``).  Answers stay byte-identical
+        to row-path serving; with ``share_caches`` the service also
+        attaches a shared :class:`~repro.serve.cache.ColumnarBlockCache`
+        so decoded base blocks are reused across the stream.
+    columnar_cache:
+        Injected columnar block cache (vector mode only); built with
+        defaults when omitted and ``share_caches`` is on.
     """
 
     def __init__(
@@ -163,6 +172,8 @@ class QueryService:
         span_capacity: int = DEFAULT_SPAN_CAPACITY,
         compactor=None,
         auto_compact_delta: int | None = None,
+        use_vector: bool = False,
+        columnar_cache: ColumnarBlockCache | None = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -194,6 +205,15 @@ class QueryService:
         else:
             self.pseudo_cache = None
             self.bound_memo = None
+        self.use_vector = bool(use_vector)
+        if self.use_vector and share_caches:
+            self.columnar_cache = (
+                columnar_cache
+                if columnar_cache is not None
+                else ColumnarBlockCache(registry=self.registry)
+            )
+        else:
+            self.columnar_cache = columnar_cache if self.use_vector else None
         self._queries_counter = self.registry.counter("serve.service.queries")
         self._aborted_counter = self.registry.counter("serve.service.aborted")
         self._latency_hist = self.registry.histogram("serve.service.latency_s")
@@ -207,6 +227,8 @@ class QueryService:
             buffer_pseudo_blocks=buffer_pseudo_blocks,
             pseudo_cache=self.pseudo_cache,
             bound_memo=self.bound_memo,
+            use_vector=self.use_vector,
+            columnar_cache=self.columnar_cache,
         )
         self.stats = ServiceStats()
         self._stats_lock = threading.Lock()
@@ -219,6 +241,16 @@ class QueryService:
             cube.add_invalidation_listener(self._listener)
         else:
             self._listener = None
+        if self.columnar_cache is not None:
+            # conservative eager release: uid-keyed entries of a replaced
+            # table generation already miss by construction, but dropping
+            # them on any maintenance event frees their memory now
+            self._columnar_listener = (
+                lambda _names: self.columnar_cache.clear()
+            )
+            cube.add_invalidation_listener(self._columnar_listener)
+        else:
+            self._columnar_listener = None
         self.compactor = compactor
         self._owns_compactor = False
         if auto_compact_delta is not None:
@@ -331,6 +363,8 @@ class QueryService:
             self.pseudo_cache.clear()
         if self.bound_memo is not None:
             self.bound_memo.clear()
+        if self.columnar_cache is not None:
+            self.columnar_cache.clear()
 
     def cache_hit_rate(self) -> float:
         """Shared pseudo-block cache hit rate (0.0 when disabled)."""
@@ -356,6 +390,8 @@ class QueryService:
             self.compactor.close(wait=wait)
         if self._listener is not None:
             self.cube.remove_invalidation_listener(self._listener)
+        if self._columnar_listener is not None:
+            self.cube.remove_invalidation_listener(self._columnar_listener)
 
     def __enter__(self) -> "QueryService":
         return self

@@ -1,0 +1,37 @@
+"""Vectorized columnar block execution (ROADMAP open item 1).
+
+The per-tuple Python loops in block decode, bound evaluation, and
+frontier scoring are the system's hot path everywhere the benchmarks
+look.  This package batches them: a struct-of-arrays *columnar* layout
+for base blocks (:mod:`repro.vector.layout`) plus batched kernels over
+whole blocks (:mod:`repro.vector.kernels`) — decode, selection masking,
+score evaluation, corner-bound computation, and top-k selection.
+
+NumPy accelerates every kernel when available; a pure-stdlib fallback
+(``array``/``memoryview`` buffers, plain loops) keeps the package fully
+functional without it.  Either way the kernels are **bitwise-identical**
+to the row executor's scalar arithmetic — that equivalence contract is
+what lets ``use_vector=True`` switch the executor's evaluate step over
+wholesale while the row format stays behind as the property-tested
+oracle (see ``tests/properties/test_vector_equivalence.py``).
+"""
+
+from .layout import HAVE_NUMPY, ColumnarBlock, numpy_or_none
+from .kernels import (
+    apply_selection,
+    block_bounds,
+    decode_block,
+    eval_scores,
+    topk_select,
+)
+
+__all__ = [
+    "HAVE_NUMPY",
+    "ColumnarBlock",
+    "numpy_or_none",
+    "apply_selection",
+    "block_bounds",
+    "decode_block",
+    "eval_scores",
+    "topk_select",
+]

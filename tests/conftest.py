@@ -9,6 +9,23 @@ against them (see ``tests/obs/test_golden_traces.py``).  Run it after an
 import pytest
 
 
+def pytest_collection_modifyitems(config, items):
+    """Skip ``vector``-marked tests cleanly when NumPy is unavailable.
+
+    The columnar engine itself degrades to a stdlib fallback without
+    NumPy; the ``vector`` marker is for tests that exercise the NumPy
+    backend specifically.
+    """
+    from repro.vector.layout import HAVE_NUMPY
+
+    if HAVE_NUMPY:
+        return
+    skip = pytest.mark.skip(reason="NumPy not installed; vector backend tests skipped")
+    for item in items:
+        if "vector" in item.keywords:
+            item.add_marker(skip)
+
+
 def pytest_addoption(parser):
     parser.addoption(
         "--update-golden",
