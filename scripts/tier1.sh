@@ -29,6 +29,10 @@ set -e
 
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
+# Per-test wall-clock budget (stdlib SIGALRM watchdog, tests/conftest.py):
+# a wedged shard worker fails its one test with stack dumps instead of
+# stalling the whole gate.  Tests may tighten it with @pytest.mark.timeout.
+export REPRO_TEST_TIMEOUT="${REPRO_TEST_TIMEOUT:-300}"
 
 echo "== tier1 1/6: fast test suite =="
 python -m pytest -m "not slow and not serve and not faults" -q

@@ -132,7 +132,9 @@ def _compare_scenario(
     # construction (even the parallel ones — the layout is canonical), so
     # they get serial tolerances.  Fingerprints are strings; compare exact.
     # Shard scenarios replay serially with cold caches, so their counters
-    # are deterministic too.
+    # are deterministic too — in both modes: process-mode (proc_*) merge
+    # rounds are synchronous and worker stepping depends only on the
+    # shipped (kth, max_steps) and its own deterministic state.
     # Vector scenarios (row_*/vector_*) replay serially with cold caches
     # under the byte-identical-answers contract, so their counters are
     # deterministic too.
@@ -141,6 +143,7 @@ def _compare_scenario(
         or name.startswith("build_")
         or name == "unsharded"
         or name.startswith("shards_")
+        or name.startswith("proc_")
         or name.startswith("row_")
         or name.startswith("vector_")
     )
@@ -194,8 +197,11 @@ def compare_payloads(expected: dict, actual: dict, source: str) -> list[Violatio
         "parallel_identical",
         "parallel_faster",
         "shard_identical",
+        "process_identical",
         "hot_shard_below_baseline",
         "early_stop_engaged",
+        "process_faster_than_thread",
+        "sharded_beats_unsharded",
     ):
         if metric in expected and expected[metric] != actual.get(metric):
             violations.append(

@@ -12,15 +12,27 @@ measuring what horizontal sharding buys under the scatter-gather merge:
   plus the candidates a naive gather (full local top-k per shard, no
   early stop) would have examined — the gap is the early-stop saving.
 
+Each shard count runs in both serving modes (``modes`` config field /
+``--mode`` flag): ``shards_N`` scenarios step shards on threads inside
+one interpreter, ``proc_N`` scenarios run the process-per-shard tier
+(each shard's stack in its own worker process, length-prefixed pickle
+protocol).  Identity gates are unconditional — every scenario, either
+mode, must return byte-identical answers (``shard_identical`` /
+``process_identical``, exact gates in ``bench check``).  The wall-clock
+gates ``process_faster_than_thread`` and ``sharded_beats_unsharded``
+bind only on hosts with at least two usable cores (mirroring
+``BENCH_build``'s ``parallel_faster``): on one core a process per shard
+cannot beat anything, so single-core runs record the measured numbers
+but force the gates to pass.
+
 Every scenario replays serially with cold caches before each query (the
-paper's measurement regime), and the benchmark asserts all scenarios
-return identical answers (``shard_identical`` — an exact gate in
-``bench check``) before reporting.  Results land in ``BENCH_shard.json``.
+paper's measurement regime).  Results land in ``BENCH_shard.json``.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import asdict, dataclass
 
@@ -37,9 +49,14 @@ from ..workloads.synthetic import SyntheticSpec, generate
 class ShardBenchConfig:
     """Knobs of one sharded-serving benchmark run (fixed seed).
 
-    ``shard_counts`` is a comma-joined string (not a tuple) so the
-    config survives a JSON round-trip byte-identically — ``bench check``
-    compares the embedded config exactly.
+    ``shard_counts`` and ``modes`` are comma-joined strings (not
+    tuples/lists) so the config survives a JSON round-trip
+    byte-identically — ``bench check`` compares the embedded config
+    exactly.  ``enforce_speedup`` arms the wall-clock gates
+    (``process_faster_than_thread`` / ``sharded_beats_unsharded``); even
+    armed they bind only on hosts with two or more usable cores, and the
+    smoke config disarms them because worker-process overheads dominate
+    at toy sizes.  The identity gates bind always, everywhere.
     """
 
     num_tuples: int = 20_000
@@ -48,6 +65,8 @@ class ShardBenchConfig:
     popularity_skew: float = 1.1
     workers: int = 4
     shard_counts: str = "1,2,4,8"
+    modes: str = "thread,process"
+    enforce_speedup: bool = True
     cardinality: int = 8
     num_selection_dims: int = 3
     num_ranking_dims: int = 2
@@ -65,10 +84,26 @@ class ShardBenchConfig:
             distinct_queries=8,
             workers=2,
             shard_counts="1,2,4",
+            enforce_speedup=False,
         )
 
     def counts(self) -> list[int]:
         return [int(c) for c in self.shard_counts.split(",") if c]
+
+    def mode_list(self) -> list[str]:
+        modes = [m.strip() for m in self.modes.split(",") if m.strip()]
+        for mode in modes:
+            if mode not in ("thread", "process"):
+                raise ValueError(f"unknown serving mode {mode!r}")
+        return modes
+
+
+def _usable_cores() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
 
 
 @dataclass
@@ -76,6 +111,7 @@ class ShardScenarioReport:
     """One deployment's aggregate numbers over the replayed stream."""
 
     num_shards: int
+    mode: str
     queries: int
     wall_s: float
     throughput_qps: float
@@ -142,6 +178,7 @@ def run_unsharded(config: ShardBenchConfig, dataset, stream):
     reads = db.device.stats.reads
     report = ShardScenarioReport(
         num_shards=1,
+        mode="serial",
         queries=len(stream),
         wall_s=wall,
         throughput_qps=len(stream) / wall if wall > 0 else 0.0,
@@ -158,8 +195,37 @@ def run_unsharded(config: ShardBenchConfig, dataset, stream):
     return report, _signature(results)
 
 
-def run_sharded(config: ShardBenchConfig, dataset, stream, num_shards: int):
-    """Serial cold-cache replay through the scatter-gather service."""
+def _naive_candidates(config: ShardBenchConfig, cube, stream) -> int:
+    """What a naive gather would cost: every consulted shard computes its
+    full local top-k (untimed — reporting only).  Depends only on the
+    deployment layout, not on the serving mode."""
+    naive = 0
+    for query in stream:
+        for shard_id in cube.shard_map.shards_for_query(query.selections):
+            shard = cube.shards[shard_id]
+            if shard.cube is None:
+                continue
+            local = RankingCubeExecutor(shard.cube, shard.table).execute(query)
+            naive += local.candidates_examined
+    return naive
+
+
+def run_sharded(
+    config: ShardBenchConfig,
+    dataset,
+    stream,
+    num_shards: int,
+    mode: str = "thread",
+    naive: int | None = None,
+):
+    """Serial cold-cache replay through the scatter-gather service.
+
+    ``mode="process"`` serves the same deployment through the
+    process-per-shard tier; cold-cache eviction then goes through the
+    service (the workers' buffer pools are not reachable from here).
+    Returns ``(report, signatures, naive)`` so callers benchmarking both
+    modes can reuse the (mode-independent) naive-gather pass.
+    """
     cube = build_sharded(
         dataset.schema,
         dataset.rows,
@@ -170,11 +236,11 @@ def run_sharded(config: ShardBenchConfig, dataset, stream, num_shards: int):
     latencies, results = [], []
     hot_reads = 0
     with ShardedQueryService(
-        cube, workers=config.workers, share_caches=False
+        cube, workers=config.workers, share_caches=False, mode=mode
     ) as service:
         started = time.perf_counter()
         for query in stream:
-            cube.cold_cache()
+            service.cold_cache()
             t0 = time.perf_counter()
             result = service.submit(query).result()
             latencies.append(time.perf_counter() - t0)
@@ -185,19 +251,12 @@ def run_sharded(config: ShardBenchConfig, dataset, stream, num_shards: int):
             results.append(result)
         wall = time.perf_counter() - started
         stats = service.stats
-    # what a naive gather would cost: every consulted shard computes its
-    # full local top-k (untimed — reporting only)
-    naive = 0
-    for query in stream:
-        for shard_id in cube.shard_map.shards_for_query(query.selections):
-            shard = cube.shards[shard_id]
-            if shard.cube is None:
-                continue
-            local = RankingCubeExecutor(shard.cube, shard.table).execute(query)
-            naive += local.candidates_examined
+    if naive is None:
+        naive = _naive_candidates(config, cube, stream)
     count = max(1, len(stream))
     report = ShardScenarioReport(
         num_shards=num_shards,
+        mode=mode,
         queries=len(stream),
         wall_s=wall,
         throughput_qps=len(stream) / wall if wall > 0 else 0.0,
@@ -218,13 +277,14 @@ def run_sharded(config: ShardBenchConfig, dataset, stream, num_shards: int):
         merge_rounds_per_query=stats.total("merge_rounds") / count,
         shard_steps_per_query=stats.total("shard_steps") / count,
     )
-    return report, _signature(results)
+    return report, _signature(results), naive
 
 
 def run_shard_bench(config: ShardBenchConfig) -> dict:
     """Run every deployment over one shared stream; return JSON payload."""
     dataset = _dataset(config)
     stream = _stream(config, dataset.schema)
+    modes = config.mode_list()
 
     scenarios: dict[str, ShardScenarioReport] = {}
     signatures: dict[str, list] = {}
@@ -232,30 +292,79 @@ def run_shard_bench(config: ShardBenchConfig) -> dict:
         config, dataset, stream
     )
     for num_shards in config.counts():
-        name = f"shards_{num_shards}"
-        scenarios[name], signatures[name] = run_sharded(
-            config, dataset, stream, num_shards
-        )
+        naive = None
+        if "thread" in modes:
+            name = f"shards_{num_shards}"
+            scenarios[name], signatures[name], naive = run_sharded(
+                config, dataset, stream, num_shards, mode="thread"
+            )
+        if "process" in modes:
+            name = f"proc_{num_shards}"
+            scenarios[name], signatures[name], naive = run_sharded(
+                config, dataset, stream, num_shards, mode="process", naive=naive
+            )
 
     reference = signatures["unsharded"]
     shard_identical = all(sig == reference for sig in signatures.values())
-    baseline_reads = scenarios["unsharded"].device_reads_per_query
-    multi = [r for r in scenarios.values() if r.num_shards > 1]
-    hot_shard_below_baseline = bool(multi) and all(
-        r.hot_shard_reads_per_query < baseline_reads for r in multi
+    process_identical = all(
+        signatures[name] == reference
+        for name in signatures
+        if name.startswith("proc_")
     )
-    early_stop_engaged = bool(multi) and all(
-        r.candidates_per_query < r.naive_candidates_per_query for r in multi
+    baseline = scenarios["unsharded"]
+    thread_multi = [
+        r
+        for name, r in scenarios.items()
+        if name.startswith("shards_") and r.num_shards > 1
+    ]
+    proc_multi = [
+        r
+        for name, r in scenarios.items()
+        if name.startswith("proc_") and r.num_shards > 1
+    ]
+    hot_shard_below_baseline = bool(thread_multi) and all(
+        r.hot_shard_reads_per_query < baseline.device_reads_per_query
+        for r in thread_multi
+    )
+    early_stop_engaged = bool(thread_multi) and all(
+        r.candidates_per_query < r.naive_candidates_per_query
+        for r in thread_multi
+    )
+
+    # Wall-clock gates: meaningful only with real parallel hardware and
+    # both modes measured — otherwise recorded but forced to pass, like
+    # BENCH_build's parallel_faster.
+    cores = _usable_cores()
+    enforced = config.enforce_speedup and cores >= 2 and bool(proc_multi)
+    thread_by_shards = {r.num_shards: r for r in thread_multi}
+    process_faster_than_thread = (
+        all(
+            r.throughput_qps > thread_by_shards[r.num_shards].throughput_qps
+            for r in proc_multi
+            if r.num_shards in thread_by_shards
+        )
+        if enforced
+        else True
+    )
+    sharded_beats_unsharded = (
+        any(r.throughput_qps > baseline.throughput_qps for r in proc_multi)
+        if enforced
+        else True
     )
 
     return {
         "benchmark": "shard",
         "config": asdict(config),
         "scenarios": {name: asdict(r) for name, r in scenarios.items()},
+        "cpu_cores": cores,
+        "speedup_enforced": enforced,
         "shard_identical": shard_identical,
+        "process_identical": process_identical,
         "equivalent_answers": shard_identical,
         "hot_shard_below_baseline": hot_shard_below_baseline,
         "early_stop_engaged": early_stop_engaged,
+        "process_faster_than_thread": process_faster_than_thread,
+        "sharded_beats_unsharded": sharded_beats_unsharded,
     }
 
 
@@ -285,6 +394,14 @@ def format_shard_table(payload: dict) -> str:
         f"{payload['hot_shard_below_baseline']}; "
         f"early-stop merge engaged: {payload['early_stop_engaged']}"
     )
+    lines.append(
+        f"process identical: {payload['process_identical']}; "
+        f"process beats thread: {payload['process_faster_than_thread']}; "
+        f"sharded beats unsharded: {payload['sharded_beats_unsharded']} "
+        f"(wall-clock gates "
+        f"{'armed' if payload['speedup_enforced'] else 'off'} on "
+        f"{payload['cpu_cores']} core(s))"
+    )
     return "\n".join(lines)
 
 
@@ -299,6 +416,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--tuples", type=int, default=None)
     parser.add_argument("--queries", type=int, default=None)
     parser.add_argument("--shards", default=None, help="comma list, e.g. 1,2,4,8")
+    parser.add_argument(
+        "--mode",
+        choices=("thread", "process", "both"),
+        default=None,
+        help="serving mode(s) to benchmark (default: both)",
+    )
     parser.add_argument("--seed", type=int, default=None)
     parser.add_argument("--out", default="BENCH_shard.json", help="JSON output path")
     args = parser.parse_args(argv)
@@ -311,6 +434,10 @@ def main(argv: list[str] | None = None) -> int:
         overrides["num_queries"] = args.queries
     if args.shards is not None:
         overrides["shard_counts"] = args.shards
+    if args.mode is not None:
+        overrides["modes"] = (
+            "thread,process" if args.mode == "both" else args.mode
+        )
     if args.seed is not None:
         overrides["seed"] = args.seed
     if overrides:
@@ -321,6 +448,10 @@ def main(argv: list[str] | None = None) -> int:
         json.dump(payload, fh, indent=2)
     print(format_shard_table(payload))
     print(f"wrote {args.out}")
-    if not payload["shard_identical"]:
+    if not payload["shard_identical"] or not payload["process_identical"]:
+        return 1
+    if not payload["process_faster_than_thread"]:
+        return 1
+    if not payload["sharded_beats_unsharded"]:
         return 1
     return 0

@@ -92,6 +92,26 @@ class QueryAbortedError(StorageError):
         self.blocks_accessed = blocks_accessed
         self.cause = cause
 
+    def __reduce__(self):
+        # The default exception reduce replays ``cls(*args)`` and loses the
+        # keyword-only payload: unpickling would raise TypeError.  Aborts
+        # cross process boundaries in the sharded serving tier, so this
+        # error is wire format and must round-trip with its payload.
+        return (
+            _rebuild_query_aborted,
+            (str(self), self.partial_rows, self.blocks_accessed, self.cause),
+        )
+
+
+def _rebuild_query_aborted(message, partial_rows, blocks_accessed, cause):
+    """Unpickle hook for :class:`QueryAbortedError` (kwargs-only ctor)."""
+    return QueryAbortedError(
+        message,
+        partial_rows=partial_rows,
+        blocks_accessed=blocks_accessed,
+        cause=cause,
+    )
+
 
 @dataclass
 class ExecutorTrace:

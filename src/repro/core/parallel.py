@@ -20,11 +20,27 @@ tested in ``tests/properties/test_build_equivalence.py``).
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass
 from typing import Sequence
 
 from .blocks import BlockGrid
 from .pseudo import PseudoBlockMap
+
+
+def spawn_context() -> multiprocessing.context.BaseContext:
+    """The multiprocessing context every worker process in this repo uses.
+
+    ``spawn`` starts workers from a fresh interpreter instead of forking:
+    a forked child inherits the parent's locks and threads mid-state (the
+    serving layer runs background compactors and worker pools, so a fork
+    taken at the wrong instant can deadlock on a held registry or buffer
+    latch), while a spawned child re-imports and rebuilds its state from
+    pickled payloads only.  Both the parallel cube builder and the
+    process-per-shard serving tier boot workers from this context, so
+    "what a worker sees" is always "what was explicitly shipped to it".
+    """
+    return multiprocessing.get_context("spawn")
 
 
 @dataclass(frozen=True)
@@ -176,7 +192,9 @@ def compute_build_groups(
         (grid, list(specs), tids[start:stop], points[start:stop], sel_rows[start:stop])
         for start, stop in ranges
     ]
-    with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
+    with ProcessPoolExecutor(
+        max_workers=len(payloads), mp_context=spawn_context()
+    ) as pool:
         partials = list(pool.map(_shard_worker, payloads))
     base_groups, cuboid_groups = merge_partials(partials, len(specs))
     return BuildGroups(base_groups, cuboid_groups, shards=len(payloads))

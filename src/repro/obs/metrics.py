@@ -285,6 +285,45 @@ class MetricsRegistry:
                 if not isinstance(inst, Histogram)
             }
 
+    # ------------------------------------------------------------------
+    # cross-process aggregation
+    # ------------------------------------------------------------------
+    def counter_items(self) -> list[tuple[str, LabelItems, int | float]]:
+        """Structured ``(name, labels, value)`` rows for every counter.
+
+        Unlike :meth:`snapshot`, labels stay structured instead of being
+        flattened into the series key, so another registry can replay the
+        rows (optionally adding labels of its own) without string
+        parsing.  This is the form shard worker processes ship back to
+        the serving front end.
+        """
+        with self._lock:
+            return [
+                (inst.name, inst.labels, inst.value)
+                for inst in self._series.values()
+                if isinstance(inst, Counter)
+            ]
+
+    def merge_counter_items(
+        self,
+        items: Iterable[tuple[str, LabelItems, int | float]],
+        **extra_labels: str,
+    ) -> None:
+        """Fold structured counter rows into this registry.
+
+        Each row increments the same-named counter here; ``extra_labels``
+        are appended to every row's label set (the sharded front end adds
+        ``shard=<id>`` so per-worker series stay distinguishable after
+        aggregation).  Zero deltas are skipped so merging never mints
+        empty series.
+        """
+        for name, labels, value in items:
+            if not value:
+                continue
+            merged = dict(labels)
+            merged.update(extra_labels)
+            self._get_or_create(Counter, name, merged).inc(value)
+
     def reset(self) -> None:
         """Zero every series (keeps the series themselves registered)."""
         with self._lock:
@@ -293,6 +332,27 @@ class MetricsRegistry:
 
     def __len__(self) -> int:
         return len(self._series)
+
+
+def diff_counter_items(
+    before: Iterable[tuple[str, LabelItems, int | float]],
+    after: Iterable[tuple[str, LabelItems, int | float]],
+) -> list[tuple[str, LabelItems, int | float]]:
+    """Per-series deltas between two :meth:`MetricsRegistry.counter_items`
+    snapshots, dropping zero rows.
+
+    The worker side of the process serving tier snapshots its registry at
+    query start, diffs at query end, and ships only the delta — so the
+    front end aggregates exactly one query's worth of I/O per response no
+    matter how long the worker has been alive.
+    """
+    base = {(name, labels): value for name, labels, value in before}
+    deltas: list[tuple[str, LabelItems, int | float]] = []
+    for name, labels, value in after:
+        delta = value - base.get((name, labels), 0)
+        if delta:
+            deltas.append((name, labels, delta))
+    return deltas
 
 
 class RegistryStatsView:

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from .metrics import MetricsRegistry
 
@@ -198,6 +198,26 @@ class Tracer:
                 delta = value - before[metric]
                 if delta:
                     span.add(metric, delta)
+
+
+def adopt_spans(parent: Span | None, spans: Iterable[Span], **extra_attributes):
+    """Reparent completed span trees under ``parent``.
+
+    The process serving tier runs per-shard searches in worker processes;
+    each worker traces under its own registry and ships its finished root
+    spans back with the response.  The front end adopts them under its
+    ``shard_merge`` span so one query still renders as one tree in
+    ``bench profile`` and the golden-trace suite.  ``extra_attributes``
+    are stamped onto each adopted root (not its descendants) — e.g.
+    ``shard=<id>`` when the shipper did not label itself.  A ``None``
+    parent is a no-op so call sites stay unconditional.
+    """
+    if parent is None:
+        return
+    for span in spans:
+        if extra_attributes:
+            span.attributes.update(extra_attributes)
+        parent.children.append(span)
 
 
 def maybe_span(tracer: Tracer | None, name: str, **attributes):

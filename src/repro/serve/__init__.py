@@ -12,7 +12,10 @@ query stream and makes the read path safe for concurrent workers:
   ``run_batch`` APIs and per-query latency/IO accounting,
 * :class:`ShardedQueryService` — the same front end over a horizontally
   sharded deployment (:mod:`repro.shard`), scatter-gathering per-shard
-  progressive searches under a global early-termination bound.
+  progressive searches under a global early-termination bound.  With
+  ``mode="process"`` each shard's stack lives in a long-lived worker
+  process (:mod:`repro.serve.procpool`) speaking length-prefixed pickle
+  frames (:mod:`repro.serve.wire`) — same merge, no GIL on the steps.
 
 ``python -m repro.bench serve`` replays a skewed multi-tenant stream
 through these layers and reports throughput, latency percentiles, and
@@ -22,10 +25,12 @@ against the unsharded baseline (``BENCH_shard.json``).
 """
 
 from .cache import BoundMemo, CacheStats, ColumnarBlockCache, PseudoBlockCache
+from .procpool import ProcessShardPool, ProcPoolError, ShardWorkerHandle
 from .service import (
     QueryRecord,
     QueryService,
     ServiceClosedError,
+    ServiceOverloadedError,
     ServiceStats,
 )
 from .sharded import (
@@ -33,17 +38,24 @@ from .sharded import (
     ShardedQueryService,
     ShardedServiceStats,
 )
+from .wire import WireError, WorkerDiedError
 
 __all__ = [
     "BoundMemo",
     "CacheStats",
     "ColumnarBlockCache",
+    "ProcessShardPool",
+    "ProcPoolError",
     "PseudoBlockCache",
     "QueryRecord",
     "QueryService",
     "ServiceClosedError",
+    "ServiceOverloadedError",
     "ServiceStats",
+    "ShardWorkerHandle",
     "ShardedQueryRecord",
     "ShardedQueryService",
     "ShardedServiceStats",
+    "WireError",
+    "WorkerDiedError",
 ]

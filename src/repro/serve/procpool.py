@@ -1,0 +1,496 @@
+"""Process-per-shard workers for the sharded serving tier.
+
+Thread-mode scatter-gather (:class:`~repro.serve.sharded.ShardedQueryService`)
+is correct but GIL-bound: every shard's retrieve/evaluate loop runs in
+one interpreter, so multi-shard serving cannot beat the unsharded
+baseline on wall clock.  This module moves each shard's *entire* serving
+stack — :class:`~repro.storage.device.BlockDevice`, buffer pool, cube
+snapshot, shared caches — into a long-lived **worker process** that owns
+it exclusively:
+
+* **Bootstrap** — workers start from the spawn context
+  (:func:`repro.core.parallel.spawn_context`) and warm-start from the
+  shard's persisted :class:`~repro.persist.Workspace` snapshot, verified
+  against the SHA-256 pin in the shard manifest.  A respawned worker
+  therefore always serves byte-identical state to the one it replaces.
+* **Protocol** — length-prefixed pickle frames (:mod:`repro.serve.wire`)
+  over a :func:`multiprocessing.Pipe`; one request at a time per worker,
+  sessions keyed by request id so many front-end queries can interleave
+  rounds on one worker.
+* **Failure** — a worker death mid-conversation surfaces as a typed
+  :class:`~repro.serve.wire.WorkerDiedError`; the pool respawns the
+  worker from the pinned snapshot (bounded, with retries) while the
+  affected queries degrade to the
+  :class:`~repro.core.executor.QueryAbortedError` path.
+* **Observability** — the worker executes under its own process-local
+  :class:`~repro.obs.metrics.MetricsRegistry`; each closed session ships
+  the per-query counter deltas and completed span trees back, and the
+  front end folds them into its registry/span tree (see
+  ``ShardedQueryService``), so ``bench profile`` and the golden-trace
+  suite see one coherent tree per query.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+import time
+from pathlib import Path
+
+from ..core.executor import (
+    ExecutorTrace,
+    ProgressiveSearch,
+    RankingCubeExecutor,
+    _push_topk,
+)
+from ..core.parallel import spawn_context
+from ..obs.metrics import MetricsRegistry, diff_counter_items
+from ..obs.tracing import Tracer
+from ..storage.device import StorageError
+from . import wire
+
+#: Seconds the front end waits on a worker reply before declaring it dead.
+DEFAULT_WORKER_TIMEOUT = 60.0
+#: Seconds a fresh worker gets to load its snapshot and report ready.
+DEFAULT_START_TIMEOUT = 120.0
+#: Respawn attempts before the pool gives a shard up as unservable.
+DEFAULT_RESPAWN_RETRIES = 2
+
+
+class ProcPoolError(RuntimeError):
+    """Pool misuse or an unservable shard (respawn retries exhausted)."""
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+class _Session:
+    """One open progressive search inside a worker."""
+
+    __slots__ = (
+        "request_id", "search", "trace", "tracer", "io_before",
+        "counters_before", "local_topk", "k", "rounds",
+    )
+
+    def __init__(self, request_id, search, trace, tracer, io_before, counters_before, k):
+        self.request_id = request_id
+        self.search = search
+        self.trace = trace
+        self.tracer = tracer
+        self.io_before = io_before
+        self.counters_before = counters_before
+        self.local_topk: list[tuple[float, int]] = []
+        self.k = k
+        self.rounds = 0
+
+
+def _verify_pinned_snapshot(directory: Path, entry: dict) -> bytes:
+    """Read a shard snapshot and check it against its manifest pin."""
+    from ..persist import PersistError
+
+    path = directory / entry["file"]
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise PersistError(f"missing shard snapshot {entry['file']!r}: {exc}") from exc
+    digest = hashlib.sha256(data).hexdigest()
+    if digest != entry["sha256"]:
+        raise PersistError(
+            f"shard snapshot {entry['file']!r} does not match its manifest "
+            f"pin (expected {entry['sha256'][:12]}…, found {digest[:12]}…)"
+        )
+    return data
+
+
+def _bootstrap_stack(directory: str, entry: dict, cube_name: str, options: dict):
+    """Load the pinned snapshot and assemble the shard's serving stack."""
+    from ..persist import Workspace
+    from .cache import BoundMemo, PseudoBlockCache
+
+    directory = Path(directory)
+    _verify_pinned_snapshot(directory, entry)
+    workspace = Workspace.load(directory / entry["file"])
+    db = workspace.db
+    table = db.table(cube_name)
+    cube = workspace.cubes[cube_name]
+    registry = getattr(db.pool, "registry", None) or MetricsRegistry()
+    if options.get("share_caches", True):
+        pseudo_cache = PseudoBlockCache(registry=registry)
+        bound_memo = BoundMemo(registry=registry)
+    else:
+        pseudo_cache = bound_memo = None
+    executor = RankingCubeExecutor(
+        cube,
+        table,
+        buffer_pseudo_blocks=options.get("buffer_pseudo_blocks", True),
+        pseudo_cache=pseudo_cache,
+        bound_memo=bound_memo,
+    )
+    return db, executor, registry, pseudo_cache, bound_memo
+
+
+def _run_batch(session: _Session, kth: float | None, max_steps: int):
+    """Step a session's search under the merge's continue rules.
+
+    Stops at ``max_steps``, at exhaustion, when the global bound prunes
+    the shard (``best_unseen > kth``, the strict complement of the
+    thread-mode merge's non-strict continue), or when the shard's *local*
+    top-k is certified — locally certified means no further step can
+    change this shard's contribution to any global answer, which is
+    exactly where the naive per-shard executor stops too.
+    """
+    search = session.search
+    scored: list[tuple[float, int]] = []
+    steps = 0
+    while steps < max_steps and not search.exhausted:
+        bound = search.best_unseen
+        if kth is not None and bound > kth:
+            break
+        if len(session.local_topk) >= session.k and bound > -session.local_topk[0][0]:
+            break
+        for score, tid in search.step():
+            _push_topk(session.local_topk, session.k, score, tid)
+            scored.append((score, tid))
+        steps += 1
+    return scored, steps
+
+
+def _shard_worker_main(conn, directory: str, entry: dict, cube_name: str, options: dict):
+    """Worker process entry point: bootstrap, then the request loop."""
+    shard_id = int(entry["shard_id"])
+    try:
+        db, executor, registry, pseudo_cache, bound_memo = _bootstrap_stack(
+            directory, entry, cube_name, options
+        )
+    except Exception as exc:
+        try:
+            wire.send_msg(conn, wire.WorkerFault(request_id=None, error=exc))
+        finally:
+            conn.close()
+        return
+    wire.send_msg(conn, wire.Pong(shard_id=shard_id, pid=os.getpid(), rows=int(entry["rows"])))
+
+    sessions: dict[int, _Session] = {}
+    while True:
+        try:
+            msg = wire.recv_msg(conn)
+        except (EOFError, OSError):
+            break
+        try:
+            reply = _dispatch(
+                msg, sessions, db, executor, registry, pseudo_cache,
+                bound_memo, shard_id,
+            )
+        except (StorageError, wire.WireError) as exc:
+            reply = wire.WorkerFault(
+                request_id=getattr(msg, "request_id", None),
+                error=exc,
+                blocks_accessed=_session_blocks(sessions, msg),
+            )
+        except Exception as exc:  # never die silently on a bad request
+            reply = wire.WorkerFault(
+                request_id=getattr(msg, "request_id", None), error=exc
+            )
+        if reply is None:  # Shutdown
+            break
+        try:
+            wire.send_msg(conn, reply)
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+def _session_blocks(sessions: dict, msg) -> int:
+    session = sessions.get(getattr(msg, "request_id", None))
+    return session.search.result.blocks_accessed if session is not None else 0
+
+
+def _dispatch(msg, sessions, db, executor, registry, pseudo_cache, bound_memo, shard_id):
+    if isinstance(msg, wire.OpenSearch):
+        if msg.request_id in sessions:
+            raise wire.WireError(f"session {msg.request_id} already open")
+        tracer = Tracer(registry) if msg.trace else None
+        trace = ExecutorTrace()
+        io_before = db.io_snapshot()
+        counters_before = registry.counter_items()
+        search = ProgressiveSearch(executor, msg.query, trace)
+        session = _Session(
+            msg.request_id, search, trace, tracer, io_before, counters_before,
+            msg.query.k,
+        )
+        sessions[msg.request_id] = session
+        return _step_session(session, msg.kth, msg.max_steps, shard_id, opening=True)
+    if isinstance(msg, wire.StepBatch):
+        session = sessions.get(msg.request_id)
+        if session is None:
+            raise wire.WireError(f"no open session {msg.request_id}")
+        return _step_session(session, msg.kth, msg.max_steps, shard_id, opening=False)
+    if isinstance(msg, wire.CloseSearch):
+        session = sessions.pop(msg.request_id, None)
+        if session is None:
+            raise wire.WireError(f"no open session {msg.request_id}")
+        result = session.search.result
+        return wire.SearchClosed(
+            request_id=msg.request_id,
+            blocks_accessed=result.blocks_accessed,
+            candidates_examined=result.candidates_examined,
+            tuples_examined=result.tuples_examined,
+            device_reads=db.io_since(session.io_before).reads,
+            counter_deltas=diff_counter_items(
+                session.counters_before, registry.counter_items()
+            ),
+            spans=list(session.tracer.roots) if session.tracer is not None else [],
+        )
+    if isinstance(msg, wire.ColdCache):
+        db.cold_cache()
+        if pseudo_cache is not None:
+            pseudo_cache.clear()
+        if bound_memo is not None:
+            bound_memo.clear()
+        return wire.Ack()
+    if isinstance(msg, wire.Ping):
+        return wire.Pong(shard_id=shard_id, pid=os.getpid(), rows=0)
+    if isinstance(msg, wire.Shutdown):
+        return None
+    raise wire.WireError(f"unknown request {type(msg).__name__}")
+
+
+def _step_session(session: _Session, kth, max_steps, shard_id, *, opening: bool):
+    """Run one batch (plus delta rows when opening), traced if requested."""
+    delta_rows: list[tuple[float, int]] = []
+    if session.tracer is not None:
+        with session.tracer.span(
+            "shard_batch", shard=shard_id, round=session.rounds
+        ) as span:
+            if opening:
+                delta_rows = session.search.delta_rows()
+            scored, steps = _run_batch(session, kth, max_steps)
+            span.add_many(steps=steps, scored=len(scored))
+            if opening:
+                span.add("delta_rows", len(delta_rows))
+    else:
+        if opening:
+            delta_rows = session.search.delta_rows()
+        scored, steps = _run_batch(session, kth, max_steps)
+    for score, tid in delta_rows:
+        _push_topk(session.local_topk, session.k, score, tid)
+    session.rounds += 1
+    return wire.SearchBatch(
+        request_id=session.request_id,
+        scored=scored,
+        best_unseen=session.search.best_unseen,
+        exhausted=session.search.exhausted,
+        steps=steps,
+        delta_rows=delta_rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# front-end side
+# ----------------------------------------------------------------------
+class ShardWorkerHandle:
+    """Parent-side endpoint of one shard worker process."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        entry: dict,
+        cube_name: str,
+        options: dict,
+        *,
+        timeout: float = DEFAULT_WORKER_TIMEOUT,
+        start_timeout: float = DEFAULT_START_TIMEOUT,
+    ):
+        self.shard_id = int(entry["shard_id"])
+        self.entry = entry
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        ctx = spawn_context()
+        self._conn, child_conn = ctx.Pipe()
+        self.process = ctx.Process(
+            target=_shard_worker_main,
+            args=(child_conn, str(directory), dict(entry), cube_name, dict(options)),
+            name=f"repro-shard-worker-{self.shard_id}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        try:
+            ready = wire.recv_msg(self._conn, timeout=start_timeout)
+        except (TimeoutError, EOFError, OSError) as exc:
+            self.kill()
+            raise wire.WorkerDiedError(
+                f"shard {self.shard_id} worker never came up: {exc}",
+                shard_id=self.shard_id,
+            ) from exc
+        if isinstance(ready, wire.WorkerFault):
+            self.kill()
+            raise ready.error
+        if not isinstance(ready, wire.Pong):
+            self.kill()
+            raise wire.WireError(f"unexpected ready message {ready!r}")
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def request(self, message, timeout: float | None = None):
+        """One send/receive round trip; raises WorkerDiedError on hangup."""
+        deadline = self.timeout if timeout is None else timeout
+        with self._lock:
+            try:
+                wire.send_msg(self._conn, message)
+                reply = wire.recv_msg(self._conn, timeout=deadline)
+            except (EOFError, OSError, TimeoutError) as exc:
+                raise wire.WorkerDiedError(
+                    f"shard {self.shard_id} worker died mid-request "
+                    f"({type(message).__name__}): {exc}",
+                    shard_id=self.shard_id,
+                ) from exc
+        if isinstance(reply, wire.WorkerFault):
+            raise reply.error
+        return reply
+
+    def kill(self) -> None:
+        """Hard-stop the process and close the pipe (idempotent)."""
+        try:
+            if self.process.is_alive():
+                self.process.kill()
+            self.process.join(timeout=5.0)
+        finally:
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Orderly stop; falls back to kill when the worker does not exit."""
+        try:
+            with self._lock:
+                wire.send_msg(self._conn, wire.Shutdown())
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=timeout)
+        if self.process.is_alive():
+            self.kill()
+
+
+class ProcessShardPool:
+    """All shard workers of one process-mode service, plus respawn logic."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        manifest: dict,
+        *,
+        options: dict | None = None,
+        timeout: float = DEFAULT_WORKER_TIMEOUT,
+        respawn_retries: int = DEFAULT_RESPAWN_RETRIES,
+        registry: MetricsRegistry | None = None,
+        fault_hook=None,
+    ):
+        self.directory = Path(directory)
+        self.manifest = manifest
+        self.cube_name = manifest["name"]
+        self.options = dict(options or {})
+        self.timeout = timeout
+        self.respawn_retries = respawn_retries
+        self.registry = registry if registry is not None else MetricsRegistry()
+        #: test seam: ``fault_hook(point, shard_id)`` fires at protocol
+        #: points ("respawn" here; the service adds scatter/merge points)
+        self.fault_hook = fault_hook
+        self._handles: dict[int, ShardWorkerHandle] = {}
+        self._respawn_locks: dict[int, threading.Lock] = {}
+        self._closed = False
+        for entry in manifest["shards"]:
+            if entry["rows"] == 0:
+                continue  # empty shard: no cube, nothing to serve
+            shard_id = int(entry["shard_id"])
+            self._respawn_locks[shard_id] = threading.Lock()
+            self._handles[shard_id] = self._spawn(entry)
+
+    def _spawn(self, entry: dict) -> ShardWorkerHandle:
+        return ShardWorkerHandle(
+            self.directory, entry, self.cube_name, self.options,
+            timeout=self.timeout,
+        )
+
+    def _entry(self, shard_id: int) -> dict:
+        for entry in self.manifest["shards"]:
+            if int(entry["shard_id"]) == shard_id:
+                return entry
+        raise ProcPoolError(f"no manifest entry for shard {shard_id}")
+
+    @property
+    def shard_ids(self) -> list[int]:
+        return sorted(self._handles)
+
+    def handle(self, shard_id: int) -> ShardWorkerHandle:
+        """The live handle for a shard, respawning a dead worker first."""
+        handle = self._handles.get(shard_id)
+        if handle is None:
+            raise ProcPoolError(f"shard {shard_id} has no worker (empty shard?)")
+        if not handle.alive:
+            return self.respawn(shard_id)
+        return handle
+
+    def respawn(self, shard_id: int) -> ShardWorkerHandle:
+        """Replace a dead worker from its pinned snapshot (bounded retries).
+
+        Thread-safe and idempotent: concurrent callers for the same shard
+        serialize on a per-shard lock, and a handle that is already alive
+        again (someone else respawned it first) is returned as-is.
+        """
+        if self._closed:
+            raise ProcPoolError("pool is closed")
+        lock = self._respawn_locks[shard_id]
+        with lock:
+            handle = self._handles.get(shard_id)
+            if handle is not None and handle.alive:
+                return handle
+            entry = self._entry(shard_id)
+            started = time.perf_counter()
+            last_error: Exception | None = None
+            for _attempt in range(self.respawn_retries + 1):
+                if handle is not None:
+                    handle.kill()
+                try:
+                    handle = self._spawn(entry)
+                    if self.fault_hook is not None:
+                        self.fault_hook("respawn", shard_id)
+                    # health-check the fresh worker: a hook (or a crash
+                    # during bootstrap races) may have killed it already
+                    handle.request(wire.Ping(), timeout=self.timeout)
+                except (wire.WorkerDiedError, OSError) as exc:
+                    last_error = exc
+                    continue
+                self._handles[shard_id] = handle
+                self.registry.counter(
+                    "shard.pool.respawns", shard=str(shard_id)
+                ).inc()
+                self.registry.histogram("shard.pool.respawn_s").observe(
+                    time.perf_counter() - started
+                )
+                return handle
+            raise ProcPoolError(
+                f"shard {shard_id} worker could not be respawned after "
+                f"{self.respawn_retries + 1} attempt(s): {last_error}"
+            )
+
+    def cold_cache(self) -> None:
+        """Drop every worker's buffered pages and caches (bench regime)."""
+        for shard_id in self.shard_ids:
+            self.handle(shard_id).request(wire.ColdCache())
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._handles.values():
+            handle.shutdown()
+        self._handles.clear()

@@ -46,6 +46,15 @@ class ServiceClosedError(RuntimeError):
     """Raised when submitting to a closed :class:`QueryService`."""
 
 
+class ServiceOverloadedError(RuntimeError):
+    """Admission control rejected a query: too many already in flight.
+
+    Raised by services configured with ``max_inflight`` instead of
+    queueing without bound — the caller sees backpressure immediately
+    and can shed, retry, or route elsewhere.
+    """
+
+
 def _storage_registry(cube: RankingCube) -> MetricsRegistry | None:
     """The metrics registry of the storage tree under ``cube``, if any.
 

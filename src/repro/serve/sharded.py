@@ -33,14 +33,35 @@ are untouched.  Each shard keeps its **own** pseudo-block cache and
 bound memo (cuboid names and pids collide across shards, so sharing one
 cache would alias entries); each cache registers on its shard's storage
 registry and as an invalidation listener on its shard's cube.
+
+Two execution modes share the merge logic:
+
+* ``mode="thread"`` (default) — per-shard searches step on a thread
+  pool inside this interpreter.  Correct, cache-warm, but GIL-bound:
+  shard steps serialize on the interpreter lock.
+* ``mode="process"`` — each shard's whole stack (device, buffer pool,
+  cube snapshot, caches) lives in a long-lived worker **process**
+  (:mod:`repro.serve.procpool`), warm-started from a SHA-256-pinned
+  shard snapshot, speaking length-prefixed pickle frames
+  (:mod:`repro.serve.wire`).  The merge loop is unchanged — it just
+  steps shards in *batches* per round trip, refreshing the global k-th
+  bound between rounds — so answers are byte-identical to thread mode
+  (property-tested).  Worker-side metrics and span trees ship back with
+  each response and are folded into the front-end registry/trace.  The
+  front end adds admission control (``max_inflight``) and duplicate
+  in-flight query coalescing.
 """
 
 from __future__ import annotations
 
+import pickle
+import shutil
+import tempfile
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
+from itertools import count
 
 from ..core.executor import (
     ExecutorTrace,
@@ -51,12 +72,18 @@ from ..core.executor import (
     _rows_from_heap,
 )
 from ..obs.metrics import MetricsRegistry
-from ..obs.tracing import Span, Tracer, maybe_span
+from ..obs.tracing import Span, Tracer, adopt_spans, maybe_span
 from ..relational.query import QueryResult, ResultRow, ShardIO, TopKQuery
 from ..shard.builder import CubeShard, ShardedCube
 from ..storage.device import StorageError
+from . import wire
 from .cache import BoundMemo, PseudoBlockCache
-from .service import DEFAULT_SPAN_CAPACITY, ServiceClosedError
+from .procpool import ProcessShardPool, ProcPoolError
+from .service import (
+    DEFAULT_SPAN_CAPACITY,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
 
 
 @dataclass(frozen=True)
@@ -147,10 +174,41 @@ class ShardedQueryService:
         Service-level metrics spine: global query/abort/latency series
         plus per-shard *labeled* series (``shard.service.steps`` etc.,
         one series per ``shard=<id>`` label).  Private when omitted —
-        shard storage trees keep their own registries either way.
+        shard storage trees keep their own registries either way.  In
+        process mode, worker-side per-query counter deltas are merged in
+        under an added ``shard=<id>`` label.
     trace_spans:
         Retain per-query span trees (``query`` → ``shard_merge``) in
-        :attr:`spans`, a bounded ring like the unsharded service's.
+        :attr:`spans`, a bounded ring like the unsharded service's.  In
+        process mode the workers' ``shard_batch`` spans are shipped back
+        and adopted under the merge span.
+    mode:
+        ``"thread"`` (default) or ``"process"`` — see the module
+        docstring.  Process mode snapshots the deployment at
+        construction time: rows appended to ``cube`` afterwards are not
+        visible to the workers until a new service is built.
+    spill_dir:
+        Process mode only: directory holding (or to hold) the pinned
+        per-shard snapshots.  When omitted the service spills to a
+        private temporary directory and removes it on :meth:`close`; an
+        existing directory with a manifest is reused as-is (workers
+        verify the SHA-256 pins either way).
+    max_inflight:
+        Admission control: queries allowed in flight at once before
+        :meth:`submit` raises :class:`ServiceOverloadedError`
+        (``None`` = unbounded, the default).
+    coalesce:
+        Share one execution among identical in-flight queries (their
+        futures all resolve to the same result).  No effect on answers,
+        only amortization.  Defaults to on in process mode and off in
+        thread mode, where repeated identical queries are how callers
+        deliberately warm the per-shard caches.
+    step_batch / worker_timeout_s / fault_hook:
+        Process-mode tuning: frontier steps per worker round trip, the
+        reply deadline after which a worker is declared dead, and a test
+        seam called as ``fault_hook(point, shard_id)`` at protocol
+        points (``"scatter"`` / ``"merge_round"`` / ``"finish"`` /
+        ``"respawn"``).
     """
 
     def __init__(
@@ -163,11 +221,21 @@ class ShardedQueryService:
         registry: MetricsRegistry | None = None,
         trace_spans: bool = False,
         span_capacity: int = DEFAULT_SPAN_CAPACITY,
+        mode: str = "thread",
+        spill_dir: str | None = None,
+        max_inflight: int | None = None,
+        coalesce: bool | None = None,
+        step_batch: int = wire.DEFAULT_STEP_BATCH,
+        worker_timeout_s: float = 60.0,
+        fault_hook=None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if mode not in ("thread", "process"):
+            raise ValueError(f"mode must be 'thread' or 'process', got {mode!r}")
         self.cube = cube
         self.workers = workers
+        self.mode = mode
         self.share_caches = share_caches
         self.buffer_pseudo_blocks = buffer_pseudo_blocks
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -176,15 +244,32 @@ class ShardedQueryService:
         self.spans: list[Span] = []
         self.stats = ShardedServiceStats()
         self._stats_lock = threading.Lock()
+        self.max_inflight = max_inflight
+        self.coalesce = coalesce if coalesce is not None else mode == "process"
+        self.step_batch = step_batch
+        self._fault_hook = fault_hook
+        self._inflight_lock = threading.Lock()
+        self._inflight_count = 0
+        self._inflight: dict[bytes, Future] = {}
+        self._request_ids = count(1)
         self._contexts: dict[int, _ShardContext] = {}
         self._contexts_lock = threading.Lock()
-        for shard in cube.shards:
-            if shard.cube is not None:
-                self._contexts[shard.shard_id] = _ShardContext(
-                    shard, share_caches, buffer_pseudo_blocks
-                )
+        self._proc_pool: ProcessShardPool | None = None
+        self._owned_spill_dir: str | None = None
+        if mode == "thread":
+            for shard in cube.shards:
+                if shard.cube is not None:
+                    self._contexts[shard.shard_id] = _ShardContext(
+                        shard, share_caches, buffer_pseudo_blocks
+                    )
+        else:
+            self._proc_pool = self._start_proc_pool(
+                spill_dir, worker_timeout_s, fault_hook
+            )
         self._queries_counter = self.registry.counter("shard.service.queries")
         self._aborted_counter = self.registry.counter("shard.service.aborted")
+        self._coalesced_counter = self.registry.counter("shard.service.coalesced")
+        self._overloaded_counter = self.registry.counter("shard.service.overloaded")
         self._latency_hist = self.registry.histogram("shard.service.latency_s")
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-shard-serve"
@@ -196,14 +281,75 @@ class ShardedQueryService:
         )
         self._closed = False
 
+    def _start_proc_pool(
+        self, spill_dir: str | None, worker_timeout_s: float, fault_hook
+    ) -> ProcessShardPool:
+        """Spill the deployment (unless already pinned) and boot workers."""
+        from ..persist import SHARD_MANIFEST, ShardedWorkspace
+        import json
+        from pathlib import Path
+
+        if spill_dir is None:
+            spill_dir = tempfile.mkdtemp(prefix="repro-shard-spill-")
+            self._owned_spill_dir = spill_dir
+        directory = Path(spill_dir)
+        manifest_path = directory / SHARD_MANIFEST
+        if manifest_path.exists():
+            manifest = json.loads(manifest_path.read_text())
+        else:
+            manifest = ShardedWorkspace(cube=self.cube).save(directory)
+        return ProcessShardPool(
+            directory,
+            manifest,
+            options={
+                "share_caches": self.share_caches,
+                "buffer_pseudo_blocks": self.buffer_pseudo_blocks,
+            },
+            timeout=worker_timeout_s,
+            registry=self.registry,
+            fault_hook=fault_hook,
+        )
+
     # ------------------------------------------------------------------
     # serving APIs
     # ------------------------------------------------------------------
     def submit(self, query: TopKQuery) -> "Future[QueryResult]":
-        """Enqueue one query; the future resolves to its merged answer."""
+        """Enqueue one query; the future resolves to its merged answer.
+
+        Applies admission control (``max_inflight``) and duplicate
+        coalescing: an identical query already in flight returns the
+        *same* future instead of executing again.
+        """
         if self._closed:
             raise ServiceClosedError("ShardedQueryService is closed")
-        return self._pool.submit(self._run_one, query)
+        key = pickle.dumps(query) if self.coalesce else None
+        with self._inflight_lock:
+            if key is not None:
+                existing = self._inflight.get(key)
+                if existing is not None:
+                    self._coalesced_counter.inc()
+                    return existing
+            if (
+                self.max_inflight is not None
+                and self._inflight_count >= self.max_inflight
+            ):
+                self._overloaded_counter.inc()
+                raise ServiceOverloadedError(
+                    f"{self._inflight_count} query(ies) already in flight "
+                    f"(max_inflight={self.max_inflight})"
+                )
+            future = self._pool.submit(self._run_one, query)
+            self._inflight_count += 1
+            if key is not None:
+                self._inflight[key] = future
+        future.add_done_callback(lambda _f, key=key: self._release_inflight(key))
+        return future
+
+    def _release_inflight(self, key: bytes | None) -> None:
+        with self._inflight_lock:
+            self._inflight_count -= 1
+            if key is not None:
+                self._inflight.pop(key, None)
 
     def run_batch(self, queries) -> list[QueryResult]:
         """Run a batch concurrently, returning answers in request order."""
@@ -239,7 +385,12 @@ class ShardedQueryService:
             ranking=",".join(query.ranking.dims),
         ) as query_span:
             try:
-                result, rounds, steps = self._scatter_gather(query, tracer)
+                if self.mode == "process":
+                    result, rounds, steps = self._scatter_gather_process(
+                        query, tracer
+                    )
+                else:
+                    result, rounds, steps = self._scatter_gather(query, tracer)
             except QueryAbortedError as exc:
                 self._retain_spans(tracer)
                 self._record(
@@ -351,6 +502,219 @@ class ShardedQueryService:
         result = self._finalize(query, topk, searches, io_before)
         return result, rounds, steps
 
+    # ------------------------------------------------------------------
+    # process-mode scatter-gather
+    # ------------------------------------------------------------------
+    def _fault(self, point: str, shard_id: int) -> None:
+        if self._fault_hook is not None:
+            self._fault_hook(point, shard_id)
+
+    def _absorb_batch(
+        self,
+        states: dict,
+        topk: list[tuple[float, int]],
+        k: int,
+        shard: CubeShard,
+        batch: "wire.SearchBatch",
+    ) -> int:
+        """Fold one worker round into the global heap + per-shard state.
+
+        A batch with ``steps == 0`` that is not exhausted means the
+        worker certified its *local* top-k (its stop rules are otherwise
+        the strict complement of our eligibility check, evaluated on the
+        same bound and the same shipped ``kth``) — no further step can
+        change this shard's contribution, so it leaves the frontier.
+        """
+        for score, local_tid in batch.scored:
+            _push_topk(topk, k, score, shard.to_global(local_tid))
+        states[shard.shard_id] = {
+            "best_unseen": batch.best_unseen,
+            "done": batch.exhausted or batch.steps == 0,
+        }
+        if batch.steps:
+            self.registry.counter(
+                "shard.service.steps", shard=str(shard.shard_id)
+            ).inc(batch.steps)
+        return batch.steps
+
+    def _scatter_gather_process(
+        self, query: TopKQuery, tracer: Tracer | None
+    ) -> tuple[QueryResult, int, int]:
+        """The same merge loop, one pipe round trip per shard per round."""
+        pool = self._proc_pool
+        assert pool is not None
+        available = set(pool.shard_ids)
+        targets = [
+            sid
+            for sid in self.cube.shard_map.shards_for_query(query.selections)
+            if sid in available
+        ]
+        request_id = next(self._request_ids)
+        want_trace = tracer is not None
+        topk: list[tuple[float, int]] = []
+        states: dict[int, dict] = {}
+        handles: dict[int, object] = {}
+        opened: list[int] = []
+        rounds = 0
+        steps = 0
+        try:
+            with maybe_span(
+                tracer, "shard_merge", shards=list(targets)
+            ) as merge_span:
+                # scatter: open one session per shard, first batch included
+                def _open(sid: int):
+                    self._fault("scatter", sid)
+                    handle = pool.handle(sid)
+                    handles[sid] = handle
+                    return handle.request(
+                        wire.OpenSearch(
+                            request_id=request_id,
+                            query=query,
+                            kth=None,
+                            max_steps=self.step_batch,
+                            trace=want_trace,
+                        )
+                    )
+
+                if len(targets) <= 1:
+                    batches = [(sid, _open(sid)) for sid in targets]
+                else:
+                    futures = [
+                        (sid, self._step_pool.submit(_open, sid))
+                        for sid in targets
+                    ]
+                    batches = [(sid, f.result()) for sid, f in futures]
+                for sid, batch in batches:
+                    opened.append(sid)
+                    shard = self.cube.shards[sid]
+                    # delta rows carry no block bound: merge unconditionally
+                    for score, local_tid in batch.delta_rows:
+                        _push_topk(topk, query.k, score, shard.to_global(local_tid))
+                    steps += self._absorb_batch(states, topk, query.k, shard, batch)
+
+                # gather: step eligible shards in batches, refreshing kth
+                while True:
+                    kth = -topk[0][0] if len(topk) >= query.k else None
+                    eligible = [
+                        sid
+                        for sid in opened
+                        if not states[sid]["done"]
+                        and (kth is None or states[sid]["best_unseen"] <= kth)
+                    ]
+                    if not eligible:
+                        break
+                    rounds += 1
+
+                    def _step(sid: int, kth=kth):
+                        self._fault("merge_round", sid)
+                        return handles[sid].request(
+                            wire.StepBatch(
+                                request_id=request_id,
+                                kth=kth,
+                                max_steps=self.step_batch,
+                            )
+                        )
+
+                    if len(eligible) == 1:
+                        round_batches = [(eligible[0], _step(eligible[0]))]
+                    else:
+                        futures = [
+                            (sid, self._step_pool.submit(_step, sid))
+                            for sid in eligible
+                        ]
+                        round_batches = [(sid, f.result()) for sid, f in futures]
+                    for sid, batch in round_batches:
+                        steps += self._absorb_batch(
+                            states, topk, query.k, self.cube.shards[sid], batch
+                        )
+
+                # finish: collect per-shard accounting + observability.
+                # Inside the merge span on purpose: worker span trees are
+                # adopted while their new parent is still open.
+                result = QueryResult(shard_io={})
+                assert result.shard_io is not None
+                for sid in sorted(opened):
+                    self._fault("finish", sid)
+                    closed = handles[sid].request(wire.CloseSearch(request_id))
+                    result.blocks_accessed += closed.blocks_accessed
+                    result.candidates_examined += closed.candidates_examined
+                    result.tuples_examined += closed.tuples_examined
+                    result.shard_io[sid] = ShardIO(
+                        blocks_accessed=closed.blocks_accessed,
+                        candidates_examined=closed.candidates_examined,
+                        tuples_examined=closed.tuples_examined,
+                        device_reads=closed.device_reads,
+                    )
+                    self.registry.counter(
+                        "shard.service.blocks_accessed", shard=str(sid)
+                    ).inc(closed.blocks_accessed)
+                    self.registry.counter(
+                        "shard.service.device_reads", shard=str(sid)
+                    ).inc(closed.device_reads)
+                    self.registry.merge_counter_items(
+                        closed.counter_deltas, shard=str(sid)
+                    )
+                    if merge_span is not None:
+                        adopt_spans(merge_span, closed.spans)
+                if merge_span is not None:
+                    merge_span.add_many(merge_rounds=rounds, shard_steps=steps)
+        except (StorageError, wire.WorkerDiedError, ProcPoolError) as exc:
+            blocks = self._abort_cleanup(handles, opened, request_id, exc)
+            raise QueryAbortedError(
+                f"sharded query aborted after {blocks} block fetch(es): {exc}",
+                partial_rows=_rows_from_heap(topk),
+                blocks_accessed=blocks,
+                cause=exc.cause if isinstance(exc, QueryAbortedError) else exc,
+            ) from exc
+        rows = _rows_from_heap(topk)
+        if query.projection:
+            rows = [self._project(row, query) for row in rows]
+        result.rows = rows
+        return result, rounds, steps
+
+    def _abort_cleanup(
+        self, handles: dict, opened: list[int], request_id: int, exc: Exception
+    ) -> int:
+        """Close surviving sessions, kick a dead worker's respawn.
+
+        Returns the block count recovered from the shards that could
+        still answer a :class:`~repro.serve.wire.CloseSearch` — the
+        abort's ``blocks_accessed`` is therefore a lower bound.
+        """
+        blocks = 0
+        dead = exc.shard_id if isinstance(exc, wire.WorkerDiedError) else None
+        for sid in opened:
+            if sid == dead:
+                continue
+            handle = handles.get(sid)
+            if handle is None or not handle.alive:
+                continue
+            try:
+                closed = handle.request(wire.CloseSearch(request_id))
+            except Exception:
+                continue  # best effort: the query is aborting anyway
+            blocks += closed.blocks_accessed
+            self.registry.merge_counter_items(
+                closed.counter_deltas, shard=str(sid)
+            )
+        if dead is not None:
+            threading.Thread(
+                target=self._respawn_quietly,
+                args=(dead,),
+                name=f"repro-shard-respawn-{dead}",
+                daemon=True,
+            ).start()
+        return blocks
+
+    def _respawn_quietly(self, shard_id: int) -> None:
+        pool = self._proc_pool
+        if pool is None:
+            return
+        try:
+            pool.respawn(shard_id)
+        except Exception:
+            pass  # the next query's handle() lookup retries once more
+
     def _finalize(
         self,
         query: TopKQuery,
@@ -434,6 +798,19 @@ class ShardedQueryService:
     # ------------------------------------------------------------------
     # cache administration
     # ------------------------------------------------------------------
+    def cold_cache(self) -> None:
+        """Evict every shard's buffered pages *and* shared caches.
+
+        Mode-transparent: thread mode cools the in-process shard stacks,
+        process mode broadcasts :class:`~repro.serve.wire.ColdCache` to
+        every worker (their buffer pools are not reachable from here).
+        """
+        if self._proc_pool is not None:
+            self._proc_pool.cold_cache()
+        else:
+            self.cube.cold_cache()
+            self.invalidate_caches()
+
     def invalidate_caches(self) -> None:
         """Drop every shard's shared caches."""
         for ctx in self._contexts.values():
@@ -454,7 +831,7 @@ class ShardedQueryService:
     # lifecycle
     # ------------------------------------------------------------------
     def close(self, wait: bool = True) -> None:
-        """Stop accepting queries, drain both pools, unhook listeners."""
+        """Stop accepting queries, drain pools, stop workers, unhook."""
         if self._closed:
             return
         self._closed = True
@@ -462,6 +839,11 @@ class ShardedQueryService:
         self._step_pool.shutdown(wait=wait)
         for ctx in self._contexts.values():
             ctx.unhook()
+        if self._proc_pool is not None:
+            self._proc_pool.close()
+        if self._owned_spill_dir is not None:
+            shutil.rmtree(self._owned_spill_dir, ignore_errors=True)
+            self._owned_spill_dir = None
 
     def __enter__(self) -> "ShardedQueryService":
         return self

@@ -1,0 +1,128 @@
+"""Golden-trace snapshots for the process-per-shard serving tier.
+
+The executor goldens (``test_golden_traces.py``) pin the span tree of a
+single-cube query.  This suite pins the *distributed* trace: a canonical
+query served by ``ShardedQueryService(mode="process")`` produces a
+``query`` span whose ``shard_merge`` child adopts the ``shard_batch``
+span trees shipped back from the shard worker processes — structure,
+attributes, and counters (device reads, steps, delta rows) must all
+survive the pickle boundary bit-for-bit.
+
+The thread-mode executor goldens are untouched by this suite; a drift
+there means the executor changed, a drift *here* means the wire
+protocol, the batched stepping policy, or the span-adoption plumbing
+changed.  After an intentional change re-bless with::
+
+    pytest tests/obs/test_golden_process_traces.py --update-golden
+
+and review the golden-file diff like any other code change.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.export import canonical_span, span_diff
+from repro.ranking.functions import LinearFunction
+from repro.relational.query import TopKQuery
+from repro.serve import ShardedQueryService
+from repro.shard import build_sharded
+from repro.workloads.synthetic import SyntheticSpec, generate
+
+pytestmark = [pytest.mark.serve, pytest.mark.timeout(180)]
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+SEED = 7
+NUM_SHARDS = 3
+
+#: name -> (k, selections); deliberately the same canonical cases the
+#: executor goldens use, so the two snapshot families stay comparable.
+PROCESS_CASES = {
+    "proc_sel1_low_k": (3, {"a1": 2}),
+    "proc_sel2_high_k": (40, {"a1": 2, "a3": 1}),
+    "proc_sel3_low_k": (3, {"a1": 2, "a2": 4, "a3": 1}),
+}
+
+
+@pytest.fixture(scope="module")
+def proc_service():
+    dataset = generate(
+        SyntheticSpec(
+            num_selection_dims=3,
+            num_ranking_dims=2,
+            num_tuples=1_500,
+            cardinality=6,
+            selection_distribution="zipf",
+            seed=SEED,
+        )
+    )
+    cube = build_sharded(
+        dataset.schema, dataset.rows, NUM_SHARDS, block_size=20
+    )
+    with ShardedQueryService(
+        cube, workers=NUM_SHARDS, mode="process", share_caches=False,
+        trace_spans=True,
+    ) as service:
+        yield service
+
+
+def _run_canonical(service, name):
+    k, selections = PROCESS_CASES[name]
+    query = TopKQuery(k, selections, LinearFunction(["n1", "n2"], [0.6, 0.4]))
+    # cold caches front-end *and* worker state (buffer pools, pseudo-block
+    # caches, bound memos live inside the worker processes): the trace
+    # depends only on the seed and the query, never on prior queries
+    service.cold_cache()
+    service.submit(query).result()
+    return canonical_span(service.spans[-1])
+
+
+@pytest.mark.parametrize("name", sorted(PROCESS_CASES))
+def test_golden_process_trace(proc_service, update_golden, name):
+    actual = _run_canonical(proc_service, name)
+    golden_path = GOLDEN_DIR / f"{name}.json"
+    if update_golden:
+        golden_path.parent.mkdir(exist_ok=True)
+        golden_path.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")
+        return
+    assert golden_path.exists(), (
+        f"missing golden snapshot {golden_path}; "
+        f"generate it with --update-golden"
+    )
+    expected = json.loads(golden_path.read_text())
+    diffs = span_diff(expected, actual)
+    assert not diffs, (
+        f"process trace for {name!r} drifted from {golden_path.name}:\n  "
+        + "\n  ".join(diffs)
+        + "\n(re-bless with --update-golden if the change is intentional)"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(PROCESS_CASES))
+def test_process_traces_are_deterministic(proc_service, name):
+    # cold-cache replay through long-lived workers must be as
+    # reproducible as the in-process executor — the property that makes
+    # the snapshots above meaningful
+    first = _run_canonical(proc_service, name)
+    second = _run_canonical(proc_service, name)
+    assert span_diff(first, second) == []
+
+
+@pytest.mark.parametrize("name", sorted(PROCESS_CASES))
+def test_process_trace_shape(proc_service, name):
+    """Structural guarantees independent of the snapshot files: worker
+    span trees are adopted under the merge span with shard attribution,
+    and device reads happen in the workers, not the front end."""
+    trace = _run_canonical(proc_service, name)
+    assert trace["name"] == "query"
+    (merge,) = [c for c in trace["children"] if c["name"] == "shard_merge"]
+    batches = [c for c in merge["children"] if c["name"] == "shard_batch"]
+    assert batches, "no worker spans adopted"
+    shards = {b["attributes"]["shard"] for b in batches}
+    assert shards <= set(range(NUM_SHARDS))
+    for batch in batches:
+        assert "round" in batch["attributes"]
+        assert "steps" in batch["counters"]
+    # every adopted batch belongs to a shard the merge span consulted
+    assert shards <= set(merge["attributes"]["shards"])

@@ -1,0 +1,143 @@
+"""Property: everything the process serving tier ships is wire-safe.
+
+The process-per-shard tier moves :class:`QueryResult` fragments, shard
+I/O attributions, typed abort payloads, and registry/span observability
+across a pickle boundary.  Anything that silently stops pickling — a
+``__init__`` that default pickling cannot replay (the original
+``QueryAbortedError`` bug: keyword-only constructor args), an unpicklable
+attribute smuggled into a result — turns a clean typed failure into an
+opaque ``PicklingError`` inside a worker.  This suite pins the contract:
+every wire-visible payload round-trips pickle **loss-free**.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import QueryAbortedError
+from repro.obs.tracing import Tracer
+from repro.relational import QueryResult, ResultRow, ShardIO
+from repro.serve import wire
+from repro.storage import TransientReadError
+
+pytestmark = pytest.mark.serve
+
+scores = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+tids = st.integers(min_value=0, max_value=2**40)
+counts = st.integers(min_value=0, max_value=2**31)
+
+
+result_rows = st.builds(
+    ResultRow,
+    tid=tids,
+    score=scores,
+    values=st.one_of(
+        st.none(),
+        st.tuples(st.integers(0, 10), st.floats(0, 1, allow_nan=False)),
+    ),
+)
+
+shard_ios = st.builds(
+    ShardIO,
+    blocks_accessed=counts,
+    candidates_examined=counts,
+    tuples_examined=counts,
+    device_reads=counts,
+)
+
+query_results = st.builds(
+    QueryResult,
+    rows=st.lists(result_rows, max_size=8),
+    tuples_examined=counts,
+    blocks_accessed=counts,
+    candidates_examined=counts,
+    shard_io=st.one_of(
+        st.none(),
+        st.dictionaries(st.integers(0, 16), shard_ios, max_size=4),
+    ),
+)
+
+
+def roundtrip(obj):
+    return pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+class TestQueryResultPickle:
+    @settings(max_examples=200, deadline=None)
+    @given(query_results)
+    def test_query_result_roundtrips_lossless(self, result):
+        clone = roundtrip(result)
+        assert clone.rows == result.rows
+        assert clone.tuples_examined == result.tuples_examined
+        assert clone.blocks_accessed == result.blocks_accessed
+        assert clone.candidates_examined == result.candidates_examined
+        assert clone.shard_io == result.shard_io
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(result_rows, max_size=6), counts)
+    def test_abort_payload_roundtrips_with_partials(self, partials, blocks):
+        err = QueryAbortedError(
+            "worker died mid-merge",
+            partial_rows=partials,
+            blocks_accessed=blocks,
+            cause=TransientReadError("page 7 read failed"),
+        )
+        clone = roundtrip(err)
+        assert isinstance(clone, QueryAbortedError)
+        assert str(clone) == str(err)
+        assert clone.partial_rows == partials
+        assert clone.blocks_accessed == blocks
+        assert isinstance(clone.cause, TransientReadError)
+
+    def test_abort_without_cause_roundtrips(self):
+        err = QueryAbortedError(
+            "aborted", partial_rows=[], blocks_accessed=0, cause=None
+        )
+        clone = roundtrip(err)
+        assert clone.cause is None
+        assert clone.partial_rows == []
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.tuples(scores, tids), max_size=8),
+        scores,
+        st.booleans(),
+        st.integers(0, 64),
+    )
+    def test_search_batch_roundtrips(self, scored, bound, exhausted, steps):
+        msg = wire.SearchBatch(
+            request_id=3,
+            scored=scored,
+            best_unseen=bound,
+            exhausted=exhausted,
+            steps=steps,
+            delta_rows=scored[:2],
+        )
+        assert roundtrip(msg) == msg
+
+    def test_search_closed_carries_counters_and_spans(self):
+        tracer = Tracer()
+        with tracer.span("shard_batch", shard=1, round=0) as span:
+            span.add("steps", 3)
+        msg = wire.SearchClosed(
+            request_id=9,
+            blocks_accessed=4,
+            candidates_examined=6,
+            tuples_examined=12,
+            device_reads=2,
+            counter_deltas=[
+                ("storage.device.reads", (("device", "0"),), 2),
+                ("serve.cache.misses", (("cache", "bound_memo"),), 1),
+            ],
+            spans=list(tracer.roots),
+        )
+        clone = roundtrip(msg)
+        assert clone.counter_deltas == msg.counter_deltas
+        assert len(clone.spans) == 1
+        assert clone.spans[0].name == "shard_batch"
+        assert clone.spans[0].counters["steps"] == 3
+        assert clone.spans[0].attributes["shard"] == 1

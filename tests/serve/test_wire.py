@@ -1,0 +1,123 @@
+"""Unit tests for the shard worker wire protocol (framing + messages)."""
+
+import pickle
+
+import pytest
+
+from repro.core import QueryAbortedError
+from repro.ranking import LinearFunction
+from repro.relational import TopKQuery
+from repro.serve import wire
+
+pytestmark = pytest.mark.serve
+
+
+def query():
+    return TopKQuery(3, {"a1": 1}, LinearFunction(["n1"], [1.0]))
+
+
+class _Pipe:
+    """In-memory stand-in for one direction of a multiprocessing pipe."""
+
+    def __init__(self):
+        self.frames = []
+
+    def send_bytes(self, data):
+        self.frames.append(bytes(data))
+
+    def recv_bytes(self):
+        return self.frames.pop(0)
+
+    def poll(self, timeout=None):
+        return bool(self.frames)
+
+
+class TestFraming:
+    def test_round_trip_preserves_message(self):
+        pipe = _Pipe()
+        msg = wire.OpenSearch(request_id=7, query=query(), kth=0.25, max_steps=3)
+        wire.send_msg(pipe, msg)
+        got = wire.recv_msg(pipe)
+        assert isinstance(got, wire.OpenSearch)
+        assert (got.request_id, got.kth, got.max_steps) == (7, 0.25, 3)
+        assert got.query.k == msg.query.k
+        assert got.query.selections == msg.query.selections
+        # ranking functions compare by identity; behaviour must survive
+        assert got.query.ranking.score((0.5,)) == msg.query.ranking.score((0.5,))
+
+    def test_header_matches_payload_length(self):
+        pipe = _Pipe()
+        wire.send_msg(pipe, wire.Ping())
+        frame = pipe.frames[0]
+        assert frame[:1] == b"R"
+        length = int.from_bytes(frame[1:5], "little")
+        assert length == len(frame) - 5
+
+    def test_bad_magic_raises_typed_error(self):
+        pipe = _Pipe()
+        wire.send_msg(pipe, wire.Ping())
+        pipe.frames[0] = b"X" + pipe.frames[0][1:]
+        with pytest.raises(wire.WireError, match="magic"):
+            wire.recv_msg(pipe)
+
+    def test_truncated_payload_raises_typed_error(self):
+        pipe = _Pipe()
+        wire.send_msg(pipe, wire.Shutdown())
+        pipe.frames[0] = pipe.frames[0][:-1]
+        with pytest.raises(wire.WireError, match="payload"):
+            wire.recv_msg(pipe)
+
+    def test_short_frame_raises_typed_error(self):
+        pipe = _Pipe()
+        pipe.frames.append(b"R\x00")
+        with pytest.raises(wire.WireError, match="short frame"):
+            wire.recv_msg(pipe)
+
+    def test_empty_pipe_timeout(self):
+        pipe = _Pipe()
+        with pytest.raises(TimeoutError):
+            wire.recv_msg(pipe, timeout=0.01)
+
+
+class TestMessages:
+    def test_every_message_type_pickles(self):
+        samples = [
+            wire.OpenSearch(request_id=1, query=query()),
+            wire.StepBatch(request_id=1, kth=0.5, max_steps=2),
+            wire.CloseSearch(request_id=1),
+            wire.ColdCache(),
+            wire.Ping(),
+            wire.Shutdown(),
+            wire.SearchBatch(
+                request_id=1, scored=[(0.5, 3)], best_unseen=0.25,
+                exhausted=False, steps=2, delta_rows=[(0.9, 7)],
+            ),
+            wire.SearchClosed(
+                request_id=1, blocks_accessed=4, candidates_examined=5,
+                tuples_examined=6, device_reads=2,
+                counter_deltas=[("a", (("k", "v"),), 3)],
+            ),
+            wire.Pong(shard_id=2, pid=123, rows=40),
+            wire.Ack(),
+            wire.WorkerFault(request_id=1, error=RuntimeError("boom")),
+        ]
+        for msg in samples:
+            clone = pickle.loads(pickle.dumps(msg))
+            assert type(clone) is type(msg)
+
+    def test_worker_died_error_round_trips_shard_id(self):
+        err = wire.WorkerDiedError("gone", shard_id=3)
+        clone = pickle.loads(pickle.dumps(err))
+        assert isinstance(clone, wire.WorkerDiedError)
+        assert clone.shard_id == 3
+        assert "gone" in str(clone)
+
+    def test_worker_fault_carries_typed_exception(self):
+        cause = QueryAbortedError(
+            "died", partial_rows=[], blocks_accessed=2, cause=None
+        )
+        pipe = _Pipe()
+        wire.send_msg(pipe, wire.WorkerFault(request_id=9, error=cause))
+        got = wire.recv_msg(pipe)
+        assert isinstance(got.error, QueryAbortedError)
+        assert got.error.blocks_accessed == 2

@@ -1,0 +1,209 @@
+"""Process-mode sharded serving: identity, observability, admission.
+
+The deep worker-kill matrix lives in ``tests/faults/test_worker_kill.py``;
+this suite covers the happy path and the front-end policies (coalescing,
+admission control, spill-directory lifecycle).
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.persist import save_sharded_workspace
+from repro.ranking import LinearFunction
+from repro.relational import (
+    Schema,
+    TopKQuery,
+    ranking_attr,
+    selection_attr,
+)
+from repro.serve import (
+    ServiceClosedError,
+    ServiceOverloadedError,
+    ShardedQueryService,
+)
+from repro.shard import build_sharded
+
+pytestmark = [pytest.mark.serve, pytest.mark.timeout(120)]
+
+SCHEMA = Schema.of(
+    [
+        selection_attr("a1", 3),
+        selection_attr("a2", 4),
+        ranking_attr("n1"),
+        ranking_attr("n2"),
+    ]
+)
+
+
+def make_rows(count=150, seed=11):
+    rng = random.Random(seed)
+    return [
+        (rng.randrange(3), rng.randrange(4), rng.random(), rng.random())
+        for _ in range(count)
+    ]
+
+
+def query(k=5, **selections):
+    return TopKQuery(k, selections, LinearFunction(["n1", "n2"], [1.0, 0.5]))
+
+
+def signature(result):
+    return [(row.tid, round(row.score, 9)) for row in result.rows]
+
+
+@pytest.fixture(scope="module")
+def cube():
+    return build_sharded(SCHEMA, make_rows(), 3, block_size=8)
+
+
+@pytest.fixture(scope="module")
+def proc_service(cube):
+    with ShardedQueryService(cube, workers=2, mode="process") as service:
+        yield service
+
+
+QUERIES = [
+    query(k=4, a1=1),
+    query(k=7),
+    query(k=3, a2=2),
+    query(k=1, a1=0, a2=3),
+    TopKQuery(5, {}, LinearFunction(["n2"], [1.0])),
+    TopKQuery(2, {"a1": 2}, LinearFunction(["n1", "n2"], [0.2, 1.0]),
+              projection=("a2",)),
+]
+
+
+class TestProcessModeIdentity:
+    def test_answers_match_thread_mode_exactly(self, cube, proc_service):
+        with ShardedQueryService(cube, workers=2) as threaded:
+            expected = [threaded.submit(q).result() for q in QUERIES]
+        got = [proc_service.submit(q).result() for q in QUERIES]
+        for want, have in zip(expected, got):
+            assert signature(want) == signature(have)
+            assert [r.values for r in want.rows] == [r.values for r in have.rows]
+
+    def test_shard_attribution_is_complete(self, proc_service):
+        result = proc_service.submit(query(k=4, a1=1)).result()
+        assert sorted(result.shard_io) == [0, 1, 2]
+        assert result.blocks_accessed == sum(
+            io.blocks_accessed for io in result.shard_io.values()
+        )
+        assert result.tuples_examined == sum(
+            io.tuples_examined for io in result.shard_io.values()
+        )
+
+    def test_worker_counters_aggregate_with_shard_label(self, cube):
+        registry = MetricsRegistry()
+        with ShardedQueryService(
+            cube, workers=1, mode="process", registry=registry
+        ) as service:
+            service.submit(query(k=4)).result()
+        snap = registry.snapshot()
+        assert snap["shard.service.queries"] == 1
+        # worker-side storage/cache series land here with a shard label
+        merged = [k for k in snap if "shard=" in k and k.startswith("serve.cache.")]
+        assert merged, sorted(snap)
+
+    def test_worker_spans_adopted_under_merge_span(self, cube):
+        with ShardedQueryService(
+            cube, workers=1, mode="process", trace_spans=True
+        ) as service:
+            service.submit(query(k=3, a1=0)).result()
+        root = service.spans[-1]
+        assert root.name == "query"
+        (merge,) = [c for c in root.children if c.name == "shard_merge"]
+        batches = [c for c in merge.children if c.name == "shard_batch"]
+        assert {b.attributes["shard"] for b in batches} == {0, 1, 2}
+        assert merge.counters["shard_steps"] >= 1
+
+
+class TestFrontEndPolicies:
+    def test_identical_inflight_queries_coalesce(self, cube):
+        release = threading.Event()
+        entered = threading.Event()
+
+        def hook(point, shard_id):
+            if point == "scatter":
+                entered.set()
+                release.wait(timeout=60)
+
+        registry = MetricsRegistry()
+        with ShardedQueryService(
+            cube, workers=2, mode="process", registry=registry, fault_hook=hook
+        ) as service:
+            first = service.submit(query(k=4, a1=1))
+            assert entered.wait(timeout=60)
+            second = service.submit(query(k=4, a1=1))
+            assert second is first
+            release.set()
+            assert signature(first.result()) == signature(second.result())
+        assert registry.snapshot()["shard.service.coalesced"] == 1
+        assert registry.snapshot()["shard.service.queries"] == 1
+
+    def test_admission_control_sheds_excess_load(self, cube):
+        release = threading.Event()
+        entered = threading.Event()
+
+        def hook(point, shard_id):
+            if point == "scatter":
+                entered.set()
+                release.wait(timeout=60)
+
+        registry = MetricsRegistry()
+        with ShardedQueryService(
+            cube, workers=2, mode="process", registry=registry,
+            max_inflight=1, fault_hook=hook,
+        ) as service:
+            first = service.submit(query(k=4, a1=1))
+            assert entered.wait(timeout=60)
+            with pytest.raises(ServiceOverloadedError):
+                service.submit(query(k=2, a2=0))  # distinct: not coalesced
+            release.set()
+            first.result()
+            # capacity freed: the same query is admitted now
+            service.submit(query(k=2, a2=0)).result()
+        assert registry.snapshot()["shard.service.overloaded"] == 1
+
+    def test_coalescing_can_be_disabled(self, cube):
+        with ShardedQueryService(
+            cube, workers=2, mode="process", coalesce=False
+        ) as service:
+            first = service.submit(query(k=3))
+            second = service.submit(query(k=3))
+            assert second is not first
+            assert signature(first.result()) == signature(second.result())
+
+
+class TestLifecycle:
+    def test_reuses_pinned_spill_directory(self, cube, tmp_path):
+        manifest = save_sharded_workspace(cube, tmp_path)
+        assert (tmp_path / "manifest.json").exists()
+        with ShardedQueryService(
+            cube, workers=1, mode="process", spill_dir=str(tmp_path)
+        ) as service:
+            result = service.submit(query(k=3)).result()
+        assert len(result.rows) == 3
+        # a caller-owned directory survives close()
+        assert (tmp_path / "manifest.json").exists()
+        assert manifest["shards"]
+
+    def test_close_terminates_workers_and_rejects_queries(self, cube):
+        service = ShardedQueryService(cube, workers=1, mode="process")
+        pool = service._proc_pool
+        procs = [h.process for h in pool._handles.values()]
+        assert all(p.is_alive() for p in procs)
+        service.close()
+        for proc in procs:
+            proc.join(timeout=10)
+            assert not proc.is_alive()
+        with pytest.raises(ServiceClosedError):
+            service.submit(query(k=1))
+
+    def test_cold_cache_round_trips_to_workers(self, proc_service):
+        proc_service.cold_cache()
+        result = proc_service.submit(query(k=4, a1=1)).result()
+        # a cooled worker re-reads from its device: physical reads visible
+        assert sum(io.device_reads for io in result.shard_io.values()) > 0
