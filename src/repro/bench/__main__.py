@@ -36,6 +36,11 @@ def main(argv: list[str] | None = None) -> int:
         from .vector import main as vector_main
 
         return vector_main(argv[1:])
+    if argv and argv[0] == "anyk":
+        # any-k enumeration / reverse top-k benchmark (see repro.bench.anyk)
+        from .anyk import main as anyk_main
+
+        return anyk_main(argv[1:])
     if argv and argv[0] == "profile":
         # span-tree profiling report (see repro.bench.profile)
         from .profile import main as profile_main
@@ -56,7 +61,7 @@ def main(argv: list[str] | None = None) -> int:
         default=["all"],
         help=(
             "experiment ids (fig04..fig15, ablation_*), 'fault-matrix', "
-            "'serve'/'build'/'shard'/'vector'/'profile'/'check' (own flags; "
+            "'serve'/'build'/'shard'/'vector'/'anyk'/'profile'/'check' (own flags; "
             "see --help after each), or 'all'"
         ),
     )

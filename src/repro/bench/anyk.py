@@ -1,0 +1,346 @@
+"""Any-k / reverse top-k benchmark: ``python -m repro.bench anyk``.
+
+Replays two fixed-seed scenario families against one seeded cube, on the
+row executor and the vectorized executor:
+
+* **any-k enumeration** — a cursor opened per query streams
+  ``enum_depth`` rows (far past ``k``) in certified rank order; every
+  streamed prefix must equal the brute-force ranked oracle
+  (:func:`repro.workloads.oracle.brute_force_ranked`) exactly —
+  the ``enumeration_matches_oracle`` gate.
+* **reverse top-k** — each seeded target tuple is tested against the
+  simplex weight-vector family; the qualifying sets must equal
+  :func:`repro.workloads.oracle.brute_force_reverse_topk` exactly —
+  the ``reverse_matches_oracle`` gate.  The per-function frontier must
+  also *prune*: candidate block pops may be at most
+  ``PRUNING_TARGET`` of the exhaustive blocks-times-functions count —
+  the ``pruning_effective`` gate (Lemma-1 bounds at work; an
+  exhaustive counter would visit every block for every function).
+
+Row and vector paths must agree bitwise (``equivalent_answers``).  All
+four gates are hard: a fresh run failing any of them exits nonzero, and
+``python -m repro.bench check`` refuses the payload.  Results land in
+``BENCH_anyk.json`` (``BENCH_anyk_smoke.json`` for the CI-sized run).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+
+from ..core.cube import RankingCube
+from ..core.executor import RankingCubeExecutor
+from ..core.reverse import ReverseTopKQuery, reverse_topk, simplex_grid_family
+from ..relational.database import Database
+from ..workloads.oracle import brute_force_ranked, brute_force_reverse_topk
+from ..workloads.queries import QueryGenerator, QuerySpec
+from ..workloads.synthetic import SyntheticSpec, generate
+
+#: Reverse counting must pop at most this fraction of the exhaustive
+#: (every block, every function, every target) candidate count.
+PRUNING_TARGET = 0.5
+
+
+@dataclass(frozen=True)
+class AnyKBenchConfig:
+    """Knobs of one any-k benchmark run (fixed seed => fixed workload)."""
+
+    num_tuples: int = 20_000
+    num_queries: int = 40
+    cardinality: int = 6
+    num_selection_dims: int = 3
+    num_ranking_dims: int = 2
+    k: int = 10
+    enum_depth: int = 100
+    block_size: int = 100
+    buffer_capacity: int = 8192
+    reverse_targets: int = 8
+    reverse_k: int = 10
+    simplex_steps: int = 6
+    seed: int = 23
+
+    @classmethod
+    def smoke(cls) -> "AnyKBenchConfig":
+        """Fast fixed-seed configuration for CI (a few seconds)."""
+        return cls(
+            num_tuples=4_000,
+            num_queries=12,
+            enum_depth=40,
+            block_size=50,
+            reverse_targets=4,
+            simplex_steps=4,
+        )
+
+
+def _build_environment(config: AnyKBenchConfig):
+    dataset = generate(
+        SyntheticSpec(
+            num_selection_dims=config.num_selection_dims,
+            num_ranking_dims=config.num_ranking_dims,
+            num_tuples=config.num_tuples,
+            cardinality=config.cardinality,
+            seed=config.seed,
+        )
+    )
+    db = Database(buffer_capacity=config.buffer_capacity)
+    table = dataset.load_into(db)
+    cube = RankingCube.build(table, block_size=config.block_size)
+    return dataset, db, table, cube
+
+
+def build_query_stream(config: AnyKBenchConfig, schema) -> list:
+    """Fixed-seed forward queries whose cursors the enum scenarios drain."""
+    return QueryGenerator(
+        schema,
+        QuerySpec(k=config.k, num_selections=1, seed=config.seed),
+    ).batch(config.num_queries)
+
+
+def build_reverse_queries(config: AnyKBenchConfig, dataset) -> list:
+    """Seeded target tuples against the simplex weight-vector family."""
+    import random
+
+    rng = random.Random(config.seed + 7)
+    schema = dataset.schema
+    family = simplex_grid_family(["n1", "n2"], config.simplex_steps)
+    sel_name = schema.selection_names[0]
+    queries = []
+    for _ in range(config.reverse_targets):
+        tid = rng.randrange(len(dataset.rows))
+        # scope the competition to the target's own selection value so
+        # the target always matches and every function gets counted
+        selections = {sel_name: dataset.rows[tid][schema.position(sel_name)]}
+        queries.append(
+            ReverseTopKQuery(tid, config.reverse_k, selections, family)
+        )
+    return queries
+
+
+@dataclass
+class EnumScenarioReport:
+    """One executor's aggregate numbers over the enumeration stream."""
+
+    queries: int
+    wall_s: float
+    throughput_qps: float
+    rows_per_query: float
+    blocks_per_query: float
+    candidates_per_query: float
+    tuples_per_query: float
+
+
+@dataclass
+class ReverseScenarioReport:
+    """One executor's aggregate numbers over the reverse-target stream."""
+
+    targets: int
+    functions: int
+    wall_s: float
+    throughput_qps: float
+    qualifying_total: int
+    blocks_per_query: float
+    candidates_per_query: float
+    tuples_per_query: float
+    pruning_ratio: float
+
+
+def run_enum_scenario(config: AnyKBenchConfig, dataset, stream, use_vector: bool):
+    """Serial cold-cache cursor replay; returns (report, signature)."""
+    _dataset, db, table, cube = _build_environment(config)
+    executor = RankingCubeExecutor(cube, table, use_vector=use_vector)
+    signature = []
+    total_rows = total_blocks = total_candidates = total_tuples = 0
+    started = time.perf_counter()
+    for query in stream:
+        db.cold_cache()
+        cursor = executor.open_search(query)
+        rows = []
+        while len(rows) < config.enum_depth and not cursor.exhausted:
+            rows.extend(cursor.next_batch(config.enum_depth - len(rows)))
+        live = cursor.search.result
+        total_rows += len(rows)
+        total_blocks += live.blocks_accessed
+        total_candidates += live.candidates_examined
+        total_tuples += live.tuples_examined
+        signature.append([(row.tid, row.score) for row in rows])
+    wall = time.perf_counter() - started
+    count = max(1, len(stream))
+    report = EnumScenarioReport(
+        queries=len(stream),
+        wall_s=wall,
+        throughput_qps=len(stream) / wall if wall > 0 else 0.0,
+        rows_per_query=total_rows / count,
+        blocks_per_query=total_blocks / count,
+        candidates_per_query=total_candidates / count,
+        tuples_per_query=total_tuples / count,
+    )
+    return report, signature
+
+
+def run_reverse_scenario(config: AnyKBenchConfig, dataset, queries, use_vector: bool):
+    """Serial cold-cache reverse replay; returns (report, signature)."""
+    _dataset, db, table, cube = _build_environment(config)
+    executor = RankingCubeExecutor(cube, table, use_vector=use_vector)
+    signature = []
+    total_blocks = total_candidates = total_tuples = qualifying = 0
+    functions_counted = 0
+    started = time.perf_counter()
+    for query in queries:
+        db.cold_cache()
+        result = reverse_topk(executor, query)
+        total_blocks += result.blocks_accessed
+        total_candidates += result.candidates_examined
+        total_tuples += result.tuples_examined
+        qualifying += len(result.qualifying)
+        if result.target_matches:
+            functions_counted += len(query.functions)
+        signature.append((list(result.qualifying), list(result.target_scores)))
+    wall = time.perf_counter() - started
+    count = max(1, len(queries))
+    # exhaustive = every counted function pops every block of the grid
+    exhaustive = max(1, functions_counted * cube.grid.num_blocks)
+    report = ReverseScenarioReport(
+        targets=len(queries),
+        functions=len(queries[0].functions) if queries else 0,
+        wall_s=wall,
+        throughput_qps=len(queries) / wall if wall > 0 else 0.0,
+        qualifying_total=qualifying,
+        blocks_per_query=total_blocks / count,
+        candidates_per_query=total_candidates / count,
+        tuples_per_query=total_tuples / count,
+        pruning_ratio=total_candidates / exhaustive,
+    )
+    return report, signature
+
+
+def run_anyk_bench(config: AnyKBenchConfig) -> dict:
+    """Run both scenario families on both executors; return the payload."""
+    dataset, _db, table, cube = _build_environment(config)
+    stream = build_query_stream(config, table.schema)
+    reverse_queries = build_reverse_queries(config, dataset)
+
+    scenarios = {}
+    scenarios["anyk_row"], enum_row = run_enum_scenario(
+        config, dataset, stream, use_vector=False
+    )
+    scenarios["anyk_vector"], enum_vec = run_enum_scenario(
+        config, dataset, stream, use_vector=True
+    )
+    scenarios["reverse_row"], rev_row = run_reverse_scenario(
+        config, dataset, reverse_queries, use_vector=False
+    )
+    scenarios["reverse_vector"], rev_vec = run_reverse_scenario(
+        config, dataset, reverse_queries, use_vector=True
+    )
+
+    # gate 1: every streamed prefix equals the brute-force ranked oracle
+    schema, rows = dataset.schema, dataset.rows
+    enumeration_matches = all(
+        sig
+        == [
+            (r.tid, r.score)
+            for r in brute_force_ranked(schema, rows, query)[: config.enum_depth]
+        ]
+        for sig, query in zip(enum_row, stream)
+    )
+    # gate 2: every qualifying set equals the brute-force reverse oracle
+    reverse_matches = all(
+        sig[0] == brute_force_reverse_topk(schema, rows, query)
+        for sig, query in zip(rev_row, reverse_queries)
+    )
+    # gate 3: row and vector paths agree bitwise on both scenario families
+    equivalent = enum_row == enum_vec and rev_row == rev_vec
+    # gate 4: the frontier actually prunes (on the row path's counters)
+    pruning_ratio = scenarios["reverse_row"].pruning_ratio
+    pruning_effective = pruning_ratio <= PRUNING_TARGET
+
+    return {
+        "benchmark": "anyk",
+        "config": asdict(config),
+        "grid_blocks": cube.grid.num_blocks,
+        "scenarios": {name: asdict(report) for name, report in scenarios.items()},
+        "enumeration_matches_oracle": enumeration_matches,
+        "reverse_matches_oracle": reverse_matches,
+        "pruning_effective": pruning_effective,
+        "equivalent_answers": bool(
+            equivalent and enumeration_matches and reverse_matches
+        ),
+    }
+
+
+def format_anyk_table(payload: dict) -> str:
+    """Fixed-width human-readable view of the JSON payload."""
+    headers = ("scenario", "qps", "blk/q", "cand/q", "tup/q")
+    lines = [
+        "anyk: ranked enumeration + reverse top-k vs the brute-force oracle",
+        "".join(h.rjust(14) for h in headers),
+        "-" * (14 * len(headers)),
+    ]
+    for name, s in payload["scenarios"].items():
+        lines.append(
+            name.rjust(14)
+            + f"{s['throughput_qps']:14.1f}"
+            + f"{s['blocks_per_query']:14.2f}"
+            + f"{s['candidates_per_query']:14.1f}"
+            + f"{s['tuples_per_query']:14.1f}"
+        )
+    reverse = payload["scenarios"]["reverse_row"]
+    lines.append(
+        f"enumeration matches oracle: {payload['enumeration_matches_oracle']}; "
+        f"reverse matches oracle: {payload['reverse_matches_oracle']}"
+    )
+    lines.append(
+        f"reverse pruning ratio: {reverse['pruning_ratio']:.3f} "
+        f"({'meets' if payload['pruning_effective'] else 'MISSES'} "
+        f"<= {PRUNING_TARGET:g} target); "
+        f"row/vector identical: {payload['equivalent_answers']}"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench anyk",
+        description=(
+            "Gate any-k enumeration and reverse top-k against the "
+            "brute-force oracle."
+        ),
+    )
+    parser.add_argument("--smoke", action="store_true", help="fast fixed-seed CI mode")
+    parser.add_argument("--tuples", type=int, default=None)
+    parser.add_argument("--queries", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="JSON output path (default: BENCH_anyk.json, _smoke with --smoke)",
+    )
+    args = parser.parse_args(argv)
+
+    config = AnyKBenchConfig.smoke() if args.smoke else AnyKBenchConfig()
+    overrides = {}
+    if args.tuples is not None:
+        overrides["num_tuples"] = args.tuples
+    if args.queries is not None:
+        overrides["num_queries"] = args.queries
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        config = AnyKBenchConfig(**{**asdict(config), **overrides})
+
+    out = args.out or ("BENCH_anyk_smoke.json" if args.smoke else "BENCH_anyk.json")
+    payload = run_anyk_bench(config)
+    with open(out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(format_anyk_table(payload))
+    print(f"wrote {out}")
+    gates = (
+        "enumeration_matches_oracle",
+        "reverse_matches_oracle",
+        "pruning_effective",
+        "equivalent_answers",
+    )
+    return 0 if all(payload[g] for g in gates) else 1

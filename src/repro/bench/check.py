@@ -89,12 +89,19 @@ def _run_vector(config: dict) -> dict:
     return run_vector_bench(VectorBenchConfig(**config))
 
 
+def _run_anyk(config: dict) -> dict:
+    from .anyk import AnyKBenchConfig, run_anyk_bench
+
+    return run_anyk_bench(AnyKBenchConfig(**config))
+
+
 #: benchmark name (payload["benchmark"]) -> fresh-run callable(config dict).
 RUNNERS = {
     "serve": _run_serve,
     "build": _run_build,
     "shard": _run_shard,
     "vector": _run_vector,
+    "anyk": _run_anyk,
 }
 
 
@@ -137,7 +144,8 @@ def _compare_scenario(
     # shipped (kth, max_steps) and its own deterministic state.
     # Vector scenarios (row_*/vector_*) replay serially with cold caches
     # under the byte-identical-answers contract, so their counters are
-    # deterministic too.
+    # deterministic too.  The any-k / reverse scenarios (anyk_*/reverse_*)
+    # are serial cold-cache cursor replays of the same kind.
     serial = (
         name in SERIAL_SCENARIOS
         or name.startswith("build_")
@@ -146,6 +154,8 @@ def _compare_scenario(
         or name.startswith("proc_")
         or name.startswith("row_")
         or name.startswith("vector_")
+        or name.startswith("anyk_")
+        or name.startswith("reverse_")
     )
     violations = []
     for metric in sorted(set(expected) | set(actual)):
@@ -202,6 +212,9 @@ def compare_payloads(expected: dict, actual: dict, source: str) -> list[Violatio
         "early_stop_engaged",
         "process_faster_than_thread",
         "sharded_beats_unsharded",
+        "enumeration_matches_oracle",
+        "reverse_matches_oracle",
+        "pruning_effective",
     ):
         if metric in expected and expected[metric] != actual.get(metric):
             violations.append(

@@ -6,6 +6,7 @@ and ranking fragments for high-dimensional data (Section 4).
 """
 
 from .advisor import FragmentDesign, Recommendation, recommend_fragments
+from .anyk import AnyKCursor
 from .base_table import BaseBlockTable
 from .blocks import BlockGrid, GridError
 from .chains import ChainStore
@@ -60,8 +61,16 @@ from .partition import (
     grid_from_boundaries,
 )
 from .pseudo import PseudoBlockMap, scale_factor
+from .reverse import (
+    ReverseTopKQuery,
+    ReverseTopKResult,
+    count_preceding,
+    reverse_topk,
+    simplex_grid_family,
+)
 
 __all__ = [
+    "AnyKCursor",
     "BaseBlockTable",
     "BlockGrid",
     "COMPACTION_FAULT_POINTS",
@@ -94,7 +103,12 @@ __all__ = [
     "RankingCubeExecutor",
     "RankingCuboid",
     "Recommendation",
+    "ReverseTopKQuery",
+    "ReverseTopKResult",
     "bins_for",
+    "count_preceding",
+    "reverse_topk",
+    "simplex_grid_family",
     "compute_build_groups",
     "decode_tid_list",
     "encode_tid_list",

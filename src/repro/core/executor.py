@@ -307,6 +307,24 @@ class RankingCubeExecutor:
         with maybe_span(tracer, "query", **attrs) as query_span:
             return self._execute_traced(query, trace, tracer, query_span)
 
+    def open_search(
+        self,
+        query: TopKQuery,
+        trace: ExecutorTrace | None = None,
+        tracer: Tracer | None = None,
+    ) -> "AnyKCursor":
+        """Open a resumable any-k cursor over this executor.
+
+        Unlike :meth:`execute`, nothing is computed eagerly beyond the
+        delta merge: the returned cursor pins the current cube snapshot
+        and yields results in certified ``(score, tid)`` rank order —
+        past ``query.k``, on demand — via
+        :meth:`~repro.core.anyk.AnyKCursor.next_batch`.
+        """
+        from .anyk import AnyKCursor
+
+        return AnyKCursor(self, query, trace=trace, tracer=tracer)
+
     def _execute_traced(
         self,
         query: TopKQuery,
@@ -826,10 +844,19 @@ class RankingCubeExecutor:
         return ResultRow(tid=row.tid, score=row.score, values=values)
 
 
-class ProgressiveSearch:
-    """Stepwise form of the progressive search, for scatter-gather merging.
+#: Sentinel: ``ProgressiveSearch(block_k=...)`` default, meaning
+#: "truncate each block's scores to the query's k" (the top-k fast path).
+_BLOCK_K_QUERY = object()
 
-    Wraps one executor + query as a *stream of scored candidates*: each
+
+class ProgressiveSearch:
+    """Stepwise form of the progressive search, shared by every consumer
+    that needs the frontier as a *stream* rather than a finished top-k:
+    scatter-gather shard merging, any-k enumeration cursors
+    (:class:`repro.core.anyk.AnyKCursor`), and reverse top-k counting
+    (:mod:`repro.core.reverse`).
+
+    Wraps one executor + query as a stream of scored candidates: each
     :meth:`step` pops the frontier's best block, runs retrieve + evaluate
     on it, expands its neighbors (Lemma 1), and returns the ``(score,
     tid)`` pairs found there.  Between steps, :attr:`best_unseen` is a
@@ -846,12 +873,20 @@ class ProgressiveSearch:
     answer — scoring is deterministic and :func:`_push_topk` is
     insertion-order independent.
 
-    The search holds one consistent cube snapshot for its whole lifetime
-    and keeps all state on itself, so many instances may run concurrently
-    over one (thread-safe) executor.  Storage faults propagate from
-    :meth:`step` as typed :class:`~repro.storage.device.StorageError`\\ s;
-    the search object stays consistent and the merger decides whether to
-    abort the whole query.
+    ``block_k`` controls per-block truncation: the default keeps only
+    each block's best ``query.k`` scores (sufficient for a top-k answer,
+    and what the vector engine's batched ``topk_select`` exploits), while
+    ``block_k=None`` returns *every* qualifying tuple of each block —
+    required by consumers that rank past k (enumeration) or count
+    arbitrary predecessors (reverse top-k).
+
+    The search pins one consistent cube snapshot for its whole lifetime
+    — later appends or compaction epoch bumps never leak in — and keeps
+    all state on itself, so many instances may run concurrently over one
+    (thread-safe) executor.  Storage faults propagate from :meth:`step`
+    as typed :class:`~repro.storage.device.StorageError`\\ s; the search
+    object stays consistent and the caller decides whether to abort the
+    whole query.
     """
 
     def __init__(
@@ -859,10 +894,12 @@ class ProgressiveSearch:
         executor: RankingCubeExecutor,
         query: TopKQuery,
         trace: ExecutorTrace | None = None,
+        block_k: int | None | object = _BLOCK_K_QUERY,
     ):
         self.executor = executor
         self.query = query
         self.trace = trace
+        self.block_k = query.k if block_k is _BLOCK_K_QUERY else block_k
         state = executor.cube.snapshot()
         grid = state.grid
         fn = query.ranking
@@ -933,7 +970,7 @@ class ProgressiveSearch:
         if qualifying is None or qualifying:
             scored = executor._score_block(
                 self._state.base_table, bid, qualifying, self._fn,
-                self._positions, self.result, self.trace, k=self.query.k,
+                self._positions, self.result, self.trace, k=self.block_k,
             )
         elif self.trace is not None:
             self.trace.empty_cells_skipped += 1

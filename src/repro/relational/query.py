@@ -146,6 +146,13 @@ class QueryResult:
     same rule, so answers are deterministic and comparable across access
     methods and across serial/concurrent execution.
 
+    The same contract governs *enumeration cursors*
+    (:class:`~repro.core.anyk.AnyKCursor` and the sharded
+    ``ShardedAnyKCursor``): rows stream in ascending ``(score, tid)``
+    order at every depth past ``k``, identically on the row executor,
+    the vectorized executor, and thread/process shard modes — an any-k
+    cursor drained to depth ``k`` yields exactly this result's ``rows``.
+
     ``tuples_examined`` counts tuples whose ranking values were actually
     evaluated, the paper's notion of "seen" tuples; ``blocks_accessed``
     counts *actual* block fetches issued by the executor — pseudo-block

@@ -34,6 +34,7 @@ from .service import (
     ServiceStats,
 )
 from .sharded import (
+    ShardedAnyKCursor,
     ShardedQueryRecord,
     ShardedQueryService,
     ShardedServiceStats,
@@ -53,6 +54,7 @@ __all__ = [
     "ServiceOverloadedError",
     "ServiceStats",
     "ShardWorkerHandle",
+    "ShardedAnyKCursor",
     "ShardedQueryRecord",
     "ShardedQueryService",
     "ShardedServiceStats",

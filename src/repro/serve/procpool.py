@@ -36,14 +36,17 @@ import hashlib
 import os
 import threading
 import time
+from dataclasses import replace
 from pathlib import Path
 
+from ..core.anyk import AnyKCursor
 from ..core.executor import (
     ExecutorTrace,
     ProgressiveSearch,
     RankingCubeExecutor,
     _push_topk,
 )
+from ..core.reverse import count_preceding
 from ..core.parallel import spawn_context
 from ..obs.metrics import MetricsRegistry, diff_counter_items
 from ..obs.tracing import Tracer
@@ -66,14 +69,22 @@ class ProcPoolError(RuntimeError):
 # worker side
 # ----------------------------------------------------------------------
 class _Session:
-    """One open progressive search inside a worker."""
+    """One open progressive search (or any-k cursor) inside a worker.
+
+    ``cursor`` is None for batched top-k sessions; enumeration sessions
+    (:class:`~repro.serve.wire.OpenEnum`) hold their
+    :class:`~repro.core.anyk.AnyKCursor` here and alias ``search`` to the
+    cursor's underlying :class:`ProgressiveSearch` so accounting
+    (:func:`_session_blocks`, :class:`~repro.serve.wire.CloseSearch`)
+    works identically for both kinds.
+    """
 
     __slots__ = (
         "request_id", "search", "trace", "tracer", "io_before",
-        "counters_before", "local_topk", "k", "rounds",
+        "counters_before", "local_topk", "k", "rounds", "cursor",
     )
 
-    def __init__(self, request_id, search, trace, tracer, io_before, counters_before, k):
+    def __init__(self, request_id, search, trace, tracer, io_before, counters_before, k, cursor=None):
         self.request_id = request_id
         self.search = search
         self.trace = trace
@@ -83,6 +94,7 @@ class _Session:
         self.local_topk: list[tuple[float, int]] = []
         self.k = k
         self.rounds = 0
+        self.cursor = cursor
 
 
 def _verify_pinned_snapshot(directory: Path, entry: dict) -> bytes:
@@ -226,6 +238,46 @@ def _dispatch(msg, sessions, db, executor, registry, pseudo_cache, bound_memo, s
         if session is None:
             raise wire.WireError(f"no open session {msg.request_id}")
         return _step_session(session, msg.kth, msg.max_steps, shard_id, opening=False)
+    if isinstance(msg, wire.OpenEnum):
+        if msg.request_id in sessions:
+            raise wire.WireError(f"session {msg.request_id} already open")
+        tracer = Tracer(registry) if msg.trace else None
+        trace = ExecutorTrace()
+        io_before = db.io_snapshot()
+        counters_before = registry.counter_items()
+        query = msg.query
+        if query.projection is not None:
+            # the front end projects from global tids after the merge
+            query = replace(query, projection=None)
+        cursor = AnyKCursor(executor, query, trace, tracer=None)
+        session = _Session(
+            msg.request_id, cursor.search, trace, tracer, io_before,
+            counters_before, query.k, cursor=cursor,
+        )
+        sessions[msg.request_id] = session
+        return _enum_next(session, msg.count, shard_id)
+    if isinstance(msg, wire.StepNext):
+        session = sessions.get(msg.request_id)
+        if session is None or session.cursor is None:
+            raise wire.WireError(f"no open enum session {msg.request_id}")
+        return _enum_next(session, msg.count, shard_id)
+    if isinstance(msg, wire.ReverseCount):
+        io_before = db.io_snapshot()
+        counters_before = registry.counter_items()
+        preceding, sub = count_preceding(
+            executor, msg.query, msg.t_score, msg.tie_tid
+        )
+        return wire.ReverseCounted(
+            request_id=msg.request_id,
+            preceding=preceding,
+            blocks_accessed=sub.blocks_accessed,
+            candidates_examined=sub.candidates_examined,
+            tuples_examined=sub.tuples_examined,
+            device_reads=db.io_since(io_before).reads,
+            counter_deltas=diff_counter_items(
+                counters_before, registry.counter_items()
+            ),
+        )
     if isinstance(msg, wire.CloseSearch):
         session = sessions.pop(msg.request_id, None)
         if session is None:
@@ -283,6 +335,25 @@ def _step_session(session: _Session, kth, max_steps, shard_id, *, opening: bool)
         exhausted=session.search.exhausted,
         steps=steps,
         delta_rows=delta_rows,
+    )
+
+
+def _enum_next(session: _Session, count: int, shard_id):
+    """Pull the next certified enumeration rows, traced if requested."""
+    cursor = session.cursor
+    if session.tracer is not None:
+        with session.tracer.span(
+            "shard_enum_batch", shard=shard_id, round=session.rounds
+        ) as span:
+            rows = cursor.next_batch(count)
+            span.add_many(rows=len(rows))
+    else:
+        rows = cursor.next_batch(count)
+    session.rounds += 1
+    return wire.NextBatch(
+        request_id=session.request_id,
+        rows=[(row.score, row.tid) for row in rows],
+        exhausted=cursor.exhausted,
     )
 
 

@@ -224,6 +224,12 @@ class QueryService:
         else:
             self.columnar_cache = columnar_cache if self.use_vector else None
         self._queries_counter = self.registry.counter("serve.service.queries")
+        self._searches_counter = self.registry.counter(
+            "serve.service.searches_opened"
+        )
+        self._reverse_counter = self.registry.counter(
+            "serve.service.reverse_queries"
+        )
         self._aborted_counter = self.registry.counter("serve.service.aborted")
         self._latency_hist = self.registry.histogram("serve.service.latency_s")
         self._blocks_counter = self.registry.counter("serve.service.blocks_accessed")
@@ -293,6 +299,90 @@ class QueryService:
         """Run a batch concurrently, returning answers in request order."""
         futures = [self.submit(q) for q in queries]
         return [f.result() for f in futures]
+
+    def open_search(self, query: TopKQuery):
+        """Open a resumable any-k cursor over the shared executor.
+
+        Unlike :meth:`submit` the cursor is caller-stepped, not pooled:
+        the caller pulls certified rank-order rows past ``query.k`` via
+        :meth:`~repro.core.anyk.AnyKCursor.next_batch` at its own pace,
+        against the cube snapshot pinned at open time.  Storage faults
+        surface from ``next_batch`` as typed
+        :class:`~repro.core.executor.QueryAbortedError`.
+        """
+        if self._closed:
+            raise ServiceClosedError("QueryService is closed")
+        self._searches_counter.inc()
+        tracer = Tracer(self.registry) if self.trace_spans else None
+        cursor = self.executor.open_search(
+            query, trace=ExecutorTrace(), tracer=tracer
+        )
+        if tracer is not None:
+            def _retain():
+                # fold the open/batch spans under one "anyk_query" root
+                # (same shape the sharded cursor builds at close time)
+                children = tracer.roots[:]
+                tracer.roots.clear()
+                with tracer.span(
+                    "anyk_query",
+                    k=query.k,
+                    selections=dict(sorted(query.selections.items())),
+                    ranking=",".join(query.ranking.dims),
+                ) as root:
+                    root.children.extend(children)
+                    live = cursor.search.result
+                    root.add_many(
+                        rows=cursor.rank,
+                        blocks_accessed=live.blocks_accessed,
+                        candidates_examined=live.candidates_examined,
+                    )
+                self._retain_spans(tracer)
+
+            cursor._on_close = _retain
+        return cursor
+
+    def submit_reverse(self, query):
+        """Enqueue one reverse top-k query
+        (:class:`~repro.core.reverse.ReverseTopKQuery`); the future
+        resolves to a :class:`~repro.core.reverse.ReverseTopKResult`.
+        Aborts surface as typed :class:`QueryAbortedError` exactly like
+        forward queries."""
+        if self._closed:
+            raise ServiceClosedError("QueryService is closed")
+        return self._pool.submit(self._run_reverse, query)
+
+    def _run_reverse(self, query):
+        from ..core.reverse import reverse_topk
+
+        trace = ExecutorTrace()
+        tracer = Tracer(self.registry) if self.trace_spans else None
+        started = time.perf_counter()
+        self._reverse_counter.inc()
+        try:
+            result = reverse_topk(
+                self.executor, query, trace=trace, tracer=tracer
+            )
+        except QueryAbortedError as exc:
+            self._retain_spans(tracer)
+            self._record(
+                trace,
+                time.perf_counter() - started,
+                blocks=exc.blocks_accessed,
+                candidates=len(trace.candidate_bids),
+                tuples=0,
+                aborted=True,
+            )
+            raise
+        self._retain_spans(tracer)
+        self._record(
+            trace,
+            time.perf_counter() - started,
+            blocks=result.blocks_accessed,
+            candidates=result.candidates_examined,
+            tuples=result.tuples_examined,
+            aborted=False,
+        )
+        return result
 
     def _run_one(self, query: TopKQuery) -> QueryResult:
         trace = ExecutorTrace()

@@ -59,10 +59,13 @@ import shutil
 import tempfile
 import threading
 import time
+from bisect import bisect_left
+from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from itertools import count
 
+from ..core.anyk import AnyKCursor
 from ..core.executor import (
     ExecutorTrace,
     ProgressiveSearch,
@@ -71,6 +74,7 @@ from ..core.executor import (
     _push_topk,
     _rows_from_heap,
 )
+from ..core.reverse import ReverseTopKQuery, ReverseTopKResult, count_preceding
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import Span, Tracer, adopt_spans, maybe_span
 from ..relational.query import QueryResult, ResultRow, ShardIO, TopKQuery
@@ -151,6 +155,281 @@ class _ShardContext:
         if self._listener is not None and self.shard.cube is not None:
             self.shard.cube.remove_invalidation_listener(self._listener)
             self._listener = None
+
+
+class _ThreadEnumStream:
+    """One shard's enumeration stream, served in-process.
+
+    Wraps an :class:`~repro.core.anyk.AnyKCursor` over the shard's
+    executor; rows come back as ``(score, global tid)`` pairs, already
+    in the shard's certified rank order (the tid map is monotone, so
+    local ``(score, tid)`` order *is* global ``(score, gtid)`` order).
+    """
+
+    def __init__(self, shard: CubeShard, ctx: _ShardContext, query: TopKQuery):
+        self.shard = shard
+        self.io_before = shard.db.io_snapshot()
+        self.cursor = AnyKCursor(ctx.executor, query, ExecutorTrace())
+
+    def next_rows(self, count: int):
+        rows = self.cursor.next_batch(count)
+        pairs = [(row.score, self.shard.to_global(row.tid)) for row in rows]
+        return pairs, self.cursor.exhausted
+
+    def finish(self, result: QueryResult, registry, spans: list) -> None:
+        sub = self.cursor.result
+        shard_id = self.shard.shard_id
+        device_reads = self.shard.db.io_since(self.io_before).reads
+        result.blocks_accessed += sub.blocks_accessed
+        result.candidates_examined += sub.candidates_examined
+        result.tuples_examined += sub.tuples_examined
+        result.shard_io[shard_id] = ShardIO(
+            blocks_accessed=sub.blocks_accessed,
+            candidates_examined=sub.candidates_examined,
+            tuples_examined=sub.tuples_examined,
+            device_reads=device_reads,
+        )
+        registry.counter(
+            "shard.service.blocks_accessed", shard=str(shard_id)
+        ).inc(sub.blocks_accessed)
+        registry.counter(
+            "shard.service.device_reads", shard=str(shard_id)
+        ).inc(device_reads)
+
+    def abort_close(self) -> int:
+        return self.cursor.result.blocks_accessed
+
+
+class _ProcessEnumStream:
+    """One shard's enumeration stream, served by a worker process.
+
+    The :class:`~repro.serve.wire.OpenEnum` reply (the first rows) is
+    buffered here and drained before any :class:`~repro.serve.wire
+    .StepNext` round trip, so the cursor consumes both modes through
+    one ``next_rows`` interface.
+    """
+
+    def __init__(self, shard: CubeShard, handle, request_id: int, opening):
+        self.shard = shard
+        self.handle = handle
+        self.request_id = request_id
+        self._opening = opening  # first wire.NextBatch, drained once
+        self._closed_blocks = 0
+
+    def next_rows(self, count: int):
+        if self._opening is not None:
+            batch, self._opening = self._opening, None
+        else:
+            batch = self.handle.request(
+                wire.StepNext(request_id=self.request_id, count=count)
+            )
+        pairs = [
+            (score, self.shard.to_global(local_tid))
+            for score, local_tid in batch.rows
+        ]
+        return pairs, batch.exhausted
+
+    def finish(self, result: QueryResult, registry, spans: list) -> None:
+        shard_id = self.shard.shard_id
+        closed = self.handle.request(
+            wire.CloseSearch(request_id=self.request_id)
+        )
+        result.blocks_accessed += closed.blocks_accessed
+        result.candidates_examined += closed.candidates_examined
+        result.tuples_examined += closed.tuples_examined
+        result.shard_io[shard_id] = ShardIO(
+            blocks_accessed=closed.blocks_accessed,
+            candidates_examined=closed.candidates_examined,
+            tuples_examined=closed.tuples_examined,
+            device_reads=closed.device_reads,
+        )
+        registry.counter(
+            "shard.service.blocks_accessed", shard=str(shard_id)
+        ).inc(closed.blocks_accessed)
+        registry.counter(
+            "shard.service.device_reads", shard=str(shard_id)
+        ).inc(closed.device_reads)
+        registry.merge_counter_items(
+            closed.counter_deltas, shard=str(shard_id)
+        )
+        spans.extend(closed.spans)
+
+    def abort_close(self) -> int:
+        if not self.handle.alive:
+            return 0
+        closed = self.handle.request(
+            wire.CloseSearch(request_id=self.request_id)
+        )
+        return closed.blocks_accessed
+
+
+class ShardedAnyKCursor:
+    """Certified rank-order enumeration over a sharded deployment.
+
+    A k-way merge over per-shard enumeration streams: each shard yields
+    its matches in ascending ``(score, gtid)`` order (thread mode: an
+    in-process :class:`~repro.core.anyk.AnyKCursor` per shard; process
+    mode: an enumeration session per worker, stepped with ``StepNext``),
+    and :meth:`next_batch` repeatedly emits the smallest head across
+    streams — the same tie-breaking contract as every other path, at
+    every depth.  Each stream pins its shard's snapshot at open time, so
+    the whole cursor answers as of its open point regardless of appends
+    or compaction runs that land mid-enumeration.
+
+    Not thread-safe: one consumer steps it.  A storage fault or worker
+    death surfaces from :meth:`next_batch` as a typed
+    :class:`~repro.core.executor.QueryAbortedError` (surviving shard
+    sessions are closed best-effort, a dead worker respawns quietly in
+    the background) and the cursor is then dead.  Call :meth:`close`
+    when done — it folds per-shard counters, I/O attribution, and (in
+    process mode) worker span trees into the service's registry and
+    span ring, and returns the accounting as a rows-free
+    :class:`~repro.relational.query.QueryResult`.
+    """
+
+    def __init__(
+        self,
+        service: "ShardedQueryService",
+        query: TopKQuery,
+        streams: dict,
+        batch: int,
+        tracer: Tracer | None,
+    ):
+        self._service = service
+        self.query = query
+        self._streams = streams
+        self._order = sorted(streams)
+        self._heads: dict[int, deque] = {sid: deque() for sid in self._order}
+        self._finished: set[int] = set()
+        self._batch = max(1, batch)
+        self._tracer = tracer
+        self._refills = 0
+        self.rank = 0
+        self._dead = False
+        self._result: QueryResult | None = None
+
+    @property
+    def exhausted(self) -> bool:
+        return (
+            len(self._finished) == len(self._order)
+            and not any(self._heads[sid] for sid in self._order)
+        )
+
+    def next_batch(self, count: int) -> list[ResultRow]:
+        """The next ``count`` rows in global certified order (fewer only
+        at exhaustion; empty means done)."""
+        if self._dead:
+            raise QueryAbortedError(
+                "enumeration cursor is dead (a previous batch aborted)",
+                partial_rows=[], blocks_accessed=0, cause=None,
+            )
+        if self._result is not None:
+            raise ServiceClosedError("enumeration cursor is closed")
+        out: list[ResultRow] = []
+        try:
+            while len(out) < count:
+                for sid in self._order:
+                    if sid in self._finished or self._heads[sid]:
+                        continue
+                    rows, done = self._streams[sid].next_rows(self._batch)
+                    self._refills += 1
+                    self._heads[sid].extend(rows)
+                    if done or not rows:
+                        self._finished.add(sid)
+                best_sid = None
+                best_head = None
+                for sid in self._order:
+                    if not self._heads[sid]:
+                        continue
+                    head = self._heads[sid][0]
+                    if best_head is None or head < best_head:
+                        best_head, best_sid = head, sid
+                if best_sid is None:
+                    break
+                score, gtid = self._heads[best_sid].popleft()
+                self.rank += 1
+                row = ResultRow(tid=gtid, score=score)
+                if self.query.projection:
+                    row = self._service._project(row, self.query)
+                out.append(row)
+        except (StorageError, wire.WorkerDiedError, ProcPoolError) as exc:
+            self._abort(exc, out)
+        return out
+
+    def __iter__(self):
+        """Iterate remaining rows (internally batched by step_batch)."""
+        while True:
+            batch = self.next_batch(self._batch)
+            if not batch:
+                return
+            yield from batch
+
+    def _abort(self, exc: Exception, partial: list[ResultRow]) -> None:
+        self._dead = True
+        blocks = 0
+        dead_sid = (
+            exc.shard_id if isinstance(exc, wire.WorkerDiedError) else None
+        )
+        for sid in self._order:
+            if sid == dead_sid:
+                continue
+            try:
+                blocks += self._streams[sid].abort_close()
+            except Exception:
+                pass  # best effort: the cursor is aborting anyway
+        if dead_sid is not None:
+            threading.Thread(
+                target=self._service._respawn_quietly,
+                args=(dead_sid,),
+                name=f"repro-shard-respawn-{dead_sid}",
+                daemon=True,
+            ).start()
+        raise QueryAbortedError(
+            f"sharded enumeration aborted at rank {self.rank}: {exc}",
+            partial_rows=partial,
+            blocks_accessed=blocks,
+            cause=exc.cause if isinstance(exc, QueryAbortedError) else exc,
+        ) from exc
+
+    def close(self) -> QueryResult:
+        """Fold accounting and release shard sessions (idempotent)."""
+        if self._result is not None:
+            return self._result
+        result = QueryResult(shard_io={})
+        assert result.shard_io is not None
+        if self._dead:
+            self._result = result
+            return result
+        worker_spans: list = []
+        for sid in self._order:
+            self._streams[sid].finish(
+                result, self._service.registry, worker_spans
+            )
+        if self._tracer is not None:
+            with self._tracer.span(
+                "anyk_query",
+                k=self.query.k,
+                selections=dict(sorted(self.query.selections.items())),
+                ranking=",".join(self.query.ranking.dims),
+                shards=list(self._order),
+            ) as root:
+                root.add_many(
+                    rows=self.rank,
+                    refills=self._refills,
+                    blocks_accessed=result.blocks_accessed,
+                    candidates_examined=result.candidates_examined,
+                )
+                adopt_spans(root, worker_spans)
+            self._service._retain_spans(self._tracer)
+        self._result = result
+        return result
+
+    def __enter__(self) -> "ShardedAnyKCursor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if not self._dead:
+            self.close()
 
 
 class ShardedQueryService:
@@ -267,6 +546,12 @@ class ShardedQueryService:
                 spill_dir, worker_timeout_s, fault_hook
             )
         self._queries_counter = self.registry.counter("shard.service.queries")
+        self._searches_counter = self.registry.counter(
+            "shard.service.searches_opened"
+        )
+        self._reverse_counter = self.registry.counter(
+            "shard.service.reverse_queries"
+        )
         self._aborted_counter = self.registry.counter("shard.service.aborted")
         self._coalesced_counter = self.registry.counter("shard.service.coalesced")
         self._overloaded_counter = self.registry.counter("shard.service.overloaded")
@@ -355,6 +640,339 @@ class ShardedQueryService:
         """Run a batch concurrently, returning answers in request order."""
         futures = [self.submit(q) for q in queries]
         return [f.result() for f in futures]
+
+    def open_search(self, query: TopKQuery) -> ShardedAnyKCursor:
+        """Open a resumable any-k cursor over every consulted shard.
+
+        Unlike :meth:`submit` this is caller-stepped (no pool, no
+        admission control, no coalescing): the returned cursor yields
+        rows in certified global ``(score, tid)`` order — past
+        ``query.k``, on demand — until the snapshot it pinned at open
+        time is exhausted.  Projection is applied at the front end from
+        global tids; the shards enumerate bare ``(score, tid)`` pairs.
+        """
+        if self._closed:
+            raise ServiceClosedError("ShardedQueryService is closed")
+        query.validate_against(self.cube.schema)
+        self._searches_counter.inc()
+        tracer = Tracer(self.registry) if self.trace_spans else None
+        shard_query = (
+            query if query.projection is None
+            else replace(query, projection=None)
+        )
+        if self.mode == "process":
+            streams = self._open_enum_process(shard_query, tracer)
+        else:
+            streams = self._open_enum_thread(shard_query)
+        return ShardedAnyKCursor(
+            self, query, streams, self.step_batch, tracer
+        )
+
+    def _open_enum_thread(self, query: TopKQuery) -> dict:
+        streams: dict[int, _ThreadEnumStream] = {}
+        for shard_id in self.cube.shard_map.shards_for_query(query.selections):
+            shard = self.cube.shards[shard_id]
+            ctx = self._context(shard)
+            if ctx is not None:  # empty shards hold no rows at all
+                streams[shard_id] = _ThreadEnumStream(shard, ctx, query)
+        return streams
+
+    def _open_enum_process(self, query: TopKQuery, tracer) -> dict:
+        pool = self._proc_pool
+        assert pool is not None
+        available = set(pool.shard_ids)
+        targets = [
+            sid
+            for sid in self.cube.shard_map.shards_for_query(query.selections)
+            if sid in available
+        ]
+        request_id = next(self._request_ids)
+        want_trace = tracer is not None
+        streams: dict[int, _ProcessEnumStream] = {}
+        try:
+
+            def _open(sid: int):
+                self._fault("enum_open", sid)
+                handle = pool.handle(sid)
+                batch = handle.request(
+                    wire.OpenEnum(
+                        request_id=request_id,
+                        query=query,
+                        count=self.step_batch,
+                        trace=want_trace,
+                    )
+                )
+                return handle, batch
+
+            if len(targets) <= 1:
+                opened = [(sid,) + _open(sid) for sid in targets]
+            else:
+                futures = [
+                    (sid, self._step_pool.submit(_open, sid))
+                    for sid in targets
+                ]
+                opened = [(sid,) + f.result() for sid, f in futures]
+            for sid, handle, batch in opened:
+                streams[sid] = _ProcessEnumStream(
+                    self.cube.shards[sid], handle, request_id, batch
+                )
+        except (StorageError, wire.WorkerDiedError, ProcPoolError) as exc:
+            dead = (
+                exc.shard_id
+                if isinstance(exc, wire.WorkerDiedError) else None
+            )
+            for sid, stream in streams.items():
+                if sid != dead:
+                    try:
+                        stream.abort_close()
+                    except Exception:
+                        pass
+            if dead is not None:
+                threading.Thread(
+                    target=self._respawn_quietly,
+                    args=(dead,),
+                    name=f"repro-shard-respawn-{dead}",
+                    daemon=True,
+                ).start()
+            raise QueryAbortedError(
+                f"sharded enumeration failed to open: {exc}",
+                partial_rows=[],
+                blocks_accessed=0,
+                cause=exc.cause if isinstance(exc, QueryAbortedError) else exc,
+            ) from exc
+        return streams
+
+    # ------------------------------------------------------------------
+    # reverse top-k
+    # ------------------------------------------------------------------
+    def submit_reverse(
+        self, query: ReverseTopKQuery
+    ) -> "Future[ReverseTopKResult]":
+        """Enqueue one reverse top-k query (admission-controlled like
+        :meth:`submit`; never coalesced — the payload includes function
+        families that are awkward as cache keys and reverse queries are
+        rarely identical)."""
+        if self._closed:
+            raise ServiceClosedError("ShardedQueryService is closed")
+        with self._inflight_lock:
+            if (
+                self.max_inflight is not None
+                and self._inflight_count >= self.max_inflight
+            ):
+                self._overloaded_counter.inc()
+                raise ServiceOverloadedError(
+                    f"{self._inflight_count} query(ies) already in flight "
+                    f"(max_inflight={self.max_inflight})"
+                )
+            future = self._pool.submit(self._run_reverse, query)
+            self._inflight_count += 1
+        future.add_done_callback(lambda _f: self._release_inflight(None))
+        return future
+
+    def _run_reverse(self, query: ReverseTopKQuery) -> ReverseTopKResult:
+        tracer = Tracer(self.registry) if self.trace_spans else None
+        started = time.perf_counter()
+        self._reverse_counter.inc()
+        with maybe_span(
+            tracer,
+            "reverse_query",
+            tid=query.tid,
+            k=query.k,
+            selections=dict(sorted(query.selections.items())),
+            functions=len(query.functions),
+        ) as qspan:
+            try:
+                if self.mode == "process":
+                    result = self._reverse_process(query, tracer)
+                else:
+                    result = self._reverse_thread(query, tracer)
+            except QueryAbortedError as exc:
+                self._retain_spans(tracer)
+                self._record(
+                    time.perf_counter() - started,
+                    shards=len(
+                        self.cube.shard_map.shards_for_query(query.selections)
+                    ),
+                    rounds=0,
+                    steps=0,
+                    blocks=exc.blocks_accessed,
+                    candidates=0,
+                    tuples=0,
+                    aborted=True,
+                )
+                raise
+            if qspan is not None:
+                qspan.add_many(
+                    qualifying=len(result.qualifying),
+                    blocks_accessed=result.blocks_accessed,
+                    candidates_examined=result.candidates_examined,
+                )
+        self._retain_spans(tracer)
+        self._record(
+            time.perf_counter() - started,
+            shards=len(self.cube.shard_map.shards_for_query(query.selections)),
+            rounds=0,
+            steps=0,
+            blocks=result.blocks_accessed,
+            candidates=result.candidates_examined,
+            tuples=result.tuples_examined,
+            aborted=False,
+        )
+        return result
+
+    def _reverse_target(self, query: ReverseTopKQuery):
+        """The target row and whether it matches the query selections."""
+        schema = self.cube.schema
+        target = self.cube.fetch_by_tid(query.tid)
+        matches = all(
+            target[schema.position(name)] == value
+            for name, value in query.selections.items()
+        )
+        return schema, target, matches
+
+    def _reverse_thread(
+        self, query: ReverseTopKQuery, tracer: Tracer | None
+    ) -> ReverseTopKResult:
+        result = ReverseTopKResult()
+        targets: list[tuple[CubeShard, _ShardContext]] = []
+        for shard_id in self.cube.shard_map.shards_for_query(query.selections):
+            shard = self.cube.shards[shard_id]
+            ctx = self._context(shard)
+            if ctx is not None:
+                targets.append((shard, ctx))
+        try:
+            schema, target, matches = self._reverse_target(query)
+            result.target_matches = matches
+            for index, fn in enumerate(query.functions):
+                t_score = fn.score(
+                    [target[schema.position(d)] for d in fn.dims]
+                )
+                result.target_scores.append(t_score)
+                if not matches:
+                    continue
+                with maybe_span(
+                    tracer, "reverse_function",
+                    index=index, ranking=",".join(fn.dims),
+                ) as fspan:
+                    forward = TopKQuery(query.k, query.selections, fn)
+                    preceding = 0
+                    for shard, ctx in targets:
+                        # the target's insertion position in this shard's
+                        # (monotone) tid map: local tids before it precede
+                        # the target on score ties, all others do not
+                        tie_bound = bisect_left(shard.tid_map, query.tid)
+                        n, sub = count_preceding(
+                            ctx.executor, forward, t_score, tie_bound
+                        )
+                        preceding += n
+                        result.blocks_accessed += sub.blocks_accessed
+                        result.candidates_examined += sub.candidates_examined
+                        result.tuples_examined += sub.tuples_examined
+                        self.registry.counter(
+                            "shard.service.blocks_accessed",
+                            shard=str(shard.shard_id),
+                        ).inc(sub.blocks_accessed)
+                        if preceding >= query.k:
+                            break
+                    in_topk = preceding < query.k
+                    if in_topk:
+                        result.qualifying.append(index)
+                    if fspan is not None:
+                        fspan.add("preceding", preceding)
+                        fspan.add("in_topk", int(in_topk))
+        except StorageError as exc:
+            raise QueryAbortedError(
+                f"sharded reverse top-k aborted after "
+                f"{result.blocks_accessed} block fetch(es): {exc}",
+                partial_rows=[],
+                blocks_accessed=result.blocks_accessed,
+                cause=exc.cause if isinstance(exc, QueryAbortedError) else exc,
+            ) from exc
+        return result
+
+    def _reverse_process(
+        self, query: ReverseTopKQuery, tracer: Tracer | None
+    ) -> ReverseTopKResult:
+        pool = self._proc_pool
+        assert pool is not None
+        result = ReverseTopKResult()
+        available = set(pool.shard_ids)
+        targets = [
+            sid
+            for sid in self.cube.shard_map.shards_for_query(query.selections)
+            if sid in available
+        ]
+        try:
+            schema, target, matches = self._reverse_target(query)
+            result.target_matches = matches
+            for index, fn in enumerate(query.functions):
+                t_score = fn.score(
+                    [target[schema.position(d)] for d in fn.dims]
+                )
+                result.target_scores.append(t_score)
+                if not matches:
+                    continue
+                with maybe_span(
+                    tracer, "reverse_function",
+                    index=index, ranking=",".join(fn.dims),
+                ) as fspan:
+                    forward = TopKQuery(query.k, query.selections, fn)
+                    preceding = 0
+                    for sid in targets:
+                        self._fault("reverse_count", sid)
+                        shard = self.cube.shards[sid]
+                        tie_bound = bisect_left(shard.tid_map, query.tid)
+                        reply = pool.handle(sid).request(
+                            wire.ReverseCount(
+                                request_id=next(self._request_ids),
+                                query=forward,
+                                t_score=t_score,
+                                tie_tid=tie_bound,
+                            )
+                        )
+                        preceding += reply.preceding
+                        result.blocks_accessed += reply.blocks_accessed
+                        result.candidates_examined += (
+                            reply.candidates_examined
+                        )
+                        result.tuples_examined += reply.tuples_examined
+                        self.registry.counter(
+                            "shard.service.blocks_accessed", shard=str(sid)
+                        ).inc(reply.blocks_accessed)
+                        self.registry.counter(
+                            "shard.service.device_reads", shard=str(sid)
+                        ).inc(reply.device_reads)
+                        self.registry.merge_counter_items(
+                            reply.counter_deltas, shard=str(sid)
+                        )
+                        if preceding >= query.k:
+                            break
+                    in_topk = preceding < query.k
+                    if in_topk:
+                        result.qualifying.append(index)
+                    if fspan is not None:
+                        fspan.add("preceding", preceding)
+                        fspan.add("in_topk", int(in_topk))
+        except (StorageError, wire.WorkerDiedError, ProcPoolError) as exc:
+            dead = (
+                exc.shard_id
+                if isinstance(exc, wire.WorkerDiedError) else None
+            )
+            if dead is not None:
+                threading.Thread(
+                    target=self._respawn_quietly,
+                    args=(dead,),
+                    name=f"repro-shard-respawn-{dead}",
+                    daemon=True,
+                ).start()
+            raise QueryAbortedError(
+                f"sharded reverse top-k aborted after "
+                f"{result.blocks_accessed} block fetch(es): {exc}",
+                partial_rows=[],
+                blocks_accessed=result.blocks_accessed,
+                cause=exc.cause if isinstance(exc, QueryAbortedError) else exc,
+            ) from exc
+        return result
 
     # ------------------------------------------------------------------
     def _context(self, shard: CubeShard) -> _ShardContext | None:

@@ -129,9 +129,55 @@ class StepBatch:
 
 @dataclass(frozen=True)
 class CloseSearch:
-    """End a session; the worker replies with counters + observability."""
+    """End a session; the worker replies with counters + observability.
+
+    Closes both kinds of session — batched top-k searches *and* any-k
+    enumeration cursors (:class:`OpenEnum`)."""
 
     request_id: int
+
+
+@dataclass(frozen=True)
+class OpenEnum:
+    """Open an any-k enumeration session and fetch its first rows.
+
+    The worker pins an :class:`~repro.core.anyk.AnyKCursor` on its shard
+    snapshot, keyed by ``request_id`` like a search session, and replies
+    with a :class:`NextBatch` of up to ``count`` certified rows.  The
+    query travels with ``projection=None`` — the front end projects from
+    global tids after the merge.
+    """
+
+    request_id: int
+    query: TopKQuery
+    count: int = DEFAULT_STEP_BATCH
+    trace: bool = False
+
+
+@dataclass(frozen=True)
+class StepNext:
+    """Pull the next certified rows from an open enumeration session."""
+
+    request_id: int
+    count: int = DEFAULT_STEP_BATCH
+
+
+@dataclass(frozen=True)
+class ReverseCount:
+    """Count this shard's tuples preceding a reverse top-k target.
+
+    Stateless single round trip (no session): ``query`` carries the
+    candidate ranking function with ``k`` as the predecessor cap,
+    ``t_score`` the target's exact score, and ``tie_tid`` the
+    *shard-local* tid threshold for score ties — the target's insertion
+    position in this shard's tid map, so local order agrees with global
+    ``(score, gtid)`` order (tid maps are monotone).
+    """
+
+    request_id: int
+    query: TopKQuery
+    t_score: float
+    tie_tid: int
 
 
 @dataclass(frozen=True)
@@ -188,6 +234,34 @@ class SearchClosed:
     device_reads: int
     counter_deltas: list = field(default_factory=list)
     spans: list = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class NextBatch:
+    """Certified enumeration rows from one shard, in rank order.
+
+    ``rows`` are ``(score, local_tid)`` pairs; an ``exhausted`` reply
+    with fewer than the requested rows means the shard's snapshot has no
+    further matches (never *try again*).  The session stays open for
+    accounting until :class:`CloseSearch`.
+    """
+
+    request_id: int
+    rows: list[tuple[float, int]]
+    exhausted: bool
+
+
+@dataclass(frozen=True)
+class ReverseCounted:
+    """Answer to :class:`ReverseCount`, with per-call work accounting."""
+
+    request_id: int
+    preceding: int
+    blocks_accessed: int
+    candidates_examined: int
+    tuples_examined: int
+    device_reads: int
+    counter_deltas: list = field(default_factory=list)
 
 
 @dataclass(frozen=True)

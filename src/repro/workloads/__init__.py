@@ -7,6 +7,12 @@ from .covertype import (
     covertype_schema,
     generate_covertype,
 )
+from .oracle import (
+    brute_force_ranked,
+    brute_force_reverse_topk,
+    brute_force_rows,
+    brute_force_topk,
+)
 from .queries import QueryGenerator, QuerySpec, skewed_weights
 from .synthetic import SyntheticDataset, SyntheticSpec, generate
 
@@ -14,6 +20,10 @@ __all__ = [
     "CoverTypeSpec",
     "QueryGenerator",
     "QuerySpec",
+    "brute_force_ranked",
+    "brute_force_reverse_topk",
+    "brute_force_rows",
+    "brute_force_topk",
     "RANKING_PROFILE",
     "SELECTION_PROFILE",
     "SyntheticDataset",

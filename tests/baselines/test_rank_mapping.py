@@ -35,13 +35,7 @@ def make_env(num_rows=1500, cards=(4, 5), seed=67, index_dims=None):
     return db, table, rows, schema, RankMappingExecutor(table)
 
 
-def brute_force(schema, rows, query):
-    scored = []
-    for tid, row in enumerate(rows):
-        if query.matches(schema, row):
-            scored.append((query.score_row(schema, row), tid))
-    scored.sort()
-    return scored[: query.k]
+from repro.workloads.oracle import brute_force_topk as brute_force
 
 
 class TestCorrectness:

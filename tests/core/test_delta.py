@@ -25,13 +25,7 @@ def make_env(num_rows=800, seed=91):
     return db, table, rows, schema, cube, RankingCubeExecutor(cube, table)
 
 
-def brute_force(schema, rows, query):
-    scored = []
-    for tid, row in enumerate(rows):
-        if query.matches(schema, row):
-            scored.append((query.score_row(schema, row), tid))
-    scored.sort()
-    return scored[: query.k]
+from repro.workloads.oracle import brute_force_topk as brute_force
 
 
 class TestRefreshDelta:

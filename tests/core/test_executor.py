@@ -33,13 +33,7 @@ def make_env(num_rows=2000, cards=(4, 5), seed=23, block_size=25, ranking_dims=2
     return db, table, rows, schema, RankingCubeExecutor(cube, table)
 
 
-def brute_force(schema, rows, query):
-    scored = []
-    for tid, row in enumerate(rows):
-        if query.matches(schema, row):
-            scored.append((query.score_row(schema, row), tid))
-    scored.sort()
-    return scored[: query.k]
+from repro.workloads.oracle import brute_force_topk as brute_force
 
 
 def assert_matches_brute(executor, schema, rows, query):

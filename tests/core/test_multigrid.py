@@ -26,13 +26,7 @@ def make_env(num_rank=4, num_rows=1200, seed=37, **build_kwargs):
     return db, table, rows, schema, router
 
 
-def brute_force(schema, rows, query):
-    scored = []
-    for tid, row in enumerate(rows):
-        if query.matches(schema, row):
-            scored.append((query.score_row(schema, row), tid))
-    scored.sort()
-    return scored[: query.k]
+from repro.workloads.oracle import brute_force_topk as brute_force
 
 
 class TestBuild:

@@ -1,0 +1,151 @@
+"""Golden-trace snapshots for sharded any-k and reverse top-k serving.
+
+Pins the distributed traces of the two new scenarios through
+``ShardedQueryService(mode="process")``: an enumeration cursor's
+``anyk_query`` root (built at cursor close, adopting the
+``shard_enum_batch`` span trees shipped back from the worker
+processes) and a reverse query's ``reverse_query`` root with its
+``reverse_function`` children.  A drift in the executor goldens means
+the search changed; a drift *here* means the wire protocol, the
+enumeration session plumbing, or span adoption changed.  Re-bless
+with::
+
+    pytest tests/obs/test_golden_anyk_process_traces.py --update-golden
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.reverse import ReverseTopKQuery, simplex_grid_family
+from repro.obs.export import canonical_span, span_diff
+from repro.ranking.functions import LinearFunction
+from repro.relational.query import TopKQuery
+from repro.serve import ShardedQueryService
+from repro.shard import build_sharded
+from repro.workloads.synthetic import SyntheticSpec, generate
+
+pytestmark = [
+    pytest.mark.serve,
+    pytest.mark.anyk,
+    pytest.mark.reverse,
+    pytest.mark.timeout(180),
+]
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+SEED = 7
+NUM_SHARDS = 3
+BATCH_SCHEDULE = (10, 25)
+
+PROC_ANYK_CASES = {
+    "proc_anyk_sel1_low_k": (3, {"a1": 2}),
+    "proc_anyk_sel2_high_k": (40, {"a1": 2, "a3": 1}),
+}
+
+PROC_REVERSE_CASES = {
+    "proc_reverse_sel1": (5, {"a1": 2}),
+}
+
+
+@pytest.fixture(scope="module")
+def proc_env():
+    dataset = generate(
+        SyntheticSpec(
+            num_selection_dims=3,
+            num_ranking_dims=2,
+            num_tuples=1_500,
+            cardinality=6,
+            selection_distribution="zipf",
+            seed=SEED,
+        )
+    )
+    cube = build_sharded(
+        dataset.schema, dataset.rows, NUM_SHARDS, block_size=20
+    )
+    with ShardedQueryService(
+        cube, workers=NUM_SHARDS, mode="process", share_caches=False,
+        trace_spans=True,
+    ) as service:
+        yield dataset, service
+
+
+def _run_anyk(proc_env, name):
+    dataset, service = proc_env
+    k, selections = PROC_ANYK_CASES[name]
+    query = TopKQuery(k, selections, LinearFunction(["n1", "n2"], [0.6, 0.4]))
+    service.cold_cache()
+    with service.open_search(query) as cursor:
+        for count in BATCH_SCHEDULE:
+            cursor.next_batch(count)
+    return canonical_span(service.spans[-1])
+
+
+def _run_reverse(proc_env, name):
+    dataset, service = proc_env
+    k, selections = PROC_REVERSE_CASES[name]
+    schema = dataset.schema
+    tid = next(
+        t
+        for t, row in enumerate(dataset.rows)
+        if all(row[schema.position(n)] == v for n, v in selections.items())
+    )
+    query = ReverseTopKQuery(
+        tid, k, selections, simplex_grid_family(["n1", "n2"], 4)
+    )
+    service.cold_cache()
+    service.submit_reverse(query).result()
+    return canonical_span(service.spans[-1])
+
+
+RUNNERS = {name: (_run_anyk, name) for name in PROC_ANYK_CASES}
+RUNNERS.update({name: (_run_reverse, name) for name in PROC_REVERSE_CASES})
+
+
+@pytest.mark.parametrize("name", sorted(RUNNERS))
+def test_golden_process_scenario_trace(proc_env, update_golden, name):
+    runner, case = RUNNERS[name]
+    actual = runner(proc_env, case)
+    golden_path = GOLDEN_DIR / f"{name}.json"
+    if update_golden:
+        golden_path.parent.mkdir(exist_ok=True)
+        golden_path.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")
+        return
+    assert golden_path.exists(), (
+        f"missing golden snapshot {golden_path}; "
+        f"generate it with --update-golden"
+    )
+    expected = json.loads(golden_path.read_text())
+    diffs = span_diff(expected, actual)
+    assert not diffs, (
+        f"process trace for {name!r} drifted from {golden_path.name}:\n  "
+        + "\n  ".join(diffs)
+        + "\n(re-bless with --update-golden if the change is intentional)"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(RUNNERS))
+def test_process_scenario_traces_are_deterministic(proc_env, name):
+    runner, case = RUNNERS[name]
+    first = runner(proc_env, case)
+    second = runner(proc_env, case)
+    assert span_diff(first, second) == []
+
+
+def test_process_anyk_trace_shape(proc_env):
+    """Worker enumeration spans are adopted with shard/round attribution."""
+    trace = _run_anyk(proc_env, "proc_anyk_sel1_low_k")
+    assert trace["name"] == "anyk_query"
+    batches = [c for c in trace["children"] if c["name"] == "shard_enum_batch"]
+    assert batches, "worker enumeration spans must be adopted at close"
+    for batch in batches:
+        assert "shard" in batch["attributes"]
+        assert "round" in batch["attributes"]
+    assert trace["counters"]["rows"] == sum(BATCH_SCHEDULE)
+
+
+def test_process_reverse_trace_shape(proc_env):
+    trace = _run_reverse(proc_env, "proc_reverse_sel1")
+    assert trace["name"] == "reverse_query"
+    functions = [c for c in trace["children"] if c["name"] == "reverse_function"]
+    assert len(functions) == trace["attributes"]["functions"] == 5

@@ -1,0 +1,211 @@
+"""Property tests: reverse top-k equals the brute-force oracle.
+
+For any data, target tuple, selections, and family of candidate ranking
+functions, :func:`repro.core.reverse.reverse_topk` must return exactly
+the function indices for which the target ranks in the top-k — the set a
+naive full scan (:func:`repro.workloads.oracle.brute_force_reverse_topk`)
+computes — with exact target scores, on the row executor, the vectorized
+executor, and through a transient-fault device behind a deep retry
+budget.  Hard faults must abort typed, never return a wrong set.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CubeError,
+    RankingCube,
+    RankingCubeExecutor,
+    ReverseTopKQuery,
+    reverse_topk,
+    simplex_grid_family,
+)
+from repro.core.executor import QueryAbortedError
+from repro.ranking import LinearFunction, LpDistance
+from repro.relational import Database, Schema, ranking_attr, selection_attr
+from repro.storage import (
+    READ_ERROR,
+    BlockDevice,
+    FaultInjector,
+    FaultRule,
+    FaultyBlockDevice,
+    RetryPolicy,
+    StorageError,
+    transient_fault_plan,
+)
+from repro.workloads.oracle import brute_force_reverse_topk
+
+pytestmark = pytest.mark.reverse
+
+CARDS = (3, 4)
+SCHEMA = Schema.of(
+    [selection_attr("a1", CARDS[0]), selection_attr("a2", CARDS[1])]
+    + [ranking_attr("n1"), ranking_attr("n2")]
+)
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(0, CARDS[0] - 1),
+        st.integers(0, CARDS[1] - 1),
+        st.floats(0, 1, allow_nan=False, width=32),
+        st.floats(0, 1, allow_nan=False, width=32),
+    ),
+    min_size=1,
+    max_size=100,
+)
+
+selection_strategy = st.dictionaries(
+    st.sampled_from(["a1", "a2"]),
+    st.integers(0, 2),
+    max_size=2,
+)
+
+linear_strategy = st.tuples(
+    st.floats(-2, 2, allow_nan=False).filter(lambda w: abs(w) > 1e-3),
+    st.floats(-2, 2, allow_nan=False).filter(lambda w: abs(w) > 1e-3),
+).map(lambda ws: LinearFunction(["n1", "n2"], list(ws)))
+
+lp_strategy = st.tuples(
+    st.floats(0, 1, allow_nan=False),
+    st.floats(0, 1, allow_nan=False),
+    st.sampled_from([1.0, 2.0]),
+).map(lambda args: LpDistance(["n1", "n2"], [args[0], args[1]], p=args[2]))
+
+# mixed families: simplex weight vectors plus arbitrary convex functions
+family_strategy = st.one_of(
+    st.integers(1, 6).map(lambda s: simplex_grid_family(["n1", "n2"], s)),
+    st.lists(st.one_of(linear_strategy, lp_strategy), min_size=1, max_size=5).map(
+        tuple
+    ),
+)
+
+
+def build(rows, block_size=5, make_db=None, use_vector=False):
+    db = make_db() if make_db is not None else Database(buffer_capacity=64)
+    table = db.load_table("R", SCHEMA, rows)
+    cube = RankingCube.build(table, block_size=block_size)
+    return db, RankingCubeExecutor(cube, table, use_vector=use_vector)
+
+
+@settings(max_examples=100, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    rows=rows_strategy,
+    tid_seed=st.integers(0, 10**6),
+    selections=selection_strategy,
+    functions=family_strategy,
+    k=st.integers(1, 8),
+    block_size=st.sampled_from([2, 5, 20]),
+)
+def test_row_reverse_matches_oracle(rows, tid_seed, selections, functions, k, block_size):
+    _db, executor = build(rows, block_size)
+    query = ReverseTopKQuery(tid_seed % len(rows), k, selections, functions)
+    result = reverse_topk(executor, query)
+    assert result.qualifying == brute_force_reverse_topk(SCHEMA, rows, query)
+    # exact target scores, one per candidate function, qualifying or not
+    expected_scores = [
+        fn.score([rows[query.tid][SCHEMA.position(d)] for d in fn.dims])
+        for fn in functions
+    ]
+    assert result.target_scores == expected_scores
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    rows=rows_strategy,
+    tid_seed=st.integers(0, 10**6),
+    selections=selection_strategy,
+    functions=family_strategy,
+    k=st.integers(1, 8),
+)
+def test_vector_reverse_is_identical(rows, tid_seed, selections, functions, k):
+    query = ReverseTopKQuery(tid_seed % len(rows), k, selections, functions)
+    _rdb, row_ex = build(rows)
+    _vdb, vec_ex = build(rows, use_vector=True)
+    row_result = reverse_topk(row_ex, query)
+    vec_result = reverse_topk(vec_ex, query)
+    assert row_result.qualifying == brute_force_reverse_topk(SCHEMA, rows, query)
+    assert vec_result.qualifying == row_result.qualifying
+    assert vec_result.target_scores == row_result.target_scores
+    assert vec_result.target_matches == row_result.target_matches
+
+
+@pytest.mark.faults
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    rows=rows_strategy,
+    tid_seed=st.integers(0, 10**6),
+    selections=selection_strategy,
+    functions=family_strategy,
+    k=st.integers(1, 8),
+    seed=st.integers(0, 999),
+)
+def test_transient_faults_never_change_reverse(
+    rows, tid_seed, selections, functions, k, seed
+):
+    def make_db():
+        device = FaultyBlockDevice(
+            BlockDevice(page_size=512), transient_fault_plan(seed)
+        )
+        return Database(
+            buffer_capacity=64, device=device, retry_policy=RetryPolicy(max_attempts=6)
+        )
+
+    _db, executor = build(rows, make_db=make_db)
+    query = ReverseTopKQuery(tid_seed % len(rows), k, selections, functions)
+    result = reverse_topk(executor, query)
+    assert result.qualifying == brute_force_reverse_topk(SCHEMA, rows, query)
+
+
+@pytest.mark.faults
+def test_hard_faults_abort_typed_never_wrong():
+    """Unhealable read errors abort the whole query with a typed error."""
+    rng = random.Random(31)
+    rows = [
+        (rng.randrange(CARDS[0]), rng.randrange(CARDS[1]), rng.random(), rng.random())
+        for _ in range(120)
+    ]
+    injector = FaultInjector(31, [FaultRule(READ_ERROR, probability=1.0)])
+    device = FaultyBlockDevice(BlockDevice(), injector)
+    db = Database(device=device, retry_policy=RetryPolicy(max_attempts=1))
+    table = db.load_table("R", SCHEMA, rows)
+    injector.enabled = False  # loading/building must not trip the rules
+    cube = RankingCube.build(table, block_size=8)
+    executor = RankingCubeExecutor(cube, table)
+    query = ReverseTopKQuery(7, 3, {}, simplex_grid_family(["n1", "n2"], 4))
+    expected = brute_force_reverse_topk(SCHEMA, rows, query)
+    db.cold_cache()
+    injector.enabled = True
+    with pytest.raises(QueryAbortedError) as excinfo:
+        reverse_topk(executor, query)
+    assert isinstance(excinfo.value.cause, StorageError)
+    # healed device: the same query answers exactly
+    injector.enabled = False
+    assert reverse_topk(executor, query).qualifying == expected
+
+
+def test_invalid_target_tid_raises():
+    rows = [(0, 0, 0.5, 0.5), (1, 1, 0.2, 0.8)]
+    _db, executor = build(rows)
+    family = simplex_grid_family(["n1", "n2"], 2)
+    with pytest.raises(CubeError):
+        reverse_topk(executor, ReverseTopKQuery(len(rows), 1, {}, family))
+    with pytest.raises(CubeError):
+        ReverseTopKQuery(-1, 1, {}, family)
+    with pytest.raises(CubeError):
+        ReverseTopKQuery(0, 0, {}, family)
+    with pytest.raises(CubeError):
+        ReverseTopKQuery(0, 1, {}, ())
+
+
+def test_non_matching_target_qualifies_nowhere():
+    rows = [(0, 0, 0.1, 0.1), (1, 1, 0.9, 0.9), (2, 2, 0.5, 0.5)]
+    _db, executor = build(rows)
+    query = ReverseTopKQuery(1, 2, {"a1": 0}, simplex_grid_family(["n1", "n2"], 3))
+    result = reverse_topk(executor, query)
+    assert result.target_matches is False
+    assert result.qualifying == []
+    assert len(result.target_scores) == len(query.functions)
+    assert brute_force_reverse_topk(SCHEMA, rows, query) == []

@@ -14,6 +14,7 @@ from repro.baselines import BaselineExecutor, RankMappingExecutor
 from repro.core import FragmentedRankingCube, RankingCube, RankingCubeExecutor
 from repro.ranking import LinearFunction, LpDistance
 from repro.relational import Database, Schema, TopKQuery, ranking_attr, selection_attr
+from repro.workloads.oracle import brute_force_topk
 
 CARDS = (3, 4)
 SCHEMA = Schema.of(
@@ -54,12 +55,7 @@ function_strategy = st.one_of(linear_strategy, lp_strategy)
 
 
 def brute_force(rows, query):
-    scored = []
-    for tid, row in enumerate(rows):
-        if query.matches(SCHEMA, row):
-            scored.append((query.score_row(SCHEMA, row), tid))
-    scored.sort()
-    return scored[: query.k]
+    return brute_force_topk(SCHEMA, rows, query)
 
 
 def assert_scores_match(result, expected):

@@ -294,3 +294,62 @@ class TestLifecycleAndAccounting:
         assert "cache layers" in plan.describe()
         bare = RankingCubeExecutor(cube, table).explain(query)
         assert "shared pseudo-block cache" not in bare.cache_layers
+
+
+@pytest.mark.anyk
+@pytest.mark.reverse
+class TestAnyKAndReverseFrontEnds:
+    """open_search / submit_reverse on the unsharded service."""
+
+    def test_open_search_streams_oracle_order(self):
+        from repro.workloads.oracle import brute_force_ranked
+
+        rows = make_rows(83, count=200)
+        db, table, cube = make_env(rows=rows)
+        query = make_queries(83, count=1)[0]
+        with QueryService(cube, table, workers=1, trace_spans=True) as service:
+            with service.open_search(query) as cursor:
+                got = []
+                while not cursor.exhausted:
+                    got.extend(cursor.next_batch(9))
+            expected = brute_force_ranked(SCHEMA, rows, query)
+            assert [(r.score, r.tid) for r in got] == [
+                (r.score, r.tid) for r in expected
+            ]
+            assert (
+                service.registry.value("serve.service.searches_opened") == 1
+            )
+            root = service.spans[-1]
+            assert root.name == "anyk_query"
+            assert root.counters["rows"] == len(expected)
+            assert root.find("anyk_open") is not None
+            assert root.find("anyk_batch") is not None
+
+    def test_submit_reverse_matches_oracle_and_records(self):
+        from repro.core import ReverseTopKQuery, simplex_grid_family
+        from repro.workloads.oracle import brute_force_reverse_topk
+
+        rows = make_rows(89, count=200)
+        db, table, cube = make_env(rows=rows)
+        target = next(tid for tid, row in enumerate(rows) if row[0] == 1)
+        rq = ReverseTopKQuery(
+            target, 4, {"a1": 1}, simplex_grid_family(["n1", "n2"], 4)
+        )
+        with QueryService(cube, table, workers=1, trace_spans=True) as service:
+            result = service.submit_reverse(rq).result()
+            assert result.qualifying == brute_force_reverse_topk(
+                SCHEMA, rows, rq
+            )
+            assert service.registry.value("serve.service.reverse_queries") == 1
+            assert service.stats.queries == 1
+            root = service.spans[-1]
+            assert root.name == "reverse_query"
+            assert root.find("reverse_function") is not None
+
+    def test_open_search_after_close_raises(self):
+        db, table, cube = make_env()
+        service = QueryService(cube, table, workers=1)
+        service.close()
+        query = make_queries(97, count=1)[0]
+        with pytest.raises(ServiceClosedError):
+            service.open_search(query)

@@ -20,13 +20,7 @@ from repro import (
 from repro.workloads import SyntheticSpec, generate
 
 
-def brute_force(schema, rows, query):
-    scored = []
-    for tid, row in enumerate(rows):
-        if query.matches(schema, row):
-            scored.append((query.score_row(schema, row), tid))
-    scored.sort()
-    return scored[: query.k]
+from repro.workloads.oracle import brute_force_topk as brute_force
 
 
 def assert_correct(executor, schema, rows, query):

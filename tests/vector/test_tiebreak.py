@@ -16,6 +16,7 @@ import repro.vector.layout as layout
 from repro.core import RankingCube, RankingCubeExecutor
 from repro.ranking import LinearFunction
 from repro.relational import Database, Schema, TopKQuery, ranking_attr, selection_attr
+from repro.workloads.oracle import brute_force_topk
 from repro.vector.kernels import topk_select
 
 SCHEMA = Schema.of(
@@ -41,12 +42,7 @@ def build(rows, block_size=6):
 
 
 def brute_force(rows, query):
-    scored = sorted(
-        (query.score_row(SCHEMA, row), tid)
-        for tid, row in enumerate(rows)
-        if query.matches(SCHEMA, row)
-    )
-    return scored[: query.k]
+    return brute_force_topk(SCHEMA, rows, query)
 
 
 @pytest.mark.parametrize("backend", ["numpy", "fallback"])
