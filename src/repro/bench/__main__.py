@@ -41,6 +41,11 @@ def main(argv: list[str] | None = None) -> int:
         from .anyk import main as anyk_main
 
         return anyk_main(argv[1:])
+    if argv and argv[0] == "ingest":
+        # durable WAL ingestion / failover benchmark (see repro.bench.ingest)
+        from .ingest import main as ingest_main
+
+        return ingest_main(argv[1:])
     if argv and argv[0] == "profile":
         # span-tree profiling report (see repro.bench.profile)
         from .profile import main as profile_main
@@ -61,8 +66,8 @@ def main(argv: list[str] | None = None) -> int:
         default=["all"],
         help=(
             "experiment ids (fig04..fig15, ablation_*), 'fault-matrix', "
-            "'serve'/'build'/'shard'/'vector'/'anyk'/'profile'/'check' (own flags; "
-            "see --help after each), or 'all'"
+            "'serve'/'build'/'shard'/'vector'/'anyk'/'ingest'/'profile'/'check' "
+            "(own flags; see --help after each), or 'all'"
         ),
     )
     parser.add_argument(

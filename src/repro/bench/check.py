@@ -95,6 +95,12 @@ def _run_anyk(config: dict) -> dict:
     return run_anyk_bench(AnyKBenchConfig(**config))
 
 
+def _run_ingest(config: dict) -> dict:
+    from .ingest import IngestBenchConfig, run_ingest_bench
+
+    return run_ingest_bench(IngestBenchConfig(**config))
+
+
 #: benchmark name (payload["benchmark"]) -> fresh-run callable(config dict).
 RUNNERS = {
     "serve": _run_serve,
@@ -102,6 +108,7 @@ RUNNERS = {
     "shard": _run_shard,
     "vector": _run_vector,
     "anyk": _run_anyk,
+    "ingest": _run_ingest,
 }
 
 
@@ -156,6 +163,8 @@ def _compare_scenario(
         or name.startswith("vector_")
         or name.startswith("anyk_")
         or name.startswith("reverse_")
+        or name.startswith("ingest_")
+        or name.startswith("failover_")
     )
     violations = []
     for metric in sorted(set(expected) | set(actual)):
@@ -215,6 +224,9 @@ def compare_payloads(expected: dict, actual: dict, source: str) -> list[Violatio
         "enumeration_matches_oracle",
         "reverse_matches_oracle",
         "pruning_effective",
+        "recovery_replay_correct",
+        "failover_zero_wrong_answers",
+        "recovery_time_bounded",
     ):
         if metric in expected and expected[metric] != actual.get(metric):
             violations.append(

@@ -487,6 +487,531 @@ def run_compaction_schedule(
 
 
 # ----------------------------------------------------------------------
+# ingestion crash schedules
+# ----------------------------------------------------------------------
+@dataclass
+class IngestCrashOutcome:
+    """What one ingestion-kill schedule observed.
+
+    ``consistent`` requires recovery to reconstruct *exactly* the durable
+    prefix — every acknowledged batch present, the killed unacknowledged
+    batch absent, every row byte-identical to the synchronous oracle, and
+    every post-recovery query equal to brute force over that prefix.
+    """
+
+    seed: int
+    fault_point: str
+    killed: bool = False           #: the hook fired and append died there
+    batches_total: int = 0
+    batches_durable: int = 0       #: batches the durable prefix must hold
+    rows_durable: int = 0          #: total rows after recovery (incl. base)
+    rows_lost: int = 0             #: appended rows the crash legitimately lost
+    torn_tail_bytes: int = 0       #: partial-record bytes left in the WAL
+    replayed_rows: int = 0         #: rows recovery replayed from the WAL
+    recovery_wall_s: float = 0.0
+    queries_ok: int = 0
+    silent_wrong: int = 0
+    state_mismatch: int = 0        #: row-level divergence from the oracle
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def consistent(self) -> bool:
+        return self.silent_wrong == 0 and self.state_mismatch == 0
+
+
+def run_ingest_schedule(
+    seed: int,
+    *,
+    fault_point: str,
+    directory=None,
+    num_base: int = 48,
+    num_batches: int = 6,
+    num_queries: int = 4,
+    compact_threshold: int = 12,
+) -> IngestCrashOutcome:
+    """Kill a streaming append at ``fault_point`` and verify recovery.
+
+    Builds a workspace, snapshots it, then streams ``num_batches`` row
+    batches through a :class:`~repro.ingest.StreamIngestor` whose fault
+    hook raises :class:`SimulatedKill` at a seeded occurrence of the
+    named point.  The crash semantics follow write-ahead ordering:
+
+    * ``"wal-append"`` — the record reached the OS but was never fsynced,
+      so the crash may lose it entirely or leave a torn tail; the harness
+      truncates the WAL file accordingly and the batch is NOT durable.
+    * ``"wal-fsync"`` / ``"delta-tier-flush"`` / ``"compaction-swap"`` —
+      the record is on stable storage, so the batch IS durable and
+      recovery must replay it even though the in-memory state died.
+
+    Recovery (:meth:`StreamIngestor.recover`) must then equal the
+    synchronous oracle that applied exactly the durable batches: same
+    row count, same bytes per tid, same top-k answers, and a repaired
+    (cleanly appendable) WAL — proven by one post-recovery append.
+    Raises :class:`HarnessError` on any divergence.
+    """
+    import os
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from ..ingest import INGEST_FAULT_POINTS, StreamIngestor
+    from ..persist import Workspace
+
+    if fault_point not in INGEST_FAULT_POINTS:
+        raise ValueError(
+            f"unknown fault point {fault_point!r}; known: {INGEST_FAULT_POINTS}"
+        )
+    outcome = IngestCrashOutcome(seed=seed, fault_point=fault_point)
+    rng = random.Random(seed)
+    schema = _schema()
+    base = _rows(rng, num_base)
+    batches = [_rows(rng, rng.randint(2, 9)) for _ in range(num_batches)]
+    queries = _queries(rng, num_queries)
+    outcome.batches_total = num_batches
+
+    own_dir = None
+    if directory is None:
+        own_dir = tempfile.mkdtemp(prefix="repro-ingest-kill-")
+        directory = own_dir
+    directory = Path(directory)
+    snapshot_path = directory / f"ingest-{seed}.snapshot"
+    wal_path = directory / f"ingest-{seed}.wal"
+    for stale in (snapshot_path, wal_path):
+        if stale.exists():
+            stale.unlink()  # a rerun must not inherit the last crash's WAL
+
+    try:
+        db = Database(buffer_capacity=1024)
+        table = db.load_table("R", schema, base)
+        cube = RankingCube.build(table, block_size=rng.choice([4, 8]))
+        workspace = Workspace(db=db, cubes={"R": cube})
+        workspace.save(snapshot_path)
+
+        # vary when the kill lands: the Nth firing of the point, so the
+        # seed sweep covers first-batch, mid-stream, and compaction-time
+        # deaths (compaction-swap fires rarely, so always take the first)
+        per_batch = fault_point != "compaction-swap"
+        occurrence = rng.randint(1, min(4, num_batches)) if per_batch else 1
+        hits = 0
+
+        def hook(point: str) -> None:
+            nonlocal hits
+            if point == fault_point:
+                hits += 1
+                if hits == occurrence:
+                    raise SimulatedKill(point)
+
+        ingestor = StreamIngestor(
+            workspace,
+            "R",
+            wal_path,
+            compact_threshold=compact_threshold,
+            fault_hook=hook,
+        )
+        durable = list(base)
+        appended = 0
+        for batch in batches:
+            pre_size = wal_path.stat().st_size if wal_path.exists() else 0
+            try:
+                ingestor.append(batch)
+            except SimulatedKill:
+                outcome.killed = True
+                appended += len(batch)
+                ingestor.close()
+                if fault_point == "wal-append":
+                    # never fsynced: chop the record back out, sometimes
+                    # leaving a torn prefix for recovery to repair
+                    full = wal_path.stat().st_size
+                    if rng.random() < 0.5 or full - pre_size < 2:
+                        cut = pre_size
+                    else:
+                        cut = pre_size + rng.randint(1, full - pre_size - 1)
+                    with open(wal_path, "r+b") as fh:
+                        fh.truncate(cut)
+                        fh.flush()
+                        os.fsync(fh.fileno())
+                    outcome.torn_tail_bytes = cut - pre_size
+                else:
+                    durable.extend(batch)
+                    outcome.batches_durable += 1
+                break
+            durable.extend(batch)
+            outcome.batches_durable += 1
+            appended += len(batch)
+        else:
+            ingestor.close()
+        if not outcome.killed:
+            raise HarnessError(
+                f"seed {seed}: fault point {fault_point!r} never fired "
+                f"(schedule too short to reach it?)"
+            )
+        outcome.rows_durable = len(durable)
+        outcome.rows_lost = appended - (len(durable) - len(base))
+
+        # the crash: the live workspace is simply gone; recovery starts
+        # from the snapshot file plus whatever the WAL durably holds
+        recovered = StreamIngestor.recover(snapshot_path, "R", wal_path)
+        outcome.replayed_rows = recovered.recovered_rows
+        outcome.recovery_wall_s = recovered.recovery_wall_s
+
+        if recovered.table.num_rows != len(durable):
+            outcome.state_mismatch += 1
+            outcome.notes.append(
+                f"recovered {recovered.table.num_rows} row(s), oracle holds "
+                f"{len(durable)}"
+            )
+        else:
+            diverged = [
+                tid
+                for tid, row in enumerate(durable)
+                if recovered.table.fetch_by_tid(tid) != tuple(row)
+            ]
+            if diverged:
+                outcome.state_mismatch += 1
+                outcome.notes.append(f"rows diverge at tids {diverged[:5]}")
+        if recovered.wal.torn_tail_bytes() != 0:
+            outcome.state_mismatch += 1
+            outcome.notes.append("recovery left a torn WAL tail in place")
+
+        executor = RankingCubeExecutor(recovered.cube, recovered.table)
+        for query in queries:
+            expected = brute_force_scores(schema, durable, query)
+            recovered.workspace.db.cold_cache()
+            if _scores_match(executor.execute(query).rows, expected):
+                outcome.queries_ok += 1
+            else:
+                outcome.silent_wrong += 1
+                outcome.notes.append(
+                    f"post-recovery answer diverged from oracle for {query}"
+                )
+
+        # liveness: the repaired WAL must take appends on a clean record
+        # boundary, and they must be queryable immediately
+        extra = _rows(rng, 3)
+        recovered.append(extra)
+        durable_plus = durable + extra
+        probe = queries[0]
+        expected = brute_force_scores(schema, durable_plus, probe)
+        if not _scores_match(executor.execute(probe).rows, expected):
+            outcome.silent_wrong += 1
+            outcome.notes.append("post-recovery append not visible to queries")
+        recovered.close()
+    finally:
+        if own_dir is not None:
+            shutil.rmtree(own_dir, ignore_errors=True)
+
+    if not outcome.consistent:
+        raise HarnessError(
+            f"ingest kill at {fault_point!r} seed={seed} violated "
+            f"durability: state_mismatch={outcome.state_mismatch}, "
+            f"silent_wrong={outcome.silent_wrong}, notes={outcome.notes}"
+        )
+    return outcome
+
+
+# ----------------------------------------------------------------------
+# sharded failover schedules
+# ----------------------------------------------------------------------
+#: Kill points the failover matrix drives.  All five exist in thread
+#: mode; in process mode ``enum_next`` kills the worker process between
+#: batches (there is no front-end hook inside a worker's enumeration).
+FAILOVER_KILL_POINTS = (
+    "scatter",        # shard death while opening per-shard searches
+    "merge_round",    # shard death mid-merge, partial heap in hand
+    "enum_next",      # shard death mid any-k enumeration
+    "reverse_count",  # shard death during a reverse top-k count
+    "promote",        # death *during the promotion itself*
+)
+
+
+@dataclass
+class FailoverOutcome:
+    """What one sharded failover schedule observed.
+
+    ``consistent`` requires zero silent wrong answers: every query that
+    returns must be byte-identical to the unsharded oracle, kill or no
+    kill.  For the ``"promote"`` point the first query is *expected* to
+    surface the :class:`SimulatedKill` (``kill_surfaced``) and the next
+    query must heal.
+    """
+
+    seed: int
+    mode: str
+    kill_point: str
+    victim: int = -1
+    killed: bool = False
+    kill_surfaced: bool = False    #: promote-kill escaped as it must
+    failovers: int = 0             #: shard.replica.failovers for the victim
+    promotions: int = 0            #: shard.replica.promotions (all shards)
+    cold_respawns: int = 0         #: shard.pool.respawns (must stay 0)
+    queries_ok: int = 0
+    rows_compared: int = 0
+    silent_wrong: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def consistent(self) -> bool:
+        return self.silent_wrong == 0
+
+
+class _PrimaryKill:
+    """Fault hook that models one shard primary dying at a named point.
+
+    Thread mode raises a typed :class:`StorageError` at the point for as
+    long as the victim's original stack is still installed — a dead
+    device stays dead until a replica replaces it.  Process mode SIGKILLs
+    the victim's *current* worker process once (promoted replicas keep
+    their spawn name, so the pool handle is the only reliable address).
+    The ``"promote"`` point composes both: a primary death at scatter
+    plus one :class:`SimulatedKill` at the promotion instant.
+    """
+
+    def __init__(self, kill_point: str, victim: int, mode: str):
+        self.kill_point = kill_point
+        self.victim = victim
+        self.mode = mode
+        self.armed = False
+        self.fired = False
+        self.promote_fired = False
+        self.service = None
+        self.original_shard = None
+
+    def _primary_alive(self) -> bool:
+        if self.mode == "process":
+            return not self.fired
+        return self.service.cube.shards[self.victim] is self.original_shard
+
+    def kill_worker(self) -> None:
+        """SIGKILL the victim's current worker (process mode only)."""
+        self.fired = True
+        handle = self.service._proc_pool._handles.get(self.victim)
+        if handle is not None and handle.alive:
+            handle.process.kill()
+            handle.process.join(timeout=10)
+
+    def __call__(self, point: str, shard_id: int) -> None:
+        if not self.armed or shard_id != self.victim:
+            return
+        if point == "promote":
+            if self.kill_point == "promote" and not self.promote_fired:
+                self.promote_fired = True
+                raise SimulatedKill(point)
+            return
+        trigger = "scatter" if self.kill_point == "promote" else self.kill_point
+        if point != trigger or not self._primary_alive():
+            return
+        if self.mode == "process":
+            self.kill_worker()
+            # returning lets the in-flight request hit the dead pipe and
+            # surface as WorkerDiedError, exactly like an external SIGKILL
+            return
+        self.fired = True
+        raise StorageError(
+            f"injected primary death at {point} (shard {shard_id})"
+        )
+
+
+def run_failover_schedule(
+    seed: int,
+    *,
+    kill_point: str,
+    mode: str = "thread",
+    num_rows: int = 120,
+    num_shards: int = 2,
+    num_queries: int = 3,
+) -> FailoverOutcome:
+    """Kill one shard primary at ``kill_point`` and verify failover.
+
+    Builds the same relation unsharded (the oracle) and sharded with
+    ``replication_factor=2``, arms a :class:`_PrimaryKill`, then runs the
+    workload.  Every answer the service returns must be byte-identical —
+    ``(tid, score)`` for ``(tid, score)`` — to the oracle's, the victim's
+    ``shard.replica.failovers`` counter must match the induced kills, and
+    a promotion must have actually happened (no silent cold path).
+    Raises :class:`HarnessError` on any violation.
+    """
+    from ..core.anyk import AnyKCursor
+    from ..core.executor import ExecutorTrace
+    from ..core.reverse import ReverseTopKQuery, simplex_grid_family
+    from ..obs.metrics import MetricsRegistry
+    from ..serve.sharded import ShardedQueryService
+    from ..shard.builder import build_sharded
+    from ..workloads.oracle import brute_force_reverse_topk
+
+    if kill_point not in FAILOVER_KILL_POINTS:
+        raise ValueError(
+            f"unknown kill point {kill_point!r}; known: {FAILOVER_KILL_POINTS}"
+        )
+    outcome = FailoverOutcome(seed=seed, mode=mode, kill_point=kill_point)
+    rng = random.Random(seed)
+    schema = _schema()
+    rows = _rows(rng, num_rows)
+    queries = _queries(rng, num_queries)
+    # reverse_count consults shards in id order and may stop early once
+    # k predecessors are proven, so only shard 0 is guaranteed a look
+    victim = 0 if kill_point == "reverse_count" else rng.randrange(num_shards)
+    outcome.victim = victim
+
+    # the unsharded oracle
+    oracle_db = Database(buffer_capacity=4096)
+    oracle_table = oracle_db.load_table("R", schema, rows)
+    oracle_cube = RankingCube.build(oracle_table, block_size=8)
+    oracle = RankingCubeExecutor(oracle_cube, oracle_table)
+
+    sharded = build_sharded(
+        schema, rows, num_shards, block_size=8, replication_factor=2
+    )
+    registry = MetricsRegistry()
+    kill = _PrimaryKill(kill_point, victim, mode)
+    service = ShardedQueryService(
+        sharded,
+        workers=2,
+        mode=mode,
+        registry=registry,
+        fault_hook=kill,
+        worker_timeout_s=30.0,
+        # small step batches force multi-round gathers, so merge-time
+        # kill points actually get reached in process mode too
+        step_batch=2,
+    )
+    kill.service = service
+    kill.original_shard = sharded.shards[victim]
+
+    def check(got_pairs, expected_pairs, what: str) -> None:
+        outcome.rows_compared += len(expected_pairs)
+        if got_pairs == expected_pairs:
+            outcome.queries_ok += 1
+        else:
+            outcome.silent_wrong += 1
+            outcome.notes.append(f"{what}: {got_pairs!r} != {expected_pairs!r}")
+
+    try:
+        # for enum_next the kill arms only after a prefix has been pulled,
+        # so the failover genuinely happens mid-enumeration
+        kill.armed = kill_point != "enum_next"
+        if kill_point == "enum_next":
+            # deep enumeration: kill strikes mid-stream, the cursor must
+            # fail over and keep emitting the exact oracle order
+            enum_query = TopKQuery(4, {}, queries[0].ranking)
+            depth = min(40, num_rows)
+            oracle_cursor = AnyKCursor(oracle, enum_query, ExecutorTrace())
+            expected = [
+                (row.tid, round(row.score, 12))
+                for row in oracle_cursor.next_batch(depth)
+            ]
+            cursor = service.open_search(enum_query)
+            prefix = rng.randint(4, 12)
+            got = [
+                (row.tid, round(row.score, 12))
+                for row in cursor.next_batch(prefix)
+            ]
+            kill.armed = True
+            if mode == "process":
+                kill.kill_worker()
+            got += [
+                (row.tid, round(row.score, 12))
+                for row in cursor.next_batch(depth - len(got))
+            ]
+            cursor.close()
+            check(got, expected, "any-k enumeration across the kill")
+        elif kill_point == "reverse_count":
+            best = max(
+                range(len(rows)), key=lambda tid: (rows[tid][2] + rows[tid][3], tid)
+            )
+            reverse_query = ReverseTopKQuery(
+                best, 6, {}, simplex_grid_family(["n1", "n2"], 3)
+            )
+            expected = brute_force_reverse_topk(schema, rows, reverse_query)
+            got = service.submit_reverse(reverse_query).result()
+            check(
+                list(got.qualifying),
+                list(expected),
+                "reverse top-k across the kill",
+            )
+        elif kill_point == "promote":
+            probe = queries[0]
+            expected = [(r.tid, round(r.score, 12)) for r in oracle.execute(probe).rows]
+            try:
+                service.submit(probe).result()
+                outcome.notes.append("promotion kill never surfaced")
+                outcome.silent_wrong += 1
+            except SimulatedKill:
+                outcome.kill_surfaced = True
+            # the retry must find the standby still on the bench and heal
+            result = service.submit(probe).result()
+            check(
+                [(r.tid, round(r.score, 12)) for r in result.rows],
+                expected,
+                "first query after the promotion kill",
+            )
+        else:  # "scatter" / "merge_round"
+            for index, query in enumerate(queries):
+                expected = [
+                    (r.tid, round(r.score, 12)) for r in oracle.execute(query).rows
+                ]
+                result = service.submit(query).result()
+                check(
+                    [(r.tid, round(r.score, 12)) for r in result.rows],
+                    expected,
+                    f"query {index} across the kill",
+                )
+        outcome.killed = kill.fired or kill.promote_fired
+
+        # cooldown: with the primary promoted, the rest of the workload
+        # must run clean (no residual dead state, no repeat failovers)
+        for index, query in enumerate(queries[1:], start=1):
+            expected = [
+                (r.tid, round(r.score, 12)) for r in oracle.execute(query).rows
+            ]
+            result = service.submit(query).result()
+            check(
+                [(r.tid, round(r.score, 12)) for r in result.rows],
+                expected,
+                f"cooldown query {index}",
+            )
+    finally:
+        service.close()
+
+    outcome.failovers = int(
+        registry.value("shard.replica.failovers", shard=str(victim))
+    )
+    outcome.promotions = int(registry.total("shard.replica.promotions"))
+    outcome.cold_respawns = int(registry.total("shard.pool.respawns"))
+    if not outcome.killed:
+        raise HarnessError(
+            f"seed {seed}: kill point {kill_point!r} never fired in {mode} mode"
+        )
+    if outcome.promotions != 1:
+        raise HarnessError(
+            f"seed {seed}: 1 induced kill at {kill_point!r} but "
+            f"{outcome.promotions} replica promotion(s)"
+        )
+    if outcome.cold_respawns != 0:
+        raise HarnessError(
+            f"seed {seed}: kill at {kill_point!r} took the cold respawn "
+            f"path ({outcome.cold_respawns}) despite a warm standby"
+        )
+    if kill_point == "promote":
+        if not outcome.kill_surfaced:
+            raise HarnessError(
+                f"seed {seed}: promotion kill was swallowed somewhere"
+            )
+    elif mode == "thread" and outcome.failovers != 1:
+        # in process mode a kill can heal below the query layer (the pool
+        # warm-promotes on handle acquisition), so failovers may be 0 there
+        raise HarnessError(
+            f"seed {seed}: induced 1 kill at {kill_point!r} but "
+            f"shard.replica.failovers[shard={victim}] is {outcome.failovers}"
+        )
+    if not outcome.consistent:
+        raise HarnessError(
+            f"failover kill at {kill_point!r} seed={seed} mode={mode} gave "
+            f"silent wrong answers: {outcome.notes}"
+        )
+    return outcome
+
+
+# ----------------------------------------------------------------------
 # the matrix
 # ----------------------------------------------------------------------
 def run_fault_matrix(

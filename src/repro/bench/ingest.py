@@ -1,0 +1,485 @@
+"""Durable-ingestion benchmark: ``python -m repro.bench ingest``.
+
+Measures the WAL-backed streaming append pipeline end to end and proves
+its two durability contracts under load:
+
+* **ingest_throughput** — streams ``num_tuples`` rows through a
+  :class:`~repro.ingest.StreamIngestor` (write-ahead log fsync, delta
+  refresh, tiered runs, threshold compaction), then recovers the whole
+  workspace from the snapshot plus WAL replay and checks every probe
+  query against brute force over the full row set.  A checkpoint at the
+  end must truncate the WAL so a second recovery replays zero rows —
+  recovery work is bounded by the checkpoint, not by ingest history.
+* **ingest_kill_*** — the seeded crash schedules of
+  :func:`repro.bench.faultmatrix.run_ingest_schedule` at every ingest
+  fault point: each cell kills the ingestor mid-append and requires
+  recovery to equal the synchronous oracle over the durable prefix.
+* **failover_thread / failover_process** — the primary-kill schedules of
+  :func:`repro.bench.faultmatrix.run_failover_schedule`: a replicated
+  shard's primary dies at every kill point and the answers served across
+  the failover must stay byte-identical to the unsharded oracle.
+
+Three gates land in the payload (exact in ``bench check``):
+``recovery_replay_correct`` (WAL replay reconstructs the oracle state,
+crash or no crash), ``failover_zero_wrong_answers`` (every kill heals
+through exactly one warm promotion, no cold respawns, no divergent
+rows), and ``recovery_time_bounded`` (every recovery finishes inside
+``recovery_budget_s``).  Results land in ``BENCH_ingest.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from .faultmatrix import (
+    FAILOVER_KILL_POINTS,
+    HarnessError,
+    _queries,
+    _rows,
+    _schema,
+    _scores_match,
+    brute_force_scores,
+    run_failover_schedule,
+    run_ingest_schedule,
+)
+
+
+@dataclass(frozen=True)
+class IngestBenchConfig:
+    """Knobs of one durable-ingestion benchmark run (fixed seed).
+
+    ``fault_points`` / ``*_kill_points`` are comma-joined strings (not
+    tuples) so the config survives a JSON round-trip byte-identically —
+    ``bench check`` compares the embedded config exactly.  The smoke
+    config shrinks the stream and the schedule sweeps; the gates stay
+    armed everywhere (``recovery_budget_s`` is generous enough that only
+    a real replay pathology can trip it, even on one CI core).
+    """
+
+    num_tuples: int = 20_000
+    num_base: int = 2_000
+    batch_rows: int = 500
+    num_queries: int = 4
+    compact_threshold: int = 4_000
+    kill_seeds: int = 12
+    fault_points: str = "wal-append,wal-fsync,delta-tier-flush,compaction-swap"
+    thread_kill_points: str = "scatter,merge_round,enum_next,reverse_count,promote"
+    thread_seeds: str = "0,1,2,3"
+    process_kill_points: str = "scatter,merge_round,enum_next,reverse_count,promote"
+    # process-mode schedules need queries deep enough to outlive the
+    # opening scatter batch, or mid-merge kill points never fire; these
+    # seeds are the ones the failover test suite vetted for that
+    process_seeds: str = "5,29"
+    recovery_budget_s: float = 30.0
+    block_size: int = 8
+    buffer_capacity: int = 4096
+    seed: int = 23
+
+    @classmethod
+    def smoke(cls) -> "IngestBenchConfig":
+        """Fast fixed-seed configuration for CI (a few seconds)."""
+        return cls(
+            num_tuples=2_000,
+            num_base=400,
+            batch_rows=100,
+            compact_threshold=500,
+            kill_seeds=3,
+            thread_seeds="0,1",
+            process_kill_points="scatter,promote",
+            process_seeds="5",
+        )
+
+    def fault_point_list(self) -> list[str]:
+        return [p.strip() for p in self.fault_points.split(",") if p.strip()]
+
+    def kill_point_list(self, mode: str) -> list[str]:
+        raw = self.thread_kill_points if mode == "thread" else self.process_kill_points
+        points = [p.strip() for p in raw.split(",") if p.strip()]
+        for point in points:
+            if point not in FAILOVER_KILL_POINTS:
+                raise ValueError(f"unknown kill point {point!r}")
+        return points
+
+    def seed_list(self, mode: str) -> list[int]:
+        raw = self.thread_seeds if mode == "thread" else self.process_seeds
+        return [int(s) for s in raw.split(",") if s.strip()]
+
+
+@dataclass
+class IngestThroughputReport:
+    """The no-crash pipeline: append, recover, verify, checkpoint."""
+
+    rows_appended: int
+    batches: int
+    compactions: int
+    wal_bytes: int
+    wall_s: float
+    tuples_per_s: float
+    replayed_rows: int             #: full recovery replays every appended row
+    repaired_tail_bytes: int       #: clean shutdown leaves no torn tail
+    recovery_wall_s: float
+    replayed_after_checkpoint: int  #: checkpoint bounds replay work to 0
+    queries_ok: int
+    silent_wrong: int
+
+
+@dataclass
+class IngestKillReport:
+    """Aggregate of one fault point's seeded crash schedules."""
+
+    fault_point: str
+    schedules: int
+    killed: int
+    batches_durable: int
+    replayed_rows: int
+    rows_lost: int
+    torn_tail_schedules: int
+    queries_ok: int
+    silent_wrong: int
+    state_mismatch: int
+    schedule_errors: int
+    semantics_ok: bool             #: rows lost iff the point pre-dates fsync
+    max_recovery_wall_s: float
+
+
+@dataclass
+class FailoverReport:
+    """Aggregate of one serving mode's primary-kill schedules.
+
+    ``query_layer_failovers`` is the summed ``shard.replica.failovers``
+    in thread mode; process mode records ``-1`` because a SIGKILLed
+    worker may heal below the query layer (the pool warm-promotes on
+    handle acquisition) and the per-layer split is scheduling-dependent.
+    """
+
+    mode: str
+    schedules: int
+    kills: int
+    promote_kills_surfaced: int
+    promotions: int
+    cold_respawns: int
+    query_layer_failovers: int
+    queries_ok: int
+    rows_compared: int
+    silent_wrong: int
+    schedule_errors: int
+    wall_s: float
+
+
+def run_throughput(config: IngestBenchConfig, directory) -> IngestThroughputReport:
+    """Stream the full dataset through the WAL pipeline, then recover."""
+    from ..core.cube import RankingCube
+    from ..core.executor import RankingCubeExecutor
+    from ..ingest import StreamIngestor
+    from ..obs.metrics import MetricsRegistry
+    from ..persist import Workspace
+    from ..relational.database import Database
+
+    rng = random.Random(config.seed)
+    schema = _schema()
+    base = _rows(rng, config.num_base)
+    stream = _rows(rng, config.num_tuples)
+    queries = _queries(rng, config.num_queries)
+
+    directory = Path(directory)
+    snapshot_path = directory / "ingest-bench.snapshot"
+    wal_path = directory / "ingest-bench.wal"
+
+    db = Database(buffer_capacity=config.buffer_capacity)
+    table = db.load_table("R", schema, base)
+    cube = RankingCube.build(table, block_size=config.block_size)
+    workspace = Workspace(db=db, cubes={"R": cube})
+    workspace.save(snapshot_path)
+
+    registry = MetricsRegistry()
+    ingestor = StreamIngestor(
+        workspace,
+        "R",
+        wal_path,
+        compact_threshold=config.compact_threshold,
+        registry=registry,
+    )
+    ingestor.snapshot_path = snapshot_path
+    batches = [
+        stream[i : i + config.batch_rows]
+        for i in range(0, len(stream), config.batch_rows)
+    ]
+    started = time.perf_counter()
+    for batch in batches:
+        ingestor.append(batch)
+    wall = time.perf_counter() - started
+    ingestor.close()
+    wal_bytes = wal_path.stat().st_size
+
+    # the crash-shaped restart: nothing survives but the snapshot + WAL
+    recovered = StreamIngestor.recover(snapshot_path, "R", wal_path)
+    full_rows = base + stream
+    executor = RankingCubeExecutor(recovered.cube, recovered.table)
+    queries_ok = silent_wrong = 0
+    for query in queries:
+        expected = brute_force_scores(schema, full_rows, query)
+        recovered.workspace.db.cold_cache()
+        if _scores_match(executor.execute(query).rows, expected):
+            queries_ok += 1
+        else:
+            silent_wrong += 1
+    if recovered.table.num_rows != len(full_rows):
+        silent_wrong += 1
+
+    # checkpoint, then prove replay work is bounded by it
+    recovered.checkpoint(snapshot_path)
+    recovered.close()
+    second = StreamIngestor.recover(snapshot_path, "R", wal_path)
+    replayed_after_checkpoint = second.recovered_rows
+    second.close()
+
+    return IngestThroughputReport(
+        rows_appended=len(stream),
+        batches=len(batches),
+        compactions=int(registry.value("ingest.compactions")),
+        wal_bytes=wal_bytes,
+        wall_s=wall,
+        tuples_per_s=len(stream) / wall if wall > 0 else 0.0,
+        replayed_rows=recovered.recovered_rows,
+        repaired_tail_bytes=recovered.repaired_tail_bytes,
+        recovery_wall_s=recovered.recovery_wall_s,
+        replayed_after_checkpoint=replayed_after_checkpoint,
+        queries_ok=queries_ok,
+        silent_wrong=silent_wrong,
+    )
+
+
+def run_kill_matrix(config: IngestBenchConfig, fault_point: str) -> IngestKillReport:
+    """Sweep ``kill_seeds`` crash schedules at one ingest fault point."""
+    report = IngestKillReport(
+        fault_point=fault_point,
+        schedules=config.kill_seeds,
+        killed=0,
+        batches_durable=0,
+        replayed_rows=0,
+        rows_lost=0,
+        torn_tail_schedules=0,
+        queries_ok=0,
+        silent_wrong=0,
+        state_mismatch=0,
+        schedule_errors=0,
+        semantics_ok=True,
+        max_recovery_wall_s=0.0,
+    )
+    for seed in range(config.kill_seeds):
+        try:
+            outcome = run_ingest_schedule(seed, fault_point=fault_point)
+        except HarnessError:
+            report.schedule_errors += 1
+            continue
+        report.killed += int(outcome.killed)
+        report.batches_durable += outcome.batches_durable
+        report.replayed_rows += outcome.replayed_rows
+        report.rows_lost += outcome.rows_lost
+        report.torn_tail_schedules += int(outcome.torn_tail_bytes > 0)
+        report.queries_ok += outcome.queries_ok
+        report.silent_wrong += outcome.silent_wrong
+        report.state_mismatch += outcome.state_mismatch
+        report.max_recovery_wall_s = max(
+            report.max_recovery_wall_s, outcome.recovery_wall_s
+        )
+        # write-ahead ordering: a pre-fsync kill must lose the batch, a
+        # post-fsync kill must not
+        durable_point = fault_point != "wal-append"
+        if durable_point and outcome.rows_lost != 0:
+            report.semantics_ok = False
+        if not durable_point and outcome.rows_lost == 0:
+            report.semantics_ok = False
+    return report
+
+
+def run_failover(config: IngestBenchConfig, mode: str) -> FailoverReport:
+    """Sweep the primary-kill schedules for one serving mode."""
+    points = config.kill_point_list(mode)
+    seeds = config.seed_list(mode)
+    report = FailoverReport(
+        mode=mode,
+        schedules=len(points) * len(seeds),
+        kills=0,
+        promote_kills_surfaced=0,
+        promotions=0,
+        cold_respawns=0,
+        query_layer_failovers=0,
+        queries_ok=0,
+        rows_compared=0,
+        silent_wrong=0,
+        schedule_errors=0,
+        wall_s=0.0,
+    )
+    started = time.perf_counter()
+    for point in points:
+        for seed in seeds:
+            try:
+                outcome = run_failover_schedule(seed, kill_point=point, mode=mode)
+            except HarnessError as exc:
+                report.schedule_errors += 1
+                print(f"ingest bench: failover schedule failed: {exc}")
+                continue
+            report.kills += int(outcome.killed)
+            report.promote_kills_surfaced += int(outcome.kill_surfaced)
+            report.promotions += outcome.promotions
+            report.cold_respawns += outcome.cold_respawns
+            report.query_layer_failovers += outcome.failovers
+            report.queries_ok += outcome.queries_ok
+            report.rows_compared += outcome.rows_compared
+            report.silent_wrong += outcome.silent_wrong
+    report.wall_s = time.perf_counter() - started
+    if mode == "process":
+        # a kill can heal at the query layer or below it depending on
+        # when the dead pipe is noticed — the split is not deterministic
+        report.query_layer_failovers = -1
+    return report
+
+
+def run_ingest_bench(config: IngestBenchConfig) -> dict:
+    """Run every scenario; return the JSON payload with its gates."""
+    import tempfile
+
+    scenarios: dict[str, object] = {}
+    with tempfile.TemporaryDirectory(prefix="repro-ingest-bench-") as tmp:
+        throughput = run_throughput(config, tmp)
+    scenarios["ingest_throughput"] = throughput
+
+    kill_reports = []
+    for point in config.fault_point_list():
+        kill = run_kill_matrix(config, point)
+        scenarios[f"ingest_kill_{point.replace('-', '_')}"] = kill
+        kill_reports.append(kill)
+
+    failover_reports = []
+    for mode in ("thread", "process"):
+        failover = run_failover(config, mode)
+        scenarios[f"failover_{mode}"] = failover
+        failover_reports.append(failover)
+
+    recovery_replay_correct = (
+        throughput.silent_wrong == 0
+        and throughput.replayed_rows == throughput.rows_appended
+        and throughput.repaired_tail_bytes == 0
+        and throughput.replayed_after_checkpoint == 0
+        and all(
+            k.schedule_errors == 0
+            and k.killed == k.schedules
+            and k.silent_wrong == 0
+            and k.state_mismatch == 0
+            and k.semantics_ok
+            for k in kill_reports
+        )
+    )
+    failover_zero_wrong_answers = all(
+        f.schedule_errors == 0
+        and f.kills == f.schedules
+        and f.silent_wrong == 0
+        and f.promotions == f.schedules
+        and f.cold_respawns == 0
+        for f in failover_reports
+    )
+    recovery_time_bounded = (
+        throughput.recovery_wall_s <= config.recovery_budget_s
+        and all(
+            k.max_recovery_wall_s <= config.recovery_budget_s
+            for k in kill_reports
+        )
+    )
+
+    return {
+        "benchmark": "ingest",
+        "config": asdict(config),
+        "scenarios": {name: asdict(r) for name, r in scenarios.items()},
+        "recovery_replay_correct": recovery_replay_correct,
+        "failover_zero_wrong_answers": failover_zero_wrong_answers,
+        "recovery_time_bounded": recovery_time_bounded,
+        "equivalent_answers": recovery_replay_correct
+        and failover_zero_wrong_answers,
+    }
+
+
+def format_ingest_table(payload: dict) -> str:
+    """Fixed-width human-readable view of the JSON payload."""
+    lines = ["ingest: WAL-backed streaming ingestion and shard failover"]
+    t = payload["scenarios"]["ingest_throughput"]
+    lines.append(
+        f"  throughput: {t['rows_appended']} rows in {t['batches']} batches, "
+        f"{t['tuples_per_s']:.0f} rows/s, {t['compactions']} compaction(s), "
+        f"WAL {t['wal_bytes']} B"
+    )
+    lines.append(
+        f"  recovery:   {t['replayed_rows']} rows replayed in "
+        f"{t['recovery_wall_s'] * 1000.0:.1f} ms; after checkpoint "
+        f"{t['replayed_after_checkpoint']} rows"
+    )
+    headers = ("kill point", "runs", "killed", "replayed", "lost", "torn", "wrong")
+    lines.append("".join(h.rjust(12) for h in headers))
+    lines.append("-" * (12 * len(headers)))
+    for name, s in payload["scenarios"].items():
+        if not name.startswith("ingest_kill_"):
+            continue
+        lines.append(
+            s["fault_point"].rjust(12)
+            + f"{s['schedules']:12d}"
+            + f"{s['killed']:12d}"
+            + f"{s['replayed_rows']:12d}"
+            + f"{s['rows_lost']:12d}"
+            + f"{s['torn_tail_schedules']:12d}"
+            + f"{s['silent_wrong'] + s['state_mismatch']:12d}"
+        )
+    for mode in ("thread", "process"):
+        s = payload["scenarios"][f"failover_{mode}"]
+        lines.append(
+            f"  failover ({mode}): {s['kills']}/{s['schedules']} kills healed, "
+            f"{s['promotions']} promotion(s), {s['cold_respawns']} cold respawn(s), "
+            f"{s['rows_compared']} rows compared, {s['silent_wrong']} wrong"
+        )
+    lines.append(
+        f"recovery replay correct: {payload['recovery_replay_correct']}; "
+        f"failover zero wrong answers: {payload['failover_zero_wrong_answers']}; "
+        f"recovery time bounded: {payload['recovery_time_bounded']}"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench ingest",
+        description="Benchmark durable WAL ingestion, crash recovery and failover.",
+    )
+    parser.add_argument("--smoke", action="store_true", help="fast fixed-seed CI mode")
+    parser.add_argument("--tuples", type=int, default=None)
+    parser.add_argument("--kill-seeds", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--out", default="BENCH_ingest.json", help="JSON output path")
+    args = parser.parse_args(argv)
+
+    config = IngestBenchConfig.smoke() if args.smoke else IngestBenchConfig()
+    overrides = {}
+    if args.tuples is not None:
+        overrides["num_tuples"] = args.tuples
+    if args.kill_seeds is not None:
+        overrides["kill_seeds"] = args.kill_seeds
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        config = IngestBenchConfig(**{**asdict(config), **overrides})
+
+    payload = run_ingest_bench(config)
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(format_ingest_table(payload))
+    print(f"wrote {args.out}")
+    gates = (
+        payload["recovery_replay_correct"],
+        payload["failover_zero_wrong_answers"],
+        payload["recovery_time_bounded"],
+    )
+    return 0 if all(gates) else 1

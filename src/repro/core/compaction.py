@@ -104,6 +104,12 @@ class CubeCompactor:
     fault_hook:
         Test seam: called with each :data:`COMPACTION_FAULT_POINTS` name
         as the run passes it; raising simulates a kill at that instant.
+    on_swap:
+        Optional callback invoked with the number of absorbed tuples
+        after each successful swap (and after the ``swapped`` fault
+        point, so a simulated kill models a crash *between* the swap and
+        the callback).  The ingestion layer uses it to retire drained
+        delta runs and advance the WAL checkpoint.
     """
 
     def __init__(
@@ -113,6 +119,7 @@ class CubeCompactor:
         min_delta: int = 256,
         tracer=None,
         fault_hook=None,
+        on_swap=None,
     ):
         if min_delta < 1:
             raise CompactionError(f"min_delta must be >= 1, got {min_delta}")
@@ -121,6 +128,7 @@ class CubeCompactor:
         self.min_delta = min_delta
         self.tracer = tracer
         self.fault_hook = fault_hook
+        self.on_swap = on_swap
         self.registry = getattr(pool, "registry", None)
         #: serializes compaction runs (foreground drain vs background worker)
         self._run_lock = threading.Lock()
@@ -242,6 +250,8 @@ class CubeCompactor:
                 cube._delta = survivors
             self._last_residual = len(residual)
             self._fault("swapped")
+            if self.on_swap is not None:
+                self.on_swap(len(ordered))
 
             cube._notify_invalidation()
             self._fault("notified")

@@ -368,6 +368,21 @@ class RankingCube:
         with self._state_lock:
             return len(self._delta)
 
+    @property
+    def epoch(self) -> int:
+        """The cube's materialization generation.
+
+        Compaction rebuilds every cuboid with a bumped epoch and swaps
+        them in together, so the per-cuboid epochs always agree; this is
+        that common value (0 for a freshly built cube).  Snapshot
+        manifests pin it so a reloaded or replicated deployment can prove
+        which generation it serves.
+        """
+        epochs = {c.epoch for c in self.cuboids.values()}
+        if len(epochs) > 1:
+            raise CubeError(f"mixed cuboid generations: {sorted(epochs)}")
+        return epochs.pop() if epochs else 0
+
     def needs_rebuild(self, max_delta_fraction: float = 0.1) -> bool:
         """Whether the delta store has outgrown the materialization."""
         return self.delta_size > max_delta_fraction * max(1, self.base_table.num_tuples)
@@ -440,6 +455,14 @@ class CubeSnapshot:
     @property
     def delta_size(self) -> int:
         return len(self.delta)
+
+    @property
+    def epoch(self) -> int:
+        """Materialization generation this snapshot pinned (see
+        :attr:`RankingCube.epoch`); snapshots never span a swap, so the
+        per-cuboid epochs here agree by construction."""
+        epochs = {c.epoch for c in self.cuboids.values()}
+        return epochs.pop() if len(epochs) == 1 else 0
 
 
 def _covering_cuboids(

@@ -51,7 +51,7 @@ def _fsync_directory(directory: Path) -> None:
         os.close(fd)
 
 
-def atomic_write_bytes(target: str | Path, data: bytes) -> int:
+def atomic_replace(target: str | Path, data: bytes) -> int:
     """Crash-atomic, durable file write: temp + fsync + rename + dir fsync.
 
     The claim :meth:`Workspace.save` makes — a crash leaves the previous
@@ -62,6 +62,11 @@ def atomic_write_bytes(target: str | Path, data: bytes) -> int:
     the parent directory so the rename itself is durable.  A failure at
     any point removes the temp file, so a retry never collides with (or
     silently succeeds against) a half-written leftover.
+
+    This is the **single** durability helper: workspace snapshots, shard
+    snapshots, manifest (re)writes, and WAL segment rotations
+    (:mod:`repro.ingest.wal`) all land through it, so every on-disk
+    artifact shares one crash discipline.
     """
     target = Path(target)
     tmp = target.with_name(target.name + ".tmp")
@@ -76,6 +81,10 @@ def atomic_write_bytes(target: str | Path, data: bytes) -> int:
         raise
     _fsync_directory(target.parent)
     return len(data)
+
+
+#: Backwards-compatible alias (pre-unification name).
+atomic_write_bytes = atomic_replace
 
 
 @dataclass
@@ -111,7 +120,7 @@ class Workspace:
         """Write the workspace snapshot; returns bytes written.
 
         The write is atomic *and durable* (temp file + fsync + rename +
-        parent-directory fsync — see :func:`atomic_write_bytes`): a crash
+        parent-directory fsync — see :func:`atomic_replace`): a crash
         mid-save leaves either the previous snapshot or the new one, never
         a torn one, and a failed attempt leaves no ``.tmp`` residue behind.
         A storage fault while flushing dirty pages aborts the save with a
@@ -133,7 +142,7 @@ class Workspace:
             + len(payload).to_bytes(8, "little")
             + digest
         )
-        return atomic_write_bytes(path, header + payload)
+        return atomic_replace(path, header + payload)
 
     def compact(self, name: str, **kwargs) -> "object":
         """Run one foreground delta compaction on the named cube.
@@ -237,7 +246,7 @@ class ShardedWorkspace:
         manifest.json      # shard map, tid maps, per-file SHA-256
 
     Crash consistency is two-level: every file lands via
-    :func:`atomic_write_bytes` (temp + fsync + rename + dir fsync), and
+    :func:`atomic_replace` (temp + fsync + rename + dir fsync), and
     the manifest — written *last* — pins the exact shard-file contents
     by SHA-256.  A crash between shard saves leaves a mix of old and new
     shard files, but the old manifest then fails its checksum pins and
@@ -247,31 +256,30 @@ class ShardedWorkspace:
 
     cube: "object"  # ShardedCube (typed loosely: persist must not import shard)
 
-    def save(self, directory: str | Path) -> dict:
-        """Write every shard snapshot, then the manifest; returns it."""
-        directory = Path(directory)
-        directory.mkdir(parents=True, exist_ok=True)
+    def _write_shard_snapshot(self, directory: Path, shard) -> dict:
+        """Persist one shard's snapshot; return its manifest entry."""
         cube = self.cube
-        shard_entries = []
-        for shard in cube.shards:
-            filename = f"shard_{shard.shard_id:04d}.rcube"
-            cubes = {cube.name: shard.cube} if shard.cube is not None else {}
-            Workspace(db=shard.db, cubes=cubes).save(directory / filename)
-            digest = hashlib.sha256((directory / filename).read_bytes())
-            shard_entries.append(
-                {
-                    "shard_id": shard.shard_id,
-                    "file": filename,
-                    "sha256": digest.hexdigest(),
-                    "rows": len(shard.tid_map),
-                    "tid_map": list(shard.tid_map),
-                    "build_kwargs": {
-                        k: v
-                        for k, v in shard.build_kwargs.items()
-                        if isinstance(v, (int, float, str, bool))
-                    },
-                }
-            )
+        filename = f"shard_{shard.shard_id:04d}.rcube"
+        cubes = {cube.name: shard.cube} if shard.cube is not None else {}
+        Workspace(db=shard.db, cubes=cubes).save(directory / filename)
+        digest = hashlib.sha256((directory / filename).read_bytes())
+        return {
+            "shard_id": shard.shard_id,
+            "file": filename,
+            "sha256": digest.hexdigest(),
+            "rows": len(shard.tid_map),
+            "epoch": 0 if shard.cube is None else shard.cube.epoch,
+            "tid_map": list(shard.tid_map),
+            "build_kwargs": {
+                k: v
+                for k, v in shard.build_kwargs.items()
+                if isinstance(v, (int, float, str, bool))
+            },
+        }
+
+    def _write_manifest(self, directory: Path, shard_entries: list) -> dict:
+        """Assemble and durably land the manifest (atomic_replace)."""
+        cube = self.cube
         manifest = {
             "format_version": SHARD_MANIFEST_VERSION,
             "name": cube.name,
@@ -279,11 +287,50 @@ class ShardedWorkspace:
             "num_rows": cube.num_rows,
             "shards": shard_entries,
         }
-        atomic_write_bytes(
+        atomic_replace(
             directory / SHARD_MANIFEST,
             json.dumps(manifest, indent=2).encode() + b"\n",
         )
         return manifest
+
+    def save(self, directory: str | Path) -> dict:
+        """Write every shard snapshot, then the manifest; returns it."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        shard_entries = [
+            self._write_shard_snapshot(directory, shard)
+            for shard in self.cube.shards
+        ]
+        return self._write_manifest(directory, shard_entries)
+
+    def save_shard(self, directory: str | Path, shard_id: int) -> dict:
+        """Re-persist one shard and re-pin it in the manifest.
+
+        The maintenance path (:mod:`repro.ingest`) calls this after a
+        shard's compaction bumps its cuboid epochs: only the changed
+        shard's snapshot is rewritten, then the manifest — both through
+        :func:`atomic_replace`, the same fsync-temp + fsync-dir
+        discipline as a full :meth:`save`.  A crash between the two
+        writes leaves the *old* manifest pinning the *old* shard file's
+        hash against a new shard file, which :meth:`load` reports as a
+        typed torn-save :class:`PersistError` instead of silently mixing
+        generations.  Returns the updated manifest.
+        """
+        directory = Path(directory)
+        try:
+            manifest = json.loads((directory / SHARD_MANIFEST).read_text())
+        except OSError as exc:
+            raise PersistError(
+                f"save_shard needs an existing manifest: {exc}"
+            ) from exc
+        shards = {int(e["shard_id"]): e for e in manifest["shards"]}
+        if shard_id not in shards:
+            raise PersistError(f"manifest has no shard {shard_id}")
+        shard = self.cube.shards[shard_id]
+        shards[shard_id] = self._write_shard_snapshot(directory, shard)
+        return self._write_manifest(
+            directory, [shards[sid] for sid in sorted(shards)]
+        )
 
     @classmethod
     def load(cls, directory: str | Path) -> "ShardedWorkspace":

@@ -181,7 +181,15 @@ def _shard_worker_main(conn, directory: str, entry: dict, cube_name: str, option
         finally:
             conn.close()
         return
-    wire.send_msg(conn, wire.Pong(shard_id=shard_id, pid=os.getpid(), rows=int(entry["rows"])))
+    wire.send_msg(
+        conn,
+        wire.Pong(
+            shard_id=shard_id,
+            pid=os.getpid(),
+            rows=int(entry["rows"]),
+            role=options.get("role", "primary"),
+        ),
+    )
 
     sessions: dict[int, _Session] = {}
     while True:
@@ -372,17 +380,27 @@ class ShardWorkerHandle:
         *,
         timeout: float = DEFAULT_WORKER_TIMEOUT,
         start_timeout: float = DEFAULT_START_TIMEOUT,
+        role: str = "primary",
+        replica_index: int = 0,
     ):
         self.shard_id = int(entry["shard_id"])
         self.entry = entry
         self.timeout = timeout
+        self.role = role
         self._lock = threading.Lock()
         ctx = spawn_context()
         self._conn, child_conn = ctx.Pipe()
+        # Replicas get a distinct process name so the kill harness can
+        # target primaries by name without sniping the warm standbys.
+        if role == "primary":
+            name = f"repro-shard-worker-{self.shard_id}"
+        else:
+            name = f"repro-shard-replica-{self.shard_id}-{replica_index}"
+        worker_options = dict(options, role=role)
         self.process = ctx.Process(
             target=_shard_worker_main,
-            args=(child_conn, str(directory), dict(entry), cube_name, dict(options)),
-            name=f"repro-shard-worker-{self.shard_id}",
+            args=(child_conn, str(directory), dict(entry), cube_name, worker_options),
+            name=name,
             daemon=True,
         )
         self.process.start()
@@ -464,6 +482,7 @@ class ProcessShardPool:
         respawn_retries: int = DEFAULT_RESPAWN_RETRIES,
         registry: MetricsRegistry | None = None,
         fault_hook=None,
+        replicas: int = 0,
     ):
         self.directory = Path(directory)
         self.manifest = manifest
@@ -473,9 +492,16 @@ class ProcessShardPool:
         self.respawn_retries = respawn_retries
         self.registry = registry if registry is not None else MetricsRegistry()
         #: test seam: ``fault_hook(point, shard_id)`` fires at protocol
-        #: points ("respawn" here; the service adds scatter/merge points)
+        #: points ("respawn"/"promote" here; the service adds
+        #: scatter/merge points)
         self.fault_hook = fault_hook
+        #: warm standby workers per shard; every standby boots from the
+        #: same pinned snapshot as its primary, so a promotion serves
+        #: byte-identical state
+        self.replicas = replicas
         self._handles: dict[int, ShardWorkerHandle] = {}
+        self._standbys: dict[int, list[ShardWorkerHandle]] = {}
+        self._replica_seq: dict[int, int] = {}
         self._respawn_locks: dict[int, threading.Lock] = {}
         self._closed = False
         for entry in manifest["shards"]:
@@ -484,11 +510,24 @@ class ProcessShardPool:
             shard_id = int(entry["shard_id"])
             self._respawn_locks[shard_id] = threading.Lock()
             self._handles[shard_id] = self._spawn(entry)
+            self._replica_seq[shard_id] = 0
+            self._standbys[shard_id] = [
+                self._spawn_standby(shard_id) for _ in range(replicas)
+            ]
 
-    def _spawn(self, entry: dict) -> ShardWorkerHandle:
+    def _spawn(
+        self, entry: dict, *, role: str = "primary", replica_index: int = 0
+    ) -> ShardWorkerHandle:
         return ShardWorkerHandle(
             self.directory, entry, self.cube_name, self.options,
-            timeout=self.timeout,
+            timeout=self.timeout, role=role, replica_index=replica_index,
+        )
+
+    def _spawn_standby(self, shard_id: int) -> ShardWorkerHandle:
+        index = self._replica_seq[shard_id]
+        self._replica_seq[shard_id] = index + 1
+        return self._spawn(
+            self._entry(shard_id), role="replica", replica_index=index
         )
 
     def _entry(self, shard_id: int) -> dict:
@@ -502,11 +541,17 @@ class ProcessShardPool:
         return sorted(self._handles)
 
     def handle(self, shard_id: int) -> ShardWorkerHandle:
-        """The live handle for a shard, respawning a dead worker first."""
+        """The live handle for a shard, reviving a dead worker first.
+
+        With replicas a dead primary is revived by *promotion* (warm
+        standby, no snapshot reload); without, by a cold respawn.
+        """
         handle = self._handles.get(shard_id)
         if handle is None:
             raise ProcPoolError(f"shard {shard_id} has no worker (empty shard?)")
         if not handle.alive:
+            if self.replicas:
+                return self.promote(shard_id)
             return self.respawn(shard_id)
         return handle
 
@@ -553,10 +598,76 @@ class ProcessShardPool:
                 f"{self.respawn_retries + 1} attempt(s): {last_error}"
             )
 
+    # ------------------------------------------------------------------
+    # replica promotion
+    # ------------------------------------------------------------------
+    def promote(self, shard_id: int) -> ShardWorkerHandle:
+        """Replace a dead primary with a warm standby replica.
+
+        The standby booted from the same SHA-256-pinned snapshot as the
+        primary it replaces, so the promoted worker serves byte-identical
+        state — no replay, no rebuild, promotion cost is one health-check
+        round trip.  A replacement standby is spawned immediately so a
+        second failure still finds a warm copy.  With no live standby
+        (replication off, or every copy dead) this degrades to a cold
+        :meth:`respawn` from the snapshot.
+
+        Thread-safe: serializes on the shard's respawn lock, and a
+        primary that is already alive again (a concurrent caller won the
+        race) is returned as-is.
+        """
+        if self._closed:
+            raise ProcPoolError("pool is closed")
+        lock = self._respawn_locks[shard_id]
+        with lock:
+            handle = self._handles.get(shard_id)
+            if handle is not None and handle.alive:
+                return handle
+            standbys = self._standbys.get(shard_id, [])
+            started = time.perf_counter()
+            while standbys:
+                # fault seam fires before the pop: a kill at the promotion
+                # instant leaves the standby on the bench for the retry
+                if self.fault_hook is not None:
+                    self.fault_hook("promote", shard_id)
+                candidate = standbys.pop(0)
+                try:
+                    candidate.request(wire.Ping(), timeout=self.timeout)
+                except (wire.WorkerDiedError, OSError):
+                    candidate.kill()
+                    continue
+                if handle is not None:
+                    handle.kill()
+                self._handles[shard_id] = candidate
+                self.registry.counter(
+                    "shard.replica.promotions", shard=str(shard_id)
+                ).inc()
+                self.registry.histogram("shard.replica.promote_s").observe(
+                    time.perf_counter() - started
+                )
+                try:
+                    standbys.append(self._spawn_standby(shard_id))
+                except (wire.WorkerDiedError, OSError):
+                    # a failed refill must not fail the promotion; the
+                    # next promote simply finds one fewer warm copy
+                    self.registry.counter(
+                        "shard.replica.refill_failures", shard=str(shard_id)
+                    ).inc()
+                return candidate
+        return self.respawn(shard_id)
+
     def cold_cache(self) -> None:
-        """Drop every worker's buffered pages and caches (bench regime)."""
+        """Drop every worker's buffered pages and caches (bench regime).
+
+        Standbys are cooled too: a promotion must hand queries the same
+        cold-start determinism the primary had.
+        """
         for shard_id in self.shard_ids:
             self.handle(shard_id).request(wire.ColdCache())
+        for standbys in self._standbys.values():
+            for standby in standbys:
+                if standby.alive:
+                    standby.request(wire.ColdCache())
 
     def close(self) -> None:
         if self._closed:
@@ -565,3 +676,7 @@ class ProcessShardPool:
         for handle in self._handles.values():
             handle.shutdown()
         self._handles.clear()
+        for standbys in self._standbys.values():
+            for standby in standbys:
+                standby.shutdown()
+        self._standbys.clear()

@@ -78,7 +78,7 @@ from ..core.reverse import ReverseTopKQuery, ReverseTopKResult, count_preceding
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import Span, Tracer, adopt_spans, maybe_span
 from ..relational.query import QueryResult, ResultRow, ShardIO, TopKQuery
-from ..shard.builder import CubeShard, ShardedCube
+from ..shard.builder import CubeShard, ShardedCube, clone_shard
 from ..storage.device import StorageError
 from . import wire
 from .cache import BoundMemo, PseudoBlockCache
@@ -127,6 +127,24 @@ class ShardedServiceStats:
         return sum(getattr(r, attribute) for r in self.records)
 
 
+def _blame_shard(exc: BaseException, shard_id: int) -> None:
+    """Attach the faulting shard id to a storage error (and its cause).
+
+    Thread-mode per-shard calls raise bare :class:`StorageError`\\ s that
+    carry no shard attribution; the failover path needs to know *which*
+    primary died to promote its replica.  Process mode gets this for
+    free from :class:`~repro.serve.wire.WorkerDiedError`.  Annotating
+    the ``cause`` too matters because the service wraps a per-shard
+    :class:`QueryAbortedError` by re-blaming its cause, not the wrapper.
+    """
+    for target in (exc, getattr(exc, "cause", None)):
+        if target is not None and getattr(target, "shard_id", None) is None:
+            try:
+                target.shard_id = shard_id
+            except AttributeError:
+                pass  # exotic exception with __slots__: no attribution
+
+
 class _ShardContext:
     """Per-shard serving state: executor + caches + invalidation hook."""
 
@@ -166,13 +184,25 @@ class _ThreadEnumStream:
     local ``(score, tid)`` order *is* global ``(score, gtid)`` order).
     """
 
-    def __init__(self, shard: CubeShard, ctx: _ShardContext, query: TopKQuery):
+    def __init__(
+        self,
+        shard: CubeShard,
+        ctx: _ShardContext,
+        query: TopKQuery,
+        service: "ShardedQueryService",
+    ):
         self.shard = shard
+        self._service = service
         self.io_before = shard.db.io_snapshot()
         self.cursor = AnyKCursor(ctx.executor, query, ExecutorTrace())
 
     def next_rows(self, count: int):
-        rows = self.cursor.next_batch(count)
+        try:
+            self._service._fault("enum_next", self.shard.shard_id)
+            rows = self.cursor.next_batch(count)
+        except StorageError as exc:
+            _blame_shard(exc, self.shard.shard_id)
+            raise
         pairs = [(row.score, self.shard.to_global(row.tid)) for row in rows]
         return pairs, self.cursor.exhausted
 
@@ -294,9 +324,13 @@ class ShardedAnyKCursor:
         streams: dict,
         batch: int,
         tracer: Tracer | None,
+        shard_query: TopKQuery | None = None,
     ):
         self._service = service
         self.query = query
+        #: the projection-stripped query the shards enumerate — kept so
+        #: a failover can reopen every stream with the exact same plan
+        self._shard_query = shard_query if shard_query is not None else query
         self._streams = streams
         self._order = sorted(streams)
         self._heads: dict[int, deque] = {sid: deque() for sid in self._order}
@@ -305,6 +339,11 @@ class ShardedAnyKCursor:
         self._tracer = tracer
         self._refills = 0
         self.rank = 0
+        #: rows to silently discard after a failover reopen: the merge is
+        #: deterministic, so skipping exactly ``rank`` rows fast-forwards
+        #: the fresh streams to the first row not yet emitted
+        self._skip = 0
+        self._failovers = 0
         self._dead = False
         self._result: QueryResult | None = None
 
@@ -326,8 +365,8 @@ class ShardedAnyKCursor:
         if self._result is not None:
             raise ServiceClosedError("enumeration cursor is closed")
         out: list[ResultRow] = []
-        try:
-            while len(out) < count:
+        while len(out) < count:
+            try:
                 for sid in self._order:
                     if sid in self._finished or self._heads[sid]:
                         continue
@@ -347,13 +386,18 @@ class ShardedAnyKCursor:
                 if best_sid is None:
                     break
                 score, gtid = self._heads[best_sid].popleft()
-                self.rank += 1
+                if self._skip:
+                    self._skip -= 1  # replaying an already-emitted row
+                    continue
                 row = ResultRow(tid=gtid, score=score)
                 if self.query.projection:
                     row = self._service._project(row, self.query)
-                out.append(row)
-        except (StorageError, wire.WorkerDiedError, ProcPoolError) as exc:
-            self._abort(exc, out)
+            except (StorageError, wire.WorkerDiedError, ProcPoolError) as exc:
+                if self._try_failover(exc):
+                    continue  # fresh streams, fast-forwarding past rank
+                self._abort(exc, out)
+            out.append(row)
+            self.rank += 1
         return out
 
     def __iter__(self):
@@ -363,6 +407,46 @@ class ShardedAnyKCursor:
             if not batch:
                 return
             yield from batch
+
+    def _try_failover(self, exc: Exception) -> bool:
+        """Promote the dead shard's replica and reopen every stream.
+
+        Enumeration is stateful — each stream's cursor position dies
+        with its shard — so failover reopens *all* streams from scratch
+        and fast-forwards by discarding the first :attr:`rank` merged
+        rows (the merge is deterministic, so those are exactly the rows
+        already emitted).  Returns ``False`` when the fault names no
+        shard, the failover budget is spent, or no replica remains —
+        the caller then aborts as it would without replication.
+        """
+        service = self._service
+        sid = getattr(exc, "shard_id", None)
+        if (
+            sid is None
+            or self._failovers >= service._max_failovers
+            or not service._failover(sid, self._tracer)
+        ):
+            return False
+        self._failovers += 1
+        for osid, stream in self._streams.items():
+            if osid != sid:
+                try:
+                    stream.abort_close()
+                except Exception:
+                    pass  # best effort: stream is being replaced anyway
+        try:
+            if service.mode == "process":
+                streams = service._open_enum_process(self._shard_query, None)
+            else:
+                streams = service._open_enum_thread(self._shard_query)
+        except Exception:
+            return False  # reopen failed: fall through to the abort path
+        self._streams = streams
+        self._order = sorted(streams)
+        self._heads = {osid: deque() for osid in self._order}
+        self._finished = set()
+        self._skip = self.rank
+        return True
 
     def _abort(self, exc: Exception, partial: list[ResultRow]) -> None:
         self._dead = True
@@ -377,7 +461,7 @@ class ShardedAnyKCursor:
                 blocks += self._streams[sid].abort_close()
             except Exception:
                 pass  # best effort: the cursor is aborting anyway
-        if dead_sid is not None:
+        if dead_sid is not None and not self._service._replicas_enabled:
             threading.Thread(
                 target=self._service._respawn_quietly,
                 args=(dead_sid,),
@@ -483,11 +567,17 @@ class ShardedQueryService:
         thread mode, where repeated identical queries are how callers
         deliberately warm the per-shard caches.
     step_batch / worker_timeout_s / fault_hook:
-        Process-mode tuning: frontier steps per worker round trip, the
-        reply deadline after which a worker is declared dead, and a test
-        seam called as ``fault_hook(point, shard_id)`` at protocol
-        points (``"scatter"`` / ``"merge_round"`` / ``"finish"`` /
-        ``"respawn"``).
+        ``step_batch`` and ``worker_timeout_s`` are process-mode tuning:
+        frontier steps per worker round trip and the reply deadline
+        after which a worker is declared dead.  ``fault_hook`` is a test
+        seam called as ``fault_hook(point, shard_id)`` at per-shard
+        serving points in *both* modes: ``"scatter"`` /
+        ``"merge_round"`` / ``"enum_open"`` / ``"reverse_count"`` /
+        ``"promote"`` everywhere, ``"enum_next"`` in thread mode
+        (process enumeration kills target the worker process itself),
+        and ``"finish"`` / ``"respawn"`` in process mode.  An exception the
+        hook raises surfaces exactly as a real fault at that point
+        would, which is how the failover kill matrix steers deaths.
     """
 
     def __init__(
@@ -535,12 +625,23 @@ class ShardedQueryService:
         self._contexts_lock = threading.Lock()
         self._proc_pool: ProcessShardPool | None = None
         self._owned_spill_dir: str | None = None
+        #: replication: N-1 warm copies per shard (``ShardMap``), so a
+        #: dead primary fails the query over instead of aborting it
+        self.replication_factor = cube.shard_map.replication_factor
+        self._replicas_enabled = self.replication_factor > 1
+        self._max_failovers = (
+            max(1, self.replication_factor - 1) if self._replicas_enabled else 0
+        )
+        self._failover_lock = threading.Lock()
+        self._thread_replicas: dict[int, list[CubeShard]] = {}
         if mode == "thread":
             for shard in cube.shards:
                 if shard.cube is not None:
                     self._contexts[shard.shard_id] = _ShardContext(
                         shard, share_caches, buffer_pseudo_blocks
                     )
+            if self._replicas_enabled:
+                self.refresh_replicas()
         else:
             self._proc_pool = self._start_proc_pool(
                 spill_dir, worker_timeout_s, fault_hook
@@ -593,7 +694,104 @@ class ShardedQueryService:
             timeout=worker_timeout_s,
             registry=self.registry,
             fault_hook=fault_hook,
+            replicas=self.replication_factor - 1,
         )
+
+    # ------------------------------------------------------------------
+    # replica failover
+    # ------------------------------------------------------------------
+    def refresh_replicas(self) -> None:
+        """(Re)clone thread-mode warm replicas from the current shards.
+
+        Thread-mode replicas are point-in-time clones
+        (:func:`~repro.shard.builder.clone_shard`): rows appended after
+        cloning make a replica stale, and a stale replica is *rejected*
+        at promotion time rather than silently losing rows.  Call this
+        after appends to re-arm failover.  No-op when replication is
+        off or in process mode (workers re-pin from their snapshots).
+        """
+        if not self._replicas_enabled or self.mode != "thread":
+            return
+        with self._failover_lock:
+            self._thread_replicas = {
+                shard.shard_id: [
+                    clone_shard(shard)
+                    for _ in range(self.replication_factor - 1)
+                ]
+                for shard in self.cube.shards
+                if shard.cube is not None
+            }
+
+    @staticmethod
+    def _dead_shard_of(exc: BaseException) -> int | None:
+        """Which shard the abort blames, if it (or its cause) names one."""
+        sid = getattr(getattr(exc, "cause", None), "shard_id", None)
+        if sid is None:
+            sid = getattr(exc, "shard_id", None)
+        return sid
+
+    def _failover(self, shard_id: int, tracer: Tracer | None) -> bool:
+        """Promote a warm replica for ``shard_id``; True if the query
+        should retry.
+
+        Process mode delegates to
+        :meth:`~repro.serve.procpool.ProcessShardPool.promote` (warm
+        standby worker from the same pinned snapshot).  Thread mode
+        swaps a :func:`clone_shard` copy into the deployment and
+        rebuilds the shard's serving context.  Returns ``False`` — and
+        the original abort stands — when replication is off, no live
+        replica remains, or the replica is stale.
+        """
+        if not self._replicas_enabled:
+            return False
+        with maybe_span(
+            tracer, "failover", shard=shard_id, mode=self.mode
+        ) as span:
+            if self.mode == "process":
+                pool = self._proc_pool
+                assert pool is not None
+                try:
+                    pool.promote(shard_id)
+                except Exception:
+                    return False
+            else:
+                with self._failover_lock:
+                    bench = self._thread_replicas.get(shard_id, [])
+                    promoted = False
+                    while bench and not promoted:
+                        # fire the fault seam *before* consuming the clone:
+                        # a crash at the promotion instant must not burn
+                        # the warm standby it never installed
+                        self._fault("promote", shard_id)
+                        replica = bench.pop(0)
+                        try:
+                            self.cube.replace_shard(shard_id, replica)
+                        except Exception:
+                            continue  # stale or mismatched clone
+                        promoted = True
+                        with self._contexts_lock:
+                            old = self._contexts.pop(shard_id, None)
+                            if old is not None:
+                                old.unhook()
+                            self._contexts[shard_id] = _ShardContext(
+                                replica,
+                                self.share_caches,
+                                self.buffer_pseudo_blocks,
+                            )
+                        self.registry.counter(
+                            "shard.replica.promotions", shard=str(shard_id)
+                        ).inc()
+                        # refill the bench from the healthy replica so a
+                        # second failure still finds a warm copy
+                        bench.append(clone_shard(replica))
+                    if not promoted:
+                        return False
+            self.registry.counter(
+                "shard.replica.failovers", shard=str(shard_id)
+            ).inc()
+            if span is not None:
+                span.add("promoted", 1)
+        return True
 
     # ------------------------------------------------------------------
     # serving APIs
@@ -660,12 +858,27 @@ class ShardedQueryService:
             query if query.projection is None
             else replace(query, projection=None)
         )
-        if self.mode == "process":
-            streams = self._open_enum_process(shard_query, tracer)
-        else:
-            streams = self._open_enum_thread(shard_query)
+        attempts = 0
+        while True:
+            try:
+                if self.mode == "process":
+                    streams = self._open_enum_process(shard_query, tracer)
+                else:
+                    streams = self._open_enum_thread(shard_query)
+                break
+            except QueryAbortedError as exc:
+                sid = self._dead_shard_of(exc)
+                if (
+                    sid is not None
+                    and attempts < self._max_failovers
+                    and self._failover(sid, tracer)
+                ):
+                    attempts += 1
+                    continue
+                raise
         return ShardedAnyKCursor(
-            self, query, streams, self.step_batch, tracer
+            self, query, streams, self.step_batch, tracer,
+            shard_query=shard_query,
         )
 
     def _open_enum_thread(self, query: TopKQuery) -> dict:
@@ -673,8 +886,24 @@ class ShardedQueryService:
         for shard_id in self.cube.shard_map.shards_for_query(query.selections):
             shard = self.cube.shards[shard_id]
             ctx = self._context(shard)
-            if ctx is not None:  # empty shards hold no rows at all
-                streams[shard_id] = _ThreadEnumStream(shard, ctx, query)
+            if ctx is None:  # empty shards hold no rows at all
+                continue
+            try:
+                self._fault("enum_open", shard_id)
+                streams[shard_id] = _ThreadEnumStream(shard, ctx, query, self)
+            except StorageError as exc:
+                for stream in streams.values():
+                    try:
+                        stream.abort_close()
+                    except Exception:
+                        pass  # best effort: the open is aborting anyway
+                _blame_shard(exc, shard_id)
+                raise QueryAbortedError(
+                    f"sharded enumeration failed to open: {exc}",
+                    partial_rows=[],
+                    blocks_accessed=0,
+                    cause=exc.cause if isinstance(exc, QueryAbortedError) else exc,
+                ) from exc
         return streams
 
     def _open_enum_process(self, query: TopKQuery, tracer) -> dict:
@@ -692,17 +921,21 @@ class ShardedQueryService:
         try:
 
             def _open(sid: int):
-                self._fault("enum_open", sid)
-                handle = pool.handle(sid)
-                batch = handle.request(
-                    wire.OpenEnum(
-                        request_id=request_id,
-                        query=query,
-                        count=self.step_batch,
-                        trace=want_trace,
+                try:
+                    self._fault("enum_open", sid)
+                    handle = pool.handle(sid)
+                    batch = handle.request(
+                        wire.OpenEnum(
+                            request_id=request_id,
+                            query=query,
+                            count=self.step_batch,
+                            trace=want_trace,
+                        )
                     )
-                )
-                return handle, batch
+                    return handle, batch
+                except StorageError as exc:
+                    _blame_shard(exc, sid)
+                    raise
 
             if len(targets) <= 1:
                 opened = [(sid,) + _open(sid) for sid in targets]
@@ -727,7 +960,7 @@ class ShardedQueryService:
                         stream.abort_close()
                     except Exception:
                         pass
-            if dead is not None:
+            if dead is not None and not self._replicas_enabled:
                 threading.Thread(
                     target=self._respawn_quietly,
                     args=(dead,),
@@ -770,6 +1003,9 @@ class ShardedQueryService:
         return future
 
     def _run_reverse(self, query: ReverseTopKQuery) -> ReverseTopKResult:
+        return self._with_failover(lambda: self._run_reverse_attempt(query))
+
+    def _run_reverse_attempt(self, query: ReverseTopKQuery) -> ReverseTopKResult:
         tracer = Tracer(self.registry) if self.trace_spans else None
         started = time.perf_counter()
         self._reverse_counter.inc()
@@ -823,7 +1059,14 @@ class ShardedQueryService:
     def _reverse_target(self, query: ReverseTopKQuery):
         """The target row and whether it matches the query selections."""
         schema = self.cube.schema
-        target = self.cube.fetch_by_tid(query.tid)
+        try:
+            target = self.cube.fetch_by_tid(query.tid)
+        except StorageError as exc:
+            # the fetch touched exactly the owning shard's device
+            owner = self.cube._owner.get(query.tid)
+            if owner is not None:
+                _blame_shard(exc, owner[0])
+            raise
         matches = all(
             target[schema.position(name)] == value
             for name, value in query.selections.items()
@@ -861,9 +1104,14 @@ class ShardedQueryService:
                         # (monotone) tid map: local tids before it precede
                         # the target on score ties, all others do not
                         tie_bound = bisect_left(shard.tid_map, query.tid)
-                        n, sub = count_preceding(
-                            ctx.executor, forward, t_score, tie_bound
-                        )
+                        try:
+                            self._fault("reverse_count", shard.shard_id)
+                            n, sub = count_preceding(
+                                ctx.executor, forward, t_score, tie_bound
+                            )
+                        except StorageError as exc:
+                            _blame_shard(exc, shard.shard_id)
+                            raise
                         preceding += n
                         result.blocks_accessed += sub.blocks_accessed
                         result.candidates_examined += sub.candidates_examined
@@ -958,7 +1206,7 @@ class ShardedQueryService:
                 exc.shard_id
                 if isinstance(exc, wire.WorkerDiedError) else None
             )
-            if dead is not None:
+            if dead is not None and not self._replicas_enabled:
                 threading.Thread(
                     target=self._respawn_quietly,
                     args=(dead,),
@@ -993,6 +1241,34 @@ class ShardedQueryService:
 
     def _run_one(self, query: TopKQuery) -> QueryResult:
         query.validate_against(self.cube.schema)
+        return self._with_failover(lambda: self._run_one_attempt(query))
+
+    def _with_failover(self, attempt):
+        """Run one query attempt, retrying whole on replica promotion.
+
+        Failover retries the *entire* query rather than resuming the
+        aborted merge: per-shard search state died with the shard, and
+        the merge is deterministic, so a clean re-run on the promoted
+        replica is byte-identical to a run that never saw the fault.
+        Each failed attempt is still recorded as an aborted attempt in
+        :attr:`stats`; the failover itself shows up in the
+        ``shard.replica.failovers`` counter.
+        """
+        attempts = 0
+        while True:
+            try:
+                return attempt()
+            except StorageError as exc:  # includes QueryAbortedError
+                sid = self._dead_shard_of(exc)
+                if sid is None or attempts >= self._max_failovers:
+                    raise
+                tracer = Tracer(self.registry) if self.trace_spans else None
+                if not self._failover(sid, tracer):
+                    raise
+                self._retain_spans(tracer)
+                attempts += 1
+
+    def _run_one_attempt(self, query: TopKQuery) -> QueryResult:
         tracer = Tracer(self.registry) if self.trace_spans else None
         started = time.perf_counter()
         with maybe_span(
@@ -1067,13 +1343,29 @@ class ShardedQueryService:
                 tracer, "shard_merge", shards=[s.shard_id for s, _ in targets]
             ) as merge_span:
                 for shard, ctx in targets:
-                    search = ProgressiveSearch(ctx.executor, query, ExecutorTrace())
-                    searches[shard.shard_id] = (shard, search)
-                    # delta rows carry no block bound: merge them up front
-                    for score, local_tid in search.delta_rows():
-                        _push_topk(
-                            topk, query.k, score, shard.to_global(local_tid)
+                    try:
+                        self._fault("scatter", shard.shard_id)
+                        search = ProgressiveSearch(
+                            ctx.executor, query, ExecutorTrace()
                         )
+                        searches[shard.shard_id] = (shard, search)
+                        # delta rows carry no block bound: merge up front
+                        for score, local_tid in search.delta_rows():
+                            _push_topk(
+                                topk, query.k, score, shard.to_global(local_tid)
+                            )
+                    except StorageError as exc:
+                        _blame_shard(exc, shard.shard_id)
+                        raise
+
+                def _step_one(shard, search):
+                    try:
+                        self._fault("merge_round", shard.shard_id)
+                        return search.step()
+                    except StorageError as exc:
+                        _blame_shard(exc, shard.shard_id)
+                        raise
+
                 while True:
                     kth = -topk[0][0] if len(topk) >= query.k else None
                     eligible = [
@@ -1087,11 +1379,11 @@ class ShardedQueryService:
                     rounds += 1
                     if len(eligible) == 1:
                         batches = [
-                            (eligible[0][0], eligible[0][1].step())
+                            (eligible[0][0], _step_one(*eligible[0]))
                         ]
                     else:
                         futures = [
-                            (shard, self._step_pool.submit(search.step))
+                            (shard, self._step_pool.submit(_step_one, shard, search))
                             for shard, search in eligible
                         ]
                         batches = [
@@ -1181,18 +1473,22 @@ class ShardedQueryService:
             ) as merge_span:
                 # scatter: open one session per shard, first batch included
                 def _open(sid: int):
-                    self._fault("scatter", sid)
-                    handle = pool.handle(sid)
-                    handles[sid] = handle
-                    return handle.request(
-                        wire.OpenSearch(
-                            request_id=request_id,
-                            query=query,
-                            kth=None,
-                            max_steps=self.step_batch,
-                            trace=want_trace,
+                    try:
+                        self._fault("scatter", sid)
+                        handle = pool.handle(sid)
+                        handles[sid] = handle
+                        return handle.request(
+                            wire.OpenSearch(
+                                request_id=request_id,
+                                query=query,
+                                kth=None,
+                                max_steps=self.step_batch,
+                                trace=want_trace,
+                            )
                         )
-                    )
+                    except StorageError as exc:
+                        _blame_shard(exc, sid)
+                        raise
 
                 if len(targets) <= 1:
                     batches = [(sid, _open(sid)) for sid in targets]
@@ -1224,14 +1520,18 @@ class ShardedQueryService:
                     rounds += 1
 
                     def _step(sid: int, kth=kth):
-                        self._fault("merge_round", sid)
-                        return handles[sid].request(
-                            wire.StepBatch(
-                                request_id=request_id,
-                                kth=kth,
-                                max_steps=self.step_batch,
+                        try:
+                            self._fault("merge_round", sid)
+                            return handles[sid].request(
+                                wire.StepBatch(
+                                    request_id=request_id,
+                                    kth=kth,
+                                    max_steps=self.step_batch,
+                                )
                             )
-                        )
+                        except StorageError as exc:
+                            _blame_shard(exc, sid)
+                            raise
 
                     if len(eligible) == 1:
                         round_batches = [(eligible[0], _step(eligible[0]))]
@@ -1315,7 +1615,7 @@ class ShardedQueryService:
             self.registry.merge_counter_items(
                 closed.counter_deltas, shard=str(sid)
             )
-        if dead is not None:
+        if dead is not None and not self._replicas_enabled:
             threading.Thread(
                 target=self._respawn_quietly,
                 args=(dead,),
@@ -1368,7 +1668,13 @@ class ShardedQueryService:
         return result
 
     def _project(self, row: ResultRow, query: TopKQuery) -> ResultRow:
-        record = self.cube.fetch_by_tid(row.tid)
+        try:
+            record = self.cube.fetch_by_tid(row.tid)
+        except StorageError as exc:
+            owner = self.cube._owner.get(row.tid)
+            if owner is not None:
+                _blame_shard(exc, owner[0])
+            raise
         schema = self.cube.schema
         values = tuple(
             record[schema.position(name)] for name in (query.projection or ())

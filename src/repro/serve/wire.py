@@ -36,6 +36,13 @@ from ..relational.query import TopKQuery
 _MAGIC = b"R"
 _HEADER = struct.Struct("<cI")
 
+#: Public aliases of the framing constants.  The write-ahead log
+#: (:mod:`repro.ingest.wal`) reuses the same header discipline — magic
+#: byte + little-endian ``uint32`` payload length — with its own magic,
+#: so both on-wire and on-disk records share one framing idiom.
+FRAME_HEADER = _HEADER
+FRAME_MAGIC = _MAGIC
+
 #: Frontier steps a worker runs per round trip when the caller does not
 #: say otherwise.  Small enough that the global k-th bound refreshes
 #: often (preserving the early-stop merge's pruning), large enough that
@@ -269,6 +276,11 @@ class Pong:
     shard_id: int
     pid: int
     rows: int
+    #: "primary" or "replica" — which role the worker was spawned into;
+    #: a promoted replica keeps reporting "replica" (process identity is
+    #: fixed at spawn), which is how the failover suite tells a warm
+    #: promotion apart from a cold respawn.
+    role: str = "primary"
 
 
 @dataclass(frozen=True)

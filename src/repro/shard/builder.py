@@ -18,6 +18,7 @@ global tid to its owning shard for projections and point fetches.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
@@ -52,6 +53,36 @@ class CubeShard:
     @property
     def num_rows(self) -> int:
         return len(self.tid_map)
+
+
+def clone_shard(shard: CubeShard) -> CubeShard:
+    """Deep-copy one shard's entire stack — a warm replica.
+
+    The pickle round-trip is the same serialization a
+    :class:`~repro.persist.Workspace` snapshot uses, so the clone holds
+    its own device, buffer pool, table, and cube with identical page
+    images and delta state; object identity inside the stack (the table
+    registered in the database, the shared pool) is preserved by the
+    pickle memo.  The thread-mode serving tier promotes such clones
+    when a primary's device dies mid-query.  Note a clone of a shard
+    whose device is a :class:`~repro.storage.faults.FaultyBlockDevice`
+    copies the *injector state too* — failure tests must arm kill rules
+    on the primary only after cloning.
+    """
+    db, table, cube = pickle.loads(
+        pickle.dumps(
+            (shard.db, shard.table, shard.cube),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+    )
+    return CubeShard(
+        shard_id=shard.shard_id,
+        db=db,
+        table=table,
+        cube=cube,
+        tid_map=list(shard.tid_map),
+        build_kwargs=dict(shard.build_kwargs),
+    )
 
 
 class ShardedCube:
@@ -114,6 +145,27 @@ class ShardedCube:
         for shard in self.shards:
             shard.db.cold_cache()
 
+    def replace_shard(self, shard_id: int, replacement: CubeShard) -> None:
+        """Swap a shard's stack for a replica (failover promotion).
+
+        The replacement must cover exactly the same global tids as the
+        shard it replaces — a stale clone (rows appended after it was
+        taken) is rejected rather than silently losing rows.  The owner
+        map is keyed by shard id, so it stays valid across the swap.
+        """
+        current = self.shards[shard_id]
+        if replacement.shard_id != shard_id:
+            raise ShardError(
+                f"replica is for shard {replacement.shard_id}, "
+                f"not {shard_id}"
+            )
+        if replacement.tid_map != current.tid_map:
+            raise ShardError(
+                f"replica of shard {shard_id} covers {len(replacement.tid_map)} "
+                f"row(s), the shard holds {len(current.tid_map)} — stale clone"
+            )
+        self.shards[shard_id] = replacement
+
     # ------------------------------------------------------------------
     def append_rows(self, rows: Iterable[Sequence]) -> int:
         """Append rows with fresh sequential global tids; returns count.
@@ -155,6 +207,7 @@ def build_sharded(
     name: str = "R",
     mode: str = "tid_range",
     key_dim: str | None = None,
+    replication_factor: int = 1,
     block_size: int = DEFAULT_BLOCK_SIZE,
     workers: int = 1,
     buffer_capacity: int = 4096,
@@ -168,8 +221,10 @@ def build_sharded(
     schema, rows:
         The relation; global tids are assigned sequentially in ``rows``
         order (identical to an unsharded ``insert_rows`` load).
-    num_shards, mode, key_dim:
-        Routing policy — see :class:`~repro.shard.map.ShardMap`.
+    num_shards, mode, key_dim, replication_factor:
+        Routing policy — see :class:`~repro.shard.map.ShardMap`.  A
+        ``replication_factor > 1`` makes the serving tier keep warm
+        replicas and fail over instead of aborting on a dead primary.
     block_size, workers, **cube_kwargs:
         Passed through to each shard's :meth:`RankingCube.build`
         (``workers`` engages the partitioned parallel builder per shard).
@@ -183,9 +238,11 @@ def build_sharded(
     if mode == "selection_key":
         if key_dim is None:
             raise ShardError("selection_key mode needs key_dim")
-        shard_map = ShardMap.selection_key(schema, key_dim, num_shards)
+        shard_map = ShardMap.selection_key(
+            schema, key_dim, num_shards, replication_factor
+        )
     elif mode == "tid_range":
-        shard_map = ShardMap.tid_range(len(rows), num_shards)
+        shard_map = ShardMap.tid_range(len(rows), num_shards, replication_factor)
     else:
         raise ShardError(f"unknown shard mode {mode!r}")
 

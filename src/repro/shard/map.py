@@ -47,16 +47,27 @@ class ShardMap:
         Per-shard ``[lo, hi)`` global-tid ranges of the *initial* build
         (``tid_range`` mode only); shards past the row count get empty
         ranges so every shard id stays addressable.
+    replication_factor:
+        Copies of each shard the serving tier keeps (``1`` = primary
+        only, no failover — the pre-replication behaviour).  ``N > 1``
+        asks :class:`~repro.serve.sharded.ShardedQueryService` to hold
+        ``N - 1`` warm replicas per shard and fail queries over to them
+        when the primary dies instead of aborting.
     """
 
     num_shards: int
     mode: str = "tid_range"
     key_dim: str | None = None
     ranges: tuple[tuple[int, int], ...] = ()
+    replication_factor: int = 1
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
             raise ShardError(f"num_shards must be >= 1, got {self.num_shards}")
+        if self.replication_factor < 1:
+            raise ShardError(
+                f"replication_factor must be >= 1, got {self.replication_factor}"
+            )
         if self.mode not in MODES:
             raise ShardError(f"unknown shard mode {self.mode!r} (want one of {MODES})")
         if self.mode == "selection_key" and not self.key_dim:
@@ -71,23 +82,54 @@ class ShardMap:
     # construction
     # ------------------------------------------------------------------
     @classmethod
-    def tid_range(cls, num_rows: int, num_shards: int) -> "ShardMap":
+    def tid_range(
+        cls, num_rows: int, num_shards: int, replication_factor: int = 1
+    ) -> "ShardMap":
         """Contiguous near-equal ranges over ``[0, num_rows)`` global tids."""
         ranges = shard_ranges(num_rows, num_shards)
         while len(ranges) < num_shards:  # more shards than rows: empty tails
             tail = ranges[-1][1] if ranges else 0
             ranges.append((tail, tail))
-        return cls(num_shards=num_shards, mode="tid_range", ranges=tuple(ranges))
+        return cls(
+            num_shards=num_shards,
+            mode="tid_range",
+            ranges=tuple(ranges),
+            replication_factor=replication_factor,
+        )
 
     @classmethod
     def selection_key(
-        cls, schema: Schema, key_dim: str, num_shards: int
+        cls,
+        schema: Schema,
+        key_dim: str,
+        num_shards: int,
+        replication_factor: int = 1,
     ) -> "ShardMap":
         """Hash rows by one selection dimension's encoded value."""
         attr = schema.attribute(key_dim)
         if not attr.is_selection:
             raise ShardError(f"{key_dim!r} is not a selection attribute")
-        return cls(num_shards=num_shards, mode="selection_key", key_dim=key_dim)
+        return cls(
+            num_shards=num_shards,
+            mode="selection_key",
+            key_dim=key_dim,
+            replication_factor=replication_factor,
+        )
+
+    @property
+    def replicas_per_shard(self) -> int:
+        """Warm standbys per shard (0 when replication is off)."""
+        return self.replication_factor - 1
+
+    def with_replication(self, replication_factor: int) -> "ShardMap":
+        """A copy of this map at a different replication factor."""
+        return ShardMap(
+            num_shards=self.num_shards,
+            mode=self.mode,
+            key_dim=self.key_dim,
+            ranges=self.ranges,
+            replication_factor=replication_factor,
+        )
 
     # ------------------------------------------------------------------
     # routing
@@ -132,6 +174,7 @@ class ShardMap:
             "mode": self.mode,
             "key_dim": self.key_dim,
             "ranges": [list(r) for r in self.ranges],
+            "replication_factor": self.replication_factor,
         }
 
     @classmethod
@@ -141,4 +184,6 @@ class ShardMap:
             mode=str(data["mode"]),
             key_dim=data.get("key_dim"),
             ranges=tuple((int(lo), int(hi)) for lo, hi in data.get("ranges", ())),
+            # pre-replication manifests carry no factor; they mean 1
+            replication_factor=int(data.get("replication_factor", 1)),
         )

@@ -20,31 +20,44 @@ from __future__ import annotations
 
 from repro.bench.faultmatrix import (
     DEFAULT_MATRIX_SEEDS,
+    FAILOVER_KILL_POINTS,
     CompactionCrashOutcome,
+    FailoverOutcome,
     FaultMatrixResult,
     HarnessError,
+    IngestCrashOutcome,
     ScheduleOutcome,
     SimulatedKill,
     brute_force_scores,
     run_compaction_schedule,
+    run_failover_schedule,
     run_fault_matrix,
+    run_ingest_schedule,
     run_schedule,
 )
 from repro.core.compaction import COMPACTION_FAULT_POINTS
+from repro.ingest import INGEST_FAULT_POINTS
 
 __all__ = [
     "COMPACTION_FAULT_POINTS",
+    "FAILOVER_KILL_POINTS",
+    "INGEST_FAULT_POINTS",
     "CompactionCrashOutcome",
-    "DEFAULT_MATRIX_SEEDS",
+    "FailoverOutcome",
     "FaultMatrixResult",
     "HarnessError",
+    "IngestCrashOutcome",
     "ScheduleOutcome",
     "SimulatedKill",
     "assert_compaction_crash_consistent",
+    "assert_failover_consistent",
+    "assert_ingest_crash_consistent",
     "assert_schedule_consistent",
     "brute_force_scores",
     "run_compaction_schedule",
+    "run_failover_schedule",
     "run_fault_matrix",
+    "run_ingest_schedule",
     "run_schedule",
 ]
 
@@ -100,5 +113,70 @@ def assert_compaction_crash_consistent(
     assert outcome.swapped == expect_swapped, (
         f"seed {seed} @ {fault_point}: swapped={outcome.swapped}, "
         f"expected {expect_swapped}"
+    )
+    return outcome
+
+
+def assert_ingest_crash_consistent(
+    seed: int, fault_point: str, **schedule_kwargs
+) -> IngestCrashOutcome:
+    """Kill a streaming append at ``fault_point``; assert exact recovery.
+
+    Re-asserts each durability invariant on the outcome so a failure
+    names the guarantee that broke: the kill fired, recovery rebuilt the
+    durable prefix byte-for-byte, and every post-recovery query equals
+    brute force over that prefix.
+    """
+    outcome = run_ingest_schedule(seed, fault_point=fault_point, **schedule_kwargs)
+    assert outcome.killed, (
+        f"seed {seed}: fault point {fault_point!r} never fired"
+    )
+    assert outcome.state_mismatch == 0, (
+        f"seed {seed} @ {fault_point}: recovered state diverged from the "
+        f"synchronous oracle: {outcome.notes}"
+    )
+    assert outcome.silent_wrong == 0, (
+        f"seed {seed} @ {fault_point}: {outcome.silent_wrong} post-recovery "
+        f"quer(ies) diverged from the oracle: {outcome.notes}"
+    )
+    if fault_point == "wal-append":
+        # the unacknowledged batch must be lost, never half-applied
+        assert outcome.rows_lost > 0, (
+            f"seed {seed}: wal-append kill lost no rows — the record was "
+            f"treated as durable before its fsync"
+        )
+    else:
+        assert outcome.rows_lost == 0, (
+            f"seed {seed} @ {fault_point}: {outcome.rows_lost} acknowledged "
+            f"row(s) lost — durability broken after the fsync point"
+        )
+    return outcome
+
+
+def assert_failover_consistent(
+    seed: int, kill_point: str, **schedule_kwargs
+) -> FailoverOutcome:
+    """Kill a shard primary at ``kill_point``; assert warm failover.
+
+    Re-asserts the serving-tier failure contract on the outcome: the kill
+    fired, exactly one warm replica promotion healed it (no cold respawn),
+    and every answer returned was byte-identical to the unsharded oracle.
+    """
+    outcome = run_failover_schedule(seed, kill_point=kill_point, **schedule_kwargs)
+    assert outcome.killed, (
+        f"seed {seed}: kill point {kill_point!r} never fired "
+        f"({outcome.mode} mode)"
+    )
+    assert outcome.silent_wrong == 0, (
+        f"seed {seed} @ {kill_point} ({outcome.mode}): answers diverged "
+        f"from the unsharded oracle: {outcome.notes}"
+    )
+    assert outcome.promotions == 1, (
+        f"seed {seed} @ {kill_point} ({outcome.mode}): "
+        f"{outcome.promotions} promotion(s) for one induced kill"
+    )
+    assert outcome.cold_respawns == 0, (
+        f"seed {seed} @ {kill_point} ({outcome.mode}): cold respawn "
+        f"despite a warm standby"
     )
     return outcome
