@@ -41,6 +41,11 @@ def main(argv: list[str] | None = None) -> int:
         from .anyk import main as anyk_main
 
         return anyk_main(argv[1:])
+    if argv and argv[0] == "adaptive":
+        # adaptive routing / advisor / drift benchmark (see repro.bench.adaptive)
+        from .adaptive import main as adaptive_main
+
+        return adaptive_main(argv[1:])
     if argv and argv[0] == "ingest":
         # durable WAL ingestion / failover benchmark (see repro.bench.ingest)
         from .ingest import main as ingest_main
@@ -66,8 +71,8 @@ def main(argv: list[str] | None = None) -> int:
         default=["all"],
         help=(
             "experiment ids (fig04..fig15, ablation_*), 'fault-matrix', "
-            "'serve'/'build'/'shard'/'vector'/'anyk'/'ingest'/'profile'/'check' "
-            "(own flags; see --help after each), or 'all'"
+            "'serve'/'build'/'shard'/'vector'/'anyk'/'ingest'/'adaptive'/"
+            "'profile'/'check' (own flags; see --help after each), or 'all'"
         ),
     )
     parser.add_argument(

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from .fragments import estimated_fragment_space, evenly_partition
+from .fragments import evenly_partition, realized_fragment_entries
 from .grouping import cooccurrence_grouping, expected_covering_fragments
 
 
@@ -41,7 +41,7 @@ class Recommendation:
     candidates: tuple[FragmentDesign, ...]
 
     def describe(self) -> str:
-        lines = ["fragment design candidates (entries = Lemma 2 estimate):"]
+        lines = ["fragment design candidates (entries = realized fragment count):"]
         for design in self.candidates:
             marker = "->" if design is self.best else "  "
             budget = "" if design.within_budget else "  [over budget]"
@@ -77,7 +77,16 @@ def recommend_fragments(
     space_budget_entries:
         Cap on stored entries (tuple-entry units, as Lemma 2 counts them).
         ``None`` means unconstrained.  If no candidate fits, the smallest
-        design is returned with ``within_budget=False``.
+        design — the candidate whose *realized* fragment family stores the
+        fewest entries, ties broken toward smaller ``F`` — is returned
+        with ``within_budget=False``.
+
+    Each candidate's ``estimated_entries`` is
+    :func:`~repro.core.fragments.realized_fragment_entries` of its actual
+    fragment list, not the nominal Lemma 2 bound: uneven groupings (a
+    short tail fragment, or workload-driven co-occurrence packing) store
+    fewer entries than ``ceil(S/F) * (2^F - 1) * T`` predicts, and the
+    budget check must count what would really be materialized.
 
     The recommendation minimizes ``(not within_budget, expected_covering,
     estimated_entries)`` — coverage first, space as tie-break.
@@ -97,8 +106,8 @@ def recommend_fragments(
         else:
             fragments = evenly_partition(selection_dims, fragment_size)
             covering = _default_covering_estimate(len(selection_dims), fragment_size)
-        entries = estimated_fragment_space(
-            len(selection_dims), num_ranking_dims, num_tuples, fragment_size
+        entries = realized_fragment_entries(
+            fragments, num_ranking_dims, num_tuples
         )
         within = (
             space_budget_entries is None or entries <= space_budget_entries
@@ -118,8 +127,11 @@ def recommend_fragments(
             affordable, key=lambda d: (d.expected_covering, d.estimated_entries)
         )
     else:
-        # nothing fits: fall back to the least-space design, flagged
-        best = min(candidates, key=lambda d: d.estimated_entries)
+        # nothing fits: fall back to the least-space realized design,
+        # ties toward smaller F (deterministic, and the cheaper rebuild)
+        best = min(
+            candidates, key=lambda d: (d.estimated_entries, d.fragment_size)
+        )
     return Recommendation(best=best, candidates=tuple(candidates))
 
 

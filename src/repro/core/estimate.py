@@ -80,6 +80,24 @@ def estimate_cube_cost(
     )
 
 
+def expected_heap_pages(rows: float, num_pages: int) -> float:
+    """Expected distinct heap pages touched by ``rows`` random row fetches.
+
+    Cardenas' formula: ``P * (1 - (1 - 1/P)^rows)``.  Multiple qualifying
+    rows land on the same heap page once ``rows`` approaches the page
+    count, so an index plan's cost saturates at one read per *page*, never
+    one per *row*.  Charging per row (the old model) overstated the index
+    path by up to ``records_per_page``× and biased the hybrid planner
+    toward the cube exactly in the selective regime where the paper says
+    the baseline should win (Figure 9, s=4).
+    """
+    if num_pages <= 0:
+        raise ValueError(f"num_pages must be positive, got {num_pages}")
+    if rows <= 0:
+        return 0.0
+    return num_pages * (1.0 - (1.0 - 1.0 / num_pages) ** rows)
+
+
 def estimate_baseline_cost(table: Table, query: TopKQuery) -> CostEstimate:
     """Expected cost of the baseline's best plan (index or scan)."""
     qualifying = estimate_qualifying(table, query)
@@ -90,10 +108,11 @@ def estimate_baseline_cost(table: Table, query: TopKQuery) -> CostEstimate:
         if name not in table.secondary_indexes:
             continue
         rows = table.value_count(name, value)
-        index_io = RANDOM_READ_WEIGHT * rows
+        pages = expected_heap_pages(rows, table.heap.num_pages)
+        index_io = RANDOM_READ_WEIGHT * pages
         if index_io < best_io:
             best_io = index_io
-            best_pages = float(rows)
+            best_pages = pages
     return CostEstimate(
         method="baseline",
         pages=best_pages,

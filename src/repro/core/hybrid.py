@@ -31,26 +31,53 @@ class HybridExecutor:
         Multiplier applied to the cube's estimate before comparison;
         values > 1 make the planner more conservative about choosing the
         cube (hedging against its coarser estimate).
+    registry:
+        Optional :class:`repro.obs.MetricsRegistry`; every decision bumps
+        the ``route.decision`` counter labeled with the chosen path — the
+        same series the adaptive router emits, so dashboards aggregate
+        static and learned routing identically.
     """
 
-    def __init__(self, cube: RankingCube, table: Table, bias: float = 1.0):
+    def __init__(
+        self,
+        cube: RankingCube,
+        table: Table,
+        bias: float = 1.0,
+        registry=None,
+    ):
         if bias <= 0:
             raise ValueError(f"bias must be positive, got {bias}")
         self.cube = cube
         self.table = table
         self.bias = bias
+        self.registry = registry
         self._cube_executor = RankingCubeExecutor(cube, table)
         self._baseline_executor = BaselineExecutor(table)
         self.last_choice: str | None = None
         self.last_estimates: tuple[CostEstimate, CostEstimate] | None = None
 
     # ------------------------------------------------------------------
-    def execute(self, query: TopKQuery) -> QueryResult:
+    def decide(self, query: TopKQuery) -> str:
+        """Estimate both paths and record the choice.
+
+        The single decision point: ``execute`` and ``explain`` both call
+        it, so ``last_choice`` and ``last_estimates`` always describe the
+        same query — an explain can no longer leave a stale choice behind.
+        """
         cube_cost, baseline_cost = self.estimate(query)
-        if cube_cost.io_cost * self.bias <= baseline_cost.io_cost:
-            self.last_choice = "ranking_cube"
+        chosen = (
+            "ranking_cube"
+            if cube_cost.io_cost * self.bias <= baseline_cost.io_cost
+            else "baseline"
+        )
+        self.last_choice = chosen
+        if self.registry is not None:
+            self.registry.counter("route.decision", path=chosen).inc()
+        return chosen
+
+    def execute(self, query: TopKQuery) -> QueryResult:
+        if self.decide(query) == "ranking_cube":
             return self._cube_executor.execute(query)
-        self.last_choice = "baseline"
         return self._baseline_executor.execute(query)
 
     def estimate(self, query: TopKQuery) -> tuple[CostEstimate, CostEstimate]:
@@ -63,12 +90,8 @@ class HybridExecutor:
 
     def explain(self, query: TopKQuery) -> str:
         """Human-readable routing decision."""
-        cube_cost, baseline_cost = self.estimate(query)
-        chosen = (
-            "ranking_cube"
-            if cube_cost.io_cost * self.bias <= baseline_cost.io_cost
-            else "baseline"
-        )
+        chosen = self.decide(query)
+        cube_cost, baseline_cost = self.last_estimates
         return (
             f"hybrid plan: ~{cube_cost.qualifying:.0f} qualifying tuples\n"
             f"  ranking_cube estimate: {cube_cost.pages:.1f} pages "

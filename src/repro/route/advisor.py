@@ -1,0 +1,435 @@
+"""Online materialization advisor: promote hot cuboids, demote cold ones.
+
+:func:`repro.core.advisor.recommend_fragments` answers the *offline*
+design question.  :class:`CubeAdvisor` closes the loop at runtime: it
+counts which selection-dimension sets queries actually use, and under a
+space budget (in Lemma 2's tuple-entry units) it
+
+* **promotes** a hot, not-yet-materialized dimension set to a real
+  cuboid — built from the *base-table-resident* tuples only (delta tuples
+  are merged by every query separately, so materializing them twice
+  would double-count), grouped by the same
+  :func:`~repro.core.parallel.compute_build_groups` arithmetic the
+  builder and compactor use, and stamped with the cube's **current**
+  epoch so the mixed-generation guard in :attr:`RankingCube.epoch` holds;
+* **demotes** cold non-singleton cuboids to reclaim budget.  Singletons
+  are never demoted: they are the covering safety net — as long as every
+  selection dimension keeps its singleton cuboid, any query stays
+  answerable (Section 4.2.1's covering always succeeds).
+
+The swap protocol is :class:`~repro.core.compaction.CubeCompactor`'s:
+build on fresh pages, flush the pool (write-ahead ordering), swap the
+cuboid map atomically under the cube's state lock, then notify
+invalidation listeners.  If a concurrent compaction replaced the base
+table between our snapshot and the swap, the run aborts without swapping
+(the promoted cuboids would index a dead generation) and retries on the
+next round.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..core.cube import RankingCube
+from ..core.cuboid import RankingCuboid
+from ..core.parallel import CuboidSpec, compute_build_groups
+from ..core.pseudo import scale_factor
+from ..obs.tracing import maybe_span
+from ..relational.query import TopKQuery
+from ..relational.table import Table
+
+
+class AdvisorError(Exception):
+    """Raised on advisor misuse (bad config, closed daemon)."""
+
+
+@dataclass
+class AdvisorReport:
+    """What one :meth:`CubeAdvisor.advise_once` run did."""
+
+    observations: int = 0
+    promoted: tuple = ()         #: cuboid names newly materialized
+    demoted: tuple = ()          #: cuboid names dropped
+    skipped: tuple = ()          #: hot sets that did not fit the budget
+    entries_before: int = 0
+    entries_after: int = 0
+    swapped: bool = False
+    aborted: bool = False        #: a concurrent compaction raced the swap
+    wall_s: float = 0.0
+
+
+class CubeAdvisor:
+    """Popularity-driven cuboid promotion/demotion under a space budget.
+
+    Parameters
+    ----------
+    cube / table / pool:
+        The cube to maintain, its source relation (for selection values
+        during promotion builds), and the buffer pool for fresh pages.
+    space_budget_entries:
+        Cap on total stored cuboid entries.  ``None`` means promotion is
+        unconstrained and nothing is ever demoted for space.
+    min_observations:
+        A run is a no-op until this many queries have been observed since
+        the last swap — popularity over a handful of queries is noise.
+    hot_fraction / cold_fraction:
+        A missing set whose query share is >= ``hot_fraction`` is a
+        promotion candidate; a materialized non-singleton whose *usage*
+        share (queries whose dimensions contain it) is <= ``cold_fraction``
+        is a demotion candidate.
+    max_promote_dims:
+        Never materialize cuboids wider than this (space is ``~T``
+        regardless, but build cost and marginal benefit fall off).
+    decay:
+        After each swap the popularity counters are multiplied by this
+        factor, so the advisor tracks the *recent* workload.
+    """
+
+    def __init__(
+        self,
+        cube: RankingCube,
+        table: Table,
+        pool,
+        space_budget_entries: int | None = None,
+        min_observations: int = 16,
+        hot_fraction: float = 0.10,
+        cold_fraction: float = 0.01,
+        max_promote_dims: int = 3,
+        decay: float = 0.5,
+        registry=None,
+        tracer=None,
+    ):
+        if min_observations < 1:
+            raise AdvisorError("min_observations must be >= 1")
+        if not 0 < hot_fraction <= 1 or not 0 <= cold_fraction < 1:
+            raise AdvisorError("fractions must lie in (0,1] / [0,1)")
+        if not 0 <= decay <= 1:
+            raise AdvisorError("decay must lie in [0, 1]")
+        self.cube = cube
+        self.table = table
+        self.pool = pool
+        self.space_budget_entries = space_budget_entries
+        self.min_observations = min_observations
+        self.hot_fraction = hot_fraction
+        self.cold_fraction = cold_fraction
+        self.max_promote_dims = max_promote_dims
+        self.decay = decay
+        self.registry = registry
+        self.tracer = tracer
+        self._counts: dict[frozenset, float] = {}
+        self._observed_since = 0
+        self._counts_lock = threading.Lock()
+        self._run_lock = threading.Lock()
+        self._cond = threading.Condition()
+        self._thread: threading.Thread | None = None
+        self._closed = False
+        self._wake_requested = False
+        self.runs = 0
+        self.last_report: AdvisorReport | None = None
+        self.last_error: BaseException | None = None
+
+    # ------------------------------------------------------------------
+    # workload observation
+    # ------------------------------------------------------------------
+    def observe(self, query: TopKQuery) -> None:
+        """Count one query's selection-dimension set."""
+        key = frozenset(query.selection_names)
+        if not key:
+            return
+        with self._counts_lock:
+            self._counts[key] = self._counts.get(key, 0.0) + 1.0
+            self._observed_since += 1
+        with self._cond:
+            self._cond.notify_all()
+
+    @property
+    def observed_since_swap(self) -> int:
+        with self._counts_lock:
+            return self._observed_since
+
+    # ------------------------------------------------------------------
+    # one advisory run (foreground)
+    # ------------------------------------------------------------------
+    def advise_once(self) -> AdvisorReport:
+        with self._run_lock:
+            return self._advise_locked()
+
+    def _advise_locked(self) -> AdvisorReport:
+        started = time.perf_counter()
+        report = AdvisorReport()
+        with self._counts_lock:
+            counts = dict(self._counts)
+            report.observations = self._observed_since
+        total = sum(counts.values())
+        state = self.cube.snapshot()
+        report.entries_before = report.entries_after = sum(
+            c.num_entries for c in state.cuboids.values()
+        )
+        if report.observations < self.min_observations or total <= 0:
+            report.wall_s = time.perf_counter() - started
+            self._record(report)
+            return report
+
+        with maybe_span(self.tracer, "route.advise") as span:
+            epoch = state.epoch
+            num_tuples = state.base_table.num_tuples
+            # Promotion candidates: hot sets with no exact cuboid.  Delta
+            # correctness bound: the delta rows only carry values for the
+            # dimensions the cube was built over.
+            legal_dims = self.cube._delta_selection_dims
+            hot = [
+                (key, count)
+                for key, count in counts.items()
+                if count / total >= self.hot_fraction
+                and key not in state.cuboids
+                and 1 <= len(key) <= self.max_promote_dims
+                and key <= legal_dims
+            ]
+            hot.sort(key=lambda item: (-item[1], sorted(item[0])))
+
+            # Demotion candidates: materialized non-singletons whose usage
+            # share (any query constraining a superset uses them) is cold.
+            def usage(key: frozenset) -> float:
+                return sum(c for q, c in counts.items() if key <= q)
+
+            cold = sorted(
+                (
+                    key
+                    for key in state.cuboids
+                    if len(key) > 1 and usage(key) / total <= self.cold_fraction
+                ),
+                key=lambda key: (usage(key), sorted(key)),
+            )
+
+            budget = self.space_budget_entries
+            entries = report.entries_before
+            promote: list[frozenset] = []
+            demote: list[frozenset] = []
+            skipped: list[frozenset] = []
+            cold_pool = list(cold)
+            # an already-over-budget cube sheds cold cuboids even with
+            # nothing to promote
+            while budget is not None and entries > budget and cold_pool:
+                victim = cold_pool.pop(0)
+                demote.append(victim)
+                entries -= state.cuboids[victim].num_entries
+            for key, _count in hot:
+                added = num_tuples  # a cuboid stores one entry per tuple
+                projected = entries + added
+                while (
+                    budget is not None and projected > budget and cold_pool
+                ):
+                    victim = cold_pool.pop(0)
+                    demote.append(victim)
+                    projected -= state.cuboids[victim].num_entries
+                if budget is not None and projected > budget:
+                    skipped.append(key)
+                    continue
+                promote.append(key)
+                entries = projected
+
+            report.skipped = tuple(
+                ",".join(sorted(key)) for key in skipped
+            )
+            if not promote and not demote:
+                report.wall_s = time.perf_counter() - started
+                self._record(report)
+                return report
+
+            new_cuboids = (
+                self._build_promotions(state, promote, epoch)
+                if promote
+                else {}
+            )
+
+            # write-ahead ordering: fresh pages durable before the swap
+            self.pool.flush()
+
+            with self.cube._state_lock:
+                if self.cube.base_table is not state.base_table:
+                    # a compaction swapped generations under us: the
+                    # promoted cuboids index dead bids — drop them
+                    report.aborted = True
+                    report.wall_s = time.perf_counter() - started
+                    self._record(report)
+                    return report
+                updated = dict(self.cube.cuboids)
+                for key in demote:
+                    updated.pop(key, None)
+                updated.update(new_cuboids)
+                self.cube.cuboids = updated
+            self.cube._notify_invalidation()
+
+            with self._counts_lock:
+                self._observed_since = 0
+                if self.decay < 1.0:
+                    self._counts = {
+                        key: count * self.decay
+                        for key, count in self._counts.items()
+                        if count * self.decay >= 0.5
+                    }
+
+            report.promoted = tuple(c.name for c in new_cuboids.values())
+            report.demoted = tuple(
+                state.cuboids[key].name for key in demote
+            )
+            report.entries_after = sum(
+                c.num_entries for c in updated.values()
+            )
+            report.swapped = True
+            if span is not None:
+                span.add_many(
+                    promoted=len(report.promoted),
+                    demoted=len(report.demoted),
+                    entries=report.entries_after,
+                )
+        report.wall_s = time.perf_counter() - started
+        self._record(report)
+        return report
+
+    def _build_promotions(
+        self, state, promote: list[frozenset], epoch: int
+    ) -> dict[frozenset, RankingCuboid]:
+        """Materialize the promoted sets from base-table-resident tuples."""
+        schema = self.table.schema
+        # one maintenance scan of the base table: tid-ordered, matching
+        # the canonical scan-order grouping of the from-scratch build
+        pairs: list[tuple[int, tuple[float, ...]]] = []
+        for _bid, records in state.base_table.blocks():
+            for record in records:
+                pairs.append((int(record[0]), tuple(record[1:])))
+        pairs.sort(key=lambda item: item[0])
+        tids = [tid for tid, _point in pairs]
+        points = [point for _tid, point in pairs]
+
+        needed_dims = tuple(sorted(set().union(*promote)))
+        needed_pos = {d: schema.position(d) for d in needed_dims}
+        sel_by_tid: dict[int, tuple[int, ...]] = {}
+        wanted = set(tids)
+        for record in self.table.scan():
+            tid = int(record[0])
+            if tid in wanted:
+                sel_by_tid[tid] = tuple(
+                    int(record[1 + needed_pos[d]]) for d in needed_dims
+                )
+        sel_rows = [sel_by_tid[tid] for tid in tids]
+
+        sel_index = {dim: i for i, dim in enumerate(needed_dims)}
+        specs: list[CuboidSpec] = []
+        spec_meta: list[tuple[frozenset, tuple[str, ...], tuple[int, ...]]] = []
+        for key in promote:
+            dims = tuple(sorted(key))
+            cardinalities = tuple(schema.cardinalities(dims))
+            scale = scale_factor(cardinalities, state.grid.num_dims)
+            specs.append(
+                CuboidSpec(
+                    dims=dims,
+                    positions=tuple(sel_index[d] for d in dims),
+                    scale=scale,
+                )
+            )
+            spec_meta.append((key, dims, cardinalities))
+
+        grouped = compute_build_groups(
+            state.grid, specs, tids, points, sel_rows
+        )
+        built: dict[frozenset, RankingCuboid] = {}
+        for (key, dims, cardinalities), groups, spec in zip(
+            spec_meta, grouped.cuboid_groups, specs
+        ):
+            built[key] = RankingCuboid.from_groups(
+                self.pool,
+                dims,
+                cardinalities,
+                state.grid,
+                groups,
+                scale_override=spec.scale,
+                epoch=epoch,
+            )
+        return built
+
+    def _record(self, report: AdvisorReport) -> None:
+        self.runs += 1
+        self.last_report = report
+        if self.registry is None:
+            return
+        self.registry.counter("route.advisor.runs").inc()
+        if not report.swapped:
+            name = (
+                "route.advisor.aborts"
+                if report.aborted
+                else "route.advisor.noops"
+            )
+            self.registry.counter(name).inc()
+            return
+        self.registry.counter("route.advisor.swaps").inc()
+        self.registry.counter("route.advisor.promotions").inc(
+            len(report.promoted)
+        )
+        self.registry.counter("route.advisor.demotions").inc(
+            len(report.demoted)
+        )
+        self.registry.gauge("route.advisor.entries").set(report.entries_after)
+
+    # ------------------------------------------------------------------
+    # background daemon
+    # ------------------------------------------------------------------
+    def start(self) -> "CubeAdvisor":
+        """Start the background worker thread (idempotent)."""
+        with self._cond:
+            if self._closed:
+                raise AdvisorError("advisor is closed")
+            if self._thread is not None:
+                return self
+            self._thread = threading.Thread(
+                target=self._worker, name="cube-advisor", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def wake(self) -> None:
+        with self._cond:
+            self._wake_requested = True
+            self._cond.notify_all()
+
+    def close(self, wait: bool = True) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+            thread = self._thread
+        if wait and thread is not None:
+            thread.join()
+
+    def _pending(self) -> bool:
+        return (
+            self._wake_requested
+            or self.observed_since_swap >= self.min_observations
+        )
+
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                while not self._closed and not self._pending():
+                    self._cond.wait(timeout=0.05)
+                if self._closed:
+                    return
+                self._wake_requested = False
+            try:
+                self.advise_once()
+            except BaseException as exc:  # noqa: BLE001 - worker must survive
+                self.last_error = exc
+                if self.registry is not None:
+                    self.registry.counter("route.advisor.errors").inc()
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "CubeAdvisor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,59 @@
+"""Query-shape signatures: the key space of the router's cost memory.
+
+Observed costs generalize across queries that stress the system the same
+way, not across literally identical queries.  A :class:`QueryShape`
+therefore quantizes exactly the features the analytic model in
+:mod:`repro.core.estimate` says drive cost — which dimensions are
+constrained, how selective the conjunction is (log-bucketed expected
+qualifying count), how deep the answer is (log-bucketed ``k``), and what
+is being ranked — and drops everything it says is irrelevant (the actual
+constants, the weight values).  Two queries with the same shape hit the
+same cost regime, so their observations pool.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.estimate import estimate_qualifying
+from ..relational.query import TopKQuery
+from ..relational.table import Table
+
+
+@dataclass(frozen=True)
+class QueryShape:
+    """The equivalence class a query's cost observations are pooled under."""
+
+    selection_dims: tuple[str, ...]
+    selectivity_bucket: int
+    k_bucket: int
+    ranking_dims: tuple[str, ...]
+    function: str
+
+    def __str__(self) -> str:
+        sel = ",".join(self.selection_dims) or "-"
+        rank = ",".join(self.ranking_dims)
+        return (
+            f"sel[{sel}]~2^{self.selectivity_bucket}"
+            f"/k~2^{self.k_bucket}/{self.function}({rank})"
+        )
+
+
+def log2_bucket(value: float) -> int:
+    """``floor(log2(value))``, clamped so 0 and sub-1 values map to 0."""
+    if value < 1.0:
+        return 0
+    return int(math.log2(value))
+
+
+def shape_of(table: Table, query: TopKQuery) -> QueryShape:
+    """Quantize one query into its :class:`QueryShape`."""
+    qualifying = estimate_qualifying(table, query)
+    return QueryShape(
+        selection_dims=query.selection_names,
+        selectivity_bucket=log2_bucket(qualifying),
+        k_bucket=log2_bucket(float(query.k)),
+        ranking_dims=tuple(sorted(query.ranking.dims)),
+        function=type(query.ranking).__name__,
+    )

@@ -10,6 +10,10 @@ query stream and makes the read path safe for concurrent workers:
 * :class:`BoundMemo` — shared memo of block lower bounds ``f(bid)``,
 * :class:`QueryService` — worker-pool front end with ``submit`` /
   ``run_batch`` APIs and per-query latency/IO accounting,
+* :class:`RoutedQueryService` — the same front end with
+  :class:`~repro.route.AdaptiveRouter` as its door: per-query
+  cost-routed path choice plus optional cuboid-advisor and
+  drift-repartition maintenance (:mod:`repro.route`),
 * :class:`ShardedQueryService` — the same front end over a horizontally
   sharded deployment (:mod:`repro.shard`), scatter-gathering per-shard
   progressive searches under a global early-termination bound.  With
@@ -26,6 +30,7 @@ against the unsharded baseline (``BENCH_shard.json``).
 
 from .cache import BoundMemo, CacheStats, ColumnarBlockCache, PseudoBlockCache
 from .procpool import ProcessShardPool, ProcPoolError, ShardWorkerHandle
+from .routed import RoutedQueryService
 from .service import (
     QueryRecord,
     QueryService,
@@ -50,6 +55,7 @@ __all__ = [
     "PseudoBlockCache",
     "QueryRecord",
     "QueryService",
+    "RoutedQueryService",
     "ServiceClosedError",
     "ServiceOverloadedError",
     "ServiceStats",

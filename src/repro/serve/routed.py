@@ -1,0 +1,221 @@
+"""Adaptive routing in front of the serving tier.
+
+:class:`RoutedQueryService` is a :class:`~repro.serve.service.QueryService`
+whose per-query execution goes through an
+:class:`~repro.route.router.AdaptiveRouter` instead of straight into the
+cube executor: each query is priced across the cube / vector / fragment /
+baseline paths, routed to the blended-cost minimum, and its observed cost
+is folded back into the router's cost book.  The answer contract is
+untouched — every path returns byte-identical results, so a client cannot
+tell which path served it except through ``route.*`` metrics.
+
+The service can also own the two adaptive maintenance daemons:
+
+* ``auto_advise_observations=N`` attaches a
+  :class:`~repro.route.advisor.CubeAdvisor` that sees every routed
+  query's selection set and, in the background, promotes hot cuboids and
+  demotes cold ones under ``advisor_budget_entries``.
+* ``drift_check_interval=N`` runs a
+  :class:`~repro.route.drift.DriftDetector` probe every ``N`` routed
+  queries and, when the live distribution has drifted past
+  ``drift_threshold``, re-partitions the grid online through
+  :func:`~repro.route.drift.repartition_cube` (at most one repartition at
+  a time; queries keep flowing against their pinned snapshots).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..core.cube import RankingCube
+from ..core.executor import ExecutorTrace, QueryAbortedError
+from ..obs.tracing import Tracer
+from ..relational.query import QueryResult, TopKQuery
+from ..relational.table import Table
+from ..route.advisor import CubeAdvisor
+from ..route.drift import (
+    DEFAULT_DRIFT_THRESHOLD,
+    DriftDetector,
+    RepartitionReport,
+    repartition_cube,
+)
+from ..route.router import DEFAULT_PROBE_MARGIN, AdaptiveRouter
+from ..route.cost import DEFAULT_PRIOR_STRENGTH
+from .service import QueryService
+
+
+class RoutedQueryService(QueryService):
+    """A query service whose front door is the adaptive router.
+
+    Accepts every :class:`QueryService` parameter (the cube-family paths
+    share the service's pseudo-block / bound-memo / columnar caches) plus:
+
+    Parameters
+    ----------
+    fragment_cube:
+        Optional fragment-family cube added as a fourth route path.
+    include_vector:
+        Offer the vectorized executor as a route path (default on; this
+        is independent of ``use_vector``, which picks the executor the
+        *non-routed* APIs like :meth:`open_search` use).
+    prior_strength / probe_margin:
+        Router tuning, passed through to :class:`AdaptiveRouter`.
+    auto_advise_observations:
+        When set, the service owns a background :class:`CubeAdvisor`
+        with ``min_observations`` set to this value; every routed query
+        is observed and the daemon re-plans after each batch of new
+        observations.  :meth:`close` stops it.
+    advisor_budget_entries:
+        Space budget (total materialized entries) handed to the owned
+        advisor.
+    drift_check_interval:
+        When set, every ``N``-th routed query triggers a drift probe; a
+        drifted grid is re-partitioned inline (one worker pays the
+        rebuild; concurrent queries proceed on pinned snapshots).
+    drift_threshold:
+        Max bin-depth ratio beyond which the grid counts as drifted.
+    """
+
+    def __init__(
+        self,
+        cube: RankingCube,
+        relation: Table,
+        *,
+        fragment_cube: RankingCube | None = None,
+        include_vector: bool = True,
+        prior_strength: float = DEFAULT_PRIOR_STRENGTH,
+        probe_margin: float = DEFAULT_PROBE_MARGIN,
+        auto_advise_observations: int | None = None,
+        advisor_budget_entries: int | None = None,
+        drift_check_interval: int | None = None,
+        drift_threshold: float = DEFAULT_DRIFT_THRESHOLD,
+        **service_kwargs,
+    ):
+        if relation is None:
+            raise ValueError("RoutedQueryService needs the base relation")
+        super().__init__(cube, relation, **service_kwargs)
+        self.router = AdaptiveRouter.for_cube(
+            cube,
+            relation,
+            fragment_cube=fragment_cube,
+            include_vector=include_vector,
+            pseudo_cache=self.pseudo_cache,
+            bound_memo=self.bound_memo,
+            columnar_cache=self.columnar_cache,
+            registry=self.registry,
+            prior_strength=prior_strength,
+            probe_margin=probe_margin,
+        )
+        self.relation = relation
+        pool = getattr(cube.base_table, "pool", None)
+        self.advisor: CubeAdvisor | None = None
+        self._owns_advisor = False
+        if auto_advise_observations is not None:
+            if pool is None:
+                raise ValueError(
+                    "auto_advise_observations needs a cube whose base "
+                    "table exposes its buffer pool"
+                )
+            self.advisor = CubeAdvisor(
+                cube,
+                relation,
+                pool,
+                space_budget_entries=advisor_budget_entries,
+                min_observations=auto_advise_observations,
+                registry=self.registry,
+            ).start()
+            self._owns_advisor = True
+        self.drift_detector: DriftDetector | None = None
+        self._drift_interval = drift_check_interval
+        self._drift_pool = pool
+        if drift_check_interval is not None:
+            if drift_check_interval < 1:
+                raise ValueError("drift_check_interval must be >= 1")
+            if pool is None:
+                raise ValueError(
+                    "drift_check_interval needs a cube whose base table "
+                    "exposes its buffer pool"
+                )
+            self.drift_detector = DriftDetector(cube, threshold=drift_threshold)
+        self._routed_count = 0
+        self._route_lock = threading.Lock()
+        self._repartition_lock = threading.Lock()
+        self.repartitions: list[RepartitionReport] = []
+
+    # ------------------------------------------------------------------
+    def _run_one(self, query: TopKQuery) -> QueryResult:
+        trace = ExecutorTrace()
+        tracer = Tracer(self.registry) if self.trace_spans else None
+        started = time.perf_counter()
+        try:
+            decision = self.router.execute(query, trace=trace, tracer=tracer)
+        except QueryAbortedError as exc:
+            self._retain_spans(tracer)
+            self._record(
+                trace,
+                time.perf_counter() - started,
+                blocks=exc.blocks_accessed,
+                candidates=len(trace.candidate_bids),
+                tuples=0,
+                aborted=True,
+            )
+            raise
+        self._retain_spans(tracer)
+        result = decision.result
+        self._record(
+            trace,
+            time.perf_counter() - started,
+            blocks=result.blocks_accessed,
+            candidates=result.candidates_examined,
+            tuples=result.tuples_examined,
+            aborted=False,
+        )
+        if self.advisor is not None:
+            self.advisor.observe(query)
+        self._after_routed()
+        return result
+
+    def _after_routed(self) -> None:
+        if self.drift_detector is None:
+            return
+        with self._route_lock:
+            self._routed_count += 1
+            due = self._routed_count % self._drift_interval == 0
+        if due:
+            self.maybe_repartition()
+
+    # ------------------------------------------------------------------
+    def maybe_repartition(self) -> RepartitionReport | None:
+        """Probe for drift; re-partition the grid if it has drifted.
+
+        Returns the :class:`RepartitionReport` when a rebuild ran (check
+        ``report.swapped`` — a concurrent compaction can abort it), or
+        ``None`` when the grid is still balanced or another repartition
+        is already in flight.
+        """
+        detector = self.drift_detector
+        if detector is None:
+            detector = DriftDetector(self.cube)
+        if not self._repartition_lock.acquire(blocking=False):
+            return None
+        try:
+            report = detector.check()
+            if not report.drifted:
+                return None
+            rebuilt = repartition_cube(
+                self.cube,
+                self.relation,
+                self._drift_pool or self.cube.base_table.pool,
+                registry=self.registry,
+            )
+            self.repartitions.append(rebuilt)
+            return rebuilt
+        finally:
+            self._repartition_lock.release()
+
+    # ------------------------------------------------------------------
+    def close(self, wait: bool = True) -> None:
+        super().close(wait=wait)
+        if self._owns_advisor and self.advisor is not None:
+            self.advisor.close(wait=wait)

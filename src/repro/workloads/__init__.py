@@ -1,5 +1,6 @@
 """Workload generation: synthetic datasets, random queries, CoverType stand-in."""
 
+from .drifting import DriftingQueryStream, WorkloadPhase, shifted_rows
 from .covertype import (
     RANKING_PROFILE,
     SELECTION_PROFILE,
@@ -18,6 +19,7 @@ from .synthetic import SyntheticDataset, SyntheticSpec, generate
 
 __all__ = [
     "CoverTypeSpec",
+    "DriftingQueryStream",
     "QueryGenerator",
     "QuerySpec",
     "brute_force_ranked",
@@ -28,8 +30,10 @@ __all__ = [
     "SELECTION_PROFILE",
     "SyntheticDataset",
     "SyntheticSpec",
+    "WorkloadPhase",
     "covertype_schema",
     "generate",
     "generate_covertype",
+    "shifted_rows",
     "skewed_weights",
 ]

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core import estimated_fragment_space
+from repro.core.fragments import evenly_partition, realized_fragment_entries
 from repro.core.advisor import (
     FragmentDesign,
     Recommendation,
@@ -37,6 +38,54 @@ class TestRecommendation:
         assert rec.best.estimated_entries == min(
             d.estimated_entries for d in rec.candidates
         )
+
+    def test_entries_count_realized_fragments_not_nominal_bound(self):
+        """Regression: candidates must be costed by their *actual* fragment
+        list.  F=3 over 8 dims yields fragments of sizes [3, 3, 2] —
+        17T cuboid entries, not the nominal ``ceil(8/3) * 7T = 21T``."""
+        rec = recommend_fragments(DIMS_8, 2, 10_000)
+        by_f = {d.fragment_size: d for d in rec.candidates}
+        assert by_f[3].estimated_entries == realized_fragment_entries(
+            by_f[3].fragments, 2, 10_000
+        )
+        assert by_f[3].estimated_entries < estimated_fragment_space(
+            8, 2, 10_000, 3
+        )
+        # evenly divisible sizes agree with the nominal bound exactly
+        assert by_f[2].estimated_entries == estimated_fragment_space(
+            8, 2, 10_000, 2
+        )
+
+    def test_over_budget_fallback_returns_smallest_realized_design(self):
+        """Regression: the fallback promised "the smallest design" but
+        picked by the nominal Lemma 2 bound; it must rank by realized
+        entries, deterministically breaking ties toward smaller F."""
+        rec = recommend_fragments(DIMS_8, 2, 10_000, space_budget_entries=1)
+        assert not rec.best.within_budget
+        assert all(not d.within_budget for d in rec.candidates)
+        expected = min(
+            rec.candidates,
+            key=lambda d: (
+                realized_fragment_entries(d.fragments, 2, 10_000),
+                d.fragment_size,
+            ),
+        )
+        assert rec.best is expected
+        assert rec.best.fragment_size == 1
+
+    def test_budget_admits_realized_but_not_nominal_design(self):
+        """A budget between the realized and nominal F=3 space must admit
+        F=3: the realized [3, 3, 2] family stores 21T entries total while
+        the nominal bound claims 25T."""
+        realized = realized_fragment_entries(
+            evenly_partition(DIMS_8, 3), 2, 10_000
+        )
+        nominal = estimated_fragment_space(8, 2, 10_000, 3)
+        assert realized < nominal
+        budget = (realized + nominal) // 2
+        rec = recommend_fragments(DIMS_8, 2, 10_000, space_budget_entries=budget)
+        assert rec.best.fragment_size == 3
+        assert rec.best.within_budget
 
     def test_workload_drives_grouping(self):
         workload = [("a1", "a8"), ("a2", "a7")] * 10

@@ -10,6 +10,7 @@ from repro.core.estimate import (
     estimate_cube_cost,
     estimate_qualifying,
     expected_blocks_to_k,
+    expected_heap_pages,
 )
 from repro.core.hybrid import HybridExecutor
 from repro.ranking import LinearFunction
@@ -91,6 +92,48 @@ class TestEstimates:
         estimate = estimate_baseline_cost(table, TopKQuery(5, {"a1": 3}, fn()))
         # a1 matches ~800 rows: scanning is cheaper than 800 random reads
         assert estimate.pages == table.heap.num_pages
+
+    def test_index_cost_amortizes_rows_into_heap_pages(self):
+        """Regression (Figure 9, s=4 regime): ~100 qualifying rows on a
+        heap with several rows per page must be priced as *distinct heap
+        pages* (Cardenas), not one random read per row.  The pre-fix model
+        charged ``RANDOM_READ_WEIGHT * rows``, overstating the index path
+        and biasing the hybrid planner toward the cube exactly where the
+        paper says ranking is unnecessary."""
+        schema = Schema.of(
+            [selection_attr(f"a{i + 1}", c) for i, c in enumerate((10, 10, 160))]
+            + [ranking_attr("n1"), ranking_attr("n2")]
+        )
+        rng = random.Random(113)
+        rows = [
+            tuple(rng.randrange(c) for c in (10, 10, 160))
+            + (rng.random(), rng.random())
+            for _ in range(16000)
+        ]
+        db = Database(page_size=512)
+        table = db.load_table("R", schema, rows)
+        table.create_secondary_index("a3")
+        matching = table.value_count("a3", 5)
+        assert 50 < matching < 150  # the s=4 regime: ~100 qualifying
+        estimate = estimate_baseline_cost(
+            table, TopKQuery(10, {"a3": 5}, fn())
+        )
+        # index plan wins, and its page count is the Cardenas expectation —
+        # strictly fewer pages than rows (rows share heap pages)
+        assert estimate.pages < table.heap.num_pages
+        assert estimate.pages < matching
+        assert estimate.pages == pytest.approx(
+            expected_heap_pages(matching, table.heap.num_pages)
+        )
+
+    def test_expected_heap_pages_saturates(self):
+        # more random fetches than pages: every page gets touched, cost
+        # caps at the page count instead of growing without bound
+        assert expected_heap_pages(1_000_000, 50) == pytest.approx(50.0)
+        assert expected_heap_pages(1, 50) == pytest.approx(1.0)
+        assert expected_heap_pages(0, 50) == 0.0
+        with pytest.raises(ValueError):
+            expected_heap_pages(10, 0)
 
     def test_expected_blocks_helper(self):
         assert expected_blocks_to_k(10, 100.0, 50) == pytest.approx(5.0)
@@ -210,3 +253,30 @@ class TestHybridExecutor:
         cube_cost, baseline_cost = hybrid.last_estimates
         assert cube_cost.method == "ranking_cube"
         assert baseline_cost.method == "baseline"
+
+    def test_explain_updates_last_choice(self):
+        """Regression: ``explain`` used to refresh ``last_estimates`` but
+        leave ``last_choice`` stale, so traces after an explain call
+        attributed the wrong routing decision."""
+        _db, table, _rows, _schema, cube = make_env(cards=(10, 10, 5000))
+        hybrid = HybridExecutor(cube, table)
+        hybrid.execute(TopKQuery(5, {"a1": 3}, fn()))
+        assert hybrid.last_choice == "ranking_cube"
+        text = hybrid.explain(TopKQuery(10, {"a3": 5}, fn()))
+        assert "-> baseline" in text
+        # last_choice must describe the explained query, not the stale one
+        assert hybrid.last_choice == "baseline"
+        cube_cost, baseline_cost = hybrid.last_estimates
+        assert baseline_cost.io_cost < cube_cost.io_cost
+
+    def test_decision_counter_labels_path(self):
+        from repro.obs import MetricsRegistry
+
+        _db, table, _rows, _schema, cube = make_env(cards=(10, 10, 5000))
+        registry = MetricsRegistry()
+        hybrid = HybridExecutor(cube, table, registry=registry)
+        hybrid.execute(TopKQuery(5, {"a1": 3}, fn()))
+        hybrid.explain(TopKQuery(10, {"a3": 5}, fn()))
+        hybrid.execute(TopKQuery(10, {"a3": 5}, fn()))
+        assert registry.value("route.decision", path="ranking_cube") == 1
+        assert registry.value("route.decision", path="baseline") == 2

@@ -1,0 +1,238 @@
+"""Unit tests for the online materialization advisor (repro.route.advisor)."""
+
+import random
+import time
+
+import pytest
+
+from repro.core import CubeCompactor, RankingCube, RankingCubeExecutor
+from repro.obs import MetricsRegistry
+from repro.ranking import LinearFunction
+from repro.relational import Database, Schema, TopKQuery, ranking_attr, selection_attr
+from repro.route import AdvisorError, CubeAdvisor
+from repro.workloads.oracle import brute_force_topk
+
+CARDS = (3, 4, 5)
+SCHEMA = Schema.of(
+    [
+        selection_attr("a1", CARDS[0]),
+        selection_attr("a2", CARDS[1]),
+        selection_attr("a3", CARDS[2]),
+    ]
+    + [ranking_attr("n1"), ranking_attr("n2")]
+)
+
+
+def make_env(seed=19, count=240, cuboid_sets=None):
+    rng = random.Random(seed)
+    rows = [
+        (
+            rng.randrange(CARDS[0]),
+            rng.randrange(CARDS[1]),
+            rng.randrange(CARDS[2]),
+            rng.random(),
+            rng.random(),
+        )
+        for _ in range(count)
+    ]
+    db = Database(buffer_capacity=128)
+    table = db.load_table("R", SCHEMA, rows)
+    cube = RankingCube.build(
+        table,
+        block_size=12,
+        cuboid_sets=cuboid_sets
+        if cuboid_sets is not None
+        else [(d,) for d in SCHEMA.selection_names],
+    )
+    return db, table, cube, rows
+
+
+def query(selections, k=5):
+    return TopKQuery(k, selections, LinearFunction(["n1", "n2"], [1.0, 0.5]))
+
+
+def observe_n(advisor, selections, n):
+    for _ in range(n):
+        advisor.observe(query(selections))
+
+
+class TestValidation:
+    def test_rejects_bad_config(self):
+        db, table, cube, _ = make_env()
+        with pytest.raises(AdvisorError):
+            CubeAdvisor(cube, table, db.pool, min_observations=0)
+        with pytest.raises(AdvisorError):
+            CubeAdvisor(cube, table, db.pool, hot_fraction=0.0)
+        with pytest.raises(AdvisorError):
+            CubeAdvisor(cube, table, db.pool, decay=1.5)
+
+    def test_empty_selection_sets_are_not_observed(self):
+        db, table, cube, _ = make_env()
+        advisor = CubeAdvisor(cube, table, db.pool)
+        advisor.observe(query({}))
+        assert advisor.observed_since_swap == 0
+
+
+class TestPromotion:
+    def test_hot_missing_set_gets_materialized_at_current_epoch(self):
+        db, table, cube, rows = make_env()
+        hot_key = frozenset({"a1", "a2"})
+        assert hot_key not in cube.cuboids
+        registry = MetricsRegistry()
+        advisor = CubeAdvisor(
+            cube, table, db.pool, min_observations=8, registry=registry
+        )
+        observe_n(advisor, {"a1": 1, "a2": 2}, 12)
+
+        report = advisor.advise_once()
+        assert report.swapped and not report.aborted
+        assert report.promoted and hot_key in cube.cuboids
+        # mixed-generation guard must still hold after the swap
+        assert cube.cuboids[hot_key].epoch == cube.epoch
+        assert registry.counter("route.advisor.promotions").value == 1
+
+        # the promoted cuboid serves exact answers
+        executor = RankingCubeExecutor(cube, table)
+        q = query({"a1": 1, "a2": 2})
+        got = [(r.score, r.tid) for r in executor.execute(q).rows]
+        assert got == brute_force_topk(SCHEMA, rows, q)
+        # popularity counters decayed and the observation window reset
+        assert advisor.observed_since_swap == 0
+
+    def test_noop_below_min_observations(self):
+        db, table, cube, _ = make_env()
+        advisor = CubeAdvisor(cube, table, db.pool, min_observations=10)
+        observe_n(advisor, {"a1": 0, "a2": 0}, 9)
+        report = advisor.advise_once()
+        assert not report.swapped and not report.promoted
+        assert frozenset({"a1", "a2"}) not in cube.cuboids
+
+    def test_cold_sets_are_not_promoted(self):
+        db, table, cube, _ = make_env()
+        advisor = CubeAdvisor(
+            cube, table, db.pool, min_observations=8, hot_fraction=0.5
+        )
+        # {a1,a2} takes only a third of the stream: below hot_fraction
+        observe_n(advisor, {"a1": 0, "a2": 0}, 4)
+        observe_n(advisor, {"a1": 0}, 8)
+        advisor.advise_once()
+        assert frozenset({"a1", "a2"}) not in cube.cuboids
+
+    def test_wide_sets_respect_max_promote_dims(self):
+        db, table, cube, _ = make_env()
+        advisor = CubeAdvisor(
+            cube, table, db.pool, min_observations=4, max_promote_dims=2
+        )
+        observe_n(advisor, {"a1": 0, "a2": 0, "a3": 0}, 8)
+        advisor.advise_once()
+        assert frozenset({"a1", "a2", "a3"}) not in cube.cuboids
+
+
+class TestBudget:
+    def test_skips_promotion_that_cannot_fit(self):
+        db, table, cube, _ = make_env()
+        entries = sum(c.num_entries for c in cube.cuboids.values())
+        advisor = CubeAdvisor(
+            cube,
+            table,
+            db.pool,
+            min_observations=4,
+            space_budget_entries=entries,  # no headroom, nothing demotable
+        )
+        observe_n(advisor, {"a1": 0, "a2": 0}, 8)
+        report = advisor.advise_once()
+        assert not report.promoted
+        assert report.skipped == ("a1,a2",)
+        # singletons are the covering safety net: never demoted for space
+        assert all(len(key) == 1 for key in cube.cuboids)
+
+    def test_demotes_cold_non_singleton_to_make_room(self):
+        # seed the cube with a non-singleton nobody queries
+        db, table, cube, rows = make_env(
+            cuboid_sets=[("a1",), ("a2",), ("a3",), ("a2", "a3")]
+        )
+        entries = sum(c.num_entries for c in cube.cuboids.values())
+        advisor = CubeAdvisor(
+            cube,
+            table,
+            db.pool,
+            min_observations=4,
+            space_budget_entries=entries,  # fits only by evicting the cold one
+        )
+        observe_n(advisor, {"a1": 0, "a2": 0}, 8)
+        report = advisor.advise_once()
+        assert report.swapped
+        assert frozenset({"a1", "a2"}) in cube.cuboids
+        assert frozenset({"a2", "a3"}) not in cube.cuboids
+        assert report.demoted[0].startswith("a2a3|")
+        # the covering singletons all survived
+        for dim in SCHEMA.selection_names:
+            assert frozenset({dim}) in cube.cuboids
+        after = sum(c.num_entries for c in cube.cuboids.values())
+        assert after <= entries
+
+
+class TestConcurrency:
+    def test_swap_aborts_when_compaction_races(self):
+        db, table, cube, _ = make_env()
+        rng = random.Random(5)
+        appended = [
+            (
+                rng.randrange(CARDS[0]),
+                rng.randrange(CARDS[1]),
+                rng.randrange(CARDS[2]),
+                rng.uniform(0.3, 0.7),
+                rng.uniform(0.3, 0.7),
+            )
+            for _ in range(15)
+        ]
+        table.insert_rows(appended)
+        assert cube.refresh_delta(table) == len(appended)
+
+        class RacedAdvisor(CubeAdvisor):
+            raced = False
+
+            def _build_promotions(self, state, promote, epoch):
+                if not RacedAdvisor.raced:
+                    # a compaction lands between our snapshot and our swap
+                    RacedAdvisor.raced = True
+                    report = CubeCompactor(self.cube, db.pool).compact_once()
+                    assert report.swapped
+                return super()._build_promotions(state, promote, epoch)
+
+        registry = MetricsRegistry()
+        advisor = RacedAdvisor(
+            cube, table, db.pool, min_observations=4, registry=registry
+        )
+        observe_n(advisor, {"a1": 0, "a2": 0}, 8)
+        report = advisor.advise_once()
+        assert report.aborted and not report.swapped
+        assert frozenset({"a1", "a2"}) not in cube.cuboids
+        assert registry.counter("route.advisor.aborts").value == 1
+        # the observations survive for the retry on the next round
+        assert advisor.observed_since_swap == 8
+        retry = advisor.advise_once()
+        assert retry.swapped
+        assert frozenset({"a1", "a2"}) in cube.cuboids
+        assert cube.epoch == cube.cuboids[frozenset({"a1", "a2"})].epoch
+
+
+class TestDaemon:
+    def test_background_worker_promotes_and_closes(self):
+        db, table, cube, _ = make_env()
+        advisor = CubeAdvisor(cube, table, db.pool, min_observations=6).start()
+        assert advisor.start() is advisor  # idempotent
+        try:
+            observe_n(advisor, {"a1": 1, "a2": 1}, 10)
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if frozenset({"a1", "a2"}) in cube.cuboids:
+                    break
+                time.sleep(0.01)
+            assert frozenset({"a1", "a2"}) in cube.cuboids
+            assert advisor.last_error is None
+        finally:
+            advisor.close()
+        assert not advisor.running
+        with pytest.raises(AdvisorError):
+            advisor.start()

@@ -1,0 +1,134 @@
+"""Unit tests for the router's cost memory (repro.route.cost / signature)."""
+
+import random
+
+import pytest
+
+from repro.ranking import LinearFunction, LpDistance
+from repro.relational import Database, Schema, TopKQuery, ranking_attr, selection_attr
+from repro.route import CostBook, QueryShape, log2_bucket, shape_of
+
+SCHEMA = Schema.of(
+    [selection_attr("a1", 4), selection_attr("a2", 6)]
+    + [ranking_attr("n1"), ranking_attr("n2")]
+)
+
+
+def make_table(count=240, seed=7):
+    rng = random.Random(seed)
+    rows = [
+        (rng.randrange(4), rng.randrange(6), rng.random(), rng.random())
+        for _ in range(count)
+    ]
+    db = Database(buffer_capacity=64)
+    return db.load_table("R", SCHEMA, rows)
+
+
+def shape(k=10, selections=None, fn=None):
+    return QueryShape(
+        selection_dims=tuple(sorted(selections or ("a1",))),
+        selectivity_bucket=4,
+        k_bucket=log2_bucket(float(k)),
+        ranking_dims=("n1", "n2"),
+        function=fn or "LinearFunction",
+    )
+
+
+class TestLog2Bucket:
+    def test_sub_one_and_zero_clamp_to_zero(self):
+        assert log2_bucket(0.0) == 0
+        assert log2_bucket(0.4) == 0
+        assert log2_bucket(1.0) == 0
+
+    def test_powers_of_two_are_bucket_edges(self):
+        assert log2_bucket(2.0) == 1
+        assert log2_bucket(3.9) == 1
+        assert log2_bucket(4.0) == 2
+        assert log2_bucket(1024.0) == 10
+
+
+class TestShapeOf:
+    def test_same_regime_queries_pool(self):
+        """Different constants / weights, same shape -> same cost bucket."""
+        table = make_table()
+        fn_a = LinearFunction(["n1", "n2"], [1.0, 0.5])
+        fn_b = LinearFunction(["n1", "n2"], [0.25, 2.0])
+        q_a = TopKQuery(10, {"a1": 0}, fn_a)
+        q_b = TopKQuery(11, {"a1": 3}, fn_b)
+        assert shape_of(table, q_a) == shape_of(table, q_b)
+
+    def test_selectivity_and_k_split_shapes(self):
+        table = make_table()
+        fn = LinearFunction(["n1", "n2"], [1.0, 1.0])
+        wide = shape_of(table, TopKQuery(10, {"a1": 0}, fn))
+        narrow = shape_of(table, TopKQuery(10, {"a1": 0, "a2": 1}, fn))
+        deep = shape_of(table, TopKQuery(64, {"a1": 0}, fn))
+        assert wide != narrow  # different dims and selectivity bucket
+        assert wide != deep    # k bucket differs
+        assert wide.selection_dims == ("a1",)
+        assert narrow.selection_dims == ("a1", "a2")
+
+    def test_function_class_splits_shapes(self):
+        table = make_table()
+        linear = TopKQuery(5, {"a1": 0}, LinearFunction(["n1", "n2"], [1, 1]))
+        lp = TopKQuery(5, {"a1": 0}, LpDistance(["n1", "n2"], [0.5, 0.5], p=2.0))
+        assert shape_of(table, linear).function == "LinearFunction"
+        assert shape_of(table, lp).function == "LpDistance"
+        assert shape_of(table, linear) != shape_of(table, lp)
+
+    def test_str_is_compact(self):
+        assert "sel[a1]" in str(shape())
+
+
+class TestCostBook:
+    def test_prior_strength_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CostBook(prior_strength=0.0)
+        with pytest.raises(ValueError):
+            CostBook(prior_strength=-1.0)
+
+    def test_unsampled_blend_is_the_analytic_estimate(self):
+        book = CostBook(prior_strength=4.0)
+        assert book.blended(shape(), "cube", 120.0) == pytest.approx(120.0)
+        assert book.samples(shape(), "cube") == 0
+
+    def test_blend_is_the_shrinkage_formula(self):
+        book = CostBook(prior_strength=4.0)
+        s = shape()
+        for io in (10.0, 20.0, 30.0):
+            book.record(s, "cube", io, wall_s=0.001)
+        # (total_observed + n0 * analytic) / (n + n0)
+        expected = (60.0 + 4.0 * 100.0) / (3 + 4.0)
+        assert book.blended(s, "cube", 100.0) == pytest.approx(expected)
+        assert book.samples(s, "cube") == 3
+
+    def test_blend_converges_to_observed_mean(self):
+        book = CostBook(prior_strength=4.0)
+        s = shape()
+        for _ in range(1000):
+            book.record(s, "cube", 10.0, wall_s=0.0)
+        # at n=1000, n0=4 the prior's pull is n0/(n+n0) < 0.4% of the gap
+        assert book.blended(s, "cube", 500.0) == pytest.approx(
+            10.0 + (4.0 / 1004.0) * 490.0, rel=1e-6
+        )
+
+    def test_paths_and_shapes_are_independent(self):
+        book = CostBook()
+        book.record(shape(k=10), "cube", 10.0, 0.0)
+        assert book.samples(shape(k=10), "baseline") == 0
+        assert book.samples(shape(k=64), "cube") == 0
+        assert book.size == 1
+
+    def test_observation_returns_a_copy(self):
+        book = CostBook()
+        s = shape()
+        book.record(s, "cube", 10.0, 0.5)
+        obs = book.observation(s, "cube")
+        obs.total_io = 999.0
+        assert book.observation(s, "cube").total_io == pytest.approx(10.0)
+        assert book.observation(s, "cube").mean_wall_s == pytest.approx(0.5)
+
+    def test_missing_observation_is_empty(self):
+        obs = CostBook().observation(shape(), "cube")
+        assert obs.samples == 0
+        assert obs.mean_io == 0.0

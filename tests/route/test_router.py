@@ -1,0 +1,237 @@
+"""Unit tests for the adaptive router (repro.route.router)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import RankingCube
+from repro.obs import MetricsRegistry
+from repro.ranking import LinearFunction
+from repro.relational import Database, Schema, TopKQuery, ranking_attr, selection_attr
+from repro.route import AdaptiveRouter, RoutePath, shape_of
+from repro.workloads.oracle import brute_force_topk
+
+CARDS = (3, 4)
+SCHEMA = Schema.of(
+    [selection_attr("a1", CARDS[0]), selection_attr("a2", CARDS[1])]
+    + [ranking_attr("n1"), ranking_attr("n2")]
+)
+
+
+def make_rows(seed=13, count=300):
+    rng = random.Random(seed)
+    return [
+        (rng.randrange(CARDS[0]), rng.randrange(CARDS[1]), rng.random(), rng.random())
+        for _ in range(count)
+    ]
+
+
+def make_env(seed=13, count=300):
+    rows = make_rows(seed, count)
+    db = Database(buffer_capacity=64)
+    table = db.load_table("R", SCHEMA, rows)
+    for name in SCHEMA.selection_names:
+        table.create_secondary_index(name)
+    cube = RankingCube.build(table, block_size=12)
+    return db, table, cube, rows
+
+
+def query(k=5, selections=None):
+    return TopKQuery(
+        k, selections if selections is not None else {"a1": 1},
+        LinearFunction(["n1", "n2"], [1.0, 0.5]),
+    )
+
+
+class StubPath(RoutePath):
+    """A scripted path: fixed analytic estimate, scripted observed cost."""
+
+    def __init__(self, name, analytic, observed=None):
+        self.name = name
+        self.analytic = analytic
+        self.observed = observed if observed is not None else analytic
+        self.executions = 0
+
+    def estimate_io(self, q):
+        return self.analytic
+
+    def execute(self, q, trace=None, tracer=None):
+        self.executions += 1
+
+        class _Result:
+            rows = ()
+            blocks_accessed = 1
+
+        return _Result(), self.observed
+
+
+def make_table(seed=13):
+    db = Database(buffer_capacity=64)
+    return db.load_table("R", SCHEMA, make_rows(seed, 120))
+
+
+class TestValidation:
+    def test_needs_at_least_one_path(self):
+        with pytest.raises(ValueError, match="at least one"):
+            AdaptiveRouter(make_table(), [])
+
+    def test_rejects_duplicate_path_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            AdaptiveRouter(
+                make_table(), [StubPath("p", 1.0), StubPath("p", 2.0)]
+            )
+
+    def test_rejects_probe_margin_below_one(self):
+        with pytest.raises(ValueError, match="probe_margin"):
+            AdaptiveRouter(make_table(), [StubPath("p", 1.0)], probe_margin=0.5)
+
+
+class TestDecide:
+    def test_unsampled_decision_follows_analytic_order_with_probes(self):
+        """First query probes the near-frontier paths once each, cheapest
+        analytic first, then the router settles on the blended minimum."""
+        table = make_table()
+        cheap = StubPath("cheap", analytic=10.0)
+        near = StubPath("near", analytic=20.0)      # within 3x of 10
+        far = StubPath("far", analytic=100.0)       # outside the margin
+        router = AdaptiveRouter(table, [cheap, near, far], probe_margin=3.0)
+        q = query()
+
+        first = router.execute(q)
+        assert (first.path, first.probe) == ("near", True)
+        second = router.execute(q)
+        assert (second.path, second.probe) == ("cheap", False)
+        third = router.execute(q)
+        assert (third.path, third.probe) == ("cheap", False)
+        assert far.executions == 0  # never worth a probe
+
+    def test_probe_happens_at_most_once_per_shape_and_path(self):
+        table = make_table()
+        router = AdaptiveRouter(
+            table, [StubPath("a", 10.0), StubPath("b", 11.0)]
+        )
+        q = query()
+        probes = [router.execute(q).probe for _ in range(6)]
+        assert probes.count(True) == 1
+
+    def test_new_shape_gets_its_own_probes(self):
+        table = make_table()
+        router = AdaptiveRouter(
+            table, [StubPath("a", 10.0), StubPath("b", 11.0)]
+        )
+        assert router.execute(query(k=5)).probe is True
+        # a different k bucket is a different shape: the book is empty there
+        assert router.execute(query(k=64)).probe is True
+
+    def test_observed_costs_override_a_wrong_analytic_ranking(self):
+        """The path the model prices worse wins once observations say so."""
+        table = make_table()
+        # model says `slow` is cheapest, but it observes 200 per run
+        slow = StubPath("slow", analytic=10.0, observed=200.0)
+        fast = StubPath("fast", analytic=25.0, observed=5.0)
+        router = AdaptiveRouter(table, [slow, fast], prior_strength=2.0)
+        q = query()
+        for _ in range(8):
+            router.execute(q)
+        settled = router.execute(q)
+        assert settled.path == "fast"
+        assert settled.blended["fast"] < settled.blended["slow"]
+
+    def test_ties_break_deterministically_by_name(self):
+        table = make_table()
+        router = AdaptiveRouter(
+            table, [StubPath("zeta", 10.0), StubPath("alpha", 10.0)],
+        )
+        q = query()
+        # sample both paths at identical cost so no probe is pending and
+        # the blended costs tie exactly
+        s = shape_of(table, q)
+        router.book.record(s, "zeta", 10.0, 0.0)
+        router.book.record(s, "alpha", 10.0, 0.0)
+        decision = router.decide(q)
+        assert (decision.path, decision.probe) == ("alpha", False)
+
+    def test_decision_records_full_cost_tables(self):
+        table = make_table()
+        router = AdaptiveRouter(
+            table, [StubPath("a", 10.0), StubPath("b", 30.0)]
+        )
+        decision = router.decide(query())
+        assert set(decision.analytic) == {"a", "b"}
+        assert decision.analytic["b"] == pytest.approx(30.0)
+        assert decision.blended["a"] == pytest.approx(10.0)  # no samples yet
+        assert decision.shape == shape_of(table, query())
+
+
+class TestForCube:
+    def test_standard_family_and_answer_identity(self):
+        """Every path the standard family routes to returns the oracle
+        answer, byte for byte."""
+        db, table, cube, rows = make_env()
+        router = AdaptiveRouter.for_cube(cube, table)
+        assert set(router.paths) == {"cube", "vector", "baseline"}
+
+        queries = [
+            query(k=5, selections={"a1": 1}),
+            query(k=3, selections={"a1": 0, "a2": 2}),
+            query(k=8, selections={"a2": 3}),
+            query(k=4, selections={}),
+        ]
+        for q in queries:
+            expected = brute_force_topk(SCHEMA, rows, q)
+            # every path in the family individually returns the oracle
+            # answer — the precondition that makes routing cost-only
+            for path in router.paths.values():
+                result, observed_io = path.execute(q)
+                assert [(r.score, r.tid) for r in result.rows] == expected
+                assert observed_io >= 0.0
+            for _ in range(3):  # cover probe and settled decisions
+                decision = router.execute(q)
+                got = [(r.score, r.tid) for r in decision.result.rows]
+                assert got == expected
+
+    def test_include_vector_false_drops_the_vector_path(self):
+        db, table, cube, _rows = make_env()
+        router = AdaptiveRouter.for_cube(cube, table, include_vector=False)
+        assert set(router.paths) == {"cube", "baseline"}
+
+    def test_uncoverable_query_estimates_inf_but_still_answers(self):
+        """A cube materializing only {a1} cannot cover a2-queries: its
+        analytic cost is inf and routing falls through to the baseline."""
+        rows = make_rows(17, 200)
+        db = Database(buffer_capacity=64)
+        table = db.load_table("R", SCHEMA, rows)
+        for name in SCHEMA.selection_names:
+            table.create_secondary_index(name)
+        cube = RankingCube.build(table, block_size=12, cuboid_sets=[("a1",)])
+        router = AdaptiveRouter.for_cube(cube, table, include_vector=False)
+        q = query(k=5, selections={"a2": 1})
+        decision = router.execute(q)
+        assert decision.analytic["cube"] == math.inf
+        assert decision.path == "baseline"
+        got = [(r.score, r.tid) for r in decision.result.rows]
+        assert got == brute_force_topk(SCHEMA, rows, q)
+
+
+class TestObservability:
+    def test_counters_and_cost_book_after_a_stream(self):
+        db, table, cube, _rows = make_env()
+        registry = MetricsRegistry()
+        router = AdaptiveRouter.for_cube(cube, table, registry=registry)
+        q = query()
+        for _ in range(5):
+            router.execute(q)
+        assert registry.counter("route.queries").value == 5
+        decisions = sum(
+            value
+            for name, labels, value in registry.counter_items()
+            if name == "route.decision"
+        )
+        assert decisions == 5
+        assert registry.counter("route.observed_pages").value > 0
+        s = shape_of(table, q)
+        sampled = sum(router.book.samples(s, name) for name in router.paths)
+        assert sampled == 5
+        assert router.last_decision is not None
+        assert router.last_decision.observed_io > 0
